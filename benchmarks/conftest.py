@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate every table and figure of the paper at a larger
+scale than the unit tests (more subscribers, finer day sampling).  The
+study — world synthesis + probe-equivalent measurement + stage-1
+aggregation — runs once per session; each figure benchmark then times its
+stage-2 computation and prints the paper-vs-measured report that also
+lands in ``bench_reports/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.study import LongitudinalStudy, StudyData
+from repro.services import catalog
+from repro.synthesis.world import WorldConfig
+
+BENCH_SEED = 42
+REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
+
+
+def bench_config() -> StudyConfig:
+    return StudyConfig(
+        world=WorldConfig(seed=BENCH_SEED, adsl_count=500, ftth_count=250),
+        day_stride=4,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=3,
+        max_flows_per_usage=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def study() -> LongitudinalStudy:
+    return LongitudinalStudy(bench_config())
+
+
+@pytest.fixture(scope="session")
+def data(study: LongitudinalStudy) -> StudyData:
+    return study.run()
+
+
+def emit_report(name: str, lines) -> None:
+    """Print the paper-vs-measured lines and persist them."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def require_mostly_ok(lines, minimum_fraction: float = 0.7) -> None:
+    """Benchmarks also sanity-check the shapes: most targets must hold."""
+    checks = [line for line in lines if line.startswith("[")]
+    if not checks:
+        return
+    ok = sum(1 for line in checks if line.startswith("[OK ]"))
+    assert ok / len(checks) >= minimum_fraction, "\n".join(lines)

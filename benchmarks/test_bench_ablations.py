@@ -1,0 +1,126 @@
+"""Ablation benchmarks: the design choices DESIGN.md §7 calls out.
+
+* visit thresholds OFF — how much third-party traffic inflates popularity
+  (the Section 4.1 motivation for the per-service thresholds);
+* DN-Hunter OFF — what fraction of traffic would go unnamed without the
+  DNS-based naming fallback;
+* probe upgrades — the event-C measurement artifact, quantified: the same
+  traffic labelled by the pre- and post-June-2015 probe.
+"""
+
+import datetime
+
+from conftest import emit_report
+
+from repro.analytics.activity import subscriber_days
+from repro.analytics.popularity import daily_service_stats
+from repro.services import catalog
+from repro.services.thresholds import VisitClassifier, no_threshold_classifier
+from repro.synthesis.flowgen import TrafficGenerator
+from repro.synthesis.world import World, WorldConfig
+from repro.tstat.flow import NameSource, WebProtocol
+from repro.tstat.versions import capabilities_on
+
+DAY = datetime.date(2016, 9, 14)
+
+
+def _generator():
+    return TrafficGenerator(World(WorldConfig(seed=3, adsl_count=300, ftth_count=150)))
+
+
+def test_ablation_visit_thresholds(benchmark, data):
+    """Thresholds off: embedded-object contacts count as visits."""
+
+    def popularity(classifier):
+        # Recompute one day from scratch to isolate the classifier effect.
+        generator = _generator()
+        traffic = generator.generate_day(DAY)
+        day_rows = subscriber_days(traffic.usage)
+        stats = daily_service_stats(traffic.usage, day_rows, classifier=classifier)
+        return {cell.service: cell.popularity for cell in stats}
+
+    with_thresholds = benchmark(popularity, VisitClassifier())
+    without = popularity(no_threshold_classifier())
+    lines = ["Ablation: per-service visit thresholds (Section 4.1)"]
+    for service in (catalog.FACEBOOK, catalog.YOUTUBE, catalog.NETFLIX):
+        kept = with_thresholds.get(service, 0.0)
+        inflated = without.get(service, 0.0)
+        lines.append(
+            f"[OK ] {service}: popularity {100 * kept:.1f}% with thresholds, "
+            f"{100 * inflated:.1f}% without (inflation x{inflated / kept if kept else 0:.2f})"
+        )
+        assert inflated >= kept
+    emit_report("ablation_thresholds", lines)
+
+
+def test_ablation_dnhunter_coverage(benchmark, data):
+    """DN-Hunter off: traffic that would lose its server name."""
+    generator = _generator()
+    traffic = generator.generate_day(DAY)
+
+    def expand():
+        return generator.expand_flows(DAY, traffic)
+
+    flows = benchmark(expand)
+    total = sum(flow.total_bytes for flow in flows)
+    by_source = {}
+    for flow in flows:
+        by_source.setdefault(flow.name_source, 0)
+        by_source[flow.name_source] += flow.total_bytes
+    dns_named = by_source.get(NameSource.DNS, 0)
+    unnamed = by_source.get(NameSource.NONE, 0)
+    lines = [
+        "Ablation: DN-Hunter (Section 2.1)",
+        f"[OK ] share of bytes named only via DNS cache: {100 * dns_named / total:.1f}%",
+        f"[OK ] share of bytes unnamed even with DN-Hunter: {100 * unnamed / total:.1f}%",
+        f"[OK ] without DN-Hunter the unnamed share would be "
+        f"{100 * (unnamed + dns_named) / total:.1f}%",
+    ]
+    assert dns_named > 0
+    emit_report("ablation_dnhunter", lines)
+
+
+def test_ablation_probe_upgrade(benchmark, data):
+    """Event C as an artifact: same wire traffic, two probe versions."""
+    generator = _generator()
+    day = datetime.date(2015, 5, 20)  # SPDY live, probe not yet upgraded
+    traffic = generator.generate_day(day)
+
+    def protocol_bytes():
+        volumes = {}
+        for row in traffic.usage:
+            service = generator.world.service(row.service)
+            for protocol, share in service.protocol_mix(day):
+                volumes.setdefault(protocol, 0.0)
+                volumes[protocol] += (row.bytes_down + row.bytes_up) * share
+        return volumes
+
+    true_volumes = benchmark(protocol_bytes)
+    old_probe = capabilities_on(datetime.date(2015, 5, 1))
+    new_probe = capabilities_on(datetime.date(2015, 7, 1))
+
+    def reported_with(caps):
+        reported = {}
+        for protocol, volume in true_volumes.items():
+            label = caps.reported_label(protocol)
+            reported.setdefault(label, 0.0)
+            reported[label] += volume
+        return reported
+
+    old_view = reported_with(old_probe)
+    new_view = reported_with(new_probe)
+    web_total = sum(
+        volume for protocol, volume in true_volumes.items() if protocol.is_web
+    )
+    spdy_hidden = old_view.get(WebProtocol.SPDY, 0.0)
+    spdy_visible = new_view.get(WebProtocol.SPDY, 0.0)
+    lines = [
+        "Ablation: probe software upgrade (event C, June 2015)",
+        f"[OK ] SPDY share reported by the pre-upgrade probe: "
+        f"{100 * spdy_hidden / web_total:.1f}% (hidden inside TLS)",
+        f"[OK ] SPDY share reported by the post-upgrade probe: "
+        f"{100 * spdy_visible / web_total:.1f}%",
+    ]
+    assert spdy_hidden == 0.0
+    assert spdy_visible / web_total > 0.04
+    emit_report("ablation_probe_upgrade", lines)

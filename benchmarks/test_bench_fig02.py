@@ -1,0 +1,16 @@
+"""Figure 02 benchmark: CCDF of per-subscriber daily traffic (2014 vs 2017).
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig02_ccdf
+
+
+def test_figure02(benchmark, data):
+    fig = benchmark(fig02_ccdf.compute, data)
+    lines = fig02_ccdf.report(fig)
+    emit_report("fig02", lines)
+    require_mostly_ok(lines)

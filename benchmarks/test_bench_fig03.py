@@ -1,0 +1,16 @@
+"""Figure 03 benchmark: 54-month per-subscription traffic trend.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig03_volume_trend
+
+
+def test_figure03(benchmark, data):
+    fig = benchmark(fig03_volume_trend.compute, data)
+    lines = fig03_volume_trend.report(fig)
+    emit_report("fig03", lines)
+    require_mostly_ok(lines)

@@ -1,0 +1,16 @@
+"""Figure 04 benchmark: hour-of-day 2017/2014 download ratio.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig04_hourly_ratio
+
+
+def test_figure04(benchmark, data):
+    fig = benchmark(fig04_hourly_ratio.compute, data)
+    lines = fig04_hourly_ratio.report(fig)
+    emit_report("fig04", lines)
+    require_mostly_ok(lines)

@@ -1,0 +1,16 @@
+"""Figure 05 benchmark: service popularity and byte-share heatmaps.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig05_services
+
+
+def test_figure05(benchmark, data):
+    fig = benchmark(fig05_services.compute, data)
+    lines = fig05_services.report(fig)
+    emit_report("fig05", lines)
+    require_mostly_ok(lines)

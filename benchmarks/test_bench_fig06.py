@@ -1,0 +1,16 @@
+"""Figure 06 benchmark: P2P / Netflix / YouTube panels.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig06_video_p2p
+
+
+def test_figure06(benchmark, data):
+    fig = benchmark(fig06_video_p2p.compute, data)
+    lines = fig06_video_p2p.report(fig)
+    emit_report("fig06", lines)
+    require_mostly_ok(lines)

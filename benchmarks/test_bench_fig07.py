@@ -1,0 +1,16 @@
+"""Figure 07 benchmark: SnapChat / WhatsApp / Instagram panels.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig07_social
+
+
+def test_figure07(benchmark, data):
+    fig = benchmark(fig07_social.compute, data)
+    lines = fig07_social.report(fig)
+    emit_report("fig07", lines)
+    require_mostly_ok(lines)

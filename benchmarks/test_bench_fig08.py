@@ -1,0 +1,16 @@
+"""Figure 08 benchmark: web-protocol breakdown with events A-F.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig08_protocols
+
+
+def test_figure08(benchmark, data):
+    fig = benchmark(fig08_protocols.compute, data)
+    lines = fig08_protocols.report(fig)
+    emit_report("fig08", lines)
+    require_mostly_ok(lines)

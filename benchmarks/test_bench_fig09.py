@@ -1,0 +1,16 @@
+"""Figure 09 benchmark: Facebook auto-play volume series.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig09_autoplay
+
+
+def test_figure09(benchmark, data):
+    fig = benchmark(fig09_autoplay.compute, data)
+    lines = fig09_autoplay.report(fig)
+    emit_report("fig09", lines)
+    require_mostly_ok(lines)

@@ -1,0 +1,16 @@
+"""Figure 10 benchmark: min-RTT CDFs 2014 vs 2017.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig10_rtt
+
+
+def test_figure10(benchmark, data):
+    fig = benchmark(fig10_rtt.compute, data)
+    lines = fig10_rtt.report(fig)
+    emit_report("fig10", lines)
+    require_mostly_ok(lines)

@@ -1,0 +1,16 @@
+"""Figure 11 benchmark: infrastructure evolution panels.
+
+Times the stage-2 computation over the session study data and prints the
+paper-vs-measured report (also written to bench_reports/).
+"""
+
+from conftest import emit_report, require_mostly_ok
+
+from repro.figures import fig11_infrastructure
+
+
+def test_figure11(benchmark, data):
+    fig = benchmark(fig11_infrastructure.compute, data)
+    lines = fig11_infrastructure.report(fig)
+    emit_report("fig11", lines)
+    require_mostly_ok(lines)

@@ -1,0 +1,117 @@
+"""Pipeline benchmarks: the substrates' throughput.
+
+Not tied to one figure — these time the components every figure depends
+on: the probe's packet path, the traffic generator's tiers, stage-1
+aggregation on the dataflow engine, and the LPM trie join.
+"""
+
+import datetime
+
+from repro.analytics.aggregate import aggregate_usage
+from repro.dataflow.engine import Dataset
+from repro.nettypes.ip import Prefix, ip_to_int
+from repro.routing.trie import PrefixTrie
+from repro.services import catalog
+from repro.synthesis.flowgen import TrafficGenerator
+from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
+from repro.synthesis.world import World, WorldConfig
+from repro.tstat.flow import WebProtocol
+from repro.tstat.probe import Probe, ProbeConfig
+
+DAY = datetime.date(2016, 9, 14)
+
+
+def _world():
+    return World(WorldConfig(seed=1, adsl_count=200, ftth_count=100))
+
+
+def test_probe_packet_throughput(benchmark):
+    """Packets/second through decode → meter → DPI → export."""
+    client = ip_to_int("10.1.0.9")
+    specs = [
+        FlowSpec(
+            client,
+            ip_to_int("93.184.216.0") + index,
+            40000 + index,
+            443,
+            WebProtocol.TLS,
+            f"host-{index}.example.net",
+            rtt_ms=5.0,
+            bytes_down=30_000,
+            bytes_up=2_000,
+            start_ts=index * 0.01,
+        )
+        for index in range(100)
+    ]
+    packets = PacketSynthesizer(seed=2).synthesize(specs)
+
+    def run_probe():
+        probe = Probe(ProbeConfig.for_pop("pop1", ["10.1.0.0/16"]))
+        return probe.run(packets)
+
+    records = benchmark(run_probe)
+    assert len(records) == 100
+    benchmark.extra_info["packets"] = len(packets)
+
+
+def test_aggregate_tier_generation(benchmark):
+    """One day of the aggregate tier (the 54-month figures' input)."""
+    generator = TrafficGenerator(_world())
+    traffic = benchmark(generator.generate_day, DAY)
+    assert traffic.usage
+
+
+def test_flow_tier_expansion(benchmark):
+    """One day of probe-grade flow records (RTT/infrastructure input)."""
+    generator = TrafficGenerator(_world())
+    traffic = generator.generate_day(DAY)
+    flows = benchmark(generator.expand_flows, DAY, traffic)
+    assert flows
+
+
+def test_stage1_aggregation_job(benchmark):
+    """Stage-1 reduce over one day of flow records (the Spark-like job)."""
+    generator = TrafficGenerator(_world())
+    rules = catalog.default_ruleset()
+    flows = generator.expand_flows(DAY)
+    dataset = Dataset.from_iterable(flows, partitions=8)
+
+    def job():
+        return aggregate_usage(dataset, rules, DAY).collect()
+
+    rows = benchmark(job)
+    assert rows
+    benchmark.extra_info["flows"] = len(flows)
+
+
+def test_datalake_day_roundtrip(benchmark, tmp_path):
+    """Archive + reload one day of stage-1 usage rows (gzip TSV lake)."""
+    from repro.dataflow.datalake import DataLake
+    from repro.synthesis.flowgen import USAGE_CODEC
+
+    generator = TrafficGenerator(_world())
+    rows = generator.generate_day(DAY).usage
+    lake = DataLake(tmp_path / "lake")
+
+    def roundtrip():
+        lake.write_day("usage", DAY, rows, USAGE_CODEC)
+        return lake.read_day("usage", DAY, USAGE_CODEC).count()
+
+    count = benchmark(roundtrip)
+    assert count == len(rows)
+    benchmark.extra_info["rows"] = len(rows)
+
+
+def test_lpm_trie_lookups(benchmark):
+    """IP→ASN joins: the Fig. 11d-f hot loop."""
+    trie = PrefixTrie()
+    for index in range(512):
+        network = (10 << 24) | (index << 12)
+        trie.insert(Prefix(network, 20), index)
+    addresses = [(10 << 24) | (index << 12) | 7 for index in range(512)] * 20
+
+    def lookups():
+        return [trie.lookup(address) for address in addresses]
+
+    results = benchmark(lookups)
+    assert results[0] == 0

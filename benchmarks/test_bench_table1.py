@@ -1,0 +1,34 @@
+"""Table 1 benchmark: domain→service classification throughput + the table."""
+
+from conftest import emit_report
+
+from repro.figures import table1
+from repro.services import catalog
+
+_SAMPLE_DOMAINS = [
+    "facebook.com",
+    "scontent-mxp1-1.fbcdn.net",
+    "fbstatic-a.akamaihd.net",
+    "www.netflix.com",
+    "ipv4-c3-mxp001.nflxvideo.net",
+    "r4---sn-ab5l6nzr.googlevideo.com",
+    "e7.whatsapp.net",
+    "totally-unknown-site.example",
+    "cdn-3.akamaihd.net",
+    "www.google.it",
+] * 100
+
+
+def test_table1_classification(benchmark):
+    rules = catalog.default_ruleset()
+
+    def classify_all():
+        return [rules.classify(domain) for domain in _SAMPLE_DOMAINS]
+
+    results = benchmark(classify_all)
+    assert results[0] == catalog.FACEBOOK
+
+    table = table1.compute(rules)
+    lines = table1.report(table)
+    emit_report("table1", lines)
+    assert table.all_ok

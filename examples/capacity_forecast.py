@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Capacity planning: turning the Fig. 3 trend into a forecast.
+
+Section 3 motivates the per-subscriber consumption analysis as
+"instrumental to understand costs of ISPs in terms of capacity and
+forecasting trends" (and Section 7 nods at Cisco's VNI forecasts).  This
+example does the ISP-planner exercise on the measured series: fit the
+2013-2017 per-subscriber growth, extrapolate 12/24 months past the end of
+the study, and translate the result into aggregation-link headroom for a
+PoP of a given size.
+
+Run:  python examples/capacity_forecast.py
+"""
+
+import numpy as np
+
+from repro.core.config import small_study
+from repro.core.study import LongitudinalStudy
+from repro.figures import fig03_volume_trend
+from repro.synthesis.population import Technology
+
+MB = 1e6
+GB = 1e9
+
+
+def fit_and_forecast(series, horizon_months=24):
+    """Least-squares linear fit over defined months; returns forecasts."""
+    defined = series.defined()
+    xs = np.array([index for index, (_, value) in enumerate(zip(series.months, series.values)) if value is not None], dtype=float)
+    ys = np.array([value for value in series.values if value is not None], dtype=float)
+    slope, intercept = np.polyfit(xs, ys, 1)
+    last_index = len(series.months) - 1
+    fitted_end = intercept + slope * last_index
+    forecasts = {
+        months_ahead: intercept + slope * (last_index + months_ahead)
+        for months_ahead in (12, horizon_months)
+    }
+    return slope, fitted_end, forecasts
+
+
+def busy_hour_gbps(mean_daily_bytes: float, subscribers: int) -> float:
+    """Aggregate busy-hour demand, assuming the classic ~10% busy-hour share."""
+    busy_hour_bytes = mean_daily_bytes * 0.10 * subscribers
+    return busy_hour_bytes * 8 / 3600 / 1e9
+
+
+def main() -> None:
+    study = LongitudinalStudy(small_study())
+    print("measuring the 54-month consumption series...")
+    data = study.run()
+    fig3 = fig03_volume_trend.compute(data)
+
+    print(f"\n{'technology':<12}{'end (fitted)':>14}{'+12 months':>12}{'+24 months':>12}"
+          f"{'growth/month':>14}")
+    results = {}
+    for technology in Technology:
+        series = fig3.get(technology, "down")
+        slope, fitted_end, forecasts = fit_and_forecast(series)
+        results[technology] = (fitted_end, forecasts)
+        print(
+            f"{technology.value:<12}{fitted_end / MB:>12.0f}MB{forecasts[12] / MB:>10.0f}MB"
+            f"{forecasts[24] / MB:>10.0f}MB{slope / MB:>12.1f}MB"
+        )
+
+    # Translate to PoP capacity: the paper's deployment sizes.
+    print("\nbusy-hour demand for the paper's PoP population "
+          "(10000 ADSL + 5000 FTTH):")
+    for label, months in (("end of study", 0), ("+24 months", 24)):
+        adsl = results[Technology.ADSL][1].get(months, results[Technology.ADSL][0])
+        ftth = results[Technology.FTTH][1].get(months, results[Technology.FTTH][0])
+        if months == 0:
+            adsl = results[Technology.ADSL][0]
+            ftth = results[Technology.FTTH][0]
+        demand = busy_hour_gbps(adsl, 10_000) + busy_hour_gbps(ftth, 5_000)
+        print(f"  {label:<14} ~{demand:5.1f} Gb/s across the aggregation links")
+
+    print("\n(the probes of the paper captured multiple 10 Gb/s links per "
+          "PoP — consistent with this envelope)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Regenerate the whole paper: every table and figure, ASCII + CSV.
+
+Runs the longitudinal study at a configurable scale, renders each figure
+in the terminal (trend charts, heatmaps, stacked protocol bars, RTT CDF
+tables) and exports the underlying data series as CSVs — the reproduction
+counterpart of the paper's published data tables (footnote 6).
+
+Run:  python examples/five_year_report.py [--scale small|medium] [--out DIR]
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.core.config import StudyConfig, small_study
+from repro.core.study import LongitudinalStudy
+from repro.figures import (
+    fig02_ccdf,
+    fig03_volume_trend,
+    fig04_hourly_ratio,
+    fig05_services,
+    fig06_video_p2p,
+    fig07_social,
+    fig08_protocols,
+    fig09_autoplay,
+    fig10_rtt,
+    fig11_infrastructure,
+    table1,
+)
+from repro.reporting import ascii as render
+from repro.reporting.export import (
+    write_daily_series,
+    write_distribution,
+    write_monthly_series,
+)
+from repro.services import catalog
+from repro.synthesis.population import Technology
+from repro.synthesis.world import WorldConfig
+from repro.tstat.flow import WebProtocol
+
+
+def medium_study() -> StudyConfig:
+    return StudyConfig(
+        world=WorldConfig(seed=42, adsl_count=500, ftth_count=250),
+        day_stride=4,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=3,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "medium"), default="small")
+    parser.add_argument("--out", default="report_output")
+    args = parser.parse_args()
+
+    config = small_study() if args.scale == "small" else medium_study()
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    study = LongitudinalStudy(config)
+    print(f"running the study at {args.scale} scale "
+          f"({config.world.adsl_count} ADSL + {config.world.ftth_count} FTTH)...")
+    started = time.time()
+    data = study.run()
+    print(f"done in {time.time() - started:.0f}s\n")
+
+    # Table 1 ----------------------------------------------------------------
+    print("\n".join(table1.report(table1.compute(study.rules))))
+
+    # Figure 2 ----------------------------------------------------------------
+    fig2 = fig02_ccdf.compute(data)
+    print("\n" + "\n".join(fig02_ccdf.report(fig2)))
+    write_distribution(
+        out_dir / "fig02_ccdf.csv",
+        {
+            f"{year}-{technology.value}-{direction}": fig2.ccdf_series(
+                year, technology, direction
+            )
+            for (year, technology, direction) in fig02_ccdf.CURVE_KEYS
+        },
+        x_label="bytes",
+        y_label="ccdf",
+    )
+
+    # Figure 3 ----------------------------------------------------------------
+    fig3 = fig03_volume_trend.compute(data)
+    print("\n" + "\n".join(fig03_volume_trend.report(fig3)))
+    adsl_down = fig3.get(Technology.ADSL, "down")
+    print(render.line_chart(
+        [value / 1e6 if value is not None else None for value in adsl_down.values],
+        title="ADSL mean download, MB/day over 54 months (gaps = probe outages)",
+        y_label="MB",
+    ))
+    write_monthly_series(
+        out_dir / "fig03_volumes.csv",
+        {
+            f"{technology.value}-{direction}": fig3.get(technology, direction)
+            for technology in Technology
+            for direction in ("down", "up")
+        },
+    )
+
+    # Figure 4 ----------------------------------------------------------------
+    fig4 = fig04_hourly_ratio.compute(data)
+    print("\n" + "\n".join(fig04_hourly_ratio.report(fig4)))
+
+    # Figure 5 ----------------------------------------------------------------
+    fig5 = fig05_services.compute(data)
+    print("\n" + "\n".join(fig05_services.report(fig5)))
+    print(render.heatmap(
+        {
+            service: fig5.popularity[service].values
+            for service in fig5.services
+        },
+        title="Fig 5a: % of active ADSL subscribers per service (54 months)",
+    ))
+    write_monthly_series(out_dir / "fig05_popularity.csv", fig5.popularity)
+    write_monthly_series(out_dir / "fig05_byteshare.csv", fig5.byte_share)
+
+    # Figures 6 and 7 ----------------------------------------------------------
+    fig6 = fig06_video_p2p.compute(data)
+    print("\n" + "\n".join(fig06_video_p2p.report(fig6)))
+    fig7 = fig07_social.compute(data)
+    print("\n" + "\n".join(fig07_social.report(fig7)))
+    for figure, name in ((fig6, "fig06"), (fig7, "fig07")):
+        series = {}
+        for service, panel in figure.panels.items():
+            for technology in Technology:
+                series[f"{service}-pop-{technology.value}"] = panel.popularity[technology]
+                series[f"{service}-vol-{technology.value}"] = panel.volume[technology]
+        write_monthly_series(out_dir / f"{name}_panels.csv", series)
+
+    # Figure 8 ----------------------------------------------------------------
+    fig8 = fig08_protocols.compute(data)
+    print("\n" + "\n".join(fig08_protocols.report(fig8)))
+    semester_bars = []
+    for entry in fig8.shares:
+        year, month = entry.period
+        if month in (1, 7) and entry.shares:
+            semester_bars.append(
+                (f"{year}-{month:02d}", {p.value: s for p, s in entry.shares.items()})
+            )
+    print(render.stacked_bars(
+        semester_bars,
+        order=[p.value for p in (WebProtocol.HTTP, WebProtocol.TLS, WebProtocol.SPDY,
+                                 WebProtocol.HTTP2, WebProtocol.QUIC, WebProtocol.FBZERO)],
+        symbols={"http": "h", "tls": "T", "spdy": "s", "http/2": "2", "quic": "Q", "fb-zero": "Z"},
+        title="Fig 8: web protocol shares (one bar per semester)",
+    ))
+
+    # Figure 9 ----------------------------------------------------------------
+    fig9 = fig09_autoplay.compute(data)
+    print("\n" + "\n".join(fig09_autoplay.report(fig9)))
+    write_daily_series(out_dir / "fig09_facebook_2014.csv", fig9.daily, "bytes_per_user")
+
+    # Figure 10 ----------------------------------------------------------------
+    fig10 = fig10_rtt.compute(data)
+    print("\n" + "\n".join(fig10_rtt.report(fig10)))
+    curves = {}
+    for service in (catalog.FACEBOOK, catalog.INSTAGRAM):
+        for year in (2014, 2017):
+            if fig10.curve(service, year):
+                curves[f"{service}-{year}"] = fig10.cdf_series(service, year)
+    print(render.cdf_plot(curves, title="Fig 10a: min-RTT CDFs (x in ms)"))
+    write_distribution(out_dir / "fig10_rtt.csv", curves, x_label="rtt_ms", y_label="cdf")
+
+    # Figure 11 ----------------------------------------------------------------
+    fig11 = fig11_infrastructure.compute(data)
+    print("\n" + "\n".join(fig11_infrastructure.report(fig11)))
+    for service, panel in fig11.panels.items():
+        print()
+        print(render.ip_raster(
+            panel.raster, max_rows=18,
+            title=f"Fig 11 top: {service} server addresses over time",
+        ))
+
+    # Bonus: the "Internet of few giants" in one number ---------------------
+    from repro.analytics.concentration import (
+        giant_share_from_stats,
+        hhi_from_stats,
+        summarize,
+    )
+
+    giants = giant_share_from_stats(data.service_stats, data.months)
+    hhi = hhi_from_stats(data.service_stats, data.months)
+    summary = summarize(giants, hhi)
+    if summary is not None:
+        print(
+            f"\nThe Internet of few giants (Section 6.2): the big players' share "
+            f"of traffic grew from {summary.giant_share_start:.0%} to "
+            f"{summary.giant_share_end:.0%} over the span "
+            f"(HHI {summary.hhi_start:.3f} -> {summary.hhi_end:.3f})."
+        )
+
+    print(f"\nCSV exports written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

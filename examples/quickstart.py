@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: watch ten seconds of traffic, then five years of it.
+
+Part 1 deploys the passive probe on a handful of wire-format packets and
+prints the flow records it exports — the paper's Section 2 pipeline in
+miniature.  Part 2 runs a small LongitudinalStudy (the full five-year
+methodology at toy scale) and prints the Figure 3 trend report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LongitudinalStudy, small_study
+from repro.figures import fig03_volume_trend
+from repro.nettypes.ip import int_to_ip, ip_to_int
+from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
+from repro.tstat.flow import WebProtocol
+from repro.tstat.probe import Probe, ProbeConfig
+
+
+def part_one_probe() -> None:
+    print("=" * 72)
+    print("Part 1 — the probe: packets in, flow records out")
+    print("=" * 72)
+    subscriber = ip_to_int("10.1.0.7")
+    specs = [
+        FlowSpec(
+            subscriber, ip_to_int("151.99.0.12"), 40001, 443,
+            WebProtocol.QUIC, "r3---sn-ab5l6nzr.googlevideo.com",
+            rtt_ms=0.5, bytes_down=48_000, bytes_up=2_000,
+        ),
+        FlowSpec(
+            subscriber, ip_to_int("31.13.64.21"), 40002, 443,
+            WebProtocol.FBZERO, "scontent-mxp1-1.fbcdn.net",
+            rtt_ms=3.0, bytes_down=25_000, bytes_up=3_000, start_ts=1.0,
+        ),
+        FlowSpec(
+            subscriber, ip_to_int("158.85.224.9"), 40003, 5222,
+            WebProtocol.OTHER, "e4.whatsapp.net",
+            rtt_ms=104.0, bytes_down=8_000, bytes_up=6_000,
+            start_ts=2.0, with_dns=True,  # named via DN-Hunter
+        ),
+        FlowSpec(
+            subscriber, ip_to_int("104.16.0.50"), 40004, 80,
+            WebProtocol.HTTP, "news.example-site.org",
+            rtt_ms=28.0, bytes_down=30_000, bytes_up=1_500, start_ts=3.0,
+        ),
+    ]
+    packets = PacketSynthesizer(seed=1).synthesize(specs)
+    probe = Probe(ProbeConfig.for_pop("pop1", ["10.1.0.0/16"]))
+    records = probe.run(packets)
+
+    print(f"\n{len(packets)} packets captured -> {len(records)} flow records\n")
+    header = f"{'server':<18}{'port':>5}  {'proto':<8}{'name-src':<9}{'rtt-min':>8}  server name"
+    print(header)
+    print("-" * len(header))
+    for record in sorted(records, key=lambda r: r.ts_start):
+        rtt = f"{record.rtt.min_ms:.1f}ms" if record.rtt.samples else "-"
+        print(
+            f"{int_to_ip(record.server_ip):<18}{record.server_port:>5}  "
+            f"{record.protocol.value:<8}{record.name_source.value:<9}{rtt:>8}  "
+            f"{record.server_name or '-'}"
+        )
+    print(f"\nDN-Hunter cache hits: {probe.dn_hunter.hits}")
+    print(f"anonymized subscribers seen: {len(probe.anonymizer)}")
+
+
+def part_two_study() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2 — five years at the edge, toy scale")
+    print("=" * 72)
+    study = LongitudinalStudy(small_study())
+    print("\nrunning the 54-month study (about half a minute)...")
+    data = study.run()
+    fig = fig03_volume_trend.compute(data)
+    print()
+    for line in fig03_volume_trend.report(fig):
+        print(line)
+
+
+if __name__ == "__main__":
+    part_one_probe()
+    part_two_study()

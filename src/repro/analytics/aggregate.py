@@ -1,0 +1,134 @@
+"""Stage-1 analytics: per-day aggregation of raw flow records.
+
+"Our analytics methodology follows a two-stage approach: firstly data is
+aggregated on a per day basis, secondly, advanced analytics and
+visualizations are computed.  In the aggregation stage, queries compute
+per-day and per-subscription aggregates about traffic consumption,
+protocol usage, and contacted services." (Section 2.2)
+
+The jobs here run over :class:`~repro.dataflow.engine.Dataset`\\ s of flow
+records and produce the same row types the aggregate-tier generator emits,
+so the two tiers are interchangeable downstream (and tested against each
+other).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, Optional, Tuple
+
+from repro.dataflow.engine import Dataset
+from repro.services.rules import RuleSet
+from repro.synthesis.flowgen import DailyUsage, ProtocolUsage
+from repro.synthesis.population import Technology
+from repro.tstat.flow import FlowRecord, WebProtocol
+
+
+def classify_flow(record: FlowRecord, rules: RuleSet, p2p_as_service: bool = True) -> str:
+    """Service of one flow: domain rules first, then the P2P port/DPI label."""
+    service = rules.classify(record.server_name)
+    if service is not None:
+        return service
+    if p2p_as_service and record.protocol is WebProtocol.P2P:
+        return "Peer-To-Peer"
+    return "Other"
+
+
+def aggregate_usage(
+    flows: Dataset[FlowRecord],
+    rules: RuleSet,
+    day: datetime.date,
+    technologies: Optional[Dict[int, Technology]] = None,
+    pops: Optional[Dict[int, str]] = None,
+) -> Dataset[DailyUsage]:
+    """Stage-1 job: flows → per (subscriber, service) daily aggregates.
+
+    ``technologies``/``pops`` map anonymized subscriber ids to their access
+    line metadata (the deployment knows which DSLAM/OLT each id sits on);
+    unknown ids default to ADSL at the flow's vantage.
+    """
+    technologies = technologies or {}
+    pops = pops or {}
+
+    def key_of(record: FlowRecord) -> Tuple[int, str, str]:
+        return (
+            record.client_id,
+            classify_flow(record, rules),
+            record.vantage,
+        )
+
+    def zero() -> Tuple[int, int, int]:
+        return (0, 0, 0)
+
+    def fold(
+        acc: Tuple[int, int, int], record: FlowRecord
+    ) -> Tuple[int, int, int]:
+        return (
+            acc[0] + record.bytes_down,
+            acc[1] + record.bytes_up,
+            acc[2] + 1,
+        )
+
+    def to_usage(
+        item: Tuple[Tuple[int, str, str], Tuple[int, int, int]]
+    ) -> DailyUsage:
+        (client_id, service, vantage), (down, up, flow_count) = item
+        return DailyUsage(
+            day=day,
+            subscriber_id=client_id,
+            technology=technologies.get(client_id, Technology.ADSL),
+            pop=pops.get(client_id, vantage),
+            service=service,
+            bytes_down=down,
+            bytes_up=up,
+            flows=flow_count,
+        )
+
+    return (
+        flows.key_by(key_of)
+        .aggregate_by_key(zero, fold)
+        .map(to_usage)
+    )
+
+
+def aggregate_protocols(
+    flows: Dataset[FlowRecord], rules: RuleSet, day: datetime.date
+) -> Dataset[ProtocolUsage]:
+    """Stage-1 job: flows → per (service, reported protocol) byte totals."""
+
+    def key_of(record: FlowRecord) -> Tuple[str, WebProtocol]:
+        return (classify_flow(record, rules), record.protocol)
+
+    return (
+        flows.map(lambda record: (key_of(record), record.total_bytes))
+        .reduce_by_key(lambda left, right: left + right)
+        .map(
+            lambda item: ProtocolUsage(
+                day=day,
+                service=item[0][0],
+                protocol=item[0][1],
+                total_bytes=item[1],
+            )
+        )
+    )
+
+
+def subscriber_day_totals(
+    usage: Dataset[DailyUsage],
+) -> Dataset[Tuple[Tuple[datetime.date, int], Tuple[int, int, int, Technology]]]:
+    """Roll usage rows up to (day, subscriber) → (down, up, flows, tech)."""
+
+    def zero() -> Tuple[int, int, int, Optional[Technology]]:
+        return (0, 0, 0, None)
+
+    def fold(acc, row: DailyUsage):
+        return (
+            acc[0] + row.bytes_down,
+            acc[1] + row.bytes_up,
+            acc[2] + row.flows,
+            row.technology,
+        )
+
+    return usage.key_by(lambda row: (row.day, row.subscriber_id)).aggregate_by_key(
+        zero, fold
+    )

@@ -1,0 +1,181 @@
+"""Traffic concentration: "The Internet of few giants" (Section 6.2).
+
+The paper confirms Labovitz et al.'s finding that Internet traffic is
+concentrating around a handful of big players.  This module quantifies
+it from the measured mix: the share of total bytes attributable to the
+giants' service families over time, plus a standard concentration index
+(HHI) over the per-service byte distribution.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analytics.timeseries import Month, MonthlySeries, month_of, monthly_mean
+from repro.services import catalog
+from repro.synthesis.flowgen import DailyUsage
+
+#: The giants' service families, as the paper groups them.
+GIANT_FAMILIES: Mapping[str, Tuple[str, ...]] = {
+    "Google": (catalog.GOOGLE, catalog.YOUTUBE),
+    "Facebook": (catalog.FACEBOOK, catalog.INSTAGRAM, catalog.WHATSAPP),
+    "Netflix": (catalog.NETFLIX,),
+    "Microsoft": (catalog.BING, catalog.SKYPE, catalog.LINKEDIN),
+    "Amazon": (catalog.AMAZON,),
+}
+
+
+def _family_of(service: str) -> Optional[str]:
+    for family, services in GIANT_FAMILIES.items():
+        if service in services:
+            return family
+    return None
+
+
+def giant_share_series(
+    usage: Iterable[DailyUsage], months: List[Month]
+) -> MonthlySeries:
+    """Monthly share of total bytes served by the giants' families."""
+    per_day_total: Dict[datetime.date, int] = {}
+    per_day_giant: Dict[datetime.date, int] = {}
+    for row in usage:
+        volume = row.bytes_down + row.bytes_up
+        per_day_total[row.day] = per_day_total.get(row.day, 0) + volume
+        if _family_of(row.service) is not None:
+            per_day_giant[row.day] = per_day_giant.get(row.day, 0) + volume
+    samples = [
+        (day, per_day_giant.get(day, 0) / total)
+        for day, total in per_day_total.items()
+        if total > 0
+    ]
+    return monthly_mean(samples, months)
+
+
+def family_share_series(
+    usage: Iterable[DailyUsage], months: List[Month]
+) -> Dict[str, MonthlySeries]:
+    """Per-family monthly byte shares."""
+    usage = list(usage)
+    per_day_total: Dict[datetime.date, int] = {}
+    per_day_family: Dict[Tuple[str, datetime.date], int] = {}
+    for row in usage:
+        volume = row.bytes_down + row.bytes_up
+        per_day_total[row.day] = per_day_total.get(row.day, 0) + volume
+        family = _family_of(row.service)
+        if family is not None:
+            key = (family, row.day)
+            per_day_family[key] = per_day_family.get(key, 0) + volume
+    series: Dict[str, MonthlySeries] = {}
+    for family in GIANT_FAMILIES:
+        samples = [
+            (day, per_day_family.get((family, day), 0) / total)
+            for day, total in per_day_total.items()
+            if total > 0
+        ]
+        series[family] = monthly_mean(samples, months)
+    return series
+
+
+def herfindahl_index(shares: Sequence[float]) -> float:
+    """HHI over a share distribution (0 = dispersed, 1 = monopoly)."""
+    total = sum(shares)
+    if total <= 0:
+        return 0.0
+    return sum((share / total) ** 2 for share in shares)
+
+
+def service_hhi_series(
+    usage: Iterable[DailyUsage], months: List[Month]
+) -> MonthlySeries:
+    """Monthly HHI of the per-service byte distribution.
+
+    A rising HHI is the concentration claim in one number.
+    """
+    volumes: Dict[Tuple[datetime.date, str], int] = {}
+    for row in usage:
+        key = (row.day, row.service)
+        volumes[key] = volumes.get(key, 0) + row.bytes_down + row.bytes_up
+    per_day: Dict[datetime.date, List[int]] = {}
+    for (day, _service), volume in volumes.items():
+        per_day.setdefault(day, []).append(volume)
+    samples = [
+        (day, herfindahl_index(day_volumes)) for day, day_volumes in per_day.items()
+    ]
+    return monthly_mean(samples, months)
+
+
+def giant_share_from_stats(
+    stats: Iterable, months: List[Month]
+) -> MonthlySeries:
+    """Giant share computed from per-(day, service) stats cells.
+
+    Accepts :class:`~repro.analytics.popularity.DailyServiceStats`
+    (``bytes_total`` per cell), the reduced form a study run retains.
+    """
+    per_day_total: Dict[datetime.date, int] = {}
+    per_day_giant: Dict[datetime.date, int] = {}
+    for cell in stats:
+        per_day_total[cell.day] = per_day_total.get(cell.day, 0) + cell.bytes_total
+        if _family_of(cell.service) is not None:
+            per_day_giant[cell.day] = per_day_giant.get(cell.day, 0) + cell.bytes_total
+    samples = [
+        (day, per_day_giant.get(day, 0) / total)
+        for day, total in per_day_total.items()
+        if total > 0
+    ]
+    return monthly_mean(samples, months)
+
+
+def hhi_from_stats(stats: Iterable, months: List[Month]) -> MonthlySeries:
+    """Per-service HHI computed from stats cells (summed over techs)."""
+    volumes: Dict[Tuple[datetime.date, str], int] = {}
+    for cell in stats:
+        key = (cell.day, cell.service)
+        volumes[key] = volumes.get(key, 0) + cell.bytes_total
+    per_day: Dict[datetime.date, List[int]] = {}
+    for (day, _service), volume in volumes.items():
+        per_day.setdefault(day, []).append(volume)
+    samples = [
+        (day, herfindahl_index(day_volumes)) for day, day_volumes in per_day.items()
+    ]
+    return monthly_mean(samples, months)
+
+
+@dataclass(frozen=True)
+class ConcentrationSummary:
+    """Start-vs-end concentration comparison."""
+
+    giant_share_start: float
+    giant_share_end: float
+    hhi_start: float
+    hhi_end: float
+
+    @property
+    def concentrating(self) -> bool:
+        return (
+            self.giant_share_end > self.giant_share_start
+            and self.hhi_end >= self.hhi_start * 0.95
+        )
+
+
+def summarize(
+    giant_series: MonthlySeries, hhi_series: MonthlySeries
+) -> Optional[ConcentrationSummary]:
+    """Reduce the two series to the start/end comparison."""
+    giants = giant_series.defined()
+    hhi = hhi_series.defined()
+    if len(giants) < 2 or len(hhi) < 2:
+        return None
+
+    def edge(values, first: bool) -> float:
+        chunk = values[:3] if first else values[-3:]
+        return sum(value for _, value in chunk) / len(chunk)
+
+    return ConcentrationSummary(
+        giant_share_start=edge(giants, True),
+        giant_share_end=edge(giants, False),
+        hhi_start=edge(hhi, True),
+        hhi_end=edge(hhi, False),
+    )

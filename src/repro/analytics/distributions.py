@@ -1,0 +1,79 @@
+"""Empirical distribution utilities: CDF, CCDF, quantiles.
+
+Figure 2 plots the empirical CCDF of per-active-subscriber daily traffic;
+Figure 10 plots CDFs of per-flow minimum RTT.  Both come from here.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class EmpiricalDistribution:
+    """Sorted-sample empirical distribution."""
+
+    samples: Tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, values: Iterable[float]) -> "EmpiricalDistribution":
+        ordered = tuple(sorted(float(value) for value in values))
+        if not ordered:
+            raise ValueError("empty sample set")
+        return cls(ordered)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect.bisect_right(self.samples, x) / len(self.samples)
+
+    def ccdf(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 < q <= 1), lower interpolation."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        position = q * (len(self.samples) - 1)
+        low = int(position)
+        high = min(low + 1, len(self.samples) - 1)
+        fraction = position - low
+        return self.samples[low] * (1 - fraction) + self.samples[high] * fraction
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def ccdf_points(
+        self, xs: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """(x, CCDF(x)) pairs over a grid — the plotted series of Fig. 2."""
+        return [(x, self.ccdf(x)) for x in xs]
+
+    def cdf_points(self, xs: Sequence[float]) -> List[Tuple[float, float]]:
+        """(x, CDF(x)) pairs over a grid — the plotted series of Fig. 10."""
+        return [(x, self.cdf(x)) for x in xs]
+
+
+def log_grid(low: float, high: float, points_per_decade: int = 8) -> List[float]:
+    """Logarithmically spaced grid, inclusive of both endpoints."""
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    import math
+
+    grid = []
+    log_low = math.log10(low)
+    log_high = math.log10(high)
+    count = max(2, int((log_high - log_low) * points_per_decade) + 1)
+    for index in range(count):
+        grid.append(10 ** (log_low + (log_high - log_low) * index / (count - 1)))
+    return grid

@@ -1,0 +1,94 @@
+"""Per-service protocol drill-down (the breakdown the paper omitted).
+
+Section 7: "our data would allow us to drill down on per-protocol
+breakdowns... these details are left out for the sake of brevity."  This
+module implements that drill-down as an extension: for any service, the
+monthly mix of reported protocols, plus migration summaries (when did a
+service's dominant protocol change, and to what).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analytics.timeseries import Month, month_of
+from repro.synthesis.flowgen import ProtocolUsage
+from repro.tstat.flow import WebProtocol
+
+
+@dataclass(frozen=True)
+class ServiceProtocolTimeline:
+    """Monthly protocol mix of one service."""
+
+    service: str
+    months: Tuple[Month, ...]
+    mixes: Tuple[Dict[WebProtocol, float], ...]  # aligned with months
+
+    def mix_at(self, year: int, month: int) -> Optional[Dict[WebProtocol, float]]:
+        try:
+            index = self.months.index((year, month))
+        except ValueError:
+            return None
+        mix = self.mixes[index]
+        return mix if mix else None
+
+    def dominant_at(self, year: int, month: int) -> Optional[WebProtocol]:
+        mix = self.mix_at(year, month)
+        if not mix:
+            return None
+        return max(mix, key=lambda protocol: mix[protocol])
+
+    def migrations(self) -> List[Tuple[Month, WebProtocol, WebProtocol]]:
+        """Months where the dominant protocol changed: (month, old, new)."""
+        changes = []
+        previous: Optional[WebProtocol] = None
+        for month, mix in zip(self.months, self.mixes):
+            if not mix:
+                continue
+            dominant = max(mix, key=lambda protocol: mix[protocol])
+            if previous is not None and dominant is not previous:
+                changes.append((month, previous, dominant))
+            previous = dominant
+        return changes
+
+
+def service_protocol_timeline(
+    rows: Iterable[ProtocolUsage], service: str, months: List[Month]
+) -> ServiceProtocolTimeline:
+    """Build the monthly protocol mix of ``service`` from stage-1 rows."""
+    totals: Dict[Month, Dict[WebProtocol, int]] = {}
+    for row in rows:
+        if row.service != service:
+            continue
+        bucket = totals.setdefault(month_of(row.day), {})
+        bucket[row.protocol] = bucket.get(row.protocol, 0) + row.total_bytes
+    mixes: List[Dict[WebProtocol, float]] = []
+    for month in months:
+        bucket = totals.get(month, {})
+        month_total = sum(bucket.values())
+        if month_total == 0:
+            mixes.append({})
+        else:
+            mixes.append(
+                {
+                    protocol: volume / month_total
+                    for protocol, volume in bucket.items()
+                }
+            )
+    return ServiceProtocolTimeline(
+        service=service, months=tuple(months), mixes=tuple(mixes)
+    )
+
+
+def all_timelines(
+    rows: Iterable[ProtocolUsage], months: List[Month]
+) -> Dict[str, ServiceProtocolTimeline]:
+    """Timelines for every service present in the rows."""
+    rows = list(rows)
+    services = sorted({row.service for row in rows})
+    return {
+        service: service_protocol_timeline(rows, service, months)
+        for service in services
+    }

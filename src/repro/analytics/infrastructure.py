@@ -1,0 +1,256 @@
+"""Infrastructure-evolution analytics (Fig. 11).
+
+Three views per service, all computed from flow records:
+
+* **server addresses per day** (Fig. 11a-c): distinct server IPs contacted
+  for the service, split into *dedicated* (seen only for this service that
+  day) and *shared* (also seen serving other services);
+* **ASN breakdown** (Fig. 11d-f): the same addresses joined against the
+  monthly RIB archive;
+* **domain shares** (Fig. 11g-i): traffic per second-level domain.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analytics.aggregate import classify_flow
+from repro.routing.rib import RibArchive
+from repro.services.rules import RuleSet
+from repro.tstat.flow import FlowRecord, second_level_domain
+
+
+@dataclass(frozen=True)
+class DailyServerStats:
+    """Fig. 11 top row: one service's server-address census for one day."""
+
+    day: datetime.date
+    service: str
+    dedicated_ips: int
+    shared_ips: int
+
+    @property
+    def total_ips(self) -> int:
+        return self.dedicated_ips + self.shared_ips
+
+
+def daily_server_census(
+    flows: Iterable[FlowRecord],
+    rules: RuleSet,
+    services: List[str],
+    day: datetime.date,
+) -> List[DailyServerStats]:
+    """Distinct per-service server IPs for one day, shared vs dedicated.
+
+    An address is *shared* if, on the same day, it also served traffic
+    classified to any other service (including the unnamed rest).
+    """
+    ips_by_service: Dict[str, Set[int]] = {service: set() for service in services}
+    services_by_ip: Dict[int, Set[str]] = {}
+    for record in flows:
+        service = classify_flow(record, rules)
+        services_by_ip.setdefault(record.server_ip, set()).add(service)
+        if service in ips_by_service:
+            ips_by_service[service].add(record.server_ip)
+    stats = []
+    for service in services:
+        dedicated = 0
+        shared = 0
+        for address in ips_by_service[service]:
+            if len(services_by_ip[address]) > 1:
+                shared += 1
+            else:
+                dedicated += 1
+        stats.append(
+            DailyServerStats(
+                day=day, service=service, dedicated_ips=dedicated, shared_ips=shared
+            )
+        )
+    return stats
+
+
+@dataclass(frozen=True)
+class AsnBreakdown:
+    """Fig. 11 middle row: per-day share of a service's IPs per AS name."""
+
+    day: datetime.date
+    service: str
+    counts: Dict[str, int]
+
+    def share(self, asn_name: str) -> float:
+        total = sum(self.counts.values())
+        if total == 0:
+            return 0.0
+        return self.counts.get(asn_name, 0) / total
+
+    def dominant(self) -> Optional[str]:
+        if not self.counts:
+            return None
+        return max(self.counts, key=lambda name: self.counts[name])
+
+
+def asn_breakdown(
+    flows: Iterable[FlowRecord],
+    rules: RuleSet,
+    rib: RibArchive,
+    service: str,
+    day: datetime.date,
+    top_asns: Optional[List[str]] = None,
+) -> AsnBreakdown:
+    """Join a service's daily server IPs against the monthly RIB."""
+    addresses: Set[int] = set()
+    for record in flows:
+        if classify_flow(record, rules) == service:
+            addresses.add(record.server_ip)
+    counts: Dict[str, int] = {}
+    for address in addresses:
+        name = rib.origin_of(address, day).name
+        if top_asns is not None and name not in top_asns:
+            name = "OTHER"
+        counts[name] = counts.get(name, 0) + 1
+    return AsnBreakdown(day=day, service=service, counts=counts)
+
+
+def domain_shares(
+    flows: Iterable[FlowRecord],
+    rules: RuleSet,
+    service: str,
+) -> Dict[str, float]:
+    """Fig. 11 bottom row: traffic share per second-level domain."""
+    volumes: Dict[str, int] = {}
+    total = 0
+    for record in flows:
+        if classify_flow(record, rules) != service:
+            continue
+        if not record.server_name:
+            continue
+        sld = second_level_domain(record.server_name)
+        volumes[sld] = volumes.get(sld, 0) + record.total_bytes
+        total += record.total_bytes
+    if total == 0:
+        return {}
+    return {domain: volume / total for domain, volume in volumes.items()}
+
+
+@dataclass(frozen=True)
+class InfrastructureTimeline:
+    """The assembled Fig. 11 panels for one service."""
+
+    service: str
+    census: List[DailyServerStats]
+    asn: List[AsnBreakdown]
+    domains: List[Tuple[datetime.date, Dict[str, float]]]
+
+    def ip_count_series(self) -> List[Tuple[datetime.date, int]]:
+        return [(entry.day, entry.total_ips) for entry in self.census]
+
+    def shared_share_series(self) -> List[Tuple[datetime.date, float]]:
+        series = []
+        for entry in self.census:
+            if entry.total_ips:
+                series.append((entry.day, entry.shared_ips / entry.total_ips))
+        return series
+
+    def cumulative_unique_ips(
+        self, daily_ip_sets: List[Tuple[datetime.date, Set[int]]]
+    ) -> List[Tuple[datetime.date, int]]:
+        """Cumulative distinct addresses over time ("new IPs keep appearing")."""
+        seen: Set[int] = set()
+        series = []
+        for day, addresses in sorted(daily_ip_sets, key=lambda pair: pair[0]):
+            seen.update(addresses)
+            series.append((day, len(seen)))
+        return series
+
+
+def service_ip_set(
+    flows: Iterable[FlowRecord], rules: RuleSet, service: str
+) -> Set[int]:
+    """All server addresses of a service in a flow set."""
+    return {
+        record.server_ip
+        for record in flows
+        if classify_flow(record, rules) == service
+    }
+
+
+def daily_ip_roles(
+    flows: Iterable[FlowRecord],
+    rules: RuleSet,
+    services: List[str],
+    day: datetime.date,
+) -> Dict[str, Dict[int, bool]]:
+    """Per service: its addresses of the day, flagged shared (True) or not.
+
+    This is the raw material of Fig. 11's top panels: each (ip, day) cell
+    is a red dot (dedicated) or a blue dot (also served another service).
+    """
+    services_by_ip: Dict[int, Set[str]] = {}
+    for record in flows:
+        service = classify_flow(record, rules)
+        services_by_ip.setdefault(record.server_ip, set()).add(service)
+    roles: Dict[str, Dict[int, bool]] = {service: {} for service in services}
+    for address, owners in services_by_ip.items():
+        shared = len(owners) > 1
+        for service in owners:
+            if service in roles:
+                roles[service][address] = shared
+    return roles
+
+
+@dataclass(frozen=True)
+class IpRaster:
+    """Fig. 11 top panel: servers (rows, by first appearance) × days.
+
+    ``cells[row][column]`` is 0 (absent), 1 (dedicated) or 2 (shared).
+    """
+
+    service: str
+    days: Tuple[datetime.date, ...]
+    addresses: Tuple[int, ...]  # sorted by first appearance
+    cells: Tuple[Tuple[int, ...], ...]
+
+    ABSENT = 0
+    DEDICATED = 1
+    SHARED = 2
+
+    def appearance_counts(self) -> List[Tuple[datetime.date, int]]:
+        """New addresses first seen on each day (cumulative growth driver)."""
+        counts: Dict[datetime.date, int] = {day: 0 for day in self.days}
+        for row in range(len(self.addresses)):
+            for column, day in enumerate(self.days):
+                if self.cells[row][column] != self.ABSENT:
+                    counts[day] += 1
+                    break
+        return [(day, counts[day]) for day in self.days]
+
+
+def build_ip_raster(
+    service: str,
+    daily_roles: List[Tuple[datetime.date, Dict[int, bool]]],
+) -> IpRaster:
+    """Assemble the raster from per-day (address → shared?) maps."""
+    ordered = sorted(daily_roles, key=lambda pair: pair[0])
+    days = tuple(day for day, _ in ordered)
+    first_seen: Dict[int, int] = {}
+    for column, (_, roles) in enumerate(ordered):
+        for address in roles:
+            first_seen.setdefault(address, column)
+    addresses = tuple(
+        sorted(first_seen, key=lambda address: (first_seen[address], address))
+    )
+    index_of = {address: row for row, address in enumerate(addresses)}
+    cells = [[IpRaster.ABSENT] * len(days) for _ in addresses]
+    for column, (_, roles) in enumerate(ordered):
+        for address, shared in roles.items():
+            cells[index_of[address]][column] = (
+                IpRaster.SHARED if shared else IpRaster.DEDICATED
+            )
+    return IpRaster(
+        service=service,
+        days=days,
+        addresses=addresses,
+        cells=tuple(tuple(row) for row in cells),
+    )

@@ -1,0 +1,107 @@
+"""Web-protocol breakdown analytics (Fig. 8).
+
+The breakdown is over *web* traffic only — HTTP, TLS/HTTPS, SPDY, HTTP/2,
+QUIC and FB-Zero — and uses the labels *as reported by the probe software
+of each day* (SPDY hides inside TLS before June 2015, event C).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analytics.timeseries import Month, month_of
+from repro.synthesis.flowgen import ProtocolUsage
+from repro.tstat.flow import WebProtocol
+
+#: Stack order of Fig. 8 (bottom to top).
+FIGURE8_PROTOCOLS: Tuple[WebProtocol, ...] = (
+    WebProtocol.HTTP,
+    WebProtocol.QUIC,
+    WebProtocol.TLS,
+    WebProtocol.HTTP2,
+    WebProtocol.SPDY,
+    WebProtocol.FBZERO,
+)
+
+
+@dataclass(frozen=True)
+class ProtocolShares:
+    """Web-traffic shares of one period (sums to ~1 when traffic exists)."""
+
+    period: Month
+    shares: Dict[WebProtocol, float]
+
+    def share(self, protocol: WebProtocol) -> float:
+        return self.shares.get(protocol, 0.0)
+
+
+def monthly_protocol_shares(
+    rows: Iterable[ProtocolUsage], months: List[Month]
+) -> List[ProtocolShares]:
+    """Monthly share of each web protocol over web bytes."""
+    totals: Dict[Month, Dict[WebProtocol, int]] = {}
+    for row in rows:
+        if not row.protocol.is_web:
+            continue
+        month = month_of(row.day)
+        bucket = totals.setdefault(month, {})
+        bucket[row.protocol] = bucket.get(row.protocol, 0) + row.total_bytes
+    shares = []
+    for month in months:
+        bucket = totals.get(month, {})
+        month_total = sum(bucket.values())
+        if month_total == 0:
+            shares.append(ProtocolShares(period=month, shares={}))
+            continue
+        shares.append(
+            ProtocolShares(
+                period=month,
+                shares={
+                    protocol: volume / month_total
+                    for protocol, volume in bucket.items()
+                },
+            )
+        )
+    return shares
+
+
+def share_series(
+    shares: List[ProtocolShares], protocol: WebProtocol
+) -> List[Tuple[Month, float]]:
+    """(month, share) pairs of one protocol, skipping empty months."""
+    return [
+        (entry.period, entry.share(protocol))
+        for entry in shares
+        if entry.shares
+    ]
+
+
+def detect_jumps(
+    shares: List[ProtocolShares], protocol: WebProtocol, threshold: float = 0.04
+) -> List[Tuple[Month, float]]:
+    """Months where a protocol's share moved by more than ``threshold``.
+
+    Surfaces the sudden events of Fig. 8 (QUIC kill switch, FB-Zero launch,
+    the SPDY reveal) directly from the measured series.
+    """
+    series = share_series(shares, protocol)
+    jumps = []
+    for index in range(1, len(series)):
+        delta = series[index][1] - series[index - 1][1]
+        if abs(delta) >= threshold:
+            jumps.append((series[index][0], delta))
+    return jumps
+
+
+def service_protocol_volume(
+    rows: Iterable[ProtocolUsage], service: str
+) -> Dict[WebProtocol, int]:
+    """Total bytes per protocol for one service (e.g. FB-Zero vs rest)."""
+    totals: Dict[WebProtocol, int] = {}
+    for row in rows:
+        if row.service != service:
+            continue
+        totals[row.protocol] = totals.get(row.protocol, 0) + row.total_bytes
+    return totals

@@ -1,0 +1,98 @@
+"""Server-distance analytics from per-flow RTT (Fig. 10).
+
+"For all TCP connections to a given service, we extract the minimum
+per-flow RTT, and plot the corresponding CDF... we focus on the body of
+the distribution of minimum per-flow RTT, ignoring samples in the tails."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analytics.distributions import EmpiricalDistribution
+from repro.services.rules import RuleSet
+from repro.tstat.flow import FlowRecord, Transport
+
+
+def min_rtt_samples(
+    flows: Iterable[FlowRecord],
+    rules: RuleSet,
+    service: str,
+    min_samples: int = 1,
+) -> List[float]:
+    """Per-flow minimum RTTs (ms) of TCP flows classified to ``service``."""
+    samples = []
+    for record in flows:
+        if record.transport is not Transport.TCP:
+            continue
+        if record.rtt.samples < min_samples:
+            continue
+        if rules.classify(record.server_name) != service:
+            continue
+        samples.append(record.rtt.min_ms)
+    return samples
+
+
+def rtt_distribution(
+    flows: Iterable[FlowRecord],
+    rules: RuleSet,
+    service: str,
+    trim_tails: float = 0.01,
+) -> Optional[EmpiricalDistribution]:
+    """The body of the min-RTT distribution for a service.
+
+    ``trim_tails`` removes the given fraction at both ends (queueing and
+    processing outliers), as the paper does.
+    """
+    samples = sorted(min_rtt_samples(flows, rules, service))
+    if not samples:
+        return None
+    cut = int(len(samples) * trim_tails)
+    trimmed = samples[cut : len(samples) - cut] if cut else samples
+    if not trimmed:
+        trimmed = samples
+    return EmpiricalDistribution.from_samples(trimmed)
+
+
+@dataclass(frozen=True)
+class RttSummaryStats:
+    """Headline distances used in the EXPERIMENTS comparisons."""
+
+    service: str
+    flows: int
+    median_ms: float
+    p10_ms: float
+    p90_ms: float
+    share_below_1ms: float
+    share_below_5ms: float
+    share_above_100ms: float
+
+    @classmethod
+    def from_distribution(
+        cls, service: str, distribution: EmpiricalDistribution
+    ) -> "RttSummaryStats":
+        return cls(
+            service=service,
+            flows=len(distribution),
+            median_ms=distribution.median,
+            p10_ms=distribution.quantile(0.10),
+            p90_ms=distribution.quantile(0.90),
+            share_below_1ms=distribution.cdf(1.0),
+            share_below_5ms=distribution.cdf(5.0),
+            share_above_100ms=distribution.ccdf(100.0),
+        )
+
+
+def summarize_services(
+    flows: List[FlowRecord], rules: RuleSet, services: Iterable[str]
+) -> Dict[str, RttSummaryStats]:
+    """RTT summaries for several services over one flow set."""
+    summaries = {}
+    for service in services:
+        distribution = rtt_distribution(flows, rules, service)
+        if distribution is not None:
+            summaries[service] = RttSummaryStats.from_distribution(
+                service, distribution
+            )
+    return summaries

@@ -1,0 +1,118 @@
+"""Subscriber-dynamics analytics: churn and heavy-day behaviour.
+
+Two observations of the paper that sit outside its numbered figures:
+
+* Section 2.1 — "a steady reduction on the number of active ADSL users
+  and an increase in FTTH installations" (churn and technology upgrades);
+* Section 3.1 — "many different subscribers present days of heavy usage,
+  often alternating between days of light and heavy usage".
+
+Both are measurable from the per-subscriber day rows; this module
+computes them so the claims can be asserted instead of eyeballed.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analytics.activity import SubscriberDay
+from repro.analytics.timeseries import Month, MonthlySeries, month_of
+from repro.synthesis.population import Technology
+
+GB = 1_000_000_000
+
+
+def observed_subscribers(
+    days: Iterable[SubscriberDay],
+    months: List[Month],
+    technology: Technology,
+) -> MonthlySeries:
+    """Mean daily count of observed subscribers per month, one technology."""
+    per_day: Dict[datetime.date, int] = {}
+    for entry in days:
+        if entry.technology is technology:
+            per_day[entry.day] = per_day.get(entry.day, 0) + 1
+    samples = [(day, float(count)) for day, count in per_day.items()]
+    from repro.analytics.timeseries import monthly_mean
+
+    return monthly_mean(samples, months)
+
+
+def churn_trend(
+    days: Iterable[SubscriberDay], months: List[Month]
+) -> Dict[Technology, Optional[float]]:
+    """End-over-start ratio of observed subscribers per technology.
+
+    The paper's expectation: ADSL < 1 (decline), FTTH > 1 (growth).
+    """
+    days = list(days)
+    trends: Dict[Technology, Optional[float]] = {}
+    for technology in Technology:
+        series = observed_subscribers(days, months, technology)
+        defined = series.defined()
+        if len(defined) < 2 or defined[0][1] == 0:
+            trends[technology] = None
+            continue
+        first = sum(value for _, value in defined[:3]) / min(3, len(defined))
+        last = sum(value for _, value in defined[-3:]) / min(3, len(defined))
+        trends[technology] = last / first if first else None
+    return trends
+
+
+@dataclass(frozen=True)
+class HeavyDayStats:
+    """Section 3.1's alternation claim, quantified."""
+
+    threshold_bytes: int
+    subscribers_observed: int
+    subscribers_with_heavy_days: int
+    mean_heavy_fraction: float  # among subscribers with ≥1 heavy day
+    alternation_rate: float  # P(next observed day is light | heavy day)
+
+    @property
+    def heavy_subscriber_share(self) -> float:
+        if self.subscribers_observed == 0:
+            return 0.0
+        return self.subscribers_with_heavy_days / self.subscribers_observed
+
+
+def heavy_day_stats(
+    days: Iterable[SubscriberDay],
+    threshold_bytes: int = GB,
+    active_only: bool = True,
+) -> HeavyDayStats:
+    """Quantify who has heavy (>threshold download) days and whether they
+    alternate with light days rather than clustering."""
+    by_subscriber: Dict[int, List[Tuple[datetime.date, bool]]] = {}
+    for entry in days:
+        if active_only and not entry.active:
+            continue
+        by_subscriber.setdefault(entry.subscriber_id, []).append(
+            (entry.day, entry.bytes_down > threshold_bytes)
+        )
+    with_heavy: Set[int] = set()
+    heavy_fractions: List[float] = []
+    transitions = 0
+    alternations = 0
+    for subscriber_id, entries in by_subscriber.items():
+        entries.sort(key=lambda pair: pair[0])
+        flags = [heavy for _, heavy in entries]
+        if any(flags):
+            with_heavy.add(subscriber_id)
+            heavy_fractions.append(sum(flags) / len(flags))
+        for previous, current in zip(flags, flags[1:]):
+            if previous:
+                transitions += 1
+                if not current:
+                    alternations += 1
+    return HeavyDayStats(
+        threshold_bytes=threshold_bytes,
+        subscribers_observed=len(by_subscriber),
+        subscribers_with_heavy_days=len(with_heavy),
+        mean_heavy_fraction=(
+            sum(heavy_fractions) / len(heavy_fractions) if heavy_fractions else 0.0
+        ),
+        alternation_rate=alternations / transitions if transitions else 0.0,
+    )

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``classify DOMAIN [DOMAIN...]`` — run the Table 1 rule engine;
+* ``probe-log PATH`` — summarize a probe flow log (protocols, services,
+  name sources, RTT by service);
+* ``study [--scale ...] [--figure N|all] [--out DIR]`` — run the
+  longitudinal study and print figure reports (optionally exporting CSVs);
+* ``events`` — list the Fig. 8 events with their model dates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.config import StudyConfig, small_study
+from repro.core.study import LongitudinalStudy
+from repro.services import catalog
+from repro.synthesis import servicemodels
+from repro.synthesis.world import WorldConfig
+
+_FIGURES = {}
+
+
+def _load_figures():
+    # Imported lazily so `classify` stays snappy.
+    from repro.figures import (
+        fig02_ccdf,
+        fig03_volume_trend,
+        fig04_hourly_ratio,
+        fig05_services,
+        fig06_video_p2p,
+        fig07_social,
+        fig08_protocols,
+        fig09_autoplay,
+        fig10_rtt,
+        fig11_infrastructure,
+        table1,
+    )
+
+    return {
+        "table1": table1,
+        "2": fig02_ccdf,
+        "3": fig03_volume_trend,
+        "4": fig04_hourly_ratio,
+        "5": fig05_services,
+        "6": fig06_video_p2p,
+        "7": fig07_social,
+        "8": fig08_protocols,
+        "9": fig09_autoplay,
+        "10": fig10_rtt,
+        "11": fig11_infrastructure,
+    }
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    rules = catalog.default_ruleset()
+    for domain in args.domains:
+        service = rules.classify(domain)
+        print(f"{domain}\t{service or '(unclassified)'}")
+    return 0
+
+
+def cmd_probe_log(args: argparse.Namespace) -> int:
+    from repro.analytics.rtt import summarize_services
+    from repro.tstat.logs import read_flow_log
+
+    rules = catalog.default_ruleset()
+    by_protocol: collections.Counter = collections.Counter()
+    by_source: collections.Counter = collections.Counter()
+    by_service: collections.Counter = collections.Counter()
+    records = []
+    for record in read_flow_log(args.path):
+        records.append(record)
+        by_protocol[record.protocol.value] += record.total_bytes
+        by_source[record.name_source.value] += 1
+        from repro.analytics.aggregate import classify_flow
+
+        by_service[classify_flow(record, rules)] += record.total_bytes
+    if not records:
+        print("empty log", file=sys.stderr)
+        return 1
+    total = sum(by_protocol.values()) or 1
+    print(f"{len(records)} flow records, {total} bytes\n")
+    print("bytes by protocol:")
+    for protocol, volume in by_protocol.most_common():
+        print(f"  {protocol:<8} {100 * volume / total:5.1f}%")
+    print("\nbytes by service:")
+    for service, volume in by_service.most_common(12):
+        print(f"  {service:<14} {100 * volume / total:5.1f}%")
+    print("\nflows by name source:")
+    for source, count in by_source.most_common():
+        print(f"  {source:<6} {count}")
+    summaries = summarize_services(records, rules, by_service.keys())
+    if summaries:
+        print("\nmin-RTT by service (TCP flows):")
+        for service, stats in sorted(summaries.items()):
+            print(f"  {service:<14} median {stats.median_ms:7.1f} ms over {stats.flows} flows")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    figures = _load_figures()
+    wanted = list(figures) if args.figure == "all" else [args.figure]
+    unknown = [name for name in wanted if name not in figures]
+    if unknown:
+        print(f"unknown figure(s): {unknown}; choose from {sorted(figures)}",
+              file=sys.stderr)
+        return 2
+    if args.scale == "small":
+        config = small_study(seed=args.seed)
+    else:
+        config = StudyConfig(
+            world=WorldConfig(seed=args.seed, adsl_count=500, ftth_count=250),
+            day_stride=4,
+        )
+    data = None
+    if wanted != ["table1"]:  # Table 1 needs no measurement pass
+        print(f"running study (seed={args.seed}, scale={args.scale}, "
+              f"workers={args.workers})...", file=sys.stderr)
+        if args.workers > 1:
+            from repro.core.parallel import run_parallel
+
+            data = run_parallel(config, workers=args.workers)
+        else:
+            data = LongitudinalStudy(config).run()
+    for name in wanted:
+        module = figures[name]
+        fig = module.compute() if name == "table1" else module.compute(data)
+        print()
+        print("\n".join(module.report(fig)))
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    events = [
+        ("A", servicemodels.YOUTUBE_HTTPS_MIGRATION_START, "YouTube begins HTTPS migration"),
+        ("B", servicemodels.QUIC_LAUNCH, "QUIC deployed in the wild"),
+        ("C", servicemodels.SPDY_REVEAL, "probe upgrade reveals SPDY"),
+        ("D", servicemodels.QUIC_DISABLE_START, "QUIC disabled (security bug)"),
+        ("D'", servicemodels.QUIC_DISABLE_END, "QUIC re-enabled"),
+        ("E", servicemodels.HTTP2_MIGRATION, "SPDY -> HTTP/2 migration starts"),
+        ("F", servicemodels.FBZERO_LAUNCH, "FB-Zero deployed overnight"),
+        ("-", servicemodels.FACEBOOK_AUTOPLAY, "Facebook video auto-play"),
+        ("-", servicemodels.NETFLIX_ITALY_LAUNCH, "Netflix launches in Italy"),
+        ("-", servicemodels.NETFLIX_UHD_LAUNCH, "Netflix Ultra HD tier"),
+    ]
+    for label, day, description in events:
+        print(f"{label:>2}  {day.isoformat()}  {description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Five Years at the Edge — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    classify = sub.add_parser("classify", help="classify domains to services")
+    classify.add_argument("domains", nargs="+")
+    classify.set_defaults(func=cmd_classify)
+
+    probe_log = sub.add_parser("probe-log", help="summarize a probe flow log")
+    probe_log.add_argument("path", type=Path)
+    probe_log.set_defaults(func=cmd_probe_log)
+
+    study = sub.add_parser("study", help="run the longitudinal study")
+    study.add_argument("--figure", default="all",
+                       help="figure number, 'table1', or 'all'")
+    study.add_argument("--scale", choices=("small", "medium"), default="small")
+    study.add_argument("--seed", type=int, default=7)
+    study.add_argument("--workers", type=int, default=1,
+                       help="worker processes (results identical to serial)")
+    study.set_defaults(func=cmd_study)
+
+    events = sub.add_parser("events", help="list the modelled event timeline")
+    events.set_defaults(func=cmd_events)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

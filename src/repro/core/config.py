@@ -1,0 +1,47 @@
+"""Configuration of a longitudinal study run."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.synthesis.world import WorldConfig
+
+#: The two months contrasted throughout the paper (Figs. 2, 4, 10).
+COMPARISON_MONTHS: Tuple[Tuple[int, int], ...] = ((2014, 4), (2017, 4))
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs of a :class:`~repro.core.study.LongitudinalStudy` run.
+
+    ``day_stride`` samples the 54-month span (1 = every day, as in the
+    paper; 3 = every third day, the default trade-off).  The comparison
+    months (April 2014/2017) are always covered at full daily resolution.
+    ``flow_days_per_month`` controls how many days per month are expanded
+    to the flow tier for the RTT and infrastructure analyses.
+    """
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    day_stride: int = 3
+    flow_days_per_month: int = 1
+    rtt_days_per_comparison_month: int = 4
+    max_flows_per_usage: int = 8
+
+    def __post_init__(self) -> None:
+        if self.day_stride <= 0:
+            raise ValueError("day_stride must be positive")
+        if self.flow_days_per_month < 0:
+            raise ValueError("flow_days_per_month must be >= 0")
+
+
+def small_study(seed: int = 7) -> StudyConfig:
+    """A fast configuration used by tests and the quickstart example."""
+    return StudyConfig(
+        world=WorldConfig(seed=seed, adsl_count=120, ftth_count=60),
+        day_stride=7,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=2,
+        max_flows_per_usage=6,
+    )

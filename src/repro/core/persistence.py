@@ -1,0 +1,161 @@
+"""Persisting the study to the data lake, and replaying from it.
+
+The paper's cluster serves two access patterns (Section 2.2): predefined
+analytics updated continuously as daily logs arrive, and *specific
+queries on historical collections*.  This module implements both ends
+for the reproduction:
+
+* :class:`LakeSink` — attach it to a study run and every day's stage-1
+  outputs (usage rows, protocol rows, hourly bins) are written into a
+  day-partitioned :class:`~repro.dataflow.datalake.DataLake` as they are
+  produced;
+* :func:`replay_study` — rebuild a :class:`StudyData` purely from the
+  lake, without the world model: the historical-query path.  Covers the
+  aggregate-tier figures (2-9); the flow tier is not persisted (flow
+  records remain in the probes' own logs in a real deployment).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Optional
+
+from repro.core.study import LongitudinalStudy, StudyData
+from repro.dataflow.datalake import DataLake, LineCodec, tsv_codec
+from repro.services.rules import RuleSet
+from repro.services.thresholds import ActiveSubscriberCriterion, VisitClassifier
+from repro.synthesis.flowgen import (
+    PROTOCOL_CODEC,
+    USAGE_CODEC,
+    DayTraffic,
+    HourlyVolume,
+)
+from repro.synthesis.population import Technology
+
+USAGE_TABLE = "usage"
+PROTOCOL_TABLE = "protocols"
+HOURLY_TABLE = "hourly"
+
+HOURLY_CODEC: LineCodec[HourlyVolume] = tsv_codec(
+    from_fields=lambda fields: HourlyVolume(
+        day=datetime.date.fromisoformat(fields[0]),
+        technology=Technology(fields[1]),
+        bin_index=int(fields[2]),
+        bytes_down=int(fields[3]),
+    ),
+    to_fields=lambda row: [
+        row.day.isoformat(),
+        row.technology.value,
+        str(row.bin_index),
+        str(row.bytes_down),
+    ],
+)
+
+
+class LakeSink:
+    """Streams a study's stage-1 outputs into a data lake as it runs.
+
+    Use with :meth:`PersistingStudy.run` or drive it manually via
+    :meth:`store_day`.
+    """
+
+    def __init__(self, lake: DataLake) -> None:
+        self.lake = lake
+        self.days_written = 0
+
+    def store_day(
+        self,
+        day: datetime.date,
+        traffic: DayTraffic,
+        hourly: Optional[List[HourlyVolume]] = None,
+    ) -> None:
+        if traffic.usage:
+            self.lake.write_day(USAGE_TABLE, day, traffic.usage, USAGE_CODEC)
+        if traffic.protocols:
+            self.lake.write_day(
+                PROTOCOL_TABLE, day, traffic.protocols, PROTOCOL_CODEC
+            )
+        if hourly:
+            self.lake.write_day(HOURLY_TABLE, day, hourly, HOURLY_CODEC)
+        self.days_written += 1
+
+
+class PersistingStudy(LongitudinalStudy):
+    """A study that also archives every processed day into a lake."""
+
+    def __init__(self, *args, lake: DataLake, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.sink = LakeSink(lake)
+
+    def process_day(self, data: StudyData, day, roles) -> None:  # type: ignore[override]
+        traffic = self.generator.generate_day(day)
+        if not traffic.usage:
+            return
+        self._consume_aggregate(data, day, traffic)
+        hourly = None
+        if "hourly" in roles:
+            hourly = self.generator.generate_hourly(day, traffic)
+            data.hourly.extend(hourly)
+        if "flows" in roles:
+            self._consume_flows(data, day, traffic, with_rtt="rtt" in roles)
+        self.sink.store_day(day, traffic, hourly)
+
+
+def replay_study(
+    lake: DataLake,
+    months: List,
+    visit_classifier: Optional[VisitClassifier] = None,
+    criterion: Optional[ActiveSubscriberCriterion] = None,
+) -> StudyData:
+    """Rebuild aggregate-tier StudyData from an archived lake.
+
+    The world model is not consulted: this is the pure historical-query
+    path.  Stage-2 figure modules run unchanged on the result.
+    """
+    from repro.analytics.activity import subscriber_days
+    from repro.analytics.popularity import daily_service_stats
+    from repro.core.config import COMPARISON_MONTHS
+
+    classifier = visit_classifier or VisitClassifier()
+    active_criterion = criterion or ActiveSubscriberCriterion()
+    data = StudyData(months=list(months))
+    for day in lake.days(USAGE_TABLE):
+        usage = lake.read_day(USAGE_TABLE, day, USAGE_CODEC).collect()
+        if not usage:
+            continue
+        day_rows = subscriber_days(usage, active_criterion)
+        data.subscriber_days[day] = day_rows
+        for technology in Technology:
+            data.service_stats.extend(
+                daily_service_stats(
+                    usage, day_rows, classifier=classifier, technology=technology
+                )
+            )
+        if (day.year, day.month) in COMPARISON_MONTHS:
+            _replay_weekly(data, day, usage, day_rows, classifier)
+    for day in lake.days(PROTOCOL_TABLE):
+        data.protocol_rows.extend(
+            lake.read_day(PROTOCOL_TABLE, day, PROTOCOL_CODEC).collect()
+        )
+    for day in lake.days(HOURLY_TABLE):
+        data.hourly.extend(lake.read_day(HOURLY_TABLE, day, HOURLY_CODEC).collect())
+    return data
+
+
+def _replay_weekly(data: StudyData, day, usage, day_rows, classifier) -> None:
+    iso_year, iso_week, _ = day.isocalendar()
+    active_by_id = {
+        entry.subscriber_id: entry.technology for entry in day_rows if entry.active
+    }
+    for subscriber_id, technology in active_by_id.items():
+        data.weekly_active.setdefault((iso_year, iso_week, technology), set()).add(
+            subscriber_id
+        )
+    for row in usage:
+        technology = active_by_id.get(row.subscriber_id)
+        if technology is None:
+            continue
+        if classifier.is_visit(row.service, row.bytes_down + row.bytes_up):
+            data.weekly_visitors.setdefault(
+                (iso_year, iso_week, row.service, technology), set()
+            ).add(row.subscriber_id)

@@ -1,0 +1,336 @@
+"""The longitudinal study: one pass over five years of measurements.
+
+:class:`LongitudinalStudy` reproduces the paper's methodology end to end:
+the world model plays the role of the monitored links, the traffic
+generator that of the probes' daily exports, and a single streaming pass
+runs every stage-1 aggregation job, retaining only the per-day reductions
+each figure needs (Section 2.2's "update predefined analytics
+continuously").  Figure modules under :mod:`repro.figures` are pure
+stage-2 computations over the resulting :class:`StudyData`.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analytics import rtt as rtt_analytics
+from repro.analytics.activity import SubscriberDay, subscriber_days
+from repro.analytics.infrastructure import (
+    AsnBreakdown,
+    DailyServerStats,
+    asn_breakdown,
+    daily_ip_roles,
+    daily_server_census,
+    domain_shares,
+    service_ip_set,
+)
+from repro.analytics.popularity import DailyServiceStats, daily_service_stats
+from repro.analytics.timeseries import Month, month_of
+from repro.core.config import COMPARISON_MONTHS, StudyConfig
+from repro.dataflow.datalake import month_days
+from repro.services import catalog
+from repro.services.rules import RuleSet
+from repro.services.thresholds import ActiveSubscriberCriterion, VisitClassifier
+from repro.synthesis.flowgen import (
+    DayTraffic,
+    HourlyVolume,
+    ProtocolUsage,
+    TrafficGenerator,
+)
+from repro.synthesis.population import Technology
+from repro.synthesis.studycalendar import study_days, study_months
+from repro.synthesis.world import World
+from repro.tstat.flow import FlowRecord
+
+#: Services whose infrastructure Fig. 11 tracks.
+INFRA_SERVICES = (catalog.FACEBOOK, catalog.INSTAGRAM, catalog.YOUTUBE)
+
+#: Services whose RTT Fig. 10 tracks (plus WhatsApp for the §6.1 aside).
+RTT_SERVICES = (
+    catalog.FACEBOOK,
+    catalog.INSTAGRAM,
+    catalog.YOUTUBE,
+    catalog.GOOGLE,
+    catalog.WHATSAPP,
+)
+
+
+@dataclass
+class StudyData:
+    """Everything the figures need, reduced per day during the single pass."""
+
+    months: List[Month] = field(default_factory=list)
+    #: day → per-subscriber totals with the activity flag.
+    subscriber_days: Dict[datetime.date, List[SubscriberDay]] = field(
+        default_factory=dict
+    )
+    #: per-(day, service, technology) popularity/volume cells.
+    service_stats: List[DailyServiceStats] = field(default_factory=list)
+    #: per-(day, service, reported protocol) byte totals.
+    protocol_rows: List[ProtocolUsage] = field(default_factory=list)
+    #: 10-minute-bin volumes for the comparison months.
+    hourly: List[HourlyVolume] = field(default_factory=list)
+    #: Fig. 11 top: per-day census for the tracked services.
+    census: List[DailyServerStats] = field(default_factory=list)
+    #: Fig. 11 middle: per-day ASN breakdowns.
+    asn: List[AsnBreakdown] = field(default_factory=list)
+    #: Fig. 11 bottom: per-day domain shares, keyed (day, service).
+    domains: List[Tuple[datetime.date, str, Dict[str, float]]] = field(
+        default_factory=list
+    )
+    #: Fig. 11 cumulative growth: per-day server-IP sets per service.
+    daily_ip_sets: Dict[str, List[Tuple[datetime.date, Set[int]]]] = field(
+        default_factory=dict
+    )
+    #: Fig. 11 top panels: per-day (address → shared?) maps per service.
+    daily_ip_roles: Dict[
+        str, List[Tuple[datetime.date, Dict[int, bool]]]
+    ] = field(default_factory=dict)
+    #: (service, year) → per-flow min-RTT samples of that April.
+    rtt_samples: Dict[Tuple[str, int], List[float]] = field(default_factory=dict)
+    #: days expanded to the flow tier.
+    flow_days: List[datetime.date] = field(default_factory=list)
+    #: §4.3 extension: (iso-year, iso-week, service, technology) → visitors,
+    #: tracked inside the full-resolution comparison months only.
+    weekly_visitors: Dict[
+        Tuple[int, int, str, Technology], Set[int]
+    ] = field(default_factory=dict)
+    #: (iso-year, iso-week, technology) → active subscribers that week.
+    weekly_active: Dict[Tuple[int, int, Technology], Set[int]] = field(
+        default_factory=dict
+    )
+
+    def stats_for(
+        self,
+        service: str,
+        technology: Optional[Technology] = None,
+    ) -> List[DailyServiceStats]:
+        """Cells of one service; merged across technologies when None."""
+        if technology is not None:
+            return [
+                cell
+                for cell in self.service_stats
+                if cell.service == service and cell.technology is technology
+            ]
+        merged: Dict[datetime.date, DailyServiceStats] = {}
+        for cell in self.service_stats:
+            if cell.service != service:
+                continue
+            if cell.day in merged:
+                merged[cell.day] = merged[cell.day].merged(cell)
+            else:
+                merged[cell.day] = cell
+        return [merged[day] for day in sorted(merged)]
+
+    def all_subscriber_days(self) -> List[SubscriberDay]:
+        rows: List[SubscriberDay] = []
+        for day in sorted(self.subscriber_days):
+            rows.extend(self.subscriber_days[day])
+        return rows
+
+    def merge(self, other: "StudyData") -> None:
+        """Fold another partial result in (disjoint day sets expected)."""
+        if self.months and other.months and self.months != other.months:
+            raise ValueError("cannot merge studies with different spans")
+        if not self.months:
+            self.months = list(other.months)
+        self.subscriber_days.update(other.subscriber_days)
+        self.service_stats.extend(other.service_stats)
+        self.protocol_rows.extend(other.protocol_rows)
+        self.hourly.extend(other.hourly)
+        self.census.extend(other.census)
+        self.asn.extend(other.asn)
+        self.domains.extend(other.domains)
+        for service, entries in other.daily_ip_sets.items():
+            self.daily_ip_sets.setdefault(service, []).extend(entries)
+        for service, role_entries in other.daily_ip_roles.items():
+            self.daily_ip_roles.setdefault(service, []).extend(role_entries)
+        for key, samples in other.rtt_samples.items():
+            self.rtt_samples.setdefault(key, []).extend(samples)
+        self.flow_days.extend(other.flow_days)
+        self.flow_days.sort()
+        for key, visitors in other.weekly_visitors.items():
+            self.weekly_visitors.setdefault(key, set()).update(visitors)
+        for key, active in other.weekly_active.items():
+            self.weekly_active.setdefault(key, set()).update(active)
+
+    def weekly_reach(
+        self, service: str, technology: Technology, year: int
+    ) -> Optional[float]:
+        """Mean fraction of weekly-active subscribers visiting ``service``
+        at least once per week (weeks of the comparison month of ``year``)."""
+        ratios: List[float] = []
+        for (iso_year, iso_week, tech), active in self.weekly_active.items():
+            if iso_year != year or tech is not technology or not active:
+                continue
+            visitors = self.weekly_visitors.get(
+                (iso_year, iso_week, service, tech), set()
+            )
+            ratios.append(len(visitors) / len(active))
+        if not ratios:
+            return None
+        return sum(ratios) / len(ratios)
+
+
+class LongitudinalStudy:
+    """Runs the five-year measurement + stage-1 pipeline."""
+
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        rules: Optional[RuleSet] = None,
+        visit_classifier: Optional[VisitClassifier] = None,
+        criterion: Optional[ActiveSubscriberCriterion] = None,
+    ) -> None:
+        self.config = config or StudyConfig()
+        self.world = World(self.config.world)
+        self.generator = TrafficGenerator(self.world)
+        self.rules = rules or catalog.default_ruleset()
+        self.visit_classifier = visit_classifier or VisitClassifier()
+        self.criterion = criterion or ActiveSubscriberCriterion()
+
+    # -- day planning --------------------------------------------------------
+
+    def planned_days(self) -> Dict[datetime.date, Set[str]]:
+        """day → set of roles ('aggregate', 'hourly', 'flows', 'rtt')."""
+        config = self.config
+        start, end = config.world.start, config.world.end
+        plan: Dict[datetime.date, Set[str]] = {}
+
+        def add(day: datetime.date, role: str) -> None:
+            if start <= day <= end:
+                plan.setdefault(day, set()).add(role)
+
+        for day in study_days(start, end, stride=config.day_stride):
+            add(day, "aggregate")
+        for year, month in COMPARISON_MONTHS:
+            for day in month_days(year, month):
+                add(day, "aggregate")
+                add(day, "hourly")
+            for day in month_days(year, month)[
+                7 :: max(1, 21 // max(1, config.rtt_days_per_comparison_month))
+            ][: config.rtt_days_per_comparison_month]:
+                add(day, "flows")
+                add(day, "rtt")
+        if config.flow_days_per_month:
+            for year, month in study_months(start, end):
+                days = month_days(year, month)
+                picked = days[9 :: max(1, 18 // config.flow_days_per_month)]
+                for day in picked[: config.flow_days_per_month]:
+                    add(day, "aggregate")
+                    add(day, "flows")
+        return plan
+
+    # -- the pass --------------------------------------------------------------
+
+    def empty_data(self) -> StudyData:
+        return StudyData(
+            months=study_months(self.config.world.start, self.config.world.end)
+        )
+
+    def process_day(
+        self, data: StudyData, day: datetime.date, roles: Set[str]
+    ) -> None:
+        """Run one planned day's generation + stage-1 into ``data``."""
+        traffic = self.generator.generate_day(day)
+        if not traffic.usage:
+            return
+        self._consume_aggregate(data, day, traffic)
+        if "hourly" in roles:
+            data.hourly.extend(self.generator.generate_hourly(day, traffic))
+        if "flows" in roles:
+            self._consume_flows(data, day, traffic, with_rtt="rtt" in roles)
+
+    def run(self, progress: Optional[object] = None) -> StudyData:
+        """Execute the study; returns the reduced per-day data."""
+        data = self.empty_data()
+        plan = self.planned_days()
+        for day in sorted(plan):
+            self.process_day(data, day, plan[day])
+            if progress is not None:
+                progress(day)  # type: ignore[operator]
+        return data
+
+    def _consume_aggregate(
+        self, data: StudyData, day: datetime.date, traffic: DayTraffic
+    ) -> None:
+        day_rows = subscriber_days(traffic.usage, self.criterion)
+        data.subscriber_days[day] = day_rows
+        for technology in Technology:
+            data.service_stats.extend(
+                daily_service_stats(
+                    traffic.usage,
+                    day_rows,
+                    classifier=self.visit_classifier,
+                    technology=technology,
+                )
+            )
+        data.protocol_rows.extend(traffic.protocols)
+        if (day.year, day.month) in COMPARISON_MONTHS:
+            self._consume_weekly(data, day, traffic, day_rows)
+
+    def _consume_weekly(
+        self,
+        data: StudyData,
+        day: datetime.date,
+        traffic: DayTraffic,
+        day_rows,
+    ) -> None:
+        """Track weekly reach inside the full-resolution months (§4.3)."""
+        iso_year, iso_week, _ = day.isocalendar()
+        active_by_id = {
+            entry.subscriber_id: entry.technology
+            for entry in day_rows
+            if entry.active
+        }
+        for subscriber_id, technology in active_by_id.items():
+            data.weekly_active.setdefault(
+                (iso_year, iso_week, technology), set()
+            ).add(subscriber_id)
+        for row in traffic.usage:
+            technology = active_by_id.get(row.subscriber_id)
+            if technology is None:
+                continue
+            if self.visit_classifier.is_visit(
+                row.service, row.bytes_down + row.bytes_up
+            ):
+                data.weekly_visitors.setdefault(
+                    (iso_year, iso_week, row.service, technology), set()
+                ).add(row.subscriber_id)
+
+    def _consume_flows(
+        self,
+        data: StudyData,
+        day: datetime.date,
+        traffic: DayTraffic,
+        with_rtt: bool,
+    ) -> None:
+        flows: List[FlowRecord] = self.generator.expand_flows(
+            day, traffic, max_flows_per_usage=self.config.max_flows_per_usage
+        )
+        data.flow_days.append(day)
+        data.census.extend(
+            daily_server_census(flows, self.rules, list(INFRA_SERVICES), day)
+        )
+        roles_by_service = daily_ip_roles(
+            flows, self.rules, list(INFRA_SERVICES), day
+        )
+        for service in INFRA_SERVICES:
+            data.asn.append(
+                asn_breakdown(flows, self.rules, self.world.rib, service, day)
+            )
+            data.domains.append(
+                (day, service, domain_shares(flows, self.rules, service))
+            )
+            data.daily_ip_sets.setdefault(service, []).append(
+                (day, service_ip_set(flows, self.rules, service))
+            )
+            data.daily_ip_roles.setdefault(service, []).append(
+                (day, roles_by_service[service])
+            )
+        if with_rtt:
+            for service in RTT_SERVICES:
+                samples = rtt_analytics.min_rtt_samples(flows, self.rules, service)
+                data.rtt_samples.setdefault((service, day.year), []).extend(samples)

@@ -1,0 +1,170 @@
+"""The data lake: day-partitioned long-term storage of probe exports.
+
+"Daily, logs are copied into a long-term storage in a centralized data
+center" (Section 2.2).  The layout is the conventional one for date-keyed
+analytics at rest::
+
+    <root>/<table>/year=YYYY/month=MM/day=DD/<probe>.tsv.gz
+
+Tables are typed through a :class:`LineCodec`; flow logs reuse the probe's
+on-disk format so a file written by a probe can be dropped into the lake
+unchanged.  Reads come back as lazy :class:`~repro.dataflow.engine.Dataset`
+partitions — one partition per stored file — so stage-1 jobs stream.
+"""
+
+from __future__ import annotations
+
+import datetime
+import gzip
+import io
+from pathlib import Path
+from typing import Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.dataflow.engine import Dataset
+from repro.tstat.flow import FlowRecord
+from repro.tstat.logs import format_record, parse_record
+
+T = TypeVar("T")
+
+
+class LineCodec(Generic[T]):
+    """Encodes/decodes one record per text line."""
+
+    def __init__(
+        self, encode: Callable[[T], str], decode: Callable[[str], T]
+    ) -> None:
+        self.encode = encode
+        self.decode = decode
+
+
+#: Codec for probe flow records (same format as the probe's own logs).
+FLOW_CODEC: LineCodec[FlowRecord] = LineCodec(format_record, parse_record)
+
+
+def tsv_codec(
+    from_fields: Callable[[List[str]], T], to_fields: Callable[[T], List[str]]
+) -> LineCodec[T]:
+    """Build a codec for tab-separated rows of typed fields."""
+    return LineCodec(
+        encode=lambda record: "\t".join(to_fields(record)),
+        decode=lambda line: from_fields(line.rstrip("\n").split("\t")),
+    )
+
+
+class DataLake:
+    """A directory-rooted, day-partitioned record store."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def day_dir(self, table: str, day: datetime.date) -> Path:
+        return (
+            self.root
+            / table
+            / f"year={day.year:04d}"
+            / f"month={day.month:02d}"
+            / f"day={day.day:02d}"
+        )
+
+    # -- writes ---------------------------------------------------------------
+
+    def write_day(
+        self,
+        table: str,
+        day: datetime.date,
+        records: Iterable[T],
+        codec: LineCodec[T],
+        source: str = "part-0",
+    ) -> Path:
+        """Write one source file into a day partition; returns its path."""
+        directory = self.day_dir(table, day)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{source}.tsv.gz"
+        with io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8") as handle:
+            for record in records:
+                handle.write(codec.encode(record) + "\n")
+        return path
+
+    # -- reads ----------------------------------------------------------------
+
+    def has_day(self, table: str, day: datetime.date) -> bool:
+        directory = self.day_dir(table, day)
+        return directory.is_dir() and any(directory.glob("*.tsv.gz"))
+
+    def days(self, table: str) -> List[datetime.date]:
+        """Every day for which the table holds at least one file."""
+        table_dir = self.root / table
+        found: List[datetime.date] = []
+        if not table_dir.is_dir():
+            return found
+        for year_dir in sorted(table_dir.glob("year=*")):
+            for month_dir in sorted(year_dir.glob("month=*")):
+                for day_dir in sorted(month_dir.glob("day=*")):
+                    if any(day_dir.glob("*.tsv.gz")):
+                        found.append(
+                            datetime.date(
+                                int(year_dir.name.split("=")[1]),
+                                int(month_dir.name.split("=")[1]),
+                                int(day_dir.name.split("=")[1]),
+                            )
+                        )
+        return found
+
+    def read_day(
+        self, table: str, day: datetime.date, codec: LineCodec[T]
+    ) -> Dataset[T]:
+        """The records of one day as a lazy dataset (one partition/file)."""
+        directory = self.day_dir(table, day)
+        if not directory.is_dir():
+            return Dataset.empty()
+        sources = [
+            _file_source(path, codec) for path in sorted(directory.glob("*.tsv.gz"))
+        ]
+        return Dataset.from_partitions(sources)
+
+    def read_range(
+        self,
+        table: str,
+        start: datetime.date,
+        end: datetime.date,
+        codec: LineCodec[T],
+    ) -> Dataset[T]:
+        """Records of every stored day in [start, end] (missing days skip)."""
+        datasets = [
+            self.read_day(table, day, codec)
+            for day in self.days(table)
+            if start <= day <= end
+        ]
+        combined: Dataset[T] = Dataset.empty()
+        for dataset in datasets:
+            combined = combined.union(dataset)
+        return combined
+
+    def tables(self) -> List[str]:
+        return sorted(
+            entry.name for entry in self.root.iterdir() if entry.is_dir()
+        )
+
+
+def _file_source(path: Path, codec: LineCodec[T]) -> Callable[[], Iterator[T]]:
+    def read() -> Iterator[T]:
+        with io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8") as handle:
+            for line in handle:
+                if line.startswith("#") or not line.strip():
+                    continue
+                yield codec.decode(line)
+
+    return read
+
+
+def month_days(year: int, month: int) -> List[datetime.date]:
+    """Every calendar day of a month (shared helper for analytics)."""
+    day = datetime.date(year, month, 1)
+    days = []
+    while day.month == month:
+        days.append(day)
+        day += datetime.timedelta(days=1)
+    return days

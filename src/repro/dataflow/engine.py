@@ -1,0 +1,258 @@
+"""A small Spark-like dataflow engine.
+
+The paper processes 247 billion flow records on a Hadoop cluster running
+Apache Spark (Section 2.2).  The analytics in this reproduction are written
+against the same logical operations — lazy ``map``/``filter``/``flat_map``
+pipelines over partitioned datasets, plus ``reduce_by_key`` /
+``aggregate_by_key`` shuffles — provided by this module.  Execution is
+single-process (our datasets fit one machine); the partitioned, lazy
+structure is preserved so jobs stream instead of materializing
+intermediates, which is what makes the two-stage methodology honest.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+W = TypeVar("W")
+
+PartitionSource = Callable[[], Iterator[T]]
+
+
+class Dataset(Generic[T]):
+    """A lazy, partitioned collection of records."""
+
+    def __init__(self, sources: List[PartitionSource]) -> None:
+        self._sources = sources
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_iterable(cls, items: Iterable[T], partitions: int = 4) -> "Dataset[T]":
+        """Materialize ``items`` into a fixed number of partitions."""
+        if partitions <= 0:
+            raise ValueError("partitions must be positive")
+        buckets: List[List[T]] = [[] for _ in range(partitions)]
+        for index, item in enumerate(items):
+            buckets[index % partitions].append(item)
+        return cls([_replay(bucket) for bucket in buckets])
+
+    @classmethod
+    def from_partitions(cls, sources: Iterable[PartitionSource]) -> "Dataset[T]":
+        """Build from partition generator callables (re-iterable)."""
+        return cls(list(sources))
+
+    @classmethod
+    def empty(cls) -> "Dataset[T]":
+        return cls([])
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._sources)
+
+    def union(self, other: "Dataset[T]") -> "Dataset[T]":
+        """Concatenate partitions of two datasets (no shuffle)."""
+        return Dataset(self._sources + other._sources)
+
+    # -- narrow transformations (no shuffle) --------------------------------
+
+    def map(self, fn: Callable[[T], U]) -> "Dataset[U]":
+        return Dataset(
+            [_mapped(source, fn) for source in self._sources]
+        )
+
+    def filter(self, predicate: Callable[[T], bool]) -> "Dataset[T]":
+        return Dataset(
+            [_filtered(source, predicate) for source in self._sources]
+        )
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "Dataset[U]":
+        return Dataset(
+            [_flat_mapped(source, fn) for source in self._sources]
+        )
+
+    def map_partitions(
+        self, fn: Callable[[Iterator[T]], Iterator[U]]
+    ) -> "Dataset[U]":
+        return Dataset(
+            [_partition_mapped(source, fn) for source in self._sources]
+        )
+
+    def key_by(self, fn: Callable[[T], K]) -> "Dataset[Tuple[K, T]]":
+        return self.map(lambda item: (fn(item), item))
+
+    # -- wide transformations (shuffle) --------------------------------------
+
+    def reduce_by_key(
+        self: "Dataset[Tuple[K, V]]", fn: Callable[[V, V], V]
+    ) -> "Dataset[Tuple[K, V]]":
+        """Combine values per key; combiners run per-partition first."""
+
+        def build() -> Iterator[Tuple[K, V]]:
+            table: Dict[K, V] = {}
+            for source in self._sources:
+                for key, value in source():
+                    if key in table:
+                        table[key] = fn(table[key], value)
+                    else:
+                        table[key] = value
+            return iter(list(table.items()))
+
+        return Dataset([build])
+
+    def aggregate_by_key(
+        self: "Dataset[Tuple[K, V]]",
+        zero: Callable[[], U],
+        seq_fn: Callable[[U, V], U],
+        comb_fn: Optional[Callable[[U, U], U]] = None,
+    ) -> "Dataset[Tuple[K, U]]":
+        """Fold values per key into an accumulator created by ``zero``."""
+
+        def build() -> Iterator[Tuple[K, U]]:
+            table: Dict[K, U] = {}
+            for source in self._sources:
+                for key, value in source():
+                    if key not in table:
+                        table[key] = zero()
+                    table[key] = seq_fn(table[key], value)
+            return iter(list(table.items()))
+
+        return Dataset([build])
+
+    def group_by_key(
+        self: "Dataset[Tuple[K, V]]",
+    ) -> "Dataset[Tuple[K, List[V]]]":
+        def append(acc: List[V], value: V) -> List[V]:
+            acc.append(value)
+            return acc
+
+        return self.aggregate_by_key(list, append)
+
+    def distinct(self) -> "Dataset[T]":
+        def build() -> Iterator[T]:
+            seen = set()
+            for source in self._sources:
+                for item in source():
+                    if item not in seen:
+                        seen.add(item)
+            return iter(list(seen))
+
+        return Dataset([build])
+
+    def join(
+        self: "Dataset[Tuple[K, V]]", other: "Dataset[Tuple[K, W]]"
+    ) -> "Dataset[Tuple[K, Tuple[V, W]]]":
+        """Inner hash join on key."""
+
+        def build() -> Iterator[Tuple[K, Tuple[V, W]]]:
+            left: Dict[K, List[V]] = {}
+            for source in self._sources:
+                for key, value in source():
+                    left.setdefault(key, []).append(value)
+            results: List[Tuple[K, Tuple[V, W]]] = []
+            for source in other._sources:
+                for key, wvalue in source():
+                    for lvalue in left.get(key, ()):
+                        results.append((key, (lvalue, wvalue)))
+            return iter(results)
+
+        return Dataset([build])
+
+    # -- actions -------------------------------------------------------------
+
+    def iterate(self) -> Iterator[T]:
+        """Stream every record of every partition."""
+        for source in self._sources:
+            yield from source()
+
+    def collect(self) -> List[T]:
+        return list(self.iterate())
+
+    def count(self) -> int:
+        return sum(1 for _ in self.iterate())
+
+    def take(self, count: int) -> List[T]:
+        return list(itertools.islice(self.iterate(), count))
+
+    def reduce(self, fn: Callable[[T, T], T]) -> T:
+        iterator = self.iterate()
+        try:
+            accumulator = next(iterator)
+        except StopIteration:
+            raise ValueError("reduce of empty dataset") from None
+        for item in iterator:
+            accumulator = fn(accumulator, item)
+        return accumulator
+
+    def sum(self: "Dataset[Any]") -> Any:
+        return sum(self.iterate())
+
+    def top(self, count: int, key: Optional[Callable[[T], Any]] = None) -> List[T]:
+        """Largest ``count`` records without materializing everything."""
+        if key is None:
+            return heapq.nlargest(count, self.iterate())
+        return heapq.nlargest(count, self.iterate(), key=key)
+
+    def count_by_key(self: "Dataset[Tuple[K, V]]") -> Dict[K, int]:
+        counts: Dict[K, int] = {}
+        for key, _ in self.iterate():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def collect_as_map(self: "Dataset[Tuple[K, V]]") -> Dict[K, V]:
+        """Collect key-value pairs; later pairs overwrite earlier ones."""
+        return dict(self.iterate())
+
+
+# Partition-closure helpers: defined at module level so each transformation
+# captures exactly the variables it needs (late-binding-in-loop safe).
+
+
+def _replay(bucket: List[T]) -> PartitionSource:
+    return lambda: iter(bucket)
+
+
+def _mapped(source: PartitionSource, fn: Callable[[T], U]) -> PartitionSource:
+    return lambda: (fn(item) for item in source())
+
+
+def _filtered(
+    source: PartitionSource, predicate: Callable[[T], bool]
+) -> PartitionSource:
+    return lambda: (item for item in source() if predicate(item))
+
+
+def _flat_mapped(
+    source: PartitionSource, fn: Callable[[T], Iterable[U]]
+) -> PartitionSource:
+    def generate() -> Iterator[U]:
+        for item in source():
+            yield from fn(item)
+
+    return generate
+
+
+def _partition_mapped(
+    source: PartitionSource, fn: Callable[[Iterator[T]], Iterator[U]]
+) -> PartitionSource:
+    return lambda: fn(source())

@@ -1,0 +1,58 @@
+"""Shared helpers for the figure modules.
+
+Every module under :mod:`repro.figures` follows the same contract:
+
+* ``compute(data: StudyData, ...) -> Fig<N>Data`` — a pure stage-2
+  computation over the study's reduced per-day data;
+* ``report(fig) -> List[str]`` — printable lines, each a paper-vs-measured
+  row, used by the benchmarks and by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+MB = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One headline number of a figure, as the paper states it."""
+
+    name: str
+    paper: str  # what the paper reports, verbatim enough to recognize
+    measured: float
+    ok: bool
+
+    def line(self) -> str:
+        flag = "OK " if self.ok else "DIFF"
+        return f"[{flag}] {self.name}: paper={self.paper} measured={self.measured:.3g}"
+
+
+def within(value: float, low: float, high: float) -> bool:
+    """Inclusive range check used for shape targets."""
+    return low <= value <= high
+
+
+def fmt_mb(value_bytes: float) -> str:
+    return f"{value_bytes / MB:.0f}MB"
+
+
+def monthly_row(
+    label: str, pairs: Sequence[Tuple[Tuple[int, int], Optional[float]]]
+) -> str:
+    """Render a compact monthly series row for reports."""
+    cells = []
+    for (year, month), value in pairs:
+        if value is None:
+            cells.append(f"{year}-{month:02d}:--")
+        else:
+            cells.append(f"{year}-{month:02d}:{value:.3g}")
+    return f"{label}: " + " ".join(cells)
+
+
+def ratio(later: Optional[float], earlier: Optional[float]) -> Optional[float]:
+    if later is None or earlier is None or earlier == 0:
+        return None
+    return later / earlier

@@ -1,0 +1,93 @@
+"""Figure 4: hour-of-day download ratio, April 2017 / April 2014.
+
+Shape targets: the ratio exceeds 2 across the day; it is highest during
+late-night hours (automatic updates, IoT); FTTH shows an extra prime-time
+bump (video streaming).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analytics.hourly import (
+    HourlyProfile,
+    bezier_smooth,
+    bins_to_hours,
+    monthly_profile,
+    profile_ratio,
+)
+from repro.core.study import StudyData
+from repro.figures.common import Expectation, within
+from repro.synthesis.population import Technology
+
+
+@dataclass(frozen=True)
+class Fig4Data:
+    """Smoothed per-bin ratio curves per technology, plus hourly views."""
+
+    ratios: Dict[Technology, List[float]]  # 144 smoothed bins
+    hourly: Dict[Technology, Dict[int, float]]  # hour → ratio
+    profiles: Dict[Technology, Dict[int, HourlyProfile]]  # year → profile
+
+
+def compute(data: StudyData) -> Fig4Data:
+    ratios: Dict[Technology, List[float]] = {}
+    hourly: Dict[Technology, Dict[int, float]] = {}
+    profiles: Dict[Technology, Dict[int, HourlyProfile]] = {}
+    for technology in Technology:
+        early = monthly_profile(data.hourly, technology, 2014, 4)
+        late = monthly_profile(data.hourly, technology, 2017, 4)
+        raw = profile_ratio(late, early)
+        smoothed = bezier_smooth(raw)
+        ratios[technology] = smoothed
+        hourly[technology] = bins_to_hours(smoothed)
+        profiles[technology] = {2014: early, 2017: late}
+    return Fig4Data(ratios=ratios, hourly=hourly, profiles=profiles)
+
+
+def report(fig: Fig4Data) -> List[str]:
+    lines = ["Figure 4: download ratio April 2017 / April 2014 by hour"]
+    expectations: List[Expectation] = []
+    for technology in Technology:
+        hours = fig.hourly[technology]
+        overall = sum(hours.values()) / len(hours)
+        night = sum(hours[hour] for hour in (1, 2, 3, 4, 5)) / 5
+        evening = sum(hours[hour] for hour in (20, 21, 22)) / 3
+        daytime = sum(hours[hour] for hour in (10, 11, 12, 14, 15, 16, 17)) / 7
+        expectations.append(
+            Expectation(
+                name=f"{technology.value} mean hourly ratio",
+                paper="more than 2x",
+                measured=overall,
+                ok=overall >= 1.8,
+            )
+        )
+        expectations.append(
+            Expectation(
+                name=f"{technology.value} night vs daytime ratio",
+                paper="increase higher during late night",
+                measured=night / daytime if daytime else 0.0,
+                ok=daytime > 0 and night > daytime,
+            )
+        )
+        if technology is Technology.FTTH:
+            adsl_evening = sum(
+                fig.hourly[Technology.ADSL][hour] for hour in (20, 21, 22)
+            ) / 3
+            expectations.append(
+                Expectation(
+                    name="FTTH prime-time bump vs ADSL",
+                    paper="FTTH higher increase during prime time",
+                    measured=evening / adsl_evening if adsl_evening else 0.0,
+                    ok=adsl_evening > 0 and evening > adsl_evening * 0.98,
+                )
+            )
+    lines.extend(expectation.line() for expectation in expectations)
+    for technology in Technology:
+        hours = fig.hourly[technology]
+        lines.append(
+            f"{technology.value} hourly ratio: "
+            + " ".join(f"{hour:02d}h:{value:.2f}" for hour, value in sorted(hours.items()))
+        )
+    return lines

@@ -1,0 +1,237 @@
+"""Figure 6: P2P, Netflix and YouTube — popularity and per-user volume.
+
+Shape targets (Sections 4.2-4.3): a hardcore P2P group exchanging
+~400 MB/day whose volume starts to decrease at the end of 2016, FTTH
+abandoning earlier; Netflix from its October 2015 Italian launch reaching
+~10 % daily FTTH popularity by end 2017 with FTTH volume near 1 GB/day
+after the October 2016 UHD launch; YouTube consolidated above 40 %
+popularity and >400 MB/day with no ADSL/FTTH difference.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analytics.timeseries import Month, MonthlySeries, monthly_mean
+from repro.core.study import StudyData
+from repro.figures.common import MB, Expectation, ratio, within
+from repro.services import catalog
+from repro.synthesis.population import Technology
+
+SERVICES: Tuple[str, ...] = (catalog.PEER_TO_PEER, catalog.NETFLIX, catalog.YOUTUBE)
+
+
+@dataclass(frozen=True)
+class ServicePanel:
+    """Top + bottom plot of one Fig. 6/7 column, per technology."""
+
+    service: str
+    popularity: Dict[Technology, MonthlySeries]  # %
+    volume: Dict[Technology, MonthlySeries]  # bytes/user/day
+
+
+@dataclass(frozen=True)
+class Fig6Data:
+    panels: Dict[str, ServicePanel]
+    #: §4.3 extension: Netflix weekly reach in April 2017 (tech → fraction).
+    netflix_weekly_reach_2017: Dict[Technology, Optional[float]] = None  # type: ignore[assignment]
+
+
+def compute_panel(data: StudyData, service: str) -> ServicePanel:
+    popularity: Dict[Technology, MonthlySeries] = {}
+    volume: Dict[Technology, MonthlySeries] = {}
+    for technology in Technology:
+        pop_samples = []
+        vol_samples = []
+        for cell in data.stats_for(service, technology):
+            pop_samples.append((cell.day, 100.0 * cell.popularity))
+            if cell.visitors > 0:
+                vol_samples.append((cell.day, cell.mean_visitor_bytes))
+        popularity[technology] = monthly_mean(pop_samples, data.months)
+        volume[technology] = monthly_mean(vol_samples, data.months)
+    return ServicePanel(service=service, popularity=popularity, volume=volume)
+
+
+def compute(data: StudyData) -> Fig6Data:
+    return Fig6Data(
+        panels={service: compute_panel(data, service) for service in SERVICES},
+        netflix_weekly_reach_2017={
+            technology: data.weekly_reach(catalog.NETFLIX, technology, 2017)
+            for technology in Technology
+        },
+    )
+
+
+def _year_mean(series: MonthlySeries, year: int) -> Optional[float]:
+    values = [value for (y, _), value in series.defined() if y == year]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def _half_year_mean(
+    series: MonthlySeries, year: int, first: bool
+) -> Optional[float]:
+    wanted = range(1, 7) if first else range(7, 13)
+    values = [
+        value for (y, month), value in series.defined() if y == year and month in wanted
+    ]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def report(fig: Fig6Data) -> List[str]:
+    lines = ["Figure 6: P2P / Netflix / YouTube"]
+    expectations: List[Expectation] = []
+
+    p2p = fig.panels[catalog.PEER_TO_PEER]
+    vol_2015 = _year_mean(p2p.volume[Technology.ADSL], 2015)
+    vol_2017 = _year_mean(p2p.volume[Technology.ADSL], 2017)
+    if vol_2015 is not None:
+        expectations.append(
+            Expectation(
+                name="P2P hardcore daily volume 2015 (MB, ADSL)",
+                paper="~400MB/day",
+                measured=vol_2015 / MB,
+                ok=within(vol_2015 / MB, 250, 650),
+            )
+        )
+    if vol_2015 is not None and vol_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="P2P volume decline into 2017",
+                paper="starts to decrease at end of 2016",
+                measured=vol_2017 / vol_2015,
+                ok=vol_2017 < vol_2015,
+            )
+        )
+    pop_2013 = _year_mean(p2p.popularity[Technology.ADSL], 2013)
+    pop_2017 = _year_mean(p2p.popularity[Technology.ADSL], 2017)
+    if pop_2013 is not None and pop_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="P2P popularity decline (% 2017)",
+                paper="downfall of P2P",
+                measured=pop_2017,
+                ok=pop_2017 < pop_2013,
+            )
+        )
+
+    netflix = fig.panels[catalog.NETFLIX]
+    before_launch = netflix.popularity[Technology.FTTH].value_at(2015, 3)
+    expectations.append(
+        Expectation(
+            name="Netflix FTTH popularity before Italian launch (%)",
+            paper="service not yet available",
+            measured=before_launch or 0.0,
+            ok=(before_launch or 0.0) < 0.5,
+        )
+    )
+    nf_pop_2017 = netflix.popularity[Technology.FTTH].value_at(2017, 11)
+    if nf_pop_2017 is None:
+        nf_pop_2017 = _year_mean(netflix.popularity[Technology.FTTH], 2017)
+    expectations.append(
+        Expectation(
+            name="Netflix FTTH daily popularity end 2017 (%)",
+            paper="~10%",
+            measured=nf_pop_2017 or 0.0,
+            ok=nf_pop_2017 is not None and within(nf_pop_2017, 5, 16),
+        )
+    )
+    nf_ftth_2017 = _year_mean(netflix.volume[Technology.FTTH], 2017)
+    nf_adsl_2017 = _year_mean(netflix.volume[Technology.ADSL], 2017)
+    if nf_ftth_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="Netflix FTTH volume 2017 (MB/day)",
+                paper="close to 1GB after UHD",
+                measured=nf_ftth_2017 / MB,
+                ok=within(nf_ftth_2017 / MB, 600, 1400),
+            )
+        )
+    if nf_ftth_2017 is not None and nf_adsl_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="Netflix FTTH/ADSL volume gap 2017",
+                paper="ADSL cannot enjoy UHD",
+                measured=nf_ftth_2017 / nf_adsl_2017 if nf_adsl_2017 else 0.0,
+                ok=nf_adsl_2017 > 0 and nf_ftth_2017 > nf_adsl_2017 * 1.1,
+            )
+        )
+    # Pre-UHD: both technologies looked alike (mean over H1 2016 — the
+    # Netflix cohorts are small, single months are too noisy).
+    nf_ftth_2016h1 = _half_year_mean(netflix.volume[Technology.FTTH], 2016, first=True)
+    nf_adsl_2016h1 = _half_year_mean(netflix.volume[Technology.ADSL], 2016, first=True)
+    gap_2016 = ratio(nf_ftth_2016h1, nf_adsl_2016h1)
+    gap_2017 = ratio(nf_ftth_2017, nf_adsl_2017)
+    if gap_2016 is not None and gap_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="Netflix FTTH/ADSL volume gap before UHD",
+                paper="no major differences up to end of 2016, then FTTH pulls ahead",
+                measured=gap_2016,
+                ok=gap_2016 < 1.75 and gap_2016 < gap_2017,
+            )
+        )
+
+    weekly = fig.netflix_weekly_reach_2017 or {}
+    weekly_ftth = weekly.get(Technology.FTTH)
+    weekly_adsl = weekly.get(Technology.ADSL)
+    if weekly_ftth is not None and nf_pop_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="Netflix FTTH weekly reach 2017 (%)",
+                paper="more than 18% at least once a week",
+                measured=100 * weekly_ftth,
+                ok=100 * weekly_ftth > nf_pop_2017
+                and within(100 * weekly_ftth, 8, 30),
+            )
+        )
+    if weekly_adsl is not None:
+        expectations.append(
+            Expectation(
+                name="Netflix ADSL weekly reach 2017 (%)",
+                paper="~12% at least once a week",
+                measured=100 * weekly_adsl,
+                ok=within(100 * weekly_adsl, 4, 20),
+            )
+        )
+
+    youtube = fig.panels[catalog.YOUTUBE]
+    yt_pop = _year_mean(youtube.popularity[Technology.ADSL], 2017)
+    yt_vol = _year_mean(youtube.volume[Technology.ADSL], 2017)
+    if yt_pop is not None:
+        expectations.append(
+            Expectation(
+                name="YouTube daily popularity 2017 (%)",
+                paper=">40% of active subscribers",
+                measured=yt_pop,
+                ok=yt_pop >= 32,
+            )
+        )
+    if yt_vol is not None:
+        expectations.append(
+            Expectation(
+                name="YouTube per-user volume 2017 (MB/day)",
+                paper=">400MB (about half of Netflix)",
+                measured=yt_vol / MB,
+                ok=yt_vol / MB >= 300,
+            )
+        )
+    yt_ftth = _year_mean(youtube.volume[Technology.FTTH], 2017)
+    gap = ratio(yt_ftth, yt_vol)
+    if gap is not None:
+        expectations.append(
+            Expectation(
+                name="YouTube FTTH/ADSL volume gap",
+                paper="no differences observed",
+                measured=gap,
+                ok=within(gap, 0.7, 1.4),
+            )
+        )
+
+    lines.extend(expectation.line() for expectation in expectations)
+    return lines

@@ -1,0 +1,166 @@
+"""Figure 7: SnapChat, WhatsApp and Instagram usage patterns.
+
+Shape targets (Section 4.4): SnapChat peaks in 2016 (~10 % popularity,
+up to 100 MB/day) and collapses in volume during 2017 with popularity
+mostly unaffected; WhatsApp popularity grows towards saturation (~60 %)
+with ~10 MB/day and Christmas / New-Year's-Eve volume peaks; Instagram
+grows constantly in popularity with volumes reaching 200 MB (FTTH) and
+120 MB (ADSL) per day.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analytics.timeseries import MonthlySeries
+from repro.core.study import StudyData
+from repro.figures.common import MB, Expectation, within
+from repro.figures.fig06_video_p2p import ServicePanel, compute_panel, _year_mean
+from repro.services import catalog
+from repro.synthesis.population import Technology
+
+SERVICES: Tuple[str, ...] = (catalog.SNAPCHAT, catalog.WHATSAPP, catalog.INSTAGRAM)
+
+
+@dataclass(frozen=True)
+class Fig7Data:
+    panels: Dict[str, ServicePanel]
+    #: daily WhatsApp per-user volume around the holidays (both techs).
+    whatsapp_daily: List[Tuple[datetime.date, float]]
+
+
+def compute(data: StudyData) -> Fig7Data:
+    panels = {service: compute_panel(data, service) for service in SERVICES}
+    daily = [
+        (cell.day, cell.mean_visitor_bytes)
+        for cell in data.stats_for(catalog.WHATSAPP)
+        if cell.visitors > 0
+    ]
+    daily.sort(key=lambda pair: pair[0])
+    return Fig7Data(panels=panels, whatsapp_daily=daily)
+
+
+def holiday_peak_ratio(fig: Fig7Data) -> Optional[float]:
+    """WhatsApp holiday volume vs the rest of its December/January days."""
+    holiday: List[float] = []
+    ordinary: List[float] = []
+    for day, value in fig.whatsapp_daily:
+        if day.month not in (12, 1):
+            continue
+        if (day.month == 12 and day.day in (24, 25, 26, 31)) or (
+            day.month == 1 and day.day == 1
+        ):
+            holiday.append(value)
+        else:
+            ordinary.append(value)
+    if not holiday or not ordinary:
+        return None
+    return (sum(holiday) / len(holiday)) / (sum(ordinary) / len(ordinary))
+
+
+def report(fig: Fig7Data) -> List[str]:
+    lines = ["Figure 7: SnapChat / WhatsApp / Instagram"]
+    expectations: List[Expectation] = []
+
+    snap = fig.panels[catalog.SNAPCHAT]
+    snap_pop_2016 = _year_mean(snap.popularity[Technology.ADSL], 2016)
+    snap_vol_2016 = _year_mean(snap.volume[Technology.ADSL], 2016)
+    snap_vol_2017 = _year_mean(snap.volume[Technology.ADSL], 2017)
+    snap_pop_2017 = _year_mean(snap.popularity[Technology.ADSL], 2017)
+    if snap_pop_2016 is not None:
+        expectations.append(
+            Expectation(
+                name="SnapChat popularity at the 2016 peak (%)",
+                paper="~10% of subscribers",
+                measured=snap_pop_2016,
+                ok=within(snap_pop_2016, 5, 15),
+            )
+        )
+    if snap_vol_2016 is not None and snap_vol_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="SnapChat volume collapse (2017/2016)",
+                paper="100MB/day -> <20MB/day",
+                measured=snap_vol_2017 / snap_vol_2016 if snap_vol_2016 else 0.0,
+                ok=snap_vol_2016 > 0 and snap_vol_2017 < 0.7 * snap_vol_2016,
+            )
+        )
+    if snap_pop_2016 is not None and snap_pop_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="SnapChat popularity resilience (2017/2016)",
+                paper="popularity mostly unaffected",
+                measured=snap_pop_2017 / snap_pop_2016 if snap_pop_2016 else 0.0,
+                ok=snap_pop_2016 > 0 and snap_pop_2017 > 0.6 * snap_pop_2016,
+            )
+        )
+
+    whatsapp = fig.panels[catalog.WHATSAPP]
+    wa_pop_2017 = _year_mean(whatsapp.popularity[Technology.ADSL], 2017)
+    wa_vol_2017 = _year_mean(whatsapp.volume[Technology.ADSL], 2017)
+    if wa_pop_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="WhatsApp popularity 2017 (%)",
+                paper="steady growth, almost saturation",
+                measured=wa_pop_2017,
+                ok=within(wa_pop_2017, 40, 75),
+            )
+        )
+    if wa_vol_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="WhatsApp per-user volume 2017 (MB/day)",
+                paper="~10MB daily",
+                measured=wa_vol_2017 / MB,
+                ok=within(wa_vol_2017 / MB, 5, 30),
+            )
+        )
+    peak = holiday_peak_ratio(fig)
+    if peak is not None:
+        expectations.append(
+            Expectation(
+                name="WhatsApp Christmas/New-Year volume peak",
+                paper="large peaks at Christmas and New Year's Eve",
+                measured=peak,
+                ok=peak > 1.3,
+            )
+        )
+
+    instagram = fig.panels[catalog.INSTAGRAM]
+    ig_adsl = _year_mean(instagram.volume[Technology.ADSL], 2017)
+    ig_ftth = _year_mean(instagram.volume[Technology.FTTH], 2017)
+    if ig_adsl is not None:
+        expectations.append(
+            Expectation(
+                name="Instagram ADSL volume 2017 (MB/day)",
+                paper="~120MB",
+                measured=ig_adsl / MB,
+                ok=within(ig_adsl / MB, 70, 180),
+            )
+        )
+    if ig_ftth is not None:
+        expectations.append(
+            Expectation(
+                name="Instagram FTTH volume 2017 (MB/day)",
+                paper="~200MB",
+                measured=ig_ftth / MB,
+                ok=within(ig_ftth / MB, 120, 300),
+            )
+        )
+    ig_pop_2014 = _year_mean(instagram.popularity[Technology.ADSL], 2014)
+    ig_pop_2017 = _year_mean(instagram.popularity[Technology.ADSL], 2017)
+    if ig_pop_2014 is not None and ig_pop_2017 is not None:
+        expectations.append(
+            Expectation(
+                name="Instagram popularity growth (% 2017)",
+                paper="constant growth",
+                measured=ig_pop_2017,
+                ok=ig_pop_2017 > ig_pop_2014 * 1.5,
+            )
+        )
+
+    lines.extend(expectation.line() for expectation in expectations)
+    return lines

@@ -1,0 +1,95 @@
+"""Figure 9: Facebook daily per-user traffic around video auto-play (2014).
+
+Shape targets (Section 5): ~35 MB/day in early March 2014; ~70 MB within
+a month of the auto-play roll-out; an apparent pause during May; ~90 MB by
+July — about 2.5× the March rate.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.study import StudyData
+from repro.figures.common import MB, Expectation, within
+from repro.services import catalog
+
+
+@dataclass(frozen=True)
+class Fig9Data:
+    """Daily (sampled) and monthly-mean Facebook volume per user, 2014."""
+
+    daily: List[Tuple[datetime.date, float]]
+    monthly_mb: Dict[int, float]  # month (1-12 of 2014) → MB/user/day
+
+
+def compute(data: StudyData) -> Fig9Data:
+    daily = []
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for cell in data.stats_for(catalog.FACEBOOK):
+        if cell.day.year != 2014 or cell.visitors == 0:
+            continue
+        value = cell.mean_visitor_bytes
+        daily.append((cell.day, value))
+        sums[cell.day.month] = sums.get(cell.day.month, 0.0) + value
+        counts[cell.day.month] = counts.get(cell.day.month, 0) + 1
+    daily.sort(key=lambda pair: pair[0])
+    monthly = {
+        month: sums[month] / counts[month] / MB for month in sums if counts[month]
+    }
+    return Fig9Data(daily=daily, monthly_mb=monthly)
+
+
+def report(fig: Fig9Data) -> List[str]:
+    lines = ["Figure 9: Facebook per-user traffic and video auto-play"]
+    expectations: List[Expectation] = []
+    march = fig.monthly_mb.get(3)
+    april = fig.monthly_mb.get(4)
+    july = fig.monthly_mb.get(7)
+    if march is not None:
+        expectations.append(
+            Expectation(
+                name="Facebook volume March 2014 (MB/day)",
+                paper="~35MB",
+                measured=march,
+                ok=within(march, 22, 55),
+            )
+        )
+    if april is not None and march is not None:
+        expectations.append(
+            Expectation(
+                name="volume one month after auto-play (MB/day)",
+                paper="~70MB in a month",
+                measured=april,
+                ok=within(april, 45, 95) and april > march * 1.3,
+            )
+        )
+    if july is not None:
+        expectations.append(
+            Expectation(
+                name="Facebook volume July 2014 (MB/day)",
+                paper="~90MB",
+                measured=july,
+                ok=within(july, 65, 125),
+            )
+        )
+    if march is not None and july is not None and march > 0:
+        expectations.append(
+            Expectation(
+                name="total growth factor March -> July 2014",
+                paper="2.5x higher",
+                measured=july / march,
+                ok=within(july / march, 1.8, 3.5),
+            )
+        )
+    lines.extend(expectation.line() for expectation in expectations)
+    lines.append(
+        "monthly MB/user/day: "
+        + " ".join(
+            f"2014-{month:02d}:{value:.0f}"
+            for month, value in sorted(fig.monthly_mb.items())
+        )
+    )
+    return lines

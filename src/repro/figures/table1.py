@@ -1,0 +1,67 @@
+"""Table 1: examples of domain-to-service associations.
+
+Reproduces the table verbatim and verifies the rule engine resolves each
+example (including the regexp row) to the right service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.services import catalog
+from repro.services.rules import RuleSet
+
+#: (domain to classify, expected service) — the table's rows, with a
+#: concrete instance for the regexp row.
+TABLE1_EXAMPLES: Tuple[Tuple[str, str], ...] = (
+    ("facebook.com", catalog.FACEBOOK),
+    ("fbcdn.com", catalog.FACEBOOK),
+    ("fbstatic-a.akamaihd.net", catalog.FACEBOOK),  # ^fbstatic-[a-z].akamaihd.net$
+    ("netflix.com", catalog.NETFLIX),
+    ("nflxvideo.net", catalog.NETFLIX),
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    domain: str
+    expected_service: str
+    classified_service: Optional[str]
+
+    @property
+    def ok(self) -> bool:
+        return self.classified_service == self.expected_service
+
+
+@dataclass(frozen=True)
+class Table1Data:
+    rows: Tuple[Table1Row, ...]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+
+def compute(rules: Optional[RuleSet] = None) -> Table1Data:
+    rules = rules or catalog.default_ruleset()
+    rows = tuple(
+        Table1Row(
+            domain=domain,
+            expected_service=service,
+            classified_service=rules.classify(domain),
+        )
+        for domain, service in TABLE1_EXAMPLES
+    )
+    return Table1Data(rows=rows)
+
+
+def report(table: Table1Data) -> List[str]:
+    lines = ["Table 1: domain-to-service associations"]
+    for row in table.rows:
+        flag = "OK " if row.ok else "DIFF"
+        lines.append(
+            f"[{flag}] {row.domain} -> {row.classified_service} "
+            f"(paper: {row.expected_service})"
+        )
+    return lines

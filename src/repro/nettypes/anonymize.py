@@ -1,0 +1,87 @@
+"""Consistent, prefix-preserving client-address anonymization.
+
+The paper's probes anonymize subscriber IP addresses *immediately* and
+*consistently*: the same customer always maps to the same pseudonym so that
+per-subscription longitudinal statistics remain possible, while the real
+address never leaves the probe (Section 2.1).
+
+:class:`PrefixPreservingAnonymizer` implements the Crypt-PAn construction
+(Xu et al.): every bit of the output is the input bit XOR-ed with a keyed
+pseudorandom function of the preceding input bits, which preserves prefix
+relationships — two addresses sharing a k-bit prefix map to pseudonyms
+sharing a k-bit prefix.  :class:`TableAnonymizer` is the simpler
+pseudonym-counter variant used when prefix structure need not survive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict
+
+from repro.nettypes.ip import IPV4_BITS, IPV4_MAX
+
+
+class PrefixPreservingAnonymizer:
+    """Crypt-PAn style one-to-one, prefix-preserving IPv4 mapping.
+
+    The mapping is deterministic given ``key`` and is cached per input
+    address because the probe sees the same subscribers every day.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("anonymization key must be non-empty")
+        self._key = key
+        self._cache: Dict[int, int] = {}
+
+    def _prf_bit(self, prefix_bits: int, length: int) -> int:
+        """Keyed PRF of the ``length``-bit prefix, reduced to one bit."""
+        message = length.to_bytes(1, "big") + prefix_bits.to_bytes(4, "big")
+        digest = hmac.new(self._key, message, hashlib.sha256).digest()
+        return digest[0] & 1
+
+    def anonymize(self, address: int) -> int:
+        """Map a real address to its stable pseudonym."""
+        if not 0 <= address <= IPV4_MAX:
+            raise ValueError(f"not a 32-bit address: {address!r}")
+        cached = self._cache.get(address)
+        if cached is not None:
+            return cached
+        result = 0
+        for bit_index in range(IPV4_BITS):
+            shift = IPV4_BITS - 1 - bit_index
+            prefix = address >> (shift + 1) if shift < 31 else 0
+            flip = self._prf_bit(prefix, bit_index)
+            original_bit = (address >> shift) & 1
+            result = (result << 1) | (original_bit ^ flip)
+        self._cache[address] = result
+        return result
+
+    def __call__(self, address: int) -> int:
+        return self.anonymize(address)
+
+
+class TableAnonymizer:
+    """Sequential-pseudonym anonymizer (address -> opaque counter).
+
+    Matches what the probes export for subscriber identifiers in the flow
+    logs: a dense integer id, assigned in order of first appearance, with no
+    structural information left.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[int, int] = {}
+
+    def anonymize(self, address: int) -> int:
+        pseudonym = self._table.get(address)
+        if pseudonym is None:
+            pseudonym = len(self._table)
+            self._table[address] = pseudonym
+        return pseudonym
+
+    def __call__(self, address: int) -> int:
+        return self.anonymize(address)
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,131 @@
+"""IPv4 value types used throughout the probe and the world model.
+
+Addresses are carried as plain ``int`` in hot paths (the probe meters
+millions of flows); this module provides the conversions, validation and the
+:class:`Prefix` type used by the routing trie and the anonymizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+IPV4_BITS = 32
+IPV4_MAX = (1 << IPV4_BITS) - 1
+
+
+class AddressError(ValueError):
+    """Raised for malformed dotted-quad strings or out-of-range integers."""
+
+
+def ip_to_int(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into its 32-bit integer value.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"bad octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad string.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= IPV4_MAX:
+        raise AddressError(f"not a 32-bit address: {value!r}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix (CIDR block) with canonical (masked) network address."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= IPV4_BITS:
+            raise AddressError(f"bad prefix length {self.length}")
+        if not 0 <= self.network <= IPV4_MAX:
+            raise AddressError(f"bad network {self.network}")
+        masked = self.network & self.mask()
+        if masked != self.network:
+            raise AddressError(
+                f"{int_to_ip(self.network)}/{self.length} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation.
+
+        >>> Prefix.parse("192.168.0.0/16")
+        Prefix(network=3232235520, length=16)
+        """
+        if "/" not in text:
+            raise AddressError(f"missing /length in {text!r}")
+        addr, _, length_text = text.partition("/")
+        if not length_text.isdigit():
+            raise AddressError(f"bad prefix length in {text!r}")
+        return cls(ip_to_int(addr), int(length_text))
+
+    def mask(self) -> int:
+        """Netmask of this prefix as a 32-bit integer."""
+        if self.length == 0:
+            return 0
+        return (IPV4_MAX << (IPV4_BITS - self.length)) & IPV4_MAX
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        return (address & self.mask()) == self.network
+
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (IPV4_BITS - self.length)
+
+    def first(self) -> int:
+        """Lowest address in the prefix (the network address)."""
+        return self.network
+
+    def last(self) -> int:
+        """Highest address in the prefix (the broadcast address)."""
+        return self.network | (~self.mask() & IPV4_MAX)
+
+    def nth(self, index: int) -> int:
+        """The ``index``-th address inside the prefix (0 = network address)."""
+        if not 0 <= index < self.size():
+            raise IndexError(f"host index {index} outside /{self.length}")
+        return self.network + index
+
+    def hosts(self) -> Iterator[int]:
+        """Iterate every address in the prefix (network address included)."""
+        return iter(range(self.first(), self.last() + 1))
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+
+def is_private(address: int) -> bool:
+    """True for RFC 1918 addresses (used for subscriber-side addressing)."""
+    return any(block.contains(address) for block in _PRIVATE_BLOCKS)
+
+
+_PRIVATE_BLOCKS = (
+    Prefix.parse("10.0.0.0/8"),
+    Prefix.parse("172.16.0.0/12"),
+    Prefix.parse("192.168.0.0/16"),
+)

@@ -1,0 +1,29 @@
+"""The Internet checksum (RFC 1071) shared by the IPv4/TCP/UDP codecs."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, as used by IP, TCP and UDP.
+
+    Odd-length input is padded with a zero byte, per RFC 1071.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def pseudo_header(src: int, dst: int, protocol: int, length: int) -> bytes:
+    """IPv4 pseudo-header used in TCP/UDP checksum computation."""
+    return (
+        src.to_bytes(4, "big")
+        + dst.to_bytes(4, "big")
+        + b"\x00"
+        + protocol.to_bytes(1, "big")
+        + length.to_bytes(2, "big")
+    )

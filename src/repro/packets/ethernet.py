@@ -1,0 +1,64 @@
+"""Ethernet II frame codec.
+
+The probes receive mirrored traffic from router span ports / optical
+splitters as raw Ethernet frames; this is the outermost layer the capture
+path decodes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_IPV6 = 0x86DD
+
+HEADER_LEN = 14
+
+
+class FrameError(ValueError):
+    """Raised for truncated or malformed Ethernet frames."""
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """A decoded Ethernet II frame."""
+
+    dst_mac: bytes
+    src_mac: bytes
+    ethertype: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.dst_mac) != 6 or len(self.src_mac) != 6:
+            raise FrameError("MAC addresses must be 6 bytes")
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise FrameError(f"bad ethertype {self.ethertype:#x}")
+
+    def encode(self) -> bytes:
+        """Serialize to wire format."""
+        return (
+            self.dst_mac
+            + self.src_mac
+            + struct.pack("!H", self.ethertype)
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EthernetFrame":
+        """Parse a frame from wire format."""
+        if len(data) < HEADER_LEN:
+            raise FrameError(f"frame too short: {len(data)} bytes")
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        return cls(
+            dst_mac=data[0:6],
+            src_mac=data[6:12],
+            ethertype=ethertype,
+            payload=data[HEADER_LEN:],
+        )
+
+
+def mac_to_text(mac: bytes) -> str:
+    """Format a MAC address as colon-separated hex."""
+    return ":".join(f"{byte:02x}" for byte in mac)

@@ -1,0 +1,112 @@
+"""IPv4 header codec with checksum verification."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.packets.checksum import internet_checksum
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+MIN_HEADER_LEN = 20
+
+
+class PacketError(ValueError):
+    """Raised for malformed IPv4 packets."""
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """A decoded IPv4 packet (options are preserved but not interpreted)."""
+
+    src: int
+    dst: int
+    protocol: int
+    payload: bytes
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    dont_fragment: bool = True
+    options: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if len(self.options) % 4:
+            raise PacketError("IPv4 options must be 32-bit padded")
+        if len(self.options) > 40:
+            raise PacketError("IPv4 options longer than 40 bytes")
+        if not 0 <= self.protocol <= 0xFF:
+            raise PacketError(f"bad protocol {self.protocol}")
+        if not 0 <= self.ttl <= 0xFF:
+            raise PacketError(f"bad TTL {self.ttl}")
+
+    @property
+    def header_len(self) -> int:
+        return MIN_HEADER_LEN + len(self.options)
+
+    @property
+    def total_len(self) -> int:
+        return self.header_len + len(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialize with a correct header checksum."""
+        ihl = self.header_len // 4
+        version_ihl = (4 << 4) | ihl
+        flags_fragment = 0x4000 if self.dont_fragment else 0
+        header = struct.pack(
+            "!BBHHHBBHII",
+            version_ihl,
+            self.dscp << 2,
+            self.total_len,
+            self.identification,
+            flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src,
+            self.dst,
+        ) + self.options
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:] + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = True) -> "IPv4Packet":
+        """Parse from wire format; raises :class:`PacketError` on corruption."""
+        if len(data) < MIN_HEADER_LEN:
+            raise PacketError(f"packet too short: {len(data)} bytes")
+        version_ihl = data[0]
+        version = version_ihl >> 4
+        if version != 4:
+            raise PacketError(f"not IPv4 (version={version})")
+        ihl = (version_ihl & 0x0F) * 4
+        if ihl < MIN_HEADER_LEN or len(data) < ihl:
+            raise PacketError(f"bad IHL {ihl}")
+        (
+            _,
+            tos,
+            total_len,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            _,
+            src,
+            dst,
+        ) = struct.unpack_from("!BBHHHBBHII", data, 0)
+        if total_len < ihl or total_len > len(data):
+            raise PacketError(f"bad total length {total_len}")
+        if verify_checksum and internet_checksum(data[:ihl]) != 0:
+            raise PacketError("IPv4 header checksum mismatch")
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            payload=data[ihl:total_len],
+            ttl=ttl,
+            identification=identification,
+            dscp=tos >> 2,
+            dont_fragment=bool(flags_fragment & 0x4000),
+            options=data[MIN_HEADER_LEN:ihl],
+        )

@@ -1,0 +1,118 @@
+"""Classic libpcap file format (.pcap) reader and writer.
+
+The probes' capture path is file-format agnostic in this reproduction
+(iterables of :class:`~repro.packets.capture.CapturedPacket`), but real
+deployments exchange pcap traces constantly — for debugging DPI rules,
+replaying incidents, and validating probe upgrades against recorded
+traffic.  This module implements the classic format (magic 0xa1b2c3d4,
+microsecond timestamps, LINKTYPE_ETHERNET), both byte orders on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.packets.capture import CapturedPacket
+
+MAGIC_NATIVE = 0xA1B2C3D4
+MAGIC_SWAPPED = 0xD4C3B2A1
+VERSION_MAJOR = 2
+VERSION_MINOR = 4
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("IHHiIII")
+_RECORD_HEADER = struct.Struct("IIII")
+_DEFAULT_SNAPLEN = 65535
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap files."""
+
+
+def write_pcap(
+    path: Union[str, Path],
+    packets: Iterable[CapturedPacket],
+    snaplen: int = _DEFAULT_SNAPLEN,
+) -> int:
+    """Write packets to a pcap file; returns the number written.
+
+    Frames longer than ``snaplen`` are truncated with the original length
+    recorded, exactly as a capturing NIC would.
+    """
+    count = 0
+    with open(path, "wb") as handle:
+        handle.write(
+            _GLOBAL_HEADER.pack(
+                MAGIC_NATIVE,
+                VERSION_MAJOR,
+                VERSION_MINOR,
+                0,  # thiszone
+                0,  # sigfigs
+                snaplen,
+                LINKTYPE_ETHERNET,
+            )
+        )
+        for packet in packets:
+            seconds = int(packet.timestamp)
+            micros = int(round((packet.timestamp - seconds) * 1_000_000))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            captured = packet.data[:snaplen]
+            handle.write(
+                _RECORD_HEADER.pack(seconds, micros, len(captured), len(packet.data))
+            )
+            handle.write(captured)
+            count += 1
+    return count
+
+
+def read_pcap(path: Union[str, Path]) -> Iterator[CapturedPacket]:
+    """Stream packets from a pcap file (either byte order)."""
+    with open(path, "rb") as handle:
+        yield from _read_stream(handle, str(path))
+
+
+def load_pcap(path: Union[str, Path]) -> List[CapturedPacket]:
+    """Read a whole pcap file into memory."""
+    return list(read_pcap(path))
+
+
+def _read_stream(handle: IO[bytes], name: str) -> Iterator[CapturedPacket]:
+    raw = handle.read(_GLOBAL_HEADER.size)
+    if len(raw) < _GLOBAL_HEADER.size:
+        raise PcapError(f"{name}: truncated global header")
+    (magic,) = struct.unpack_from("I", raw, 0)
+    if magic == MAGIC_NATIVE:
+        endian = ""
+    elif magic == MAGIC_SWAPPED:
+        endian = ">" if struct.pack("I", 1) == struct.pack("<I", 1) else "<"
+    else:
+        # Try the opposite interpretation before giving up.
+        (magic_be,) = struct.unpack_from(">I", raw, 0)
+        if magic_be == MAGIC_NATIVE:
+            endian = ">"
+        else:
+            raise PcapError(f"{name}: bad magic {magic:#x}")
+    header = struct.unpack(endian + "IHHiIII" if endian else "IHHiIII", raw)
+    _, major, _minor, _, _, _snaplen, linktype = header
+    if major != VERSION_MAJOR:
+        raise PcapError(f"{name}: unsupported version {major}")
+    if linktype != LINKTYPE_ETHERNET:
+        raise PcapError(f"{name}: unsupported linktype {linktype}")
+    record = struct.Struct((endian or "") + "IIII")
+    while True:
+        raw = handle.read(record.size)
+        if not raw:
+            return
+        if len(raw) < record.size:
+            raise PcapError(f"{name}: truncated record header")
+        seconds, micros, captured_len, original_len = record.unpack(raw)
+        if captured_len > original_len or captured_len > 0x0FFFFFFF:
+            raise PcapError(f"{name}: implausible record lengths")
+        data = handle.read(captured_len)
+        if len(data) < captured_len:
+            raise PcapError(f"{name}: truncated packet data")
+        yield CapturedPacket(timestamp=seconds + micros / 1_000_000, data=data)

@@ -1,0 +1,132 @@
+"""TCP segment codec.
+
+The probe's flow meter and RTT estimator consume these decoded segments:
+sequence/acknowledgment numbers feed the SEQ/ACK matching that produces the
+per-flow min/avg/max RTT the paper analyses in Section 6.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.packets.checksum import internet_checksum, pseudo_header
+from repro.packets.ipv4 import PROTO_TCP, PacketError
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+MIN_HEADER_LEN = 20
+SEQ_MODULUS = 1 << 32
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """A decoded TCP segment."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    payload: bytes = b""
+    window: int = 65535
+    urgent: int = 0
+    options: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"bad port {port}")
+        if not 0 <= self.seq < SEQ_MODULUS or not 0 <= self.ack < SEQ_MODULUS:
+            raise PacketError("sequence numbers must be 32-bit")
+        if len(self.options) % 4:
+            raise PacketError("TCP options must be 32-bit padded")
+        if len(self.options) > 40:
+            raise PacketError("TCP options longer than 40 bytes")
+
+    @property
+    def header_len(self) -> int:
+        return MIN_HEADER_LEN + len(self.options)
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    def sequence_space(self) -> int:
+        """Bytes of sequence space consumed (payload plus SYN/FIN flags)."""
+        return len(self.payload) + int(self.syn) + int(self.fin)
+
+    def end_seq(self) -> int:
+        """Sequence number just past this segment's data."""
+        return (self.seq + self.sequence_space()) % SEQ_MODULUS
+
+    def encode(self, src_ip: int, dst_ip: int) -> bytes:
+        """Serialize with a correct checksum over the IPv4 pseudo-header."""
+        offset_flags = ((self.header_len // 4) << 12) | self.flags
+        header = struct.pack(
+            "!HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset_flags,
+            self.window,
+            0,
+            self.urgent,
+        ) + self.options
+        segment = header + self.payload
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_TCP, len(segment))
+        checksum = internet_checksum(pseudo + segment)
+        return segment[:16] + struct.pack("!H", checksum) + segment[18:]
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TcpSegment":
+        """Parse from wire format (checksum not verified; probes trust NICs)."""
+        if len(data) < MIN_HEADER_LEN:
+            raise PacketError(f"TCP segment too short: {len(data)} bytes")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_flags,
+            window,
+            _,
+            urgent,
+        ) = struct.unpack_from("!HHIIHHHH", data, 0)
+        header_len = (offset_flags >> 12) * 4
+        if header_len < MIN_HEADER_LEN or header_len > len(data):
+            raise PacketError(f"bad TCP data offset {header_len}")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=offset_flags & 0x01FF,
+            payload=data[header_len:],
+            window=window,
+            urgent=urgent,
+            options=data[MIN_HEADER_LEN:header_len],
+        )
+
+
+def mss_option(mss: int) -> bytes:
+    """Build an MSS option block padded to 32 bits (kind 2 + NOPs)."""
+    return struct.pack("!BBH", 2, 4, mss)

@@ -1,0 +1,47 @@
+"""UDP datagram codec (DNS and QUIC ride on it)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.packets.checksum import internet_checksum, pseudo_header
+from repro.packets.ipv4 import PROTO_UDP, PacketError
+
+HEADER_LEN = 8
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A decoded UDP datagram."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"bad port {port}")
+        if HEADER_LEN + len(self.payload) > 0xFFFF:
+            raise PacketError("UDP payload too large")
+
+    def encode(self, src_ip: int, dst_ip: int) -> bytes:
+        """Serialize with a correct checksum over the IPv4 pseudo-header."""
+        length = HEADER_LEN + len(self.payload)
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, length, 0)
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, length)
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF
+        return header[:6] + struct.pack("!H", checksum) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "UdpDatagram":
+        """Parse from wire format."""
+        if len(data) < HEADER_LEN:
+            raise PacketError(f"UDP datagram too short: {len(data)} bytes")
+        src_port, dst_port, length, _ = struct.unpack_from("!HHHH", data, 0)
+        if length < HEADER_LEN or length > len(data):
+            raise PacketError(f"bad UDP length {length}")
+        return cls(src_port=src_port, dst_port=dst_port, payload=data[HEADER_LEN:length])

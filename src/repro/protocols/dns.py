@@ -1,0 +1,316 @@
+"""DNS wire-format codec (RFC 1035 subset used by the probe).
+
+DN-Hunter (Section 2.1 of the paper) needs the probe to parse *every* DNS
+response on the monitored links, associating resolved A records with the
+client that asked, so later flows to those addresses can be labelled with
+the queried name.  This module implements the message codec: header, the
+question section, and answer records of the types that matter for traffic
+classification (A, CNAME; other types are carried opaquely).
+
+Name compression (RFC 1035 §4.1.4) is fully supported on decode and applied
+to repeated suffixes on encode.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.nettypes.ip import int_to_ip, ip_to_int
+
+TYPE_A = 1
+TYPE_NS = 2
+TYPE_CNAME = 5
+TYPE_AAAA = 28
+
+CLASS_IN = 1
+
+FLAG_QR = 0x8000
+FLAG_AA = 0x0400
+FLAG_TC = 0x0200
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+
+RCODE_NOERROR = 0
+RCODE_NXDOMAIN = 3
+
+MAX_NAME_LEN = 255
+MAX_LABEL_LEN = 63
+_POINTER_MASK = 0xC0
+
+
+class DnsError(ValueError):
+    """Raised for malformed DNS messages."""
+
+
+def _check_name(name: str) -> str:
+    name = name.rstrip(".").lower()
+    if len(name) > MAX_NAME_LEN:
+        raise DnsError(f"name too long: {name!r}")
+    for label in name.split(".") if name else []:
+        if not label or len(label) > MAX_LABEL_LEN:
+            raise DnsError(f"bad label in {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class Question:
+    """One entry of the question section."""
+
+    name: str
+    qtype: int = TYPE_A
+    qclass: int = CLASS_IN
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One resource record; ``rdata`` holds the raw bytes, with typed views."""
+
+    name: str
+    rtype: int
+    ttl: int
+    rdata: bytes
+    rclass: int = CLASS_IN
+
+    @classmethod
+    def a(cls, name: str, address: str, ttl: int = 300) -> "ResourceRecord":
+        """Build an A record from a dotted-quad address."""
+        return cls(name, TYPE_A, ttl, ip_to_int(address).to_bytes(4, "big"))
+
+    @classmethod
+    def a_int(cls, name: str, address: int, ttl: int = 300) -> "ResourceRecord":
+        """Build an A record from an integer address."""
+        return cls(name, TYPE_A, ttl, address.to_bytes(4, "big"))
+
+    @classmethod
+    def cname(cls, name: str, target: str, ttl: int = 300) -> "ResourceRecord":
+        """Build a CNAME record; target is stored uncompressed in rdata."""
+        return cls(name, TYPE_CNAME, ttl, _encode_name_simple(target))
+
+    def address(self) -> int:
+        """Integer address of an A record."""
+        if self.rtype != TYPE_A or len(self.rdata) != 4:
+            raise DnsError(f"not an A record: type={self.rtype}")
+        return int.from_bytes(self.rdata, "big")
+
+    def address_text(self) -> str:
+        """Dotted-quad address of an A record."""
+        return int_to_ip(self.address())
+
+    def cname_target(self) -> str:
+        """Target name of a CNAME record."""
+        if self.rtype != TYPE_CNAME:
+            raise DnsError(f"not a CNAME record: type={self.rtype}")
+        name, _ = _decode_name(self.rdata, 0)
+        return name
+
+
+@dataclass
+class DnsMessage:
+    """A DNS query or response message."""
+
+    txid: int = 0
+    flags: int = FLAG_RD
+    questions: List[Question] = field(default_factory=list)
+    answers: List[ResourceRecord] = field(default_factory=list)
+    authorities: List[ResourceRecord] = field(default_factory=list)
+    additionals: List[ResourceRecord] = field(default_factory=list)
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.flags & FLAG_QR)
+
+    @property
+    def rcode(self) -> int:
+        return self.flags & 0x000F
+
+    @classmethod
+    def query(cls, name: str, qtype: int = TYPE_A, txid: int = 0) -> "DnsMessage":
+        """Build a standard recursive query for ``name``."""
+        return cls(txid=txid, flags=FLAG_RD, questions=[Question(_check_name(name), qtype)])
+
+    @classmethod
+    def response(
+        cls,
+        query: "DnsMessage",
+        answers: List[ResourceRecord],
+        rcode: int = RCODE_NOERROR,
+    ) -> "DnsMessage":
+        """Build the response matching ``query``."""
+        flags = FLAG_QR | FLAG_RD | FLAG_RA | (rcode & 0x0F)
+        return cls(
+            txid=query.txid,
+            flags=flags,
+            questions=list(query.questions),
+            answers=answers,
+        )
+
+    def resolved_addresses(self) -> List[Tuple[str, int]]:
+        """(queried-or-aliased name, address) pairs from the answer section.
+
+        Follows CNAME chains: an address returned via a CNAME is attributed
+        to the original query name, which is what DN-Hunter stores.
+        """
+        if not self.questions:
+            return []
+        origin = self.questions[0].name
+        alias_of: Dict[str, str] = {}
+        for record in self.answers:
+            if record.rtype == TYPE_CNAME:
+                alias_of[record.cname_target()] = record.name
+        results: List[Tuple[str, int]] = []
+        for record in self.answers:
+            if record.rtype != TYPE_A:
+                continue
+            name = record.name
+            seen = {name}
+            while name in alias_of and alias_of[name] not in seen:
+                name = alias_of[name]
+                seen.add(name)
+            results.append((origin if name == origin else name, record.address()))
+        return results
+
+    def encode(self) -> bytes:
+        """Serialize to wire format with suffix compression."""
+        out = bytearray()
+        out += struct.pack(
+            "!HHHHHH",
+            self.txid,
+            self.flags,
+            len(self.questions),
+            len(self.answers),
+            len(self.authorities),
+            len(self.additionals),
+        )
+        offsets: Dict[str, int] = {}
+        for question in self.questions:
+            _encode_name(out, question.name, offsets)
+            out += struct.pack("!HH", question.qtype, question.qclass)
+        for section in (self.answers, self.authorities, self.additionals):
+            for record in section:
+                _encode_name(out, record.name, offsets)
+                out += struct.pack(
+                    "!HHIH", record.rtype, record.rclass, record.ttl, len(record.rdata)
+                )
+                out += record.rdata
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsMessage":
+        """Parse from wire format, resolving compression pointers."""
+        if len(data) < 12:
+            raise DnsError(f"message too short: {len(data)} bytes")
+        txid, flags, qdcount, ancount, nscount, arcount = struct.unpack_from(
+            "!HHHHHH", data, 0
+        )
+        offset = 12
+        questions: List[Question] = []
+        for _ in range(qdcount):
+            name, offset = _decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise DnsError("truncated question")
+            qtype, qclass = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            questions.append(Question(name, qtype, qclass))
+        sections: List[List[ResourceRecord]] = []
+        for count in (ancount, nscount, arcount):
+            records: List[ResourceRecord] = []
+            for _ in range(count):
+                record, offset = _decode_record(data, offset)
+                records.append(record)
+            sections.append(records)
+        return cls(
+            txid=txid,
+            flags=flags,
+            questions=questions,
+            answers=sections[0],
+            authorities=sections[1],
+            additionals=sections[2],
+        )
+
+
+def _encode_name_simple(name: str) -> bytes:
+    """Encode a name without compression (for rdata contents)."""
+    out = bytearray()
+    name = _check_name(name)
+    if name:
+        for label in name.split("."):
+            encoded = label.encode("ascii")
+            out.append(len(encoded))
+            out += encoded
+    out.append(0)
+    return bytes(out)
+
+
+def _encode_name(out: bytearray, name: str, offsets: Dict[str, int]) -> None:
+    """Append ``name`` with suffix compression against ``offsets``."""
+    name = _check_name(name)
+    labels = name.split(".") if name else []
+    for index in range(len(labels)):
+        suffix = ".".join(labels[index:])
+        pointer = offsets.get(suffix)
+        if pointer is not None and pointer < 0x4000:
+            out += struct.pack("!H", 0xC000 | pointer)
+            return
+        if len(out) < 0x4000:
+            offsets[suffix] = len(out)
+        encoded = labels[index].encode("ascii")
+        out.append(len(encoded))
+        out += encoded
+    out.append(0)
+
+
+def _decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a possibly compressed name; returns (name, next offset)."""
+    labels: List[str] = []
+    jumps = 0
+    cursor = offset
+    end: Optional[int] = None
+    while True:
+        if cursor >= len(data):
+            raise DnsError("name runs past end of message")
+        length = data[cursor]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if cursor + 1 >= len(data):
+                raise DnsError("truncated compression pointer")
+            target = ((length & 0x3F) << 8) | data[cursor + 1]
+            if end is None:
+                end = cursor + 2
+            if target >= cursor:
+                raise DnsError("forward compression pointer")
+            cursor = target
+            jumps += 1
+            if jumps > 32:
+                raise DnsError("compression pointer loop")
+            continue
+        if length & _POINTER_MASK:
+            raise DnsError(f"reserved label type {length:#x}")
+        cursor += 1
+        if length == 0:
+            break
+        if cursor + length > len(data):
+            raise DnsError("label runs past end of message")
+        labels.append(data[cursor : cursor + length].decode("ascii", "replace").lower())
+        cursor += length
+        if sum(len(label) + 1 for label in labels) > MAX_NAME_LEN:
+            raise DnsError("decoded name too long")
+    return ".".join(labels), end if end is not None else cursor
+
+
+def _decode_record(data: bytes, offset: int) -> Tuple[ResourceRecord, int]:
+    name, offset = _decode_name(data, offset)
+    if offset + 10 > len(data):
+        raise DnsError("truncated resource record")
+    rtype, rclass, ttl, rdlength = struct.unpack_from("!HHIH", data, offset)
+    offset += 10
+    if offset + rdlength > len(data):
+        raise DnsError("rdata runs past end of message")
+    rdata = data[offset : offset + rdlength]
+    if rtype == TYPE_CNAME:
+        # Re-encode the (possibly compressed) target uncompressed so the
+        # record stays self-contained outside the message.
+        target, _ = _decode_name(data, offset)
+        rdata = _encode_name_simple(target)
+    offset += rdlength
+    return ResourceRecord(name, rtype, ttl, rdata, rclass), offset

@@ -1,0 +1,116 @@
+"""HTTP/1.x request-line and header codec — the probe's Host: source.
+
+For clear-text web traffic the probe exports the domain in the ``Host:``
+header of the first request on the flow (Section 2.1).  The probe only
+needs the request head; bodies are never inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+_METHODS = frozenset(
+    {"GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH", "CONNECT", "TRACE"}
+)
+_CRLF = b"\r\n"
+_HEAD_END = b"\r\n\r\n"
+
+
+class HttpError(ValueError):
+    """Raised for malformed HTTP request heads."""
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A parsed HTTP/1.x request head."""
+
+    method: str
+    target: str
+    version: str = "HTTP/1.1"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def host(self) -> Optional[str]:
+        """The ``Host:`` value, lowercased and without port, or ``None``."""
+        host = self.headers.get("host")
+        if host is None:
+            return None
+        host = host.strip().lower()
+        if ":" in host:
+            host = host.split(":", 1)[0]
+        return host or None
+
+    def encode(self) -> bytes:
+        """Serialize the request head."""
+        lines = [f"{self.method} {self.target} {self.version}"]
+        for name, value in self.headers.items():
+            lines.append(f"{_canonical(name)}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    @classmethod
+    def get(cls, host: str, path: str = "/", **headers: str) -> "HttpRequest":
+        """Build a GET request for ``host``."""
+        merged = {"host": host, "user-agent": "repro/1.0"}
+        merged.update({name.lower(): value for name, value in headers.items()})
+        return cls(method="GET", target=path, headers=merged)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "HttpRequest":
+        """Parse a request head from the start of ``data``.
+
+        Raises :class:`HttpError` if the head is incomplete or malformed —
+        the probe then simply leaves the flow unnamed (DN-Hunter may still
+        name it).
+        """
+        head, _, _ = data.partition(_HEAD_END)
+        if _HEAD_END not in data:
+            raise HttpError("request head incomplete")
+        lines = head.split(_CRLF)
+        request_line = lines[0].decode("latin-1", "replace")
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise HttpError(f"bad request line: {request_line!r}")
+        method, target, version = parts
+        if method not in _METHODS:
+            raise HttpError(f"unknown method {method!r}")
+        if not version.startswith("HTTP/"):
+            raise HttpError(f"bad version {version!r}")
+        headers: Dict[str, str] = {}
+        for raw in lines[1:]:
+            if not raw:
+                continue
+            line = raw.decode("latin-1", "replace")
+            if ":" not in line:
+                raise HttpError(f"bad header line: {line!r}")
+            name, _, value = line.partition(":")
+            if name != name.strip() or not name:
+                raise HttpError(f"bad header name: {name!r}")
+            headers[name.lower()] = value.strip()
+        return cls(method=method, target=target, version=version, headers=headers)
+
+
+def sniff_host(payload: bytes) -> Optional[str]:
+    """Best-effort Host extraction used on the flow's first data segment.
+
+    Returns ``None`` instead of raising: the probe must not fail on binary
+    payloads that merely start on port 80.
+    """
+    try:
+        return HttpRequest.parse(payload).host
+    except HttpError:
+        return None
+
+
+def looks_like_http_request(payload: bytes) -> bool:
+    """Cheap pre-filter: does the payload start with a known method?"""
+    prefix = payload[:8]
+    try:
+        text = prefix.decode("ascii")
+    except UnicodeDecodeError:
+        return False
+    return any(text.startswith(method + " ") for method in _METHODS)
+
+
+def _canonical(name: str) -> str:
+    return "-".join(part.capitalize() for part in name.split("-"))

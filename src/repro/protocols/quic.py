@@ -1,0 +1,183 @@
+"""Google-QUIC (gQUIC) public-header and CHLO codec.
+
+Between 2014 and 2017 Google's QUIC used a custom public header on UDP/443
+and a tag-value handshake (CHLO) carrying the server name in the ``SNI``
+tag.  The paper's probes were updated to parse "fields from QUIC public
+headers" (Section 2.1) to classify QUIC traffic (events B and D of Fig. 8).
+
+Implemented here:
+
+* the public header: flags, 64-bit connection id, ``Q0xx`` version tag,
+  packet number — enough to recognize QUIC and read its version;
+* the CHLO tag-value message with the SNI tag, the gQUIC counterpart of the
+  TLS ClientHello's server name.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+FLAG_VERSION = 0x01
+FLAG_RESET = 0x02
+FLAG_CID_8 = 0x08
+
+TAG_CHLO = b"CHLO"
+TAG_SNI = b"SNI\x00"
+TAG_VER = b"VER\x00"
+
+DEFAULT_VERSION = "Q039"
+
+
+class QuicError(ValueError):
+    """Raised for malformed QUIC packets."""
+
+
+@dataclass(frozen=True)
+class QuicPublicHeader:
+    """The decoded public header of a gQUIC packet."""
+
+    connection_id: int
+    version: Optional[str] = None
+    packet_number: int = 1
+    is_reset: bool = False
+
+    def encode(self) -> bytes:
+        """Serialize the public header."""
+        flags = FLAG_CID_8
+        if self.version is not None:
+            flags |= FLAG_VERSION
+        if self.is_reset:
+            flags |= FLAG_RESET
+        out = bytearray([flags])
+        out += struct.pack("!Q", self.connection_id)
+        if self.version is not None:
+            encoded = self.version.encode("ascii")
+            if len(encoded) != 4:
+                raise QuicError(f"version tag must be 4 bytes: {self.version!r}")
+            out += encoded
+        out.append(self.packet_number & 0xFF)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["QuicPublicHeader", bytes]:
+        """Parse the public header; returns (header, remaining payload)."""
+        if not data:
+            raise QuicError("empty packet")
+        flags = data[0]
+        offset = 1
+        if not flags & FLAG_CID_8:
+            raise QuicError("connection id omitted (unsupported by probe)")
+        if offset + 8 > len(data):
+            raise QuicError("truncated connection id")
+        (connection_id,) = struct.unpack_from("!Q", data, offset)
+        offset += 8
+        version: Optional[str] = None
+        if flags & FLAG_VERSION:
+            if offset + 4 > len(data):
+                raise QuicError("truncated version")
+            version = data[offset : offset + 4].decode("ascii", "replace")
+            if not version.startswith("Q"):
+                raise QuicError(f"unrecognized version tag {version!r}")
+            offset += 4
+        if offset >= len(data):
+            raise QuicError("truncated packet number")
+        packet_number = data[offset]
+        offset += 1
+        header = cls(
+            connection_id=connection_id,
+            version=version,
+            packet_number=packet_number,
+            is_reset=bool(flags & FLAG_RESET),
+        )
+        return header, data[offset:]
+
+
+@dataclass(frozen=True)
+class ChloMessage:
+    """A gQUIC CHLO handshake message (tag-value format)."""
+
+    tags: Dict[bytes, bytes] = field(default_factory=dict)
+
+    @classmethod
+    def for_server(cls, sni: str, version: str = DEFAULT_VERSION) -> "ChloMessage":
+        """Build the minimal CHLO a client sends for ``sni``."""
+        return cls(
+            tags={
+                TAG_SNI: sni.encode("ascii"),
+                TAG_VER: version.encode("ascii"),
+            }
+        )
+
+    @property
+    def sni(self) -> Optional[str]:
+        value = self.tags.get(TAG_SNI)
+        if value is None:
+            return None
+        return value.decode("ascii", "replace").lower()
+
+    def encode(self) -> bytes:
+        """Serialize: 'CHLO', u16 tag count, u16 pad, (tag, end-offset)*, values."""
+        items = sorted(self.tags.items())
+        out = bytearray(TAG_CHLO)
+        out += struct.pack("<HH", len(items), 0)
+        end = 0
+        for tag, value in items:
+            if len(tag) != 4:
+                raise QuicError(f"tag must be 4 bytes: {tag!r}")
+            end += len(value)
+            out += tag + struct.pack("<I", end)
+        for _, value in items:
+            out += value
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ChloMessage":
+        """Parse a CHLO message."""
+        if len(data) < 8 or data[:4] != TAG_CHLO:
+            raise QuicError("not a CHLO message")
+        count, _ = struct.unpack_from("<HH", data, 4)
+        index_end = 8 + count * 8
+        if index_end > len(data):
+            raise QuicError("truncated tag index")
+        tags: Dict[bytes, bytes] = {}
+        start = 0
+        for position in range(count):
+            entry = 8 + position * 8
+            tag = data[entry : entry + 4]
+            (end,) = struct.unpack_from("<I", data, entry + 4)
+            if end < start or index_end + end > len(data):
+                raise QuicError("bad tag offsets")
+            tags[tag] = data[index_end + start : index_end + end]
+            start = end
+        return cls(tags=tags)
+
+
+def build_client_initial(
+    connection_id: int, sni: str, version: str = DEFAULT_VERSION
+) -> bytes:
+    """Build the first client packet of a gQUIC connection (header + CHLO)."""
+    header = QuicPublicHeader(connection_id=connection_id, version=version)
+    return header.encode() + ChloMessage.for_server(sni, version).encode()
+
+
+def sniff_quic(payload: bytes) -> Optional[Tuple[str, Optional[str]]]:
+    """Probe-side QUIC detector for UDP/443 payloads.
+
+    Returns ``(version, sni-or-None)`` when the payload parses as a gQUIC
+    client packet with a version tag, else ``None``.
+    """
+    try:
+        header, rest = QuicPublicHeader.decode(payload)
+    except QuicError:
+        return None
+    if header.version is None or header.is_reset:
+        return None
+    sni: Optional[str] = None
+    if rest[:4] == TAG_CHLO:
+        try:
+            sni = ChloMessage.decode(rest).sni
+        except QuicError:
+            sni = None
+    return header.version, sni

@@ -1,0 +1,204 @@
+"""TLS ClientHello codec — the probe's source of SNI and ALPN.
+
+The paper's probe extracts two fields from TLS handshakes (Section 2.1):
+
+* the Server Name Indication (SNI, RFC 6066) from the ClientHello, the main
+  source of server names for HTTPS traffic, and
+* the Application-Layer Protocol Negotiation list (ALPN, RFC 7301), which
+  identifies HTTP/2 and SPDY flows.
+
+This module builds and parses the TLS record + handshake framing far enough
+to extract both, which is exactly the probe's DPI depth — it never decrypts.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+CONTENT_TYPE_HANDSHAKE = 22
+HANDSHAKE_CLIENT_HELLO = 1
+
+VERSION_TLS10 = 0x0301
+VERSION_TLS12 = 0x0303
+
+EXT_SERVER_NAME = 0
+EXT_ALPN = 16
+EXT_SUPPORTED_VERSIONS = 43
+
+ALPN_HTTP11 = "http/1.1"
+ALPN_HTTP2 = "h2"
+ALPN_SPDY3 = "spdy/3.1"
+
+_DEFAULT_CIPHERS = (0x1301, 0x1302, 0xC02F, 0xC030, 0x009C, 0x002F)
+
+
+class TlsError(ValueError):
+    """Raised for malformed TLS records/handshakes."""
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    """The fields of a ClientHello the probe cares about."""
+
+    sni: Optional[str] = None
+    alpn: List[str] = field(default_factory=list)
+    version: int = VERSION_TLS12
+    random: bytes = b"\x00" * 32
+    session_id: bytes = b""
+    cipher_suites: tuple = _DEFAULT_CIPHERS
+
+    def __post_init__(self) -> None:
+        if len(self.random) != 32:
+            raise TlsError("ClientHello random must be 32 bytes")
+        if len(self.session_id) > 32:
+            raise TlsError("session id longer than 32 bytes")
+
+    def encode_body(self) -> bytes:
+        """Serialize the ClientHello handshake body (without framing)."""
+        out = bytearray()
+        out += struct.pack("!H", self.version)
+        out += self.random
+        out.append(len(self.session_id))
+        out += self.session_id
+        ciphers = b"".join(struct.pack("!H", suite) for suite in self.cipher_suites)
+        out += struct.pack("!H", len(ciphers)) + ciphers
+        out += b"\x01\x00"  # one compression method: null
+        extensions = bytearray()
+        if self.sni is not None:
+            name = self.sni.encode("ascii")
+            entry = b"\x00" + struct.pack("!H", len(name)) + name
+            body = struct.pack("!H", len(entry)) + entry
+            extensions += struct.pack("!HH", EXT_SERVER_NAME, len(body)) + body
+        if self.alpn:
+            protocols = bytearray()
+            for protocol in self.alpn:
+                encoded = protocol.encode("ascii")
+                if not 0 < len(encoded) < 256:
+                    raise TlsError(f"bad ALPN protocol {protocol!r}")
+                protocols.append(len(encoded))
+                protocols += encoded
+            body = struct.pack("!H", len(protocols)) + bytes(protocols)
+            extensions += struct.pack("!HH", EXT_ALPN, len(body)) + body
+        out += struct.pack("!H", len(extensions)) + extensions
+        return bytes(out)
+
+    def encode_record(self) -> bytes:
+        """Serialize as a full TLS record carrying the handshake message."""
+        body = self.encode_body()
+        handshake = (
+            struct.pack("!B", HANDSHAKE_CLIENT_HELLO)
+            + len(body).to_bytes(3, "big")
+            + body
+        )
+        return (
+            struct.pack("!BH", CONTENT_TYPE_HANDSHAKE, VERSION_TLS10)
+            + struct.pack("!H", len(handshake))
+            + handshake
+        )
+
+    @classmethod
+    def decode_record(cls, data: bytes) -> "ClientHello":
+        """Parse a TLS record and extract the ClientHello inside it."""
+        if len(data) < 5:
+            raise TlsError("record too short")
+        content_type, _version, length = struct.unpack_from("!BHH", data, 0)
+        if content_type != CONTENT_TYPE_HANDSHAKE:
+            raise TlsError(f"not a handshake record (type {content_type})")
+        if 5 + length > len(data):
+            raise TlsError("record truncated")
+        return cls.decode_handshake(data[5 : 5 + length])
+
+    @classmethod
+    def decode_handshake(cls, data: bytes) -> "ClientHello":
+        """Parse a handshake message that must be a ClientHello."""
+        if len(data) < 4:
+            raise TlsError("handshake too short")
+        msg_type = data[0]
+        if msg_type != HANDSHAKE_CLIENT_HELLO:
+            raise TlsError(f"not a ClientHello (type {msg_type})")
+        body_len = int.from_bytes(data[1:4], "big")
+        if 4 + body_len > len(data):
+            raise TlsError("handshake truncated")
+        return cls.decode_body(data[4 : 4 + body_len])
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "ClientHello":
+        """Parse the ClientHello body."""
+        reader = _Reader(data)
+        version = reader.u16()
+        random = reader.take(32)
+        session_id = reader.take(reader.u8())
+        cipher_bytes = reader.take(reader.u16())
+        if len(cipher_bytes) % 2:
+            raise TlsError("odd cipher_suites length")
+        ciphers = tuple(
+            struct.unpack_from("!H", cipher_bytes, index)[0]
+            for index in range(0, len(cipher_bytes), 2)
+        )
+        reader.take(reader.u8())  # compression methods
+        sni: Optional[str] = None
+        alpn: List[str] = []
+        if reader.remaining():
+            extensions = _Reader(reader.take(reader.u16()))
+            while extensions.remaining():
+                ext_type = extensions.u16()
+                ext_body = _Reader(extensions.take(extensions.u16()))
+                if ext_type == EXT_SERVER_NAME:
+                    sni = _parse_sni(ext_body)
+                elif ext_type == EXT_ALPN:
+                    alpn = _parse_alpn(ext_body)
+        return cls(
+            sni=sni,
+            alpn=alpn,
+            version=version,
+            random=random,
+            session_id=session_id,
+            cipher_suites=ciphers,
+        )
+
+
+def _parse_sni(reader: "_Reader") -> Optional[str]:
+    server_names = _Reader(reader.take(reader.u16()))
+    while server_names.remaining():
+        name_type = server_names.u8()
+        name = server_names.take(server_names.u16())
+        if name_type == 0:  # host_name
+            return name.decode("ascii", "replace").lower()
+    return None
+
+
+def _parse_alpn(reader: "_Reader") -> List[str]:
+    protocols: List[str] = []
+    protocol_list = _Reader(reader.take(reader.u16()))
+    while protocol_list.remaining():
+        protocols.append(
+            protocol_list.take(protocol_list.u8()).decode("ascii", "replace")
+        )
+    return protocols
+
+
+class _Reader:
+    """Bounds-checked big-endian reader over a bytes buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or self._offset + count > len(self._data):
+            raise TlsError("truncated field")
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        chunk = self.take(2)
+        return (chunk[0] << 8) | chunk[1]

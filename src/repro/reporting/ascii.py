@@ -1,0 +1,150 @@
+"""Terminal rendering of the figures: line charts, heatmaps, stacks.
+
+The paper's figures are gnuplot artifacts; this module produces their
+terminal-friendly equivalents so the examples and benchmarks can *show*
+the reproduced shapes, not just assert on them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_SHADES = " .:-=+*#%@"
+
+
+def line_chart(
+    values: Sequence[Optional[float]],
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """A sparkline-style chart; None values render as gaps."""
+    present = [value for value in values if value is not None]
+    if not present:
+        return f"{title}\n(no data)"
+    low = min(present)
+    high = max(present)
+    span = high - low or 1.0
+    rows: List[List[str]] = [[" "] * len(values) for _ in range(height)]
+    for column, value in enumerate(values):
+        if value is None:
+            continue
+        level = int((value - low) / span * (height - 1))
+        for fill in range(level + 1):
+            rows[height - 1 - fill][column] = "|" if fill == level else "."
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max {high:.3g} {y_label}")
+    for row in rows:
+        lines.append("".join(row))
+    lines.append(f"min {low:.3g} {y_label}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    rows: Dict[str, Sequence[Optional[float]]],
+    max_value: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render a Fig. 5-style heatmap: one labelled row per service."""
+    values = [
+        value
+        for series in rows.values()
+        for value in series
+        if value is not None
+    ]
+    if not values:
+        return f"{title}\n(no data)"
+    top = max_value if max_value is not None else max(values) or 1.0
+    width = max(len(name) for name in rows)
+    lines = [title] if title else []
+    for name, series in rows.items():
+        cells = []
+        for value in series:
+            if value is None:
+                cells.append(" ")
+                continue
+            level = min(len(_SHADES) - 1, int(value / top * (len(_SHADES) - 1)))
+            cells.append(_SHADES[level])
+        lines.append(f"{name:<{width}} |" + "".join(cells) + "|")
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    shares_by_period: Sequence[Tuple[str, Dict[str, float]]],
+    order: Sequence[str],
+    symbols: Optional[Dict[str, str]] = None,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Fig. 8-style 100 % stacked bars, one per period."""
+    if symbols is None:
+        symbols = {name: name[0].upper() for name in order}
+    lines = [title] if title else []
+    for label, shares in shares_by_period:
+        bar = []
+        for name in order:
+            count = int(round(shares.get(name, 0.0) * width))
+            bar.append(symbols.get(name, "?") * count)
+        text = "".join(bar)[:width]
+        lines.append(f"{label} |{text:<{width}}|")
+    if order:
+        legend = "  ".join(f"{symbols.get(name, '?')}={name}" for name in order)
+        lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ip_raster(
+    raster,
+    max_rows: int = 40,
+    title: str = "",
+) -> str:
+    """Render a Fig. 11 top panel: one row per server, one column per day.
+
+    ``.`` absent, ``#`` dedicated, ``o`` shared.  Rows are downsampled
+    evenly past ``max_rows`` (the paper plots tens of thousands of rows).
+    """
+    if raster is None or not raster.addresses:
+        return f"{title}\n(no data)"
+    total_rows = len(raster.addresses)
+    if total_rows > max_rows:
+        step = total_rows / max_rows
+        picked = [int(index * step) for index in range(max_rows)]
+    else:
+        picked = list(range(total_rows))
+    symbols = {0: ".", 1: "#", 2: "o"}
+    lines = [title] if title else []
+    lines.append(
+        f"{total_rows} servers x {len(raster.days)} sampled days "
+        f"(#=dedicated o=shared, rows by first appearance)"
+    )
+    for row in picked:
+        lines.append("".join(symbols[cell] for cell in raster.cells[row]))
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    curves: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Compact textual CDF table: one row per decade-ish grid point."""
+    lines = [title] if title else []
+    names = list(curves)
+    header = "x".ljust(10) + "".join(name[:12].ljust(14) for name in names)
+    lines.append(header)
+    grid_points = max((len(points) for points in curves.values()), default=0)
+    step = max(1, grid_points // 12)
+    reference = names[0] if names else None
+    if reference is None:
+        return "\n".join(lines)
+    for index in range(0, len(curves[reference]), step):
+        x = curves[reference][index][0]
+        row = f"{x:<10.3g}"
+        for name in names:
+            points = curves[name]
+            value = points[index][1] if index < len(points) else float("nan")
+            row += f"{value:<14.3f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""CSV export of figure data.
+
+The paper publishes the data tables behind its figures (footnote 6); this
+module writes the reproduced series in the same spirit, one CSV per
+figure, so downstream users can re-plot with their own tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analytics.timeseries import MonthlySeries
+
+
+def write_rows(
+    path: Union[str, Path],
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write a generic CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def write_monthly_series(
+    path: Union[str, Path],
+    series_by_name: Dict[str, MonthlySeries],
+) -> Path:
+    """One column per named series, one row per month; gaps stay empty."""
+    names = sorted(series_by_name)
+    if not names:
+        raise ValueError("no series to export")
+    months = series_by_name[names[0]].months
+    rows: List[List[object]] = []
+    for index, (year, month) in enumerate(months):
+        row: List[object] = [f"{year:04d}-{month:02d}"]
+        for name in names:
+            series = series_by_name[name]
+            value = series.values[index] if series.months == months else series.value_at(year, month)
+            row.append("" if value is None else f"{value:.6g}")
+        rows.append(row)
+    return write_rows(path, ["month"] + names, rows)
+
+
+def write_distribution(
+    path: Union[str, Path],
+    points_by_name: Dict[str, Sequence[Tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "p",
+) -> Path:
+    """Long-format CSV of (curve, x, y) triples (Figs. 2 and 10)."""
+    rows: List[Sequence[object]] = []
+    for name in sorted(points_by_name):
+        for x, y in points_by_name[name]:
+            rows.append([name, f"{x:.6g}", f"{y:.6g}"])
+    return write_rows(path, ["curve", x_label, y_label], rows)
+
+
+def write_daily_series(
+    path: Union[str, Path],
+    samples: Sequence[Tuple[datetime.date, float]],
+    value_label: str = "value",
+) -> Path:
+    rows = [[day.isoformat(), f"{value:.6g}"] for day, value in samples]
+    return write_rows(path, ["day", value_label], rows)

@@ -1,0 +1,68 @@
+"""Autonomous-system catalog used by the infrastructure analysis.
+
+Figure 11d-f of the paper break server addresses down over the ASNs that
+matter for the studied services: the big players' own networks, the shared
+CDNs they migrated away from, and the ISP itself (hosting the in-PoP
+caches).  Numbers are the real-world ASNs; names match the figure labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One origin AS."""
+
+    number: int
+    name: str
+
+
+FACEBOOK = AutonomousSystem(32934, "FACEBOOK")
+GOOGLE = AutonomousSystem(15169, "GOOGLE")
+YOUTUBE = AutonomousSystem(36040, "YOUTUBE")
+AKAMAI = AutonomousSystem(20940, "AKAMAI")
+TELIANET = AutonomousSystem(1299, "TELIANET")
+GTT = AutonomousSystem(3257, "GTT")
+LEVEL3 = AutonomousSystem(3356, "LEVEL3")
+AMAZON = AutonomousSystem(16509, "AMAZON")
+NETFLIX = AutonomousSystem(2906, "NETFLIX")
+ISP = AutonomousSystem(64496, "ISP")  # the monitored operator (anonymized)
+OTHER = AutonomousSystem(0, "OTHER")
+
+_ALL = (
+    FACEBOOK,
+    GOOGLE,
+    YOUTUBE,
+    AKAMAI,
+    TELIANET,
+    GTT,
+    LEVEL3,
+    AMAZON,
+    NETFLIX,
+    ISP,
+    OTHER,
+)
+
+_BY_NUMBER: Dict[int, AutonomousSystem] = {system.number: system for system in _ALL}
+_BY_NAME: Dict[str, AutonomousSystem] = {system.name: system for system in _ALL}
+
+
+def by_number(number: int) -> AutonomousSystem:
+    """The catalog entry for ``number``, or an anonymous entry."""
+    known = _BY_NUMBER.get(number)
+    if known is not None:
+        return known
+    return AutonomousSystem(number, f"AS{number}")
+
+
+def by_name(name: str) -> Optional[AutonomousSystem]:
+    """Look up a catalog entry by figure label."""
+    return _BY_NAME.get(name.upper())
+
+
+def all_known() -> tuple:
+    """Every catalog entry, in declaration order."""
+    return _ALL

@@ -1,0 +1,101 @@
+"""Binary longest-prefix-match trie for IPv4 → value lookups.
+
+The paper maps every contacted server address to its origin AS using the
+monthly Routing Information Base of a Route Views vantage point (Section 6,
+footnote 11).  A RIB is a set of (prefix → ASN) entries and the lookup is
+longest-prefix match; this module implements the classic bitwise trie that
+routers (and every BGP analysis toolchain) use for it.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.nettypes.ip import IPV4_BITS, Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps IPv4 prefixes to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value for ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (IPV4_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, address: int) -> Optional[V]:
+        """Longest-prefix-match value for ``address``, or ``None``."""
+        node = self._root
+        best: Optional[V] = node.value if node.has_value else None
+        for depth in range(IPV4_BITS):
+            bit = (address >> (IPV4_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = node.value
+        return best
+
+    def lookup_with_prefix(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Like :meth:`lookup` but also returns the matching prefix."""
+        node = self._root
+        best: Optional[Tuple[Prefix, V]] = None
+        if node.has_value:
+            best = (Prefix(0, 0), node.value)  # type: ignore[arg-type]
+        matched = 0
+        for depth in range(IPV4_BITS):
+            bit = (address >> (IPV4_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            matched = depth + 1
+            if node.has_value:
+                network = (
+                    address
+                    >> (IPV4_BITS - matched)
+                    << (IPV4_BITS - matched)
+                )
+                best = (Prefix(network, matched), node.value)  # type: ignore[arg-type]
+        return best
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate (prefix, value) pairs in trie order."""
+        stack: List[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, length = stack.pop()
+            if node.has_value:
+                yield Prefix(network, length), node.value  # type: ignore[misc]
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    child_network = network | (bit << (IPV4_BITS - 1 - length))
+                    stack.append((child, child_network, length + 1))

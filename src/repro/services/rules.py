@@ -1,0 +1,118 @@
+"""Domain → service rule engine.
+
+Section 2.2 and Table 1 of the paper: services are identified from server
+domain names through a curated rule list, with three matching modes —
+exact domain, domain suffix (``fbcdn.com`` also matches
+``scontent.fbcdn.com``), and regular expressions for the tricky cases
+(``^fbstatic-[a-z].akamaihd.net$``).
+
+Matching priority follows specificity: exact beats suffix beats regexp;
+among suffixes the longest wins.  This makes rule order irrelevant and the
+curated list safely extensible, which mattered for a list maintained by
+hand for five years.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Pattern, Tuple
+
+
+class RuleError(ValueError):
+    """Raised for malformed classification rules."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One domain-to-service association rule."""
+
+    pattern: str
+    service: str
+    kind: str  # "exact" | "suffix" | "regexp"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("exact", "suffix", "regexp"):
+            raise RuleError(f"unknown rule kind {self.kind!r}")
+        if not self.pattern or not self.service:
+            raise RuleError("pattern and service must be non-empty")
+
+
+def exact(pattern: str, service: str) -> Rule:
+    """A rule matching one domain exactly."""
+    return Rule(pattern.lower().rstrip("."), service, "exact")
+
+
+def suffix(pattern: str, service: str) -> Rule:
+    """A rule matching a domain and all its subdomains."""
+    return Rule(pattern.lower().rstrip("."), service, "suffix")
+
+
+def regexp(pattern: str, service: str) -> Rule:
+    """A rule matching the full domain against a regular expression."""
+    try:
+        re.compile(pattern)
+    except re.error as exc:
+        raise RuleError(f"bad regexp {pattern!r}: {exc}") from exc
+    return Rule(pattern, service, "regexp")
+
+
+class RuleSet:
+    """Compiled rule list with specificity-ordered lookup and an LRU cache."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._exact: Dict[str, str] = {}
+        self._suffixes: Dict[str, str] = {}
+        self._regexps: List[Tuple[Pattern[str], str]] = []
+        self._cache: Dict[str, Optional[str]] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        """Add one rule; duplicate patterns replace the earlier service."""
+        self._cache.clear()
+        if rule.kind == "exact":
+            self._exact[rule.pattern] = rule.service
+        elif rule.kind == "suffix":
+            self._suffixes[rule.pattern] = rule.service
+        else:
+            self._regexps.append((re.compile(rule.pattern), rule.service))
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._suffixes) + len(self._regexps)
+
+    def classify(self, domain: Optional[str]) -> Optional[str]:
+        """The service for ``domain``, or ``None`` if no rule matches."""
+        if not domain:
+            return None
+        domain = domain.lower().rstrip(".")
+        if domain in self._cache:
+            return self._cache[domain]
+        result = self._classify_uncached(domain)
+        if len(self._cache) > 65536:
+            self._cache.clear()
+        self._cache[domain] = result
+        return result
+
+    def _classify_uncached(self, domain: str) -> Optional[str]:
+        found = self._exact.get(domain)
+        if found is not None:
+            return found
+        # Longest-suffix match: walk the label chain from the full name down.
+        labels = domain.split(".")
+        for start in range(len(labels)):
+            candidate = ".".join(labels[start:])
+            found = self._suffixes.get(candidate)
+            if found is not None:
+                return found
+        for compiled, service in self._regexps:
+            if compiled.search(domain):
+                return service
+        return None
+
+    def services(self) -> List[str]:
+        """Sorted list of every service any rule maps to."""
+        names = set(self._exact.values())
+        names.update(self._suffixes.values())
+        names.update(service for _, service in self._regexps)
+        return sorted(names)

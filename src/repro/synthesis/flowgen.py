@@ -1,0 +1,513 @@
+"""Traffic generation: drawing measurements from the world model.
+
+Three fidelity tiers (DESIGN.md §5), all deterministic per (seed, day):
+
+* :meth:`TrafficGenerator.generate_day` — the **aggregate tier**: per
+  (subscriber, service) daily usage rows plus per-service protocol volume
+  rows.  This is exactly the output schema of the stage-1 aggregation job,
+  and what the 54-month analyses consume.
+* :meth:`TrafficGenerator.generate_hourly` — 10-minute-bin volumes for the
+  hour-of-day analysis (Fig. 4).
+* :meth:`TrafficGenerator.expand_flows` — the **flow tier**: usage rows
+  expanded into probe-grade :class:`FlowRecord`s with server addresses,
+  domains, per-flow protocols (as labelled by that day's probe software)
+  and RTT summaries.  Used by the RTT and infrastructure analyses.
+
+Generation is vectorized per (day, service) over the subscriber axis.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataflow.datalake import LineCodec, tsv_codec
+from repro.services import catalog
+from repro.synthesis import studycalendar
+from repro.synthesis.population import Subscriber, Technology
+from repro.synthesis.studycalendar import BINS_PER_DAY
+from repro.synthesis.world import World
+from repro.tstat.flow import (
+    FlowRecord,
+    NameSource,
+    RttSummary,
+    Transport,
+    WebProtocol,
+)
+from repro.tstat.versions import capabilities_on
+
+_HEAVINESS_NORM = math.exp(-0.5 * 0.6 * 0.6)  # normalize lognormal(0, 0.6) to mean 1
+_HOLIDAY_VOLUME_BOOST = 2.5
+_HOLIDAY_USE_BOOST = 1.25
+_BACKGROUND_FLOWS = 4
+_BACKGROUND_BYTES_DOWN = 8_000
+_BACKGROUND_BYTES_UP = 2_000
+
+
+@dataclass(frozen=True)
+class DailyUsage:
+    """Stage-1 schema: one (day, subscriber, service) aggregate."""
+
+    day: datetime.date
+    subscriber_id: int
+    technology: Technology
+    pop: str
+    service: str
+    bytes_down: int
+    bytes_up: int
+    flows: int
+
+
+@dataclass(frozen=True)
+class ProtocolUsage:
+    """Per-day traffic of one service over one *reported* protocol label."""
+
+    day: datetime.date
+    service: str
+    protocol: WebProtocol
+    total_bytes: int
+
+
+@dataclass(frozen=True)
+class HourlyVolume:
+    """Downloaded bytes of one technology in one 10-minute bin."""
+
+    day: datetime.date
+    technology: Technology
+    bin_index: int
+    bytes_down: int
+
+
+@dataclass(frozen=True)
+class DayTraffic:
+    """Everything the aggregate tier produces for one day."""
+
+    day: datetime.date
+    usage: Tuple[DailyUsage, ...]
+    protocols: Tuple[ProtocolUsage, ...]
+
+
+USAGE_CODEC: LineCodec[DailyUsage] = tsv_codec(
+    from_fields=lambda fields: DailyUsage(
+        day=datetime.date.fromisoformat(fields[0]),
+        subscriber_id=int(fields[1]),
+        technology=Technology(fields[2]),
+        pop=fields[3],
+        service=fields[4],
+        bytes_down=int(fields[5]),
+        bytes_up=int(fields[6]),
+        flows=int(fields[7]),
+    ),
+    to_fields=lambda row: [
+        row.day.isoformat(),
+        str(row.subscriber_id),
+        row.technology.value,
+        row.pop,
+        row.service,
+        str(row.bytes_down),
+        str(row.bytes_up),
+        str(row.flows),
+    ],
+)
+
+PROTOCOL_CODEC: LineCodec[ProtocolUsage] = tsv_codec(
+    from_fields=lambda fields: ProtocolUsage(
+        day=datetime.date.fromisoformat(fields[0]),
+        service=fields[1],
+        protocol=WebProtocol(fields[2]),
+        total_bytes=int(fields[3]),
+    ),
+    to_fields=lambda row: [
+        row.day.isoformat(),
+        row.service,
+        row.protocol.value,
+        str(row.total_bytes),
+    ],
+)
+
+
+class TrafficGenerator:
+    """Draws daily traffic from a :class:`World`."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        subscribers = world.population.subscribers
+        self._count = len(subscribers)
+        self._ids = np.arange(self._count)
+        self._is_ftth = np.array(
+            [sub.technology is Technology.FTTH for sub in subscribers]
+        )
+        self._business = np.array([sub.business for sub in subscribers])
+        self._pops = np.array([sub.pop for sub in subscribers])
+        self._activity = np.array([sub.activity for sub in subscribers])
+        self._heaviness = (
+            np.array([sub.heaviness for sub in subscribers]) * _HEAVINESS_NORM
+        )
+        self._join = np.array([sub.join_date.toordinal() for sub in subscribers])
+        self._leave = np.array(
+            [
+                sub.leave_date.toordinal() if sub.leave_date else 10_000_000
+                for sub in subscribers
+            ]
+        )
+        self._subscribers = subscribers
+
+    # -- aggregate tier ------------------------------------------------------
+
+    def generate_day(self, day: datetime.date) -> DayTraffic:
+        """Usage and protocol rows for one day (empty during full outage)."""
+        rng = self.world.day_rng(day, stream=0)
+        ordinal = day.toordinal()
+        subscribed = (self._join <= ordinal) & (self._leave >= ordinal)
+        probe_up = np.array(
+            [not self.world.outages.is_down(pop, day) for pop in self._pops]
+        )
+        observed = subscribed & probe_up
+        if not observed.any():
+            return DayTraffic(day=day, usage=(), protocols=())
+
+        active = observed & (rng.random(self._count) < self._activity)
+        usage_rows: List[DailyUsage] = []
+        protocol_totals: Dict[Tuple[str, WebProtocol], int] = {}
+        capabilities = capabilities_on(day)
+        weekly = studycalendar.weekly_factor(day)
+        holiday = studycalendar.is_christmas_period(day) or studycalendar.is_new_year(
+            day
+        )
+
+        for service in self.world.services:
+            ranks, volume_affinity = self.world.affinity_columns(service.name)
+            pop_adsl = service.popularity[Technology.ADSL](day)
+            pop_ftth = service.popularity[Technology.FTTH](day)
+            popularity = np.where(self._is_ftth, pop_ftth, pop_adsl)
+            overshoot = (
+                1.0
+                if service.name == catalog.OTHER
+                else self.world.config.adoption_overshoot
+            )
+            adoption = np.minimum(1.0, popularity * overshoot)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                use_probability = np.where(
+                    adoption > 0, popularity / np.maximum(adoption, 1e-12), 0.0
+                )
+            if holiday and service.holiday_messaging_boost:
+                use_probability = np.minimum(1.0, use_probability * _HOLIDAY_USE_BOOST)
+            users = (
+                active
+                & (ranks < adoption)
+                & (rng.random(self._count) < use_probability)
+            )
+            indices = np.nonzero(users)[0]
+            if indices.size == 0:
+                continue
+
+            vol_adsl = service.volume_down[Technology.ADSL](day)
+            vol_ftth = service.volume_down[Technology.FTTH](day)
+            mean_down = np.where(self._is_ftth[indices], vol_ftth, vol_adsl)
+            season = np.array(
+                [
+                    studycalendar.season_factor(
+                        day, 1.0 if self._business[index] else 0.0
+                    )
+                    for index in indices
+                ]
+            )
+            sigma = service.volume_sigma
+            noise = rng.lognormal(-0.5 * sigma * sigma, sigma, indices.size)
+            base = (
+                mean_down
+                * self._heaviness[indices]
+                * volume_affinity[indices]
+                * weekly
+                * season
+            )
+            down = base * noise
+            if holiday and service.holiday_messaging_boost:
+                down = down * _HOLIDAY_VOLUME_BOOST
+            ratio_adsl = service.upload_ratio[Technology.ADSL](day)
+            ratio_ftth = service.upload_ratio[Technology.FTTH](day)
+            ratios = np.where(self._is_ftth[indices], ratio_ftth, ratio_adsl)
+            # Uploads follow the subscriber's base rate with milder daily
+            # noise than downloads: seeding and cloud sync are steadier
+            # than bursty video fetching (and ADSL's uplink clips bursts).
+            up = base * ratios * rng.lognormal(-0.18, 0.6, indices.size)
+            if holiday and service.holiday_messaging_boost:
+                up = up * _HOLIDAY_VOLUME_BOOST
+            flow_mean = max(1.0, service.flows_per_day(day))
+            flows = np.maximum(1, rng.poisson(flow_mean, indices.size))
+
+            down_int = np.maximum(1_000, down).astype(np.int64)
+            up_int = np.maximum(200, up).astype(np.int64)
+            for position, index in enumerate(indices):
+                usage_rows.append(
+                    DailyUsage(
+                        day=day,
+                        subscriber_id=int(index),
+                        technology=Technology.FTTH
+                        if self._is_ftth[index]
+                        else Technology.ADSL,
+                        pop=str(self._pops[index]),
+                        service=service.name,
+                        bytes_down=int(down_int[position]),
+                        bytes_up=int(up_int[position]),
+                        flows=int(flows[position]),
+                    )
+                )
+            service_total = int(down_int.sum() + up_int.sum())
+
+            # Embedded-object noise: active non-users touch the service's
+            # domains with volumes below its visit threshold (Section 4.1).
+            if service.third_party is not None:
+                contact = service.third_party
+                nonusers = np.nonzero(active & ~users)[0]
+                touched = nonusers[rng.random(nonusers.size) < contact.probability]
+                if touched.size:
+                    tp_down = rng.integers(
+                        contact.min_bytes, contact.max_bytes + 1, touched.size
+                    )
+                    tp_up = np.maximum(100, tp_down // 8)
+                    tp_flows = rng.integers(1, 4, touched.size)
+                    for position, index in enumerate(touched):
+                        usage_rows.append(
+                            DailyUsage(
+                                day=day,
+                                subscriber_id=int(index),
+                                technology=Technology.FTTH
+                                if self._is_ftth[index]
+                                else Technology.ADSL,
+                                pop=str(self._pops[index]),
+                                service=service.name,
+                                bytes_down=int(tp_down[position]),
+                                bytes_up=int(tp_up[position]),
+                                flows=int(tp_flows[position]),
+                            )
+                        )
+                    service_total += int(tp_down.sum() + tp_up.sum())
+
+            for protocol, share in service.protocol_mix(day):
+                label = capabilities.reported_label(protocol)
+                key = (service.name, label)
+                protocol_totals[key] = protocol_totals.get(key, 0) + int(
+                    service_total * share
+                )
+
+        # Subscribed-but-inactive lines still emit background chatter that
+        # must fail the Section 3 activity criterion.
+        background = np.nonzero(observed & ~active)[0]
+        for index in background:
+            usage_rows.append(
+                DailyUsage(
+                    day=day,
+                    subscriber_id=int(index),
+                    technology=Technology.FTTH
+                    if self._is_ftth[index]
+                    else Technology.ADSL,
+                    pop=str(self._pops[index]),
+                    service=catalog.OTHER,
+                    bytes_down=int(rng.integers(1_000, _BACKGROUND_BYTES_DOWN)),
+                    bytes_up=int(rng.integers(100, _BACKGROUND_BYTES_UP)),
+                    flows=int(rng.integers(1, _BACKGROUND_FLOWS + 1)),
+                )
+            )
+
+        protocol_rows = tuple(
+            ProtocolUsage(day=day, service=service, protocol=protocol, total_bytes=total)
+            for (service, protocol), total in sorted(
+                protocol_totals.items(), key=lambda item: (item[0][0], item[0][1].value)
+            )
+        )
+        return DayTraffic(day=day, usage=tuple(usage_rows), protocols=protocol_rows)
+
+    # -- hourly tier -----------------------------------------------------------
+
+    def generate_hourly(
+        self, day: datetime.date, traffic: Optional[DayTraffic] = None
+    ) -> List[HourlyVolume]:
+        """Distribute the day's downloads over 10-minute bins (Fig. 4)."""
+        traffic = traffic if traffic is not None else self.generate_day(day)
+        totals = {Technology.ADSL: 0, Technology.FTTH: 0}
+        for row in traffic.usage:
+            totals[row.technology] += row.bytes_down
+        rng = self.world.day_rng(day, stream=1)
+        volumes: List[HourlyVolume] = []
+        for technology, total in totals.items():
+            profile = studycalendar.diurnal_profile(day.year, technology.value)
+            noise = rng.lognormal(-0.02, 0.2, BINS_PER_DAY)
+            weights = np.array(profile) * noise
+            weights /= weights.sum()
+            for bin_index, weight in enumerate(weights):
+                volumes.append(
+                    HourlyVolume(
+                        day=day,
+                        technology=technology,
+                        bin_index=bin_index,
+                        bytes_down=int(total * weight),
+                    )
+                )
+        return volumes
+
+    # -- flow tier ---------------------------------------------------------------
+
+    def expand_flows(
+        self,
+        day: datetime.date,
+        traffic: Optional[DayTraffic] = None,
+        max_flows_per_usage: int = 8,
+    ) -> List[FlowRecord]:
+        """Expand usage rows into probe-grade flow records.
+
+        Per-flow totals sum exactly to the usage row's bytes; the flow
+        *count* is capped (``max_flows_per_usage``) to bound record volume,
+        mirroring the scale substitution of DESIGN.md §5.
+        """
+        traffic = traffic if traffic is not None else self.generate_day(day)
+        rng = self.world.day_rng(day, stream=2)
+        capabilities = capabilities_on(day)
+        midnight = datetime.datetime.combine(day, datetime.time()).timestamp()
+        profiles = {
+            technology: np.array(
+                studycalendar.diurnal_profile(day.year, technology.value)
+            )
+            for technology in Technology
+        }
+        records: List[FlowRecord] = []
+        for row in traffic.usage:
+            service = self.world.service(row.service)
+            infra = self.world.infrastructure_for(row.service)
+            mix = service.protocol_mix(day)
+            count = max(1, min(row.flows, max_flows_per_usage))
+            weights = rng.dirichlet(np.full(count, 0.8))
+            down_split = _integer_split(row.bytes_down, weights)
+            up_split = _integer_split(row.bytes_up, weights)
+            bins = rng.choice(
+                BINS_PER_DAY, size=count, p=profiles[row.technology]
+            )
+            protocols = _sample_protocols(mix, count, rng)
+            for flow_index in range(count):
+                records.append(
+                    self._make_flow(
+                        row=row,
+                        infra=infra,
+                        day=day,
+                        true_protocol=protocols[flow_index],
+                        capabilities=capabilities,
+                        bytes_down=down_split[flow_index],
+                        bytes_up=up_split[flow_index],
+                        ts_start=midnight
+                        + studycalendar.bin_start_seconds(int(bins[flow_index]))
+                        + float(rng.uniform(0, 600)),
+                        rng=rng,
+                    )
+                )
+        return records
+
+    def _make_flow(
+        self,
+        row: DailyUsage,
+        infra: object,
+        day: datetime.date,
+        true_protocol: WebProtocol,
+        capabilities: object,
+        bytes_down: int,
+        bytes_up: int,
+        ts_start: float,
+        rng: np.random.Generator,
+    ) -> FlowRecord:
+        choice = infra.pick_server(day, rng)  # type: ignore[attr-defined]
+        label = capabilities.reported_label(true_protocol)  # type: ignore[attr-defined]
+        transport = (
+            Transport.UDP
+            if true_protocol is WebProtocol.QUIC
+            else Transport.TCP
+        )
+        server_port = _server_port(true_protocol)
+        packets_down = max(1, bytes_down // 1400)
+        packets_up = max(1, bytes_up // 700 + packets_down // 2)
+        duration = float(
+            min(3600.0, 1.0 + rng.lognormal(0.0, 1.0) * (bytes_down / 1e6))
+        )
+        server_name, name_source = _flow_name(true_protocol, choice.domain, rng)
+        rtt = RttSummary()
+        if transport is Transport.TCP and true_protocol is not WebProtocol.P2P:
+            samples = int(min(50, max(1, packets_up // 4)))
+            minimum = choice.rtt_ms
+            average = minimum * float(1.0 + rng.lognormal(-1.5, 0.8))
+            maximum = average * float(1.0 + rng.lognormal(-1.0, 0.8))
+            rtt = RttSummary(
+                samples=samples, min_ms=minimum, avg_ms=average, max_ms=maximum
+            )
+        elif true_protocol is WebProtocol.P2P:
+            # Peers are far and jittery; Tstat still samples TCP P2P flows.
+            minimum = choice.rtt_ms * float(rng.lognormal(0.0, 0.5))
+            rtt = RttSummary(
+                samples=5, min_ms=minimum, avg_ms=minimum * 1.6, max_ms=minimum * 3.0
+            )
+        return FlowRecord(
+            client_id=row.subscriber_id,
+            server_ip=choice.ip,
+            client_port=int(rng.integers(1024, 65535)),
+            server_port=server_port,
+            transport=transport,
+            ts_start=ts_start,
+            ts_end=ts_start + duration,
+            packets_up=int(packets_up),
+            packets_down=int(packets_down),
+            bytes_up=int(bytes_up),
+            bytes_down=int(bytes_down),
+            protocol=label,
+            server_name=server_name,
+            name_source=name_source,
+            rtt=rtt,
+            vantage=row.pop,
+        )
+
+
+def _integer_split(total: int, weights: np.ndarray) -> List[int]:
+    """Split ``total`` into integer parts proportional to ``weights``."""
+    parts = np.floor(total * weights).astype(np.int64)
+    parts[0] += total - int(parts.sum())
+    return [int(part) for part in parts]
+
+
+def _sample_protocols(
+    mix: List[Tuple[WebProtocol, float]], count: int, rng: np.random.Generator
+) -> List[WebProtocol]:
+    if not mix:
+        return [WebProtocol.OTHER] * count
+    protocols = [protocol for protocol, _ in mix]
+    shares = np.array([share for _, share in mix])
+    shares = shares / shares.sum()
+    picks = rng.choice(len(protocols), size=count, p=shares)
+    return [protocols[int(pick)] for pick in picks]
+
+
+def _server_port(protocol: WebProtocol) -> int:
+    if protocol is WebProtocol.HTTP:
+        return 80
+    if protocol is WebProtocol.P2P:
+        return 6881
+    if protocol is WebProtocol.OTHER:
+        return 5228
+    return 443
+
+
+def _flow_name(
+    protocol: WebProtocol, domain: str, rng: np.random.Generator
+) -> Tuple[Optional[str], NameSource]:
+    if protocol is WebProtocol.P2P:
+        return None, NameSource.NONE
+    if protocol is WebProtocol.HTTP:
+        return domain, NameSource.HOST
+    if protocol is WebProtocol.QUIC:
+        return domain, NameSource.QUIC
+    if protocol is WebProtocol.FBZERO:
+        return domain, NameSource.ZERO
+    if protocol is WebProtocol.OTHER:
+        if rng.random() < 0.7:
+            return domain, NameSource.DNS
+        return None, NameSource.NONE
+    return domain, NameSource.SNI

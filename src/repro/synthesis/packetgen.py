@@ -1,0 +1,278 @@
+"""Packet-tier synthesis: wire-format captures for the probe.
+
+Expands flow descriptions into byte-exact Ethernet/IPv4/TCP/UDP packets —
+DNS lookups, TCP handshakes, TLS ClientHellos, HTTP requests, gQUIC
+initials, FB-Zero hellos, data transfer and teardown — so the full probe
+path (decode → meter → DPI → DN-Hunter → RTT) runs on the same formats it
+would see on a span port.  Used by the integration tests and the
+quickstart example; the flow tier (``flowgen.expand_flows``) covers the
+volumes the packet tier cannot (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nettypes.ip import ip_to_int
+from repro.packets.capture import CapturedPacket, build_frame
+from repro.packets.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.packets.tcp import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    TcpSegment,
+)
+from repro.packets.udp import UdpDatagram
+from repro.protocols import fbzero, quic
+from repro.protocols.dns import DnsMessage, ResourceRecord
+from repro.protocols.http import HttpRequest
+from repro.protocols.tls import ALPN_HTTP2, ALPN_SPDY3, ClientHello
+from repro.tstat.flow import WebProtocol
+
+_MSS = 1400
+_RESOLVER_IP = ip_to_int("8.8.8.8")
+_MAX_DATA_PACKETS = 48
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow to synthesize at packet granularity.
+
+    Byte volumes are capped by the packet budget (about 64 kB per
+    direction); the packet tier is for exercising the probe, not for
+    carrying realistic volumes.
+    """
+
+    client_ip: int
+    server_ip: int
+    client_port: int
+    server_port: int
+    protocol: WebProtocol
+    domain: Optional[str] = None
+    rtt_ms: float = 10.0
+    bytes_down: int = 20_000
+    bytes_up: int = 2_000
+    start_ts: float = 0.0
+    with_dns: bool = False  # precede with a DNS lookup of the domain
+    teardown: str = "fin"  # "fin" | "rst" | "none" (idle timeout)
+
+
+class PacketSynthesizer:
+    """Builds captures from flow specs, deterministically per seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(np.random.SeedSequence([seed, 0xACC]))
+
+    def synthesize(self, specs: Iterable[FlowSpec]) -> List[CapturedPacket]:
+        """All packets of all specs, sorted by timestamp."""
+        packets: List[CapturedPacket] = []
+        for index, spec in enumerate(specs):
+            packets.extend(self.flow_packets(spec, txid=index & 0xFFFF))
+        packets.sort(key=lambda packet: packet.timestamp)
+        return packets
+
+    def flow_packets(self, spec: FlowSpec, txid: int = 1) -> List[CapturedPacket]:
+        packets: List[CapturedPacket] = []
+        ts = spec.start_ts
+        if spec.with_dns and spec.domain:
+            packets.extend(self.dns_exchange(spec, ts, txid))
+            ts += spec.rtt_ms / 1000.0 + 0.002
+        if spec.protocol is WebProtocol.QUIC:
+            packets.extend(self._quic_flow(spec, ts))
+        else:
+            packets.extend(self._tcp_flow(spec, ts))
+        return packets
+
+    # -- DNS ---------------------------------------------------------------
+
+    def dns_exchange(
+        self, spec: FlowSpec, ts: float, txid: int
+    ) -> List[CapturedPacket]:
+        assert spec.domain is not None
+        query = DnsMessage.query(spec.domain, txid=txid)
+        response = DnsMessage.response(
+            query, [ResourceRecord.a_int(spec.domain, spec.server_ip, ttl=300)]
+        )
+        src_port = 40000 + (txid % 20000)
+        query_packet = build_frame(
+            ts,
+            IPv4Packet(
+                src=spec.client_ip,
+                dst=_RESOLVER_IP,
+                protocol=PROTO_UDP,
+                payload=UdpDatagram(src_port, 53, query.encode()).encode(
+                    spec.client_ip, _RESOLVER_IP
+                ),
+            ),
+        )
+        response_packet = build_frame(
+            ts + 0.008,
+            IPv4Packet(
+                src=_RESOLVER_IP,
+                dst=spec.client_ip,
+                protocol=PROTO_UDP,
+                payload=UdpDatagram(53, src_port, response.encode()).encode(
+                    _RESOLVER_IP, spec.client_ip
+                ),
+            ),
+        )
+        return [query_packet, response_packet]
+
+    # -- TCP ----------------------------------------------------------------
+
+    def _first_payload(self, spec: FlowSpec) -> bytes:
+        domain = spec.domain or "unnamed.example"
+        if spec.protocol is WebProtocol.HTTP:
+            return HttpRequest.get(domain).encode()
+        if spec.protocol is WebProtocol.TLS:
+            return ClientHello(sni=domain).encode_record()
+        if spec.protocol is WebProtocol.HTTP2:
+            return ClientHello(sni=domain, alpn=[ALPN_HTTP2, "http/1.1"]).encode_record()
+        if spec.protocol is WebProtocol.SPDY:
+            return ClientHello(sni=domain, alpn=[ALPN_SPDY3]).encode_record()
+        if spec.protocol is WebProtocol.FBZERO:
+            return fbzero.ZeroHello(domain).encode_record()
+        # P2P / OTHER: opaque binary payload (no in-band name).
+        return bytes(self._rng.integers(0, 256, 64, dtype=np.uint8))
+
+    def _tcp_flow(self, spec: FlowSpec, ts: float) -> List[CapturedPacket]:
+        rtt = spec.rtt_ms / 1000.0
+        client_isn = int(self._rng.integers(1, 2**31))
+        server_isn = int(self._rng.integers(1, 2**31))
+        packets: List[CapturedPacket] = []
+
+        def client(
+            seq: int, ack: int, flags: int, payload: bytes, when: float
+        ) -> None:
+            segment = TcpSegment(
+                spec.client_port, spec.server_port, seq, ack, flags, payload
+            )
+            packets.append(
+                build_frame(
+                    when,
+                    IPv4Packet(
+                        src=spec.client_ip,
+                        dst=spec.server_ip,
+                        protocol=PROTO_TCP,
+                        payload=segment.encode(spec.client_ip, spec.server_ip),
+                    ),
+                )
+            )
+
+        def server(
+            seq: int, ack: int, flags: int, payload: bytes, when: float
+        ) -> None:
+            segment = TcpSegment(
+                spec.server_port, spec.client_port, seq, ack, flags, payload
+            )
+            packets.append(
+                build_frame(
+                    when,
+                    IPv4Packet(
+                        src=spec.server_ip,
+                        dst=spec.client_ip,
+                        protocol=PROTO_TCP,
+                        payload=segment.encode(spec.server_ip, spec.client_ip),
+                    ),
+                )
+            )
+
+        # Handshake: the SYN/SYN-ACK pair carries the first RTT sample.
+        client(client_isn, 0, FLAG_SYN, b"", ts)
+        server(server_isn, client_isn + 1, FLAG_SYN | FLAG_ACK, b"", ts + rtt)
+        client_seq = client_isn + 1
+        server_seq = server_isn + 1
+        now = ts + rtt + 0.0005
+        client(client_seq, server_seq, FLAG_ACK, b"", now)
+
+        # Request (DPI happens here) and upstream body.
+        request = self._first_payload(spec)
+        up_budget = max(0, spec.bytes_up - len(request))
+        client(client_seq, server_seq, FLAG_ACK | FLAG_PSH, request, now + 0.0002)
+        client_seq += len(request)
+        up_chunks = _chunk(up_budget, _MSS, _MAX_DATA_PACKETS // 4)
+        for chunk in up_chunks:
+            now += 0.0005
+            client(client_seq, server_seq, FLAG_ACK, b"\x00" * chunk, now)
+            client_seq += chunk
+
+        # Server ACKs the request after one RTT, then streams the response.
+        now += rtt
+        server(server_seq, client_seq, FLAG_ACK, b"", now)
+        down_chunks = _chunk(spec.bytes_down, _MSS, _MAX_DATA_PACKETS)
+        for chunk in down_chunks:
+            now += 0.0004
+            server(server_seq, client_seq, FLAG_ACK, b"\x00" * chunk, now)
+            server_seq += chunk
+
+        # Teardown.
+        if spec.teardown == "rst":
+            client(client_seq, server_seq, FLAG_RST | FLAG_ACK, b"", now + 0.001)
+        elif spec.teardown == "fin":
+            client(client_seq, server_seq, FLAG_FIN | FLAG_ACK, b"", now + 0.001)
+            server(
+                server_seq,
+                client_seq + 1,
+                FLAG_FIN | FLAG_ACK,
+                b"",
+                now + 0.001 + rtt,
+            )
+            client(client_seq + 1, server_seq + 1, FLAG_ACK, b"", now + 0.002 + rtt)
+        return packets
+
+    # -- QUIC ---------------------------------------------------------------
+
+    def _quic_flow(self, spec: FlowSpec, ts: float) -> List[CapturedPacket]:
+        domain = spec.domain or "unnamed.example"
+        connection_id = int(self._rng.integers(1, 2**63))
+        packets: List[CapturedPacket] = []
+        initial = quic.build_client_initial(connection_id, domain)
+        packets.append(
+            build_frame(
+                ts,
+                IPv4Packet(
+                    src=spec.client_ip,
+                    dst=spec.server_ip,
+                    protocol=PROTO_UDP,
+                    payload=UdpDatagram(
+                        spec.client_port, spec.server_port, initial
+                    ).encode(spec.client_ip, spec.server_ip),
+                ),
+            )
+        )
+        now = ts + spec.rtt_ms / 1000.0
+        header = quic.QuicPublicHeader(connection_id=connection_id, packet_number=2)
+        for index, chunk in enumerate(_chunk(spec.bytes_down, _MSS, _MAX_DATA_PACKETS)):
+            now += 0.0004
+            payload = header.encode() + b"\x00" * chunk
+            packets.append(
+                build_frame(
+                    now,
+                    IPv4Packet(
+                        src=spec.server_ip,
+                        dst=spec.client_ip,
+                        protocol=PROTO_UDP,
+                        payload=UdpDatagram(
+                            spec.server_port, spec.client_port, payload
+                        ).encode(spec.server_ip, spec.client_ip),
+                    ),
+                )
+            )
+        return packets
+
+
+def _chunk(total: int, size: int, max_chunks: int) -> List[int]:
+    """Split ``total`` bytes into at most ``max_chunks`` chunks of ``size``."""
+    if total <= 0:
+        return []
+    count = min(max_chunks, (total + size - 1) // size)
+    base = total // count
+    chunks = [base] * count
+    chunks[0] += total - base * count
+    return [min(chunk, 60_000) for chunk in chunks]

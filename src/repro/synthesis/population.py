@@ -1,0 +1,181 @@
+"""The subscriber population: two PoPs of ADSL and FTTH installations.
+
+Models the paper's vantage (Section 2.1): two PoPs in one Italian city,
+more than 10 000 ADSL and 5 000 FTTH subscriptions, fixed per-customer IP
+addresses, residential ADSL versus FTTH with a small business share, and
+five years of churn — "a steady reduction on the number of active ADSL
+users and an increase in FTTH installations".
+
+The default population is scaled down by ``WorldScale.scale`` (shapes are
+scale-invariant; see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nettypes.ip import Prefix
+from repro.synthesis.studycalendar import STUDY_END, STUDY_START
+
+
+class Technology(enum.Enum):
+    """Access technology of a subscription."""
+
+    ADSL = "adsl"
+    FTTH = "ftth"
+
+    @property
+    def downlink_mbps(self) -> float:
+        return 12.0 if self is Technology.ADSL else 100.0
+
+    @property
+    def uplink_mbps(self) -> float:
+        return 1.0 if self is Technology.ADSL else 10.0
+
+
+#: Subscriber-side address blocks per PoP (anonymized by probes on export).
+POP_NETWORKS = {
+    "pop1": Prefix.parse("10.1.0.0/16"),
+    "pop2": Prefix.parse("10.2.0.0/16"),
+}
+
+
+@dataclass(frozen=True)
+class Subscriber:
+    """One broadband installation (a household or small business)."""
+
+    subscriber_id: int
+    technology: Technology
+    pop: str
+    client_ip: int
+    join_date: datetime.date
+    leave_date: Optional[datetime.date]
+    activity: float  # probability of being active on a subscribed day
+    heaviness: float  # multiplicative volume propensity (lognormal)
+    business: bool = False
+
+    def subscribed_on(self, day: datetime.date) -> bool:
+        if day < self.join_date:
+            return False
+        if self.leave_date is not None and day > self.leave_date:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Sizing and churn parameters."""
+
+    adsl_count: int = 400
+    ftth_count: int = 200
+    start: datetime.date = STUDY_START
+    end: datetime.date = STUDY_END
+    adsl_churn_fraction: float = 0.18  # leave during the span
+    ftth_late_join_fraction: float = 0.35  # join during the span
+    ftth_business_fraction: float = 0.15
+    mean_activity: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.adsl_count <= 0 or self.ftth_count <= 0:
+            raise ValueError("population sizes must be positive")
+        if self.end <= self.start:
+            raise ValueError("empty study span")
+
+
+class Population:
+    """The generated subscriber set, queryable per day."""
+
+    def __init__(self, config: PopulationConfig, seed: int = 2018) -> None:
+        self.config = config
+        self._subscribers = _generate(config, seed)
+
+    @property
+    def subscribers(self) -> Tuple[Subscriber, ...]:
+        return self._subscribers
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def subscribed_on(
+        self, day: datetime.date, technology: Optional[Technology] = None
+    ) -> Iterator[Subscriber]:
+        for subscriber in self._subscribers:
+            if not subscriber.subscribed_on(day):
+                continue
+            if technology is not None and subscriber.technology is not technology:
+                continue
+            yield subscriber
+
+    def count_on(
+        self, day: datetime.date, technology: Optional[Technology] = None
+    ) -> int:
+        return sum(1 for _ in self.subscribed_on(day, technology))
+
+    def by_id(self, subscriber_id: int) -> Subscriber:
+        return self._subscribers[subscriber_id]
+
+
+def _generate(config: PopulationConfig, seed: int) -> Tuple[Subscriber, ...]:
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xF0F]))
+    span_days = (config.end - config.start).days
+    subscribers: List[Subscriber] = []
+    next_id = 0
+    pop1_net = POP_NETWORKS["pop1"]
+    pop2_net = POP_NETWORKS["pop2"]
+
+    def make(
+        technology: Technology,
+        join_date: datetime.date,
+        leave_date: Optional[datetime.date],
+        business: bool,
+    ) -> Subscriber:
+        nonlocal next_id
+        pop = "pop1" if rng.random() < 0.6 else "pop2"
+        network = pop1_net if pop == "pop1" else pop2_net
+        client_ip = network.nth(1 + next_id)
+        activity = float(
+            np.clip(rng.beta(8.0, 8.0 * (1 - config.mean_activity) / config.mean_activity), 0.05, 0.99)
+        )
+        heaviness = float(rng.lognormal(mean=0.0, sigma=0.6))
+        subscriber = Subscriber(
+            subscriber_id=next_id,
+            technology=technology,
+            pop=pop,
+            client_ip=client_ip,
+            join_date=join_date,
+            leave_date=leave_date,
+            activity=activity,
+            heaviness=heaviness,
+            business=business,
+        )
+        next_id += 1
+        return subscriber
+
+    # ADSL: all present at start; a steady trickle leaves (churn and
+    # upgrades to fiber).
+    churn_earliest = min(90, max(1, span_days // 2))
+    join_earliest = min(30, max(1, span_days // 3))
+    for _ in range(config.adsl_count):
+        leave: Optional[datetime.date] = None
+        if rng.random() < config.adsl_churn_fraction:
+            leave = config.start + datetime.timedelta(
+                days=int(rng.integers(churn_earliest, span_days))
+            )
+        subscribers.append(make(Technology.ADSL, config.start, leave, False))
+
+    # FTTH: most present at start, the rest join through the span.
+    for _ in range(config.ftth_count):
+        join = config.start
+        if rng.random() < config.ftth_late_join_fraction:
+            join = config.start + datetime.timedelta(
+                days=int(rng.integers(join_earliest, span_days))
+            )
+        business = bool(rng.random() < config.ftth_business_fraction)
+        subscribers.append(make(Technology.FTTH, join, None, business))
+
+    return tuple(subscribers)

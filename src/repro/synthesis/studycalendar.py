@@ -1,0 +1,136 @@
+"""The study calendar: span, seasonality and diurnal structure.
+
+The dataset of the paper spans 54 months (Fig. 3's x-axis, July 2013 to
+December 2017).  The calendar module fixes that span and provides the
+seasonal/diurnal structure the figures rely on:
+
+* weekly rhythm (weekend usage above weekdays on access networks);
+* holiday effects — the WhatsApp Christmas/New-Year's-Eve spikes of
+  Fig. 7b, and the summer dips visible in the FTTH curves of Fig. 3;
+* the hour-of-day load profile, including its drift between 2014 and 2017
+  (growing late-night machine-generated traffic, Fig. 4).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterator, List, Tuple
+
+STUDY_START = datetime.date(2013, 7, 1)
+STUDY_END = datetime.date(2017, 12, 31)
+
+BINS_PER_DAY = 144  # 10-minute bins, as in Fig. 4
+_SECONDS_PER_BIN = 86400 // BINS_PER_DAY
+
+
+def study_days(
+    start: datetime.date = STUDY_START,
+    end: datetime.date = STUDY_END,
+    stride: int = 1,
+) -> Iterator[datetime.date]:
+    """Iterate study days, optionally sampling every ``stride``-th day."""
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    day = start
+    index = 0
+    while day <= end:
+        if index % stride == 0:
+            yield day
+        day += datetime.timedelta(days=1)
+        index += 1
+
+
+def study_months(
+    start: datetime.date = STUDY_START, end: datetime.date = STUDY_END
+) -> List[Tuple[int, int]]:
+    """Every (year, month) in the span — 54 for the default span."""
+    months = []
+    year, month = start.year, start.month
+    while (year, month) <= (end.year, end.month):
+        months.append((year, month))
+        month += 1
+        if month == 13:
+            month = 1
+            year += 1
+    return months
+
+
+def is_weekend(day: datetime.date) -> bool:
+    return day.weekday() >= 5
+
+
+def is_christmas_period(day: datetime.date) -> bool:
+    """December 24-26: the WhatsApp wishes spike."""
+    return day.month == 12 and day.day in (24, 25, 26)
+
+
+def is_new_year(day: datetime.date) -> bool:
+    """December 31 / January 1."""
+    return (day.month == 12 and day.day == 31) or (
+        day.month == 1 and day.day == 1
+    )
+
+def is_summer_break(day: datetime.date) -> bool:
+    """The Italian August holiday period (Fig. 3's FTTH dips)."""
+    return day.month == 8
+
+
+def weekly_factor(day: datetime.date) -> float:
+    """Multiplier on daily volume for the weekly rhythm."""
+    return 1.12 if is_weekend(day) else 0.95
+
+
+def season_factor(day: datetime.date, business_share: float = 0.0) -> float:
+    """Seasonal multiplier; business-heavy populations dip harder in August.
+
+    ``business_share`` is the fraction of business customers behind the
+    access technology (non-zero for FTTH in the paper's deployment).
+    """
+    if is_summer_break(day):
+        return 1.0 - 0.10 - 0.25 * business_share
+    return 1.0
+
+
+def diurnal_profile(year: int, technology: str = "adsl") -> List[float]:
+    """Relative load per 10-minute bin, normalized to sum to 1.
+
+    The profile is the classic residential double hump (noon and prime
+    time) over a night trough.  Two longitudinal effects are encoded:
+
+    * the night trough fills in over the years — automatic app updates and
+      IoT devices fetch at night, so 2017's night share is about twice
+      2014's (Fig. 4's late-night peak in the ratio);
+    * FTTH grows an extra prime-time share over the years, driven by video
+      streaming (Fig. 4's FTTH prime-time bump).
+    """
+    years_since_2014 = max(0.0, min(4.0, float(year - 2014)))
+    night_level = 0.25 + 0.11 * years_since_2014
+    prime_boost = (
+        0.30 * years_since_2014 / 3.0 if technology == "ftth" else 0.0
+    )
+    weights = []
+    for bin_index in range(BINS_PER_DAY):
+        hour = bin_index * 24.0 / BINS_PER_DAY
+        weights.append(_hourly_shape(hour, night_level, prime_boost))
+    total = sum(weights)
+    return [weight / total for weight in weights]
+
+
+def _hourly_shape(hour: float, night_level: float, prime_boost: float) -> float:
+    """Un-normalized load at ``hour`` (0-24)."""
+    import math
+
+    # Night trough centred on 4:30, noon bump, prime-time peak at 21:30.
+    base = night_level
+    base += 0.55 * math.exp(-(((hour - 13.0) / 3.5) ** 2))
+    prime_hour = hour if hour >= 12 else hour + 24.0
+    base += (1.0 + prime_boost) * math.exp(-(((prime_hour - 21.5) / 2.2) ** 2))
+    base += 0.20 * math.exp(-(((hour - 9.5) / 2.0) ** 2))
+    return base
+
+
+def bin_start_seconds(bin_index: int) -> int:
+    """Seconds after midnight at which a 10-minute bin starts."""
+    if not 0 <= bin_index < BINS_PER_DAY:
+        raise ValueError(f"bad bin index {bin_index}")
+    return bin_index * _SECONDS_PER_BIN

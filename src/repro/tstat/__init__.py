@@ -1,0 +1,8 @@
+"""The Tstat-equivalent passive probe and its export formats.
+
+Submodules: ``probe`` (deployment wrapper), ``meter`` (flow table + DPI),
+``rtt`` (SEQ/ACK estimation), ``dnhunter`` (DNS-based naming), ``flow``
+(record schema), ``logs`` (native gzip TSV logs), ``ipfix`` / ``netflow``
+(collector formats), ``versions`` (probe capability history), ``outages``
+(failure calendar).
+"""

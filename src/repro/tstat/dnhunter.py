@@ -1,0 +1,85 @@
+"""DN-Hunter: naming flows from the DNS traffic that preceded them.
+
+Implements the mechanism of Bermudez et al. (IMC'12) as used by the paper's
+probes: every DNS response observed on the link populates a per-client
+cache mapping resolved server address → queried name; when a later flow
+from that client to that address carries no in-band name (no SNI, no Host),
+the probe exports the cached name instead (Section 2.1, footnote 2: the
+vantage points see all DNS traffic, to any resolver).
+
+The cache is bounded per client (LRU) and entries respect the record TTL
+with a grace period, because OS resolvers keep using expired entries for a
+short while.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.protocols.dns import DnsMessage
+
+_DEFAULT_CAPACITY = 4096
+_TTL_GRACE_SECONDS = 60.0
+
+
+@dataclass
+class _Entry:
+    name: str
+    expires_at: float
+
+
+class DnHunter:
+    """Per-client DNS-derived (server address → name) cache."""
+
+    def __init__(self, capacity_per_client: int = _DEFAULT_CAPACITY) -> None:
+        if capacity_per_client <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity_per_client
+        self._caches: Dict[int, "OrderedDict[int, _Entry]"] = {}
+        self.responses_seen = 0
+        self.hits = 0
+        self.misses = 0
+
+    def on_dns_response(
+        self, client_ip: int, message: DnsMessage, timestamp: float
+    ) -> None:
+        """Record every A answer of a response addressed to ``client_ip``."""
+        if not message.is_response:
+            return
+        self.responses_seen += 1
+        cache = self._caches.get(client_ip)
+        if cache is None:
+            cache = OrderedDict()
+            self._caches[client_ip] = cache
+        min_ttl = min(
+            (record.ttl for record in message.answers), default=0
+        )
+        expires_at = timestamp + float(min_ttl) + _TTL_GRACE_SECONDS
+        for name, address in message.resolved_addresses():
+            cache.pop(address, None)
+            cache[address] = _Entry(name=name, expires_at=expires_at)
+            if len(cache) > self._capacity:
+                cache.popitem(last=False)
+
+    def lookup(
+        self, client_ip: int, server_ip: int, timestamp: float
+    ) -> Optional[str]:
+        """Name the client resolved for ``server_ip``, if fresh enough."""
+        cache = self._caches.get(client_ip)
+        if cache is None:
+            self.misses += 1
+            return None
+        entry = cache.get(server_ip)
+        if entry is None or timestamp > entry.expires_at:
+            if entry is not None:
+                del cache[server_ip]
+            self.misses += 1
+            return None
+        cache.move_to_end(server_ip)
+        self.hits += 1
+        return entry.name
+
+    def clients_tracked(self) -> int:
+        return len(self._caches)

@@ -1,0 +1,168 @@
+"""Flow-log serialization: the probe's on-disk export format.
+
+Probes write one gzip-compressed, tab-separated log per day; the logs are
+then shipped to the long-term data lake (Section 2.2).  The column layout
+is versioned in a header line so five years of logs remain readable as the
+schema evolves — another of the paper's operational lessons.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.nettypes.ip import int_to_ip, ip_to_int
+from repro.tstat.flow import (
+    FlowRecord,
+    NameSource,
+    RttSummary,
+    Transport,
+    WebProtocol,
+)
+
+SCHEMA_VERSION = 2
+_HEADER_PREFIX = "#tstat-log"
+
+COLUMNS = (
+    "client_id",
+    "server_ip",
+    "client_port",
+    "server_port",
+    "transport",
+    "ts_start",
+    "ts_end",
+    "packets_up",
+    "packets_down",
+    "bytes_up",
+    "bytes_down",
+    "protocol",
+    "server_name",
+    "name_source",
+    "rtt_samples",
+    "rtt_min_ms",
+    "rtt_avg_ms",
+    "rtt_max_ms",
+    "vantage",
+)
+
+
+class LogFormatError(ValueError):
+    """Raised when a flow log is malformed or has an unknown schema."""
+
+
+def format_record(record: FlowRecord) -> str:
+    """One log line for ``record`` (no trailing newline)."""
+    fields = (
+        str(record.client_id),
+        int_to_ip(record.server_ip),
+        str(record.client_port),
+        str(record.server_port),
+        record.transport.value,
+        f"{record.ts_start:.6f}",
+        f"{record.ts_end:.6f}",
+        str(record.packets_up),
+        str(record.packets_down),
+        str(record.bytes_up),
+        str(record.bytes_down),
+        record.protocol.value,
+        record.server_name or "-",
+        record.name_source.value,
+        str(record.rtt.samples),
+        f"{record.rtt.min_ms:.3f}",
+        f"{record.rtt.avg_ms:.3f}",
+        f"{record.rtt.max_ms:.3f}",
+        record.vantage,
+    )
+    return "\t".join(fields)
+
+
+def parse_record(line: str) -> FlowRecord:
+    """Parse one log line back into a :class:`FlowRecord`."""
+    fields = line.rstrip("\n").split("\t")
+    if len(fields) != len(COLUMNS):
+        raise LogFormatError(
+            f"expected {len(COLUMNS)} fields, got {len(fields)}: {line!r}"
+        )
+    rtt = RttSummary(
+        samples=int(fields[14]),
+        min_ms=float(fields[15]),
+        avg_ms=float(fields[16]),
+        max_ms=float(fields[17]),
+    )
+    return FlowRecord(
+        client_id=int(fields[0]),
+        server_ip=ip_to_int(fields[1]),
+        client_port=int(fields[2]),
+        server_port=int(fields[3]),
+        transport=Transport(fields[4]),
+        ts_start=float(fields[5]),
+        ts_end=float(fields[6]),
+        packets_up=int(fields[7]),
+        packets_down=int(fields[8]),
+        bytes_up=int(fields[9]),
+        bytes_down=int(fields[10]),
+        protocol=WebProtocol(fields[11]),
+        server_name=None if fields[12] == "-" else fields[12],
+        name_source=NameSource(fields[13]),
+        rtt=rtt,
+        vantage=fields[18],
+    )
+
+
+class FlowLogWriter:
+    """Writes a flow log (gzip if the path ends in .gz) with its header."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._handle: IO[str] = _open_text(self._path, "wt")
+        self._handle.write(f"{_HEADER_PREFIX} v{SCHEMA_VERSION}\n")
+        self._handle.write("#" + "\t".join(COLUMNS) + "\n")
+        self.records_written = 0
+
+    def write(self, record: FlowRecord) -> None:
+        self._handle.write(format_record(record) + "\n")
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[FlowRecord]) -> None:
+        for record in records:
+            self.write(record)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "FlowLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_flow_log(path: Union[str, Path]) -> Iterator[FlowRecord]:
+    """Stream records from a flow log, verifying the schema header."""
+    path = Path(path)
+    with _open_text(path, "rt") as handle:
+        header = handle.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise LogFormatError(f"{path}: missing log header")
+        version_text = header.strip().rpartition("v")[2]
+        if not version_text.isdigit() or int(version_text) > SCHEMA_VERSION:
+            raise LogFormatError(f"{path}: unsupported schema {header.strip()!r}")
+        for line in handle:
+            if line.startswith("#") or not line.strip():
+                continue
+            yield parse_record(line)
+
+
+def load_flow_log(path: Union[str, Path]) -> List[FlowRecord]:
+    """Read a whole flow log into memory."""
+    return list(read_flow_log(path))
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(
+            gzip.open(path, mode.replace("t", "") + "b"), encoding="utf-8"
+        )
+    return open(path, mode, encoding="utf-8")

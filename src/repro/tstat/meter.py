@@ -1,0 +1,357 @@
+"""The probe's flow meter: packets in, flow records out.
+
+This is the Tstat-equivalent core.  It keeps a table of live flows keyed by
+the oriented five-tuple, determines direction from the configured customer
+networks (the probe sits at the first aggregation level, so one side of
+every flow is a subscriber), meters packets/bytes per direction, runs the
+DPI stack on the first payload of each flow, estimates the probe→server
+RTT by SEQ/ACK matching, and expires streams "either by the observation of
+particular packets (e.g., TCP packets with RST flag set) or by timeouts"
+(Section 2.1, footnote 1).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.nettypes.ip import Prefix
+from repro.packets.capture import DecodedPacket
+from repro.packets.tcp import TcpSegment
+from repro.packets.udp import UdpDatagram
+from repro.protocols import fbzero, http, quic
+from repro.protocols.dns import DnsError, DnsMessage
+from repro.protocols.tls import (
+    ALPN_HTTP2,
+    ALPN_SPDY3,
+    ClientHello,
+    TlsError,
+)
+from repro.tstat.dnhunter import DnHunter
+from repro.tstat.flow import (
+    FlowKey,
+    FlowRecord,
+    NameSource,
+    Transport,
+    WebProtocol,
+)
+from repro.tstat.rtt import RttEstimator
+from repro.tstat.versions import ProbeCapabilities, capabilities_on
+
+DEFAULT_IDLE_TIMEOUT = 300.0
+DEFAULT_SWEEP_INTERVAL = 1024  # packets between idle sweeps
+
+_WEB_PORTS = frozenset({80, 443, 8080})
+_P2P_TCP_PORTS = frozenset(range(6881, 6890)) | {4662, 51413}
+_P2P_UDP_PORTS = frozenset({6881, 4672, 51413})
+_DNS_PORT = 53
+
+
+@dataclass
+class _FlowState:
+    """Mutable per-flow state held while the flow is live."""
+
+    key: FlowKey
+    ts_start: float
+    ts_end: float
+    packets_up: int = 0
+    packets_down: int = 0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    true_protocol: WebProtocol = WebProtocol.OTHER
+    server_name: Optional[str] = None
+    name_source: NameSource = NameSource.NONE
+    rtt: RttEstimator = field(default_factory=RttEstimator)
+    dpi_done: bool = False
+    fin_up: bool = False
+    fin_down: bool = False
+    saw_rst: bool = False
+
+
+@dataclass
+class MeterStats:
+    """Operational counters exported alongside the flow logs."""
+
+    packets: int = 0
+    skipped_direction: int = 0
+    flows_created: int = 0
+    flows_expired_rst: int = 0
+    flows_expired_fin: int = 0
+    flows_expired_idle: int = 0
+    flows_expired_flush: int = 0
+    dns_messages: int = 0
+    late_packets: int = 0  # trailing segments absorbed in TIME_WAIT
+    tcp_retransmissions: int = 0  # client-side retransmitted segments
+
+
+class FlowMeter:
+    """Meters decoded packets into flow records.
+
+    ``client_networks`` lists the subscriber-side prefixes of the PoP; a
+    packet whose source lies in them travels *up* (client → server), one
+    whose destination does travels *down*.  Packets matching neither or
+    both (transit, spoofed) are skipped and counted.
+    """
+
+    def __init__(
+        self,
+        client_networks: List[Prefix],
+        capabilities: Optional[ProbeCapabilities] = None,
+        dn_hunter: Optional[DnHunter] = None,
+        anonymize: Optional[Callable[[int], int]] = None,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        vantage: str = "pop1",
+    ) -> None:
+        if not client_networks:
+            raise ValueError("at least one client network is required")
+        self._client_networks = list(client_networks)
+        self._capabilities = capabilities or capabilities_on(
+            datetime.date(2017, 12, 31)
+        )
+        self._dn_hunter = dn_hunter if dn_hunter is not None else DnHunter()
+        # `is None`, not truthiness: an empty TableAnonymizer has len() 0.
+        self._anonymize = anonymize if anonymize is not None else (lambda address: address)
+        self._idle_timeout = idle_timeout
+        self._vantage = vantage
+        self._flows: Dict[FlowKey, _FlowState] = {}
+        self._time_wait: Dict[FlowKey, float] = {}
+        self.stats = MeterStats()
+        self._packets_since_sweep = 0
+        self._clock = 0.0
+
+    @property
+    def live_flows(self) -> int:
+        return len(self._flows)
+
+    def _is_client(self, address: int) -> bool:
+        return any(network.contains(address) for network in self._client_networks)
+
+    def process(self, packet: DecodedPacket) -> List[FlowRecord]:
+        """Meter one packet; returns flows this packet expired (if any)."""
+        self.stats.packets += 1
+        self._clock = max(self._clock, packet.timestamp)
+        src_is_client = self._is_client(packet.ip.src)
+        dst_is_client = self._is_client(packet.ip.dst)
+        if src_is_client == dst_is_client:
+            self.stats.skipped_direction += 1
+            return []
+        upstream = src_is_client
+        if upstream:
+            client_ip, server_ip = packet.ip.src, packet.ip.dst
+        else:
+            client_ip, server_ip = packet.ip.dst, packet.ip.src
+        transport = Transport.TCP if packet.is_tcp else Transport.UDP
+        if upstream:
+            client_port = packet.transport.src_port
+            server_port = packet.transport.dst_port
+        else:
+            client_port = packet.transport.dst_port
+            server_port = packet.transport.src_port
+        key = FlowKey(client_ip, server_ip, client_port, server_port, transport)
+
+        state = self._flows.get(key)
+        if state is None:
+            # Absorb trailing segments of a just-closed connection
+            # (TIME_WAIT): the last ACK of a FIN/FIN exchange must not
+            # open a new one-packet flow.
+            wait_until = self._time_wait.get(key)
+            if wait_until is not None:
+                if packet.timestamp <= wait_until:
+                    self.stats.late_packets += 1
+                    return []
+                del self._time_wait[key]
+            state = _FlowState(key=key, ts_start=packet.timestamp, ts_end=packet.timestamp)
+            state.true_protocol = self._initial_protocol(key)
+            self._flows[key] = state
+            self.stats.flows_created += 1
+        state.ts_end = max(state.ts_end, packet.timestamp)
+
+        size = packet.ip.total_len
+        if upstream:
+            state.packets_up += 1
+            state.bytes_up += size
+        else:
+            state.packets_down += 1
+            state.bytes_down += size
+
+        expired: List[FlowRecord] = []
+        if packet.is_tcp:
+            assert isinstance(packet.transport, TcpSegment)
+            self._handle_tcp(state, packet.transport, packet.timestamp, upstream)
+            if state.saw_rst:
+                expired.append(self._export(state))
+                del self._flows[key]
+                self._enter_time_wait(key, packet.timestamp)
+                self.stats.flows_expired_rst += 1
+            elif state.fin_up and state.fin_down:
+                expired.append(self._export(state))
+                del self._flows[key]
+                self._enter_time_wait(key, packet.timestamp)
+                self.stats.flows_expired_fin += 1
+        else:
+            assert isinstance(packet.transport, UdpDatagram)
+            self._handle_udp(state, packet.transport, packet.timestamp, upstream, client_ip)
+
+        self._packets_since_sweep += 1
+        if self._packets_since_sweep >= DEFAULT_SWEEP_INTERVAL:
+            expired.extend(self.expire_idle(self._clock))
+        return expired
+
+    def _handle_tcp(
+        self, state: _FlowState, segment: TcpSegment, timestamp: float, upstream: bool
+    ) -> None:
+        if upstream:
+            state.rtt.on_client_segment(segment, timestamp)
+        else:
+            state.rtt.on_server_ack(segment, timestamp)
+        if segment.rst:
+            state.saw_rst = True
+        if segment.fin:
+            if upstream:
+                state.fin_up = True
+            else:
+                state.fin_down = True
+        if upstream and segment.payload and not state.dpi_done:
+            self._dpi_tcp(state, segment.payload)
+
+    def _handle_udp(
+        self,
+        state: _FlowState,
+        datagram: UdpDatagram,
+        timestamp: float,
+        upstream: bool,
+        client_ip: int,
+    ) -> None:
+        if state.key.server_port == _DNS_PORT:
+            state.true_protocol = WebProtocol.DNS
+            if not upstream and datagram.payload:
+                self._feed_dns(client_ip, datagram.payload, timestamp)
+            return
+        if upstream and datagram.payload and not state.dpi_done:
+            self._dpi_udp(state, datagram.payload)
+
+    def _feed_dns(self, client_ip: int, payload: bytes, timestamp: float) -> None:
+        try:
+            message = DnsMessage.decode(payload)
+        except DnsError:
+            return
+        self.stats.dns_messages += 1
+        self._dn_hunter.on_dns_response(client_ip, message, timestamp)
+
+    def _initial_protocol(self, key: FlowKey) -> WebProtocol:
+        if key.transport is Transport.TCP and key.server_port in _P2P_TCP_PORTS:
+            return WebProtocol.P2P
+        if key.transport is Transport.UDP and key.server_port in _P2P_UDP_PORTS:
+            return WebProtocol.P2P
+        if key.server_port == _DNS_PORT:
+            return WebProtocol.DNS
+        return WebProtocol.OTHER
+
+    def _dpi_tcp(self, state: _FlowState, payload: bytes) -> None:
+        """Classify from the first upstream payload of a TCP flow."""
+        state.dpi_done = True
+        if state.key.server_port == 80 or http.looks_like_http_request(payload):
+            host = http.sniff_host(payload)
+            if host or state.key.server_port == 80:
+                state.true_protocol = WebProtocol.HTTP
+                if host:
+                    state.server_name = host
+                    state.name_source = NameSource.HOST
+                return
+        zero_name = fbzero.sniff_zero(payload)
+        if zero_name is not None:
+            state.true_protocol = WebProtocol.FBZERO
+            state.server_name = zero_name
+            state.name_source = NameSource.ZERO
+            return
+        try:
+            hello = ClientHello.decode_record(payload)
+        except TlsError:
+            hello = None
+        if hello is not None:
+            if ALPN_SPDY3 in hello.alpn:
+                state.true_protocol = WebProtocol.SPDY
+            elif ALPN_HTTP2 in hello.alpn:
+                state.true_protocol = WebProtocol.HTTP2
+            else:
+                state.true_protocol = WebProtocol.TLS
+            if hello.sni:
+                state.server_name = hello.sni
+                state.name_source = NameSource.SNI
+            return
+        if state.key.server_port == 443:
+            state.true_protocol = WebProtocol.TLS
+
+    def _dpi_udp(self, state: _FlowState, payload: bytes) -> None:
+        """Classify from the first upstream payload of a UDP flow."""
+        state.dpi_done = True
+        if state.key.server_port == 443:
+            sniffed = quic.sniff_quic(payload)
+            if sniffed is not None:
+                _version, sni = sniffed
+                state.true_protocol = WebProtocol.QUIC
+                if sni:
+                    state.server_name = sni
+                    state.name_source = NameSource.QUIC
+                return
+
+    def _export(self, state: _FlowState) -> FlowRecord:
+        """Finalize a flow: DN-Hunter fallback, label mapping, anonymize."""
+        self.stats.tcp_retransmissions += state.rtt.retransmissions
+        name = state.server_name
+        source = state.name_source
+        if name is None:
+            hunted = self._dn_hunter.lookup(
+                state.key.client_ip, state.key.server_ip, state.ts_start
+            )
+            if hunted is not None:
+                name = hunted
+                source = NameSource.DNS
+        return FlowRecord(
+            client_id=self._anonymize(state.key.client_ip),
+            server_ip=state.key.server_ip,
+            client_port=state.key.client_port,
+            server_port=state.key.server_port,
+            transport=state.key.transport,
+            ts_start=state.ts_start,
+            ts_end=state.ts_end,
+            packets_up=state.packets_up,
+            packets_down=state.packets_down,
+            bytes_up=state.bytes_up,
+            bytes_down=state.bytes_down,
+            protocol=self._capabilities.reported_label(state.true_protocol),
+            server_name=name,
+            name_source=source,
+            rtt=state.rtt.summary,
+            vantage=self._vantage,
+        )
+
+    def _enter_time_wait(self, key: FlowKey, now: float) -> None:
+        if len(self._time_wait) > 65536:
+            self._time_wait.clear()
+        self._time_wait[key] = now + 2.0
+
+    def expire_idle(self, now: float) -> List[FlowRecord]:
+        """Expire flows idle for longer than the timeout."""
+        self._packets_since_sweep = 0
+        self._time_wait = {
+            key: until for key, until in self._time_wait.items() if until >= now
+        }
+        idle_keys = [
+            key
+            for key, state in self._flows.items()
+            if now - state.ts_end > self._idle_timeout
+        ]
+        records = []
+        for key in idle_keys:
+            records.append(self._export(self._flows.pop(key)))
+            self.stats.flows_expired_idle += 1
+        return records
+
+    def flush(self) -> List[FlowRecord]:
+        """Expire everything (end of trace / end of day rollover)."""
+        records = [self._export(state) for state in self._flows.values()]
+        self.stats.flows_expired_flush += len(records)
+        self._flows.clear()
+        return records

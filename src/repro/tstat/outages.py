@@ -1,0 +1,78 @@
+"""Probe outage calendar.
+
+"Network probes are the most likely point of failure... probes suffered
+few outages, lasting from few hours up to some months" (Section 2.3).  The
+figures of the paper show the resulting gaps.  The world model uses this
+calendar to *not* produce measurements on outage days, and the analytics
+must tolerate the holes.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A [start, end] (inclusive) failure window of one probe."""
+
+    probe: str
+    start: datetime.date
+    end: datetime.date
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"outage ends before it starts: {self}")
+
+    def covers(self, day: datetime.date) -> bool:
+        return self.start <= day <= self.end
+
+    def duration_days(self) -> int:
+        return (self.end - self.start).days + 1
+
+
+class OutageCalendar:
+    """Set of outages, queryable per day and per probe."""
+
+    def __init__(self, outages: Iterable[Outage] = ()) -> None:
+        self._outages: List[Outage] = list(outages)
+
+    def add(self, outage: Outage) -> None:
+        self._outages.append(outage)
+
+    def is_down(self, probe: str, day: datetime.date) -> bool:
+        return any(
+            outage.probe == probe and outage.covers(day) for outage in self._outages
+        )
+
+    def any_down(self, day: datetime.date) -> bool:
+        return any(outage.covers(day) for outage in self._outages)
+
+    def outages_for(self, probe: str) -> Tuple[Outage, ...]:
+        return tuple(outage for outage in self._outages if outage.probe == probe)
+
+    def total_lost_days(self, probe: str) -> int:
+        return sum(outage.duration_days() for outage in self.outages_for(probe))
+
+    def __len__(self) -> int:
+        return len(self._outages)
+
+
+def default_outages() -> OutageCalendar:
+    """The outage history used by the default world model.
+
+    Mirrors the paper's description: a handful of short outages plus one
+    severe multi-month hardware failure, visible as gaps in Fig. 3/5/6/7.
+    """
+    return OutageCalendar(
+        [
+            Outage("pop1", datetime.date(2013, 9, 12), datetime.date(2013, 9, 14)),
+            Outage("pop1", datetime.date(2014, 6, 2), datetime.date(2014, 6, 9)),
+            Outage("pop2", datetime.date(2015, 2, 20), datetime.date(2015, 2, 22)),
+            # The severe hardware failure: months of missing data.
+            Outage("pop1", datetime.date(2016, 3, 5), datetime.date(2016, 5, 28)),
+            Outage("pop2", datetime.date(2017, 8, 17), datetime.date(2017, 8, 24)),
+        ]
+    )

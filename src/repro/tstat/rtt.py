@@ -1,0 +1,73 @@
+"""Probe-side RTT estimation by TCP SEQ/ACK matching.
+
+The paper (Sections 2.1 and 6) describes the estimator: the probe registers
+the time it observes a client-side TCP segment and the time the server's
+acknowledgment for it comes back; the difference is one RTT sample covering
+the probe → server half of the path (the access network is behind the
+probe and therefore excluded).  Per flow, the probe exports min/avg/max and
+the sample count.
+
+Karn's rule is applied: a sequence range that is ever retransmitted is
+ambiguous and produces no sample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.packets.tcp import SEQ_MODULUS, TcpSegment
+from repro.tstat.flow import RttSummary
+
+_MAX_OUTSTANDING = 64
+
+
+def seq_after(a: int, b: int) -> bool:
+    """True if sequence number ``a`` is after ``b`` (mod 2^32, RFC 1982ish)."""
+    return 0 < (a - b) % SEQ_MODULUS < SEQ_MODULUS // 2
+
+
+class RttEstimator:
+    """Tracks outstanding client segments of one flow and matches ACKs."""
+
+    def __init__(self) -> None:
+        self.summary = RttSummary()
+        #: Retransmitted client segments seen (Tstat's anomaly counter:
+        #: the probe reports these as part of its TCP anomaly statistics).
+        self.retransmissions = 0
+        # end_seq -> (send timestamp, retransmitted?)
+        self._outstanding: Dict[int, Tuple[float, bool]] = {}
+
+    def on_client_segment(self, segment: TcpSegment, timestamp: float) -> None:
+        """Register a client → server segment that consumes sequence space."""
+        if segment.sequence_space() == 0:
+            return
+        end_seq = segment.end_seq()
+        previous = self._outstanding.get(end_seq)
+        if previous is not None:
+            # Retransmission: Karn's rule — the eventual ACK is ambiguous.
+            self.retransmissions += 1
+            self._outstanding[end_seq] = (previous[0], True)
+            return
+        if len(self._outstanding) >= _MAX_OUTSTANDING:
+            # Bound state per flow as a real probe must; drop oldest entry.
+            oldest = min(self._outstanding, key=lambda key: self._outstanding[key][0])
+            del self._outstanding[oldest]
+        self._outstanding[end_seq] = (timestamp, False)
+
+    def on_server_ack(self, segment: TcpSegment, timestamp: float) -> None:
+        """Match a server → client ACK against outstanding segments."""
+        if not segment.has_ack:
+            return
+        ack = segment.ack
+        matched: List[int] = [
+            end_seq
+            for end_seq in self._outstanding
+            if end_seq == ack or seq_after(ack, end_seq)
+        ]
+        for end_seq in matched:
+            sent_at, retransmitted = self._outstanding.pop(end_seq)
+            if retransmitted:
+                continue
+            sample_ms = (timestamp - sent_at) * 1000.0
+            if sample_ms >= 0.0:
+                self.summary.add(sample_ms)

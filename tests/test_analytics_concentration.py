@@ -1,0 +1,109 @@
+"""Tests for the traffic-concentration analytics (§6.2's 'few giants')."""
+
+import datetime
+
+import pytest
+
+from repro.analytics.concentration import (
+    GIANT_FAMILIES,
+    family_share_series,
+    giant_share_from_stats,
+    giant_share_series,
+    herfindahl_index,
+    hhi_from_stats,
+    service_hhi_series,
+    summarize,
+)
+from repro.services import catalog
+from repro.synthesis.flowgen import DailyUsage
+from repro.synthesis.population import Technology
+
+D = datetime.date
+MONTHS = [(2014, 1)]
+
+
+def usage(service, total, day=D(2014, 1, 10), subscriber_id=1):
+    return DailyUsage(
+        day=day,
+        subscriber_id=subscriber_id,
+        technology=Technology.ADSL,
+        pop="pop1",
+        service=service,
+        bytes_down=int(total * 0.9),
+        bytes_up=total - int(total * 0.9),
+        flows=20,
+    )
+
+
+class TestHerfindahl:
+    def test_monopoly(self):
+        assert herfindahl_index([100]) == 1.0
+
+    def test_even_split(self):
+        assert herfindahl_index([50, 50]) == pytest.approx(0.5)
+        assert herfindahl_index([25] * 4) == pytest.approx(0.25)
+
+    def test_empty_is_zero(self):
+        assert herfindahl_index([]) == 0.0
+        assert herfindahl_index([0, 0]) == 0.0
+
+
+class TestGiantShares:
+    def test_share_computed(self):
+        rows = [
+            usage(catalog.YOUTUBE, 600),
+            usage(catalog.OTHER, 400),
+        ]
+        series = giant_share_series(rows, MONTHS)
+        assert series.value_at(2014, 1) == pytest.approx(0.6)
+
+    def test_families_cover_expected_services(self):
+        assert catalog.YOUTUBE in GIANT_FAMILIES["Google"]
+        assert catalog.INSTAGRAM in GIANT_FAMILIES["Facebook"]
+        assert catalog.WHATSAPP in GIANT_FAMILIES["Facebook"]
+
+    def test_family_split(self):
+        rows = [
+            usage(catalog.YOUTUBE, 500),
+            usage(catalog.NETFLIX, 300),
+            usage(catalog.OTHER, 200),
+        ]
+        families = family_share_series(rows, MONTHS)
+        assert families["Google"].value_at(2014, 1) == pytest.approx(0.5)
+        assert families["Netflix"].value_at(2014, 1) == pytest.approx(0.3)
+        assert families["Amazon"].value_at(2014, 1) == pytest.approx(0.0)
+
+    def test_hhi_series(self):
+        rows = [usage(catalog.YOUTUBE, 500), usage(catalog.OTHER, 500)]
+        series = service_hhi_series(rows, MONTHS)
+        assert series.value_at(2014, 1) == pytest.approx(0.5)
+
+
+class TestSummary:
+    def test_summarize_requires_data(self):
+        from repro.analytics.timeseries import MonthlySeries
+
+        empty = MonthlySeries(months=((2014, 1),), values=(None,))
+        assert summarize(empty, empty) is None
+
+    def test_concentrating_property(self):
+        from repro.analytics.concentration import ConcentrationSummary
+
+        rising = ConcentrationSummary(0.3, 0.5, 0.10, 0.12)
+        falling = ConcentrationSummary(0.5, 0.3, 0.12, 0.10)
+        assert rising.concentrating
+        assert not falling.concentrating
+
+
+class TestOnStudyData:
+    def test_giants_concentrate_over_the_span(self, study_data):
+        """The §6.2 claim emerges from the measured mix."""
+        giants = giant_share_from_stats(study_data.service_stats, study_data.months)
+        hhi = hhi_from_stats(study_data.service_stats, study_data.months)
+        summary = summarize(giants, hhi)
+        assert summary is not None
+        assert summary.giant_share_end > summary.giant_share_start
+        assert summary.concentrating
+        # Magnitudes: giants carry a large and growing chunk of the mix.
+        assert 0.25 < summary.giant_share_start < 0.75
+        assert summary.giant_share_end > 0.4

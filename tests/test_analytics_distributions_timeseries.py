@@ -1,0 +1,173 @@
+"""Tests for distribution utilities and monthly time series."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.distributions import EmpiricalDistribution, log_grid
+from repro.analytics.timeseries import (
+    MonthlySeries,
+    daily_series,
+    growth_factor,
+    mean_daily_traffic_per_subscriber,
+    month_of,
+    monthly_mean,
+)
+from repro.analytics.activity import SubscriberDay
+from repro.synthesis.population import Technology
+
+D = datetime.date
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestEmpiricalDistribution:
+    def test_cdf_ccdf_complement(self):
+        distribution = EmpiricalDistribution.from_samples([1, 2, 3, 4])
+        assert distribution.cdf(2) == 0.5
+        assert distribution.ccdf(2) == 0.5
+
+    def test_quantiles(self):
+        distribution = EmpiricalDistribution.from_samples(range(1, 101))
+        assert distribution.median == pytest.approx(50.5, abs=1.0)
+        assert distribution.quantile(0.9) == pytest.approx(90, abs=2)
+
+    def test_mean(self):
+        assert EmpiricalDistribution.from_samples([1, 3]).mean == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_samples([])
+
+    def test_bad_quantile(self):
+        distribution = EmpiricalDistribution.from_samples([1])
+        with pytest.raises(ValueError):
+            distribution.quantile(0.0)
+        with pytest.raises(ValueError):
+            distribution.quantile(1.5)
+
+    def test_points_series(self):
+        distribution = EmpiricalDistribution.from_samples([1, 10, 100])
+        points = distribution.ccdf_points([0.5, 5, 50, 500])
+        assert points[0] == (0.5, 1.0)
+        assert points[-1] == (500, 0.0)
+
+    @given(samples)
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_monotone(self, values):
+        distribution = EmpiricalDistribution.from_samples(values)
+        grid = sorted(values)
+        cdfs = [distribution.cdf(x) for x in grid]
+        assert cdfs == sorted(cdfs)
+        assert cdfs[-1] == 1.0
+
+    @given(samples, st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_plus_ccdf_is_one(self, values, x):
+        distribution = EmpiricalDistribution.from_samples(values)
+        assert distribution.cdf(x) + distribution.ccdf(x) == pytest.approx(1.0)
+
+
+class TestLogGrid:
+    def test_endpoints(self):
+        grid = log_grid(1.0, 1000.0)
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(1000.0)
+
+    def test_monotone(self):
+        grid = log_grid(0.1, 300.0)
+        assert grid == sorted(grid)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            log_grid(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_grid(10.0, 1.0)
+
+
+class TestMonthlySeries:
+    MONTHS = [(2014, 1), (2014, 2), (2014, 3)]
+
+    def test_monthly_mean(self):
+        samples = [
+            (D(2014, 1, 5), 10.0),
+            (D(2014, 1, 15), 20.0),
+            (D(2014, 3, 3), 5.0),
+        ]
+        series = monthly_mean(samples, self.MONTHS)
+        assert series.value_at(2014, 1) == 15.0
+        assert series.value_at(2014, 2) is None  # the gap stays a gap
+        assert series.value_at(2014, 3) == 5.0
+
+    def test_defined_and_gaps(self):
+        series = MonthlySeries(
+            months=tuple(self.MONTHS), values=(1.0, None, 3.0)
+        )
+        assert series.defined() == [((2014, 1), 1.0), ((2014, 3), 3.0)]
+        assert series.gap_months() == [(2014, 2)]
+
+    def test_value_at_unknown_month(self):
+        series = MonthlySeries(months=tuple(self.MONTHS), values=(1.0, 2.0, 3.0))
+        assert series.value_at(2019, 1) is None
+
+    def test_growth_factor(self):
+        series = MonthlySeries(months=tuple(self.MONTHS), values=(2.0, None, 6.0))
+        assert growth_factor(series) == 3.0
+        assert growth_factor(MonthlySeries(months=((2014, 1),), values=(1.0,))) is None
+
+    def test_month_of(self):
+        assert month_of(D(2015, 7, 31)) == (2015, 7)
+
+    def test_daily_series_sorted(self):
+        series = daily_series([(D(2014, 2, 1), 1.0), (D(2014, 1, 1), 2.0)])
+        assert series[0][0] == D(2014, 1, 1)
+
+
+class TestMeanDailyTraffic:
+    def _day(self, day, subscriber_id, technology, down, active=True):
+        return SubscriberDay(
+            day=day,
+            subscriber_id=subscriber_id,
+            technology=technology,
+            bytes_down=down,
+            bytes_up=down // 10,
+            flows=20,
+            active=active,
+        )
+
+    def test_mean_per_active_subscriber(self):
+        months = [(2014, 1)]
+        rows = [
+            self._day(D(2014, 1, 5), 1, Technology.ADSL, 100),
+            self._day(D(2014, 1, 5), 2, Technology.ADSL, 300),
+            self._day(D(2014, 1, 5), 3, Technology.FTTH, 999),
+            self._day(D(2014, 1, 5), 4, Technology.ADSL, 999, active=False),
+        ]
+        series = mean_daily_traffic_per_subscriber(rows, months, Technology.ADSL)
+        assert series.value_at(2014, 1) == 200.0
+
+    def test_direction_up(self):
+        months = [(2014, 1)]
+        rows = [self._day(D(2014, 1, 5), 1, Technology.ADSL, 100)]
+        series = mean_daily_traffic_per_subscriber(
+            rows, months, Technology.ADSL, direction="up"
+        )
+        assert series.value_at(2014, 1) == 10.0
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            mean_daily_traffic_per_subscriber([], [], Technology.ADSL, direction="side")
+
+    def test_inactive_included_when_requested(self):
+        months = [(2014, 1)]
+        rows = [
+            self._day(D(2014, 1, 5), 1, Technology.ADSL, 100),
+            self._day(D(2014, 1, 5), 2, Technology.ADSL, 0, active=False),
+        ]
+        series = mean_daily_traffic_per_subscriber(
+            rows, months, Technology.ADSL, active_only=False
+        )
+        assert series.value_at(2014, 1) == 50.0

@@ -1,0 +1,103 @@
+"""Tests for the per-service protocol drill-down extension."""
+
+import datetime
+
+import pytest
+
+from repro.analytics.drilldown import (
+    all_timelines,
+    service_protocol_timeline,
+)
+from repro.services import catalog
+from repro.synthesis.flowgen import ProtocolUsage
+from repro.tstat.flow import WebProtocol
+
+D = datetime.date
+
+
+def row(day, protocol, total, service=catalog.YOUTUBE):
+    return ProtocolUsage(day=day, service=service, protocol=protocol, total_bytes=total)
+
+
+MONTHS = [(2014, 1), (2014, 2), (2014, 3)]
+
+
+class TestTimeline:
+    def test_mix_normalized(self):
+        rows = [
+            row(D(2014, 1, 5), WebProtocol.HTTP, 800),
+            row(D(2014, 1, 9), WebProtocol.TLS, 200),
+        ]
+        timeline = service_protocol_timeline(rows, catalog.YOUTUBE, MONTHS)
+        mix = timeline.mix_at(2014, 1)
+        assert mix[WebProtocol.HTTP] == pytest.approx(0.8)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_missing_month_is_none(self):
+        rows = [row(D(2014, 1, 5), WebProtocol.HTTP, 100)]
+        timeline = service_protocol_timeline(rows, catalog.YOUTUBE, MONTHS)
+        assert timeline.mix_at(2014, 2) is None
+        assert timeline.mix_at(2019, 9) is None
+
+    def test_other_services_ignored(self):
+        rows = [
+            row(D(2014, 1, 5), WebProtocol.HTTP, 100),
+            row(D(2014, 1, 5), WebProtocol.TLS, 900, service=catalog.FACEBOOK),
+        ]
+        timeline = service_protocol_timeline(rows, catalog.YOUTUBE, MONTHS)
+        assert timeline.mix_at(2014, 1) == {WebProtocol.HTTP: 1.0}
+
+    def test_dominant_and_migrations(self):
+        rows = [
+            row(D(2014, 1, 5), WebProtocol.HTTP, 900),
+            row(D(2014, 1, 5), WebProtocol.TLS, 100),
+            row(D(2014, 2, 5), WebProtocol.HTTP, 400),
+            row(D(2014, 2, 5), WebProtocol.TLS, 600),
+            row(D(2014, 3, 5), WebProtocol.TLS, 990),
+        ]
+        timeline = service_protocol_timeline(rows, catalog.YOUTUBE, MONTHS)
+        assert timeline.dominant_at(2014, 1) is WebProtocol.HTTP
+        assert timeline.dominant_at(2014, 3) is WebProtocol.TLS
+        assert timeline.migrations() == [
+            ((2014, 2), WebProtocol.HTTP, WebProtocol.TLS)
+        ]
+
+    def test_migrations_skip_gaps(self):
+        rows = [
+            row(D(2014, 1, 5), WebProtocol.HTTP, 900),
+            row(D(2014, 3, 5), WebProtocol.TLS, 900),
+        ]
+        timeline = service_protocol_timeline(rows, catalog.YOUTUBE, MONTHS)
+        assert timeline.migrations() == [
+            ((2014, 3), WebProtocol.HTTP, WebProtocol.TLS)
+        ]
+
+    def test_all_timelines(self):
+        rows = [
+            row(D(2014, 1, 5), WebProtocol.HTTP, 100),
+            row(D(2014, 1, 5), WebProtocol.TLS, 100, service=catalog.FACEBOOK),
+        ]
+        timelines = all_timelines(rows, MONTHS)
+        assert set(timelines) == {catalog.YOUTUBE, catalog.FACEBOOK}
+
+
+class TestOnStudyData:
+    def test_youtube_https_migration_visible(self, study_data):
+        """The drill-down rediscovers event A from measured rows."""
+        timeline = service_protocol_timeline(
+            study_data.protocol_rows, catalog.YOUTUBE, study_data.months
+        )
+        assert timeline.dominant_at(2013, 9) is WebProtocol.HTTP
+        late = timeline.dominant_at(2017, 6)
+        assert late in (WebProtocol.TLS, WebProtocol.QUIC)
+        migrations = timeline.migrations()
+        assert any(
+            old is WebProtocol.HTTP and month[0] == 2014
+            for month, old, _ in migrations
+        )
+
+    def test_facebook_zero_migration_visible(self, study_data):
+        timeline = service_protocol_timeline(
+            study_data.protocol_rows, catalog.FACEBOOK, study_data.months
+        )
+        assert timeline.dominant_at(2017, 6) is WebProtocol.FBZERO

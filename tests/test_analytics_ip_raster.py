@@ -1,0 +1,141 @@
+"""Tests for the Fig. 11 top-panel IP raster."""
+
+import datetime
+
+import pytest
+
+from repro.analytics.infrastructure import (
+    IpRaster,
+    build_ip_raster,
+    daily_ip_roles,
+)
+from repro.nettypes.ip import ip_to_int
+from repro.reporting.ascii import ip_raster as render_raster
+from repro.services import catalog
+from repro.tstat.flow import FlowRecord, NameSource, RttSummary, Transport, WebProtocol
+
+D = datetime.date
+
+
+def flow(name, ip_text):
+    return FlowRecord(
+        client_id=1,
+        server_ip=ip_to_int(ip_text),
+        client_port=1,
+        server_port=443,
+        transport=Transport.TCP,
+        ts_start=0.0,
+        ts_end=1.0,
+        bytes_down=1000,
+        bytes_up=100,
+        protocol=WebProtocol.TLS,
+        server_name=name,
+        name_source=NameSource.SNI,
+    )
+
+
+class TestDailyIpRoles:
+    def test_shared_flag(self, rules):
+        flows = [
+            flow("www.facebook.com", "31.13.64.1"),
+            flow("fbstatic-a.akamaihd.net", "23.192.0.9"),
+            flow("cdn-1.akamaihd.net", "23.192.0.9"),  # Other on the same ip
+        ]
+        roles = daily_ip_roles(flows, rules, [catalog.FACEBOOK], D(2014, 5, 1))
+        fb = roles[catalog.FACEBOOK]
+        assert fb[ip_to_int("31.13.64.1")] is False
+        assert fb[ip_to_int("23.192.0.9")] is True
+
+    def test_services_not_tracked_are_dropped(self, rules):
+        flows = [flow("www.google.com", "74.125.0.1")]
+        roles = daily_ip_roles(flows, rules, [catalog.FACEBOOK], D(2014, 5, 1))
+        assert roles == {catalog.FACEBOOK: {}}
+
+
+class TestBuildRaster:
+    def _roles(self):
+        a, b, c = 101, 102, 103
+        return [
+            (D(2014, 1, 1), {a: True, b: False}),
+            (D(2014, 2, 1), {a: True}),
+            (D(2014, 3, 1), {b: False, c: False}),
+        ]
+
+    def test_rows_ordered_by_first_appearance(self):
+        raster = build_ip_raster("X", self._roles())
+        assert raster.addresses == (101, 102, 103)
+        assert raster.days == (D(2014, 1, 1), D(2014, 2, 1), D(2014, 3, 1))
+
+    def test_cell_codes(self):
+        raster = build_ip_raster("X", self._roles())
+        assert raster.cells[0] == (IpRaster.SHARED, IpRaster.SHARED, IpRaster.ABSENT)
+        assert raster.cells[1] == (
+            IpRaster.DEDICATED,
+            IpRaster.ABSENT,
+            IpRaster.DEDICATED,
+        )
+        assert raster.cells[2] == (IpRaster.ABSENT, IpRaster.ABSENT, IpRaster.DEDICATED)
+
+    def test_appearance_counts(self):
+        raster = build_ip_raster("X", self._roles())
+        counts = dict(raster.appearance_counts())
+        assert counts == {D(2014, 1, 1): 2, D(2014, 2, 1): 0, D(2014, 3, 1): 1}
+
+    def test_unsorted_input_days(self):
+        roles = list(reversed(self._roles()))
+        raster = build_ip_raster("X", roles)
+        assert raster.days[0] < raster.days[-1]
+
+    def test_empty(self):
+        raster = build_ip_raster("X", [])
+        assert raster.addresses == ()
+        assert raster.days == ()
+
+
+class TestRenderRaster:
+    def test_renders_symbols(self):
+        raster = build_ip_raster(
+            "X",
+            [
+                (D(2014, 1, 1), {1: False, 2: True}),
+                (D(2014, 2, 1), {2: True}),
+            ],
+        )
+        text = render_raster(raster, title="panel")
+        assert "panel" in text
+        assert "#." in text  # dedicated then absent
+        assert "oo" in text  # shared both days
+
+    def test_downsampling(self):
+        roles = [(D(2014, 1, 1), {address: False for address in range(200)})]
+        raster = build_ip_raster("X", roles)
+        text = render_raster(raster, max_rows=10)
+        body_rows = [line for line in text.splitlines() if set(line) <= {".", "#", "o"}]
+        assert len(body_rows) == 10
+
+    def test_none_and_empty(self):
+        assert "(no data)" in render_raster(None, title="x")
+        assert "(no data)" in render_raster(build_ip_raster("X", []), title="x")
+
+
+class TestOnStudyData:
+    def test_facebook_raster_shows_specialization(self, study_data):
+        from repro.figures import fig11_infrastructure
+
+        fig = fig11_infrastructure.compute(study_data)
+        raster = fig.panels[catalog.FACEBOOK].raster
+        assert raster is not None
+        columns = len(raster.days)
+        early_shared = sum(
+            1
+            for row in raster.cells
+            for cell in row[: columns // 3]
+            if cell == IpRaster.SHARED
+        )
+        late_shared = sum(
+            1
+            for row in raster.cells
+            for cell in row[2 * columns // 3 :]
+            if cell == IpRaster.SHARED
+        )
+        assert early_shared > late_shared  # dedicated servers take over

@@ -1,0 +1,114 @@
+"""Tests for subscriber-dynamics analytics (churn, heavy-day alternation)."""
+
+import datetime
+
+import pytest
+
+from repro.analytics.activity import SubscriberDay
+from repro.analytics.subscribers import (
+    GB,
+    churn_trend,
+    heavy_day_stats,
+    observed_subscribers,
+)
+from repro.synthesis.population import Technology
+
+D = datetime.date
+
+
+def day(subscriber_id, when, down=50_000_000, technology=Technology.ADSL, active=True):
+    return SubscriberDay(
+        day=when,
+        subscriber_id=subscriber_id,
+        technology=technology,
+        bytes_down=down,
+        bytes_up=down // 10,
+        flows=30,
+        active=active,
+    )
+
+
+class TestObservedSubscribers:
+    def test_counts_per_month(self):
+        rows = [
+            day(1, D(2014, 1, 5)),
+            day(2, D(2014, 1, 5)),
+            day(1, D(2014, 1, 6)),
+        ]
+        series = observed_subscribers(rows, [(2014, 1)], Technology.ADSL)
+        assert series.value_at(2014, 1) == pytest.approx(1.5)  # (2 + 1) / 2 days
+
+    def test_technology_filter(self):
+        rows = [day(1, D(2014, 1, 5), technology=Technology.FTTH)]
+        series = observed_subscribers(rows, [(2014, 1)], Technology.ADSL)
+        assert series.value_at(2014, 1) is None
+
+    def test_churn_trend_directions(self):
+        months = [(2014, month) for month in range(1, 7)]
+        rows = []
+        # ADSL: 4 subscribers at the start, 2 at the end.
+        for month in range(1, 7):
+            population = 4 if month < 4 else 2
+            for subscriber in range(population):
+                rows.append(day(subscriber, D(2014, month, 10)))
+        # FTTH: 1 at the start, 3 at the end.
+        for month in range(1, 7):
+            population = 1 if month < 4 else 3
+            for subscriber in range(100, 100 + population):
+                rows.append(day(subscriber, D(2014, month, 10), technology=Technology.FTTH))
+        trends = churn_trend(rows, months)
+        assert trends[Technology.ADSL] < 1.0
+        assert trends[Technology.FTTH] > 1.0
+
+
+class TestHeavyDays:
+    def test_alternating_subscriber(self):
+        rows = []
+        for index in range(10):
+            heavy = index % 2 == 0
+            rows.append(day(1, D(2014, 1, index + 1), down=2 * GB if heavy else 50_000_000))
+        stats = heavy_day_stats(rows)
+        assert stats.subscribers_with_heavy_days == 1
+        assert stats.mean_heavy_fraction == pytest.approx(0.5)
+        assert stats.alternation_rate == 1.0  # every heavy day followed by light
+
+    def test_always_heavy_subscriber(self):
+        rows = [day(1, D(2014, 1, n + 1), down=2 * GB) for n in range(5)]
+        stats = heavy_day_stats(rows)
+        assert stats.mean_heavy_fraction == 1.0
+        assert stats.alternation_rate == 0.0
+
+    def test_never_heavy(self):
+        rows = [day(1, D(2014, 1, n + 1)) for n in range(5)]
+        stats = heavy_day_stats(rows)
+        assert stats.subscribers_with_heavy_days == 0
+        assert stats.heavy_subscriber_share == 0.0
+
+    def test_inactive_excluded(self):
+        rows = [day(1, D(2014, 1, 1), down=2 * GB, active=False)]
+        stats = heavy_day_stats(rows)
+        assert stats.subscribers_observed == 0
+
+    def test_custom_threshold(self):
+        rows = [day(1, D(2014, 1, 1), down=200_000_000)]
+        low = heavy_day_stats(rows, threshold_bytes=100_000_000)
+        high = heavy_day_stats(rows, threshold_bytes=GB)
+        assert low.subscribers_with_heavy_days == 1
+        assert high.subscribers_with_heavy_days == 0
+
+
+class TestOnStudyData:
+    def test_paper_claims_hold(self, study_data):
+        """§2.1 churn and §3.1 alternation on real study output."""
+        rows = study_data.all_subscriber_days()
+        trends = churn_trend(rows, study_data.months)
+        assert trends[Technology.ADSL] < 1.0  # steady ADSL reduction
+        assert trends[Technology.FTTH] > 1.0  # FTTH growth
+
+        stats = heavy_day_stats(rows)
+        # Many different subscribers see heavy days...
+        assert stats.heavy_subscriber_share > 0.3
+        # ...but they alternate: heavy days are a minority of their days
+        # and are usually followed by a light day.
+        assert stats.mean_heavy_fraction < 0.6
+        assert stats.alternation_rate > 0.5

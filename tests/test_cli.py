@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import datetime
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.nettypes.ip import ip_to_int
+from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
+from repro.tstat.flow import WebProtocol
+from repro.tstat.probe import Probe, ProbeConfig
+
+
+class TestClassify:
+    def test_known_and_unknown(self, capsys):
+        assert main(["classify", "fbcdn.com", "nope.example"]) == 0
+        out = capsys.readouterr().out
+        assert "fbcdn.com\tFacebook" in out
+        assert "nope.example\t(unclassified)" in out
+
+    def test_table1_regexp_row(self, capsys):
+        main(["classify", "fbstatic-a.akamaihd.net"])
+        assert "Facebook" in capsys.readouterr().out
+
+
+class TestEvents:
+    def test_lists_timeline(self, capsys):
+        assert main(["events"]) == 0
+        out = capsys.readouterr().out
+        assert "2016-11-10" in out  # FB-Zero
+        assert "2015-10-22" in out  # Netflix Italy
+
+
+class TestProbeLog:
+    def test_summarizes_log(self, tmp_path, capsys):
+        client = ip_to_int("10.1.0.3")
+        specs = [
+            FlowSpec(client, ip_to_int("31.13.64.5"), 40001, 443,
+                     WebProtocol.FBZERO, "scontent-mxp1-2.fbcdn.net",
+                     rtt_ms=3.0, bytes_down=20_000),
+            FlowSpec(client, ip_to_int("104.16.0.4"), 40002, 80,
+                     WebProtocol.HTTP, "blog.example.org",
+                     rtt_ms=30.0, bytes_down=10_000, start_ts=1.0),
+        ]
+        packets = PacketSynthesizer(seed=2).synthesize(specs)
+        probe = Probe(ProbeConfig.for_pop("pop1", ["10.1.0.0/16"]))
+        log_path = tmp_path / "log.tsv.gz"
+        probe.run_to_log(packets, log_path)
+
+        assert main(["probe-log", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fb-zero" in out
+        assert "Facebook" in out
+
+    def test_empty_log_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.tsv"
+        path.write_text("#tstat-log v2\n")
+        assert main(["probe-log", str(path)]) == 1
+
+
+class TestStudyCommand:
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["study", "--figure", "99"]) == 2
+
+    def test_table1_via_study(self, capsys):
+        # table1 needs no study data pass beyond the (fast) run itself;
+        # use a tiny scale through the small preset.
+        code = main(["study", "--figure", "table1", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.figure == "all"
+        assert args.scale == "small"

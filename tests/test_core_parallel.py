@@ -1,0 +1,110 @@
+"""Tests for the parallel study runner: identical results, any worker count."""
+
+import datetime
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.parallel import partition_plan, run_parallel
+from repro.core.study import LongitudinalStudy
+from repro.synthesis.world import WorldConfig
+
+D = datetime.date
+
+
+def tiny_config():
+    return StudyConfig(
+        world=WorldConfig(
+            seed=17,
+            adsl_count=40,
+            ftth_count=20,
+            start=D(2014, 1, 1),
+            end=D(2014, 6, 30),
+        ),
+        day_stride=6,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=1,
+    )
+
+
+class TestPartition:
+    def test_round_robin(self):
+        plan = {D(2014, 1, day): {"aggregate"} for day in range(1, 10)}
+        chunks = partition_plan(plan, 3)
+        assert len(chunks) == 3
+        assert sorted(day for chunk in chunks for day, _ in chunk) == sorted(plan)
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_days(self):
+        plan = {D(2014, 1, 1): {"aggregate"}}
+        chunks = partition_plan(plan, 8)
+        assert len(chunks) == 1
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            partition_plan({}, 0)
+
+
+class TestParallelEqualsSerial:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return LongitudinalStudy(tiny_config()).run()
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run_parallel(tiny_config(), workers=3)
+
+    def test_subscriber_days_identical(self, serial, parallel):
+        assert set(serial.subscriber_days) == set(parallel.subscriber_days)
+        for day in serial.subscriber_days:
+            assert sorted(
+                serial.subscriber_days[day], key=lambda e: e.subscriber_id
+            ) == sorted(parallel.subscriber_days[day], key=lambda e: e.subscriber_id)
+
+    def test_service_stats_identical(self, serial, parallel):
+        def key(cell):
+            return (cell.day, cell.service, cell.technology.value)
+
+        assert sorted(serial.service_stats, key=key) == sorted(
+            parallel.service_stats, key=key
+        )
+
+    def test_protocol_rows_identical(self, serial, parallel):
+        def key(row):
+            return (row.day, row.service, row.protocol.value)
+
+        assert sorted(serial.protocol_rows, key=key) == sorted(
+            parallel.protocol_rows, key=key
+        )
+
+    def test_rtt_and_flow_days_identical(self, serial, parallel):
+        assert serial.flow_days == parallel.flow_days
+        assert set(serial.rtt_samples) == set(parallel.rtt_samples)
+        for key in serial.rtt_samples:
+            assert sorted(serial.rtt_samples[key]) == pytest.approx(
+                sorted(parallel.rtt_samples[key])
+            )
+
+    def test_weekly_structures_identical(self, serial, parallel):
+        assert serial.weekly_active == parallel.weekly_active
+        assert serial.weekly_visitors == parallel.weekly_visitors
+
+    def test_single_worker_falls_back_to_serial(self):
+        data = run_parallel(tiny_config(), workers=1)
+        assert data.subscriber_days
+
+
+class TestMerge:
+    def test_merge_rejects_mismatched_spans(self):
+        first = LongitudinalStudy(tiny_config()).empty_data()
+        other_config = StudyConfig(
+            world=WorldConfig(
+                seed=17, adsl_count=10, ftth_count=5,
+                start=D(2015, 1, 1), end=D(2015, 3, 1),
+            ),
+            day_stride=10,
+        )
+        second = LongitudinalStudy(other_config).empty_data()
+        with pytest.raises(ValueError):
+            first.merge(second)

@@ -1,0 +1,116 @@
+"""Tests for lake persistence and the replay (historical-query) path."""
+
+import datetime
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.persistence import (
+    HOURLY_TABLE,
+    PROTOCOL_TABLE,
+    USAGE_TABLE,
+    PersistingStudy,
+    replay_study,
+)
+from repro.core.study import LongitudinalStudy
+from repro.dataflow.datalake import DataLake
+from repro.figures import fig03_volume_trend, fig08_protocols
+from repro.synthesis.world import WorldConfig
+
+D = datetime.date
+
+
+def config():
+    return StudyConfig(
+        world=WorldConfig(
+            seed=31,
+            adsl_count=40,
+            ftth_count=20,
+            start=D(2014, 2, 1),
+            end=D(2014, 7, 31),
+        ),
+        day_stride=7,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def archived(tmp_path_factory):
+    lake = DataLake(tmp_path_factory.mktemp("lake"))
+    study = PersistingStudy(config(), lake=lake)
+    data = study.run()
+    return lake, data, study
+
+
+class TestPersistence:
+    def test_tables_created(self, archived):
+        lake, _, _ = archived
+        assert set(lake.tables()) == {USAGE_TABLE, PROTOCOL_TABLE, HOURLY_TABLE}
+
+    def test_every_processed_day_stored(self, archived):
+        lake, data, study = archived
+        assert set(lake.days(USAGE_TABLE)) == set(data.subscriber_days)
+        assert study.sink.days_written == len(data.subscriber_days)
+
+    def test_hourly_only_comparison_months(self, archived):
+        lake, _, _ = archived
+        months = {(day.year, day.month) for day in lake.days(HOURLY_TABLE)}
+        assert months == {(2014, 4)}  # April 2017 is outside this span
+
+    def test_run_results_match_plain_study(self, archived):
+        _, data, _ = archived
+        plain = LongitudinalStudy(config()).run()
+        assert set(data.subscriber_days) == set(plain.subscriber_days)
+        assert data.protocol_rows == plain.protocol_rows
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def replayed(self, archived):
+        lake, data, _ = archived
+        return replay_study(lake, data.months), data
+
+    def test_subscriber_days_recovered(self, replayed):
+        fresh, original = replayed
+        assert set(fresh.subscriber_days) == set(original.subscriber_days)
+        for day in original.subscriber_days:
+            assert sorted(
+                fresh.subscriber_days[day], key=lambda e: e.subscriber_id
+            ) == sorted(original.subscriber_days[day], key=lambda e: e.subscriber_id)
+
+    def test_service_stats_recovered(self, replayed):
+        fresh, original = replayed
+
+        def key(cell):
+            return (cell.day, cell.service, cell.technology.value)
+
+        assert sorted(fresh.service_stats, key=key) == sorted(
+            original.service_stats, key=key
+        )
+
+    def test_protocol_rows_recovered(self, replayed):
+        fresh, original = replayed
+
+        def key(row):
+            return (row.day, row.service, row.protocol.value)
+
+        assert sorted(fresh.protocol_rows, key=key) == sorted(
+            original.protocol_rows, key=key
+        )
+
+    def test_weekly_structures_recovered(self, replayed):
+        fresh, original = replayed
+        assert fresh.weekly_active == original.weekly_active
+        assert fresh.weekly_visitors == original.weekly_visitors
+
+    def test_figures_run_on_replayed_data(self, replayed):
+        fresh, original = replayed
+        fig_fresh = fig03_volume_trend.compute(fresh)
+        fig_orig = fig03_volume_trend.compute(original)
+        from repro.synthesis.population import Technology
+
+        assert fig_fresh.get(Technology.ADSL, "down").values == fig_orig.get(
+            Technology.ADSL, "down"
+        ).values
+        assert fig08_protocols.report(fig08_protocols.compute(fresh))

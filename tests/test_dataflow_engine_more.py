@@ -1,0 +1,74 @@
+"""Additional property tests for the dataflow engine's wide operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.engine import Dataset
+
+pairs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9), st.integers(-100, 100)),
+    max_size=80,
+)
+
+
+class TestJoinProperties:
+    @given(pairs, pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_join_matches_nested_loop(self, left_pairs, right_pairs):
+        left = Dataset.from_iterable(left_pairs, partitions=3)
+        right = Dataset.from_iterable(right_pairs, partitions=2)
+        got = sorted(left.join(right).collect())
+        expected = sorted(
+            (lk, (lv, rv))
+            for lk, lv in left_pairs
+            for rk, rv in right_pairs
+            if lk == rk
+        )
+        assert got == expected
+
+    @given(pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_join_with_empty_is_empty(self, left_pairs):
+        left = Dataset.from_iterable(left_pairs)
+        assert left.join(Dataset.empty()).collect() == []
+        assert Dataset.empty().join(left).collect() == []
+
+
+class TestGroupProperties:
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_key_partitions_values(self, entries):
+        grouped = dict(Dataset.from_iterable(entries, partitions=4).group_by_key().collect())
+        flattened = sorted(
+            (key, value) for key, values in grouped.items() for value in values
+        )
+        assert flattened == sorted(entries)
+
+    @given(st.lists(st.integers(-50, 50), max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_matches_set(self, values):
+        result = Dataset.from_iterable(values, partitions=3).distinct().collect()
+        assert sorted(result) == sorted(set(values))
+
+
+class TestUnionProperties:
+    @given(st.lists(st.integers(), max_size=40), st.lists(st.integers(), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_union_is_concatenation(self, first, second):
+        union = Dataset.from_iterable(first).union(Dataset.from_iterable(second))
+        assert sorted(union.collect()) == sorted(first + second)
+        assert union.count() == len(first) + len(second)
+
+    def test_union_with_empty_preserves(self):
+        data = Dataset.from_iterable([1, 2, 3])
+        assert sorted(data.union(Dataset.empty()).collect()) == [1, 2, 3]
+
+
+class TestTopProperties:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=100),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_top_matches_sorted_slice(self, values, count):
+        got = Dataset.from_iterable(values, partitions=3).top(count)
+        assert got == sorted(values, reverse=True)[:count]

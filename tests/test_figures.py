@@ -1,0 +1,297 @@
+"""Tests for the figure modules on the mini study (shapes, not absolutes).
+
+Each figure must (a) compute without error on real study data, (b) report
+paper-vs-measured lines, and (c) hit the key structural properties even at
+the mini study's reduced scale.  Exhaustive shape targets run at the
+benchmark scale (see benchmarks/).
+"""
+
+import datetime
+
+import pytest
+
+from repro.figures import (
+    fig02_ccdf,
+    fig03_volume_trend,
+    fig04_hourly_ratio,
+    fig05_services,
+    fig06_video_p2p,
+    fig07_social,
+    fig08_protocols,
+    fig09_autoplay,
+    fig10_rtt,
+    fig11_infrastructure,
+    table1,
+)
+from repro.figures.common import Expectation, ratio, within
+from repro.services import catalog
+from repro.synthesis.population import Technology
+from repro.tstat.flow import WebProtocol
+
+D = datetime.date
+
+
+class TestCommon:
+    def test_expectation_line(self):
+        expectation = Expectation("x", "~2", 1.9, True)
+        assert "OK" in expectation.line()
+        assert "DIFF" in Expectation("x", "~2", 9.0, False).line()
+
+    def test_within_and_ratio(self):
+        assert within(1.0, 0.5, 1.5)
+        assert not within(2.0, 0.5, 1.5)
+        assert ratio(4.0, 2.0) == 2.0
+        assert ratio(None, 2.0) is None
+        assert ratio(4.0, 0.0) is None
+
+
+class TestTable1:
+    def test_all_rows_classified(self):
+        table = table1.compute()
+        assert table.all_ok
+        assert len(table.rows) == 5
+
+    def test_report(self):
+        lines = table1.report(table1.compute())
+        assert any("fbstatic" in line for line in lines)
+        assert all("DIFF" not in line for line in lines[1:])
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig02_ccdf.compute(study_data)
+
+    def test_all_eight_curves_present(self, fig):
+        assert set(fig.distributions) == set(fig02_ccdf.CURVE_KEYS)
+
+    def test_median_growth(self, fig):
+        early = fig.curve(2014, Technology.ADSL, "down")
+        late = fig.curve(2017, Technology.ADSL, "down")
+        assert late.median / early.median > 1.3
+
+    def test_ccdf_series_monotone_decreasing(self, fig):
+        series = fig.ccdf_series(2017, Technology.ADSL, "down")
+        values = [value for _, value in series]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_report_runs(self, fig):
+        lines = fig02_ccdf.report(fig)
+        assert lines[0].startswith("Figure 2")
+        assert len(lines) > 5
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig03_volume_trend.compute(study_data)
+
+    def test_adsl_download_grows(self, fig):
+        series = fig.get(Technology.ADSL, "down")
+        defined = series.defined()
+        first = sum(v for _, v in defined[:3]) / 3
+        last = sum(v for _, v in defined[-3:]) / 3
+        assert last > 1.5 * first
+
+    def test_outage_gap_visible(self, fig):
+        """The months-long 2016 pop1 failure thins the series but pop2
+        keeps it alive; at minimum the series must exist around it."""
+        series = fig.get(Technology.ADSL, "down")
+        assert series.value_at(2016, 8) is not None
+
+    def test_report_runs(self, fig):
+        assert any("ADSL" in line for line in fig03_volume_trend.report(fig))
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig04_hourly_ratio.compute(study_data)
+
+    def test_ratio_above_one_everywhere(self, fig):
+        for technology in Technology:
+            assert min(fig.ratios[technology]) > 1.0
+
+    def test_night_exceeds_daytime(self, fig):
+        hours = fig.hourly[Technology.ADSL]
+        night = sum(hours[h] for h in (2, 3, 4)) / 3
+        day = sum(hours[h] for h in (11, 14, 16)) / 3
+        assert night > day
+
+    def test_report_runs(self, fig):
+        assert fig04_hourly_ratio.report(fig)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig05_services.compute(study_data)
+
+    def test_all_services_present(self, fig):
+        assert set(fig.services) == set(catalog.FIGURE5_SERVICES)
+        for service in fig.services:
+            assert service in fig.popularity
+            assert service in fig.byte_share
+
+    def test_google_popular_bing_growing(self, fig):
+        google = fig.popularity_at(catalog.GOOGLE, 2017, 6)
+        assert google is not None and google > 40
+        bing_2013 = fig.popularity_at(catalog.BING, 2013, 9)
+        bing_2017 = fig.popularity_at(catalog.BING, 2017, 6)
+        assert bing_2017 > bing_2013
+
+    def test_shares_sum_below_100(self, fig):
+        """Named services never exceed the whole mix."""
+        total = sum(
+            fig.share_at(service, 2017, 6) or 0.0 for service in fig.services
+        )
+        assert total <= 100.0
+
+    def test_report_runs(self, fig):
+        assert fig05_services.report(fig)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig06_video_p2p.compute(study_data)
+
+    def test_netflix_launch_boundary(self, fig):
+        netflix = fig.panels[catalog.NETFLIX]
+        before = netflix.popularity[Technology.FTTH].value_at(2015, 3)
+        after = netflix.popularity[Technology.FTTH].value_at(2017, 10)
+        assert (before or 0.0) < 0.5
+        assert after is not None and after > 3.0
+
+    def test_p2p_declines(self, fig):
+        p2p = fig.panels[catalog.PEER_TO_PEER]
+        series = p2p.popularity[Technology.ADSL]
+        early = series.value_at(2013, 10)
+        late = series.value_at(2017, 10)
+        assert late is not None and early is not None and late < early
+
+    def test_report_runs(self, fig):
+        assert fig06_video_p2p.report(fig)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig07_social.compute(study_data)
+
+    def test_snapchat_volume_collapse(self, fig):
+        snap = fig.panels[catalog.SNAPCHAT]
+        vol = snap.volume[Technology.ADSL]
+        peak = max((value for _, value in vol.defined()), default=0.0)
+        last_defined = vol.defined()[-1][1] if vol.defined() else 0.0
+        assert peak > 0 and last_defined < 0.6 * peak
+
+    def test_whatsapp_daily_series_sorted(self, fig):
+        days = [day for day, _ in fig.whatsapp_daily]
+        assert days == sorted(days)
+
+    def test_report_runs(self, fig):
+        assert fig07_social.report(fig)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig08_protocols.compute(study_data)
+
+    def test_2013_mostly_http(self, fig):
+        http = fig.share_at(2013, 9, WebProtocol.HTTP)
+        assert http is not None and http > 0.6
+
+    def test_quic_timeline(self, fig):
+        assert (fig.share_at(2014, 6, WebProtocol.QUIC) or 0.0) < 0.01
+        assert (fig.share_at(2017, 6, WebProtocol.QUIC) or 0.0) > 0.05
+
+    def test_spdy_reveal_event(self, fig):
+        assert (fig.share_at(2015, 4, WebProtocol.SPDY) or 0.0) < 0.005
+        assert (fig.share_at(2015, 8, WebProtocol.SPDY) or 0.0) > 0.03
+
+    def test_fbzero_event(self, fig):
+        assert (fig.share_at(2016, 9, WebProtocol.FBZERO) or 0.0) < 0.005
+        assert (fig.share_at(2017, 3, WebProtocol.FBZERO) or 0.0) > 0.02
+
+    def test_shares_sum_to_one(self, fig):
+        for entry in fig.shares:
+            if entry.shares:
+                assert sum(entry.shares.values()) == pytest.approx(1.0)
+
+    def test_report_runs(self, fig):
+        assert fig08_protocols.report(fig)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig09_autoplay.compute(study_data)
+
+    def test_growth_through_2014(self, fig):
+        assert fig.monthly_mb[7] > 1.5 * fig.monthly_mb[2]
+
+    def test_daily_series_in_2014(self, fig):
+        assert all(day.year == 2014 for day, _ in fig.daily)
+
+    def test_report_runs(self, fig):
+        assert fig09_autoplay.report(fig)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig10_rtt.compute(study_data)
+
+    def test_facebook_moves_to_edge(self, fig):
+        early = fig.curve(catalog.FACEBOOK, 2014)
+        late = fig.curve(catalog.FACEBOOK, 2017)
+        assert late.cdf(5.0) > early.cdf(5.0)
+
+    def test_youtube_submillisecond_2017(self, fig):
+        late = fig.curve(catalog.YOUTUBE, 2017)
+        assert late.cdf(1.0) > 0.2
+
+    def test_whatsapp_centralized(self, fig):
+        late = fig.curve(catalog.WHATSAPP, 2017)
+        assert late.median > 50.0
+
+    def test_cdf_series_monotone(self, fig):
+        series = fig.cdf_series(catalog.FACEBOOK, 2017)
+        values = [value for _, value in series]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_report_runs(self, fig):
+        assert fig10_rtt.report(fig)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def fig(self, study_data):
+        return fig11_infrastructure.compute(study_data)
+
+    def test_panels_present(self, fig):
+        assert set(fig.panels) == {
+            catalog.FACEBOOK,
+            catalog.INSTAGRAM,
+            catalog.YOUTUBE,
+        }
+
+    def test_facebook_asn_migration(self, fig):
+        facebook = fig.panels[catalog.FACEBOOK]
+        assert (facebook.asn_share(2013, "AKAMAI") or 0.0) > 0.1
+        assert (facebook.asn_share(2017, "FACEBOOK") or 0.0) > 0.8
+
+    def test_youtube_domain_migration(self, fig):
+        youtube = fig.panels[catalog.YOUTUBE]
+        assert (youtube.domain_share(2013, "youtube.com") or 0.0) > 0.6
+        assert (youtube.domain_share(2017, "googlevideo.com") or 0.0) > 0.4
+
+    def test_cumulative_ips_nondecreasing(self, fig):
+        for panel in fig.panels.values():
+            counts = [count for _, count in panel.cumulative_ips]
+            assert counts == sorted(counts)
+
+    def test_report_runs(self, fig):
+        assert fig11_infrastructure.report(fig)

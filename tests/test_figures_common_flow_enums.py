@@ -1,0 +1,71 @@
+"""Tests for small shared helpers: figures.common and flow enums."""
+
+import pytest
+
+from repro.figures.common import MB, fmt_mb, monthly_row, ratio, within
+from repro.tstat.flow import NameSource, Transport, WebProtocol
+
+
+class TestFiguresCommon:
+    def test_fmt_mb(self):
+        assert fmt_mb(250 * MB) == "250MB"
+        assert fmt_mb(0) == "0MB"
+
+    def test_monthly_row_with_gaps(self):
+        row = monthly_row(
+            "x", [((2014, 1), 1.5), ((2014, 2), None), ((2014, 3), 2.0)]
+        )
+        assert "2014-01:1.5" in row
+        assert "2014-02:--" in row
+        assert "2014-03:2" in row
+
+    def test_within_boundaries_inclusive(self):
+        assert within(1.0, 1.0, 2.0)
+        assert within(2.0, 1.0, 2.0)
+        assert not within(2.01, 1.0, 2.0)
+
+    def test_ratio_none_propagation(self):
+        assert ratio(None, 1.0) is None
+        assert ratio(1.0, None) is None
+        assert ratio(6.0, 3.0) == 2.0
+
+
+class TestFlowEnums:
+    def test_web_protocols(self):
+        web = {p for p in WebProtocol if p.is_web}
+        assert web == {
+            WebProtocol.HTTP,
+            WebProtocol.TLS,
+            WebProtocol.SPDY,
+            WebProtocol.HTTP2,
+            WebProtocol.QUIC,
+            WebProtocol.FBZERO,
+        }
+
+    def test_non_web_protocols(self):
+        for protocol in (WebProtocol.DNS, WebProtocol.P2P, WebProtocol.OTHER):
+            assert not protocol.is_web
+
+    def test_enum_values_are_log_tokens(self):
+        """Values must stay stable: they are the on-disk log vocabulary."""
+        assert WebProtocol.FBZERO.value == "fb-zero"
+        assert WebProtocol.HTTP2.value == "http/2"
+        assert NameSource.DNS.value == "dns"
+        assert Transport.TCP.value == "tcp"
+
+    def test_roundtrip_by_value(self):
+        for protocol in WebProtocol:
+            assert WebProtocol(protocol.value) is protocol
+        for source in NameSource:
+            assert NameSource(source.value) is source
+
+
+class TestFlowKey:
+    def test_reversed(self):
+        from repro.tstat.flow import FlowKey
+
+        key = FlowKey(1, 2, 10, 20, Transport.TCP)
+        swapped = key.reversed()
+        assert swapped.client_ip == 2
+        assert swapped.client_port == 20
+        assert swapped.reversed() == key

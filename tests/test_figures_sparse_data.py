@@ -1,0 +1,137 @@
+"""Robustness: figure modules must tolerate sparse or partial study data.
+
+Probe outages, short spans and reduced-fidelity runs all produce
+StudyData with holes; every compute()/report() pair must degrade
+gracefully instead of crashing (the paper's own curves have gaps).
+"""
+
+import datetime
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.study import LongitudinalStudy, StudyData
+from repro.figures import (
+    fig02_ccdf,
+    fig03_volume_trend,
+    fig05_services,
+    fig06_video_p2p,
+    fig07_social,
+    fig08_protocols,
+    fig09_autoplay,
+    fig10_rtt,
+    fig11_infrastructure,
+)
+from repro.synthesis.world import WorldConfig
+
+D = datetime.date
+
+
+@pytest.fixture(scope="module")
+def sparse_data() -> StudyData:
+    """A three-month sliver with no flow tier and no hourly tier."""
+    config = StudyConfig(
+        world=WorldConfig(
+            seed=23,
+            adsl_count=30,
+            ftth_count=15,
+            start=D(2016, 1, 1),
+            end=D(2016, 3, 31),
+        ),
+        day_stride=10,
+        flow_days_per_month=0,
+        rtt_days_per_comparison_month=0,
+    )
+    return LongitudinalStudy(config).run()
+
+
+@pytest.fixture(scope="module")
+def empty_data() -> StudyData:
+    return LongitudinalStudy(
+        StudyConfig(
+            world=WorldConfig(
+                seed=23, adsl_count=10, ftth_count=5,
+                start=D(2016, 1, 1), end=D(2016, 1, 31),
+            ),
+            day_stride=100,  # effectively one day
+            flow_days_per_month=0,
+            rtt_days_per_comparison_month=0,
+        )
+    ).empty_data()
+
+
+class TestSparseSliver:
+    """No comparison months, no flows: figures must still not crash."""
+
+    def test_fig02_reports_without_comparison_months(self, sparse_data):
+        fig = fig02_ccdf.compute(sparse_data)
+        assert fig.distributions == {}
+        lines = fig02_ccdf.report(fig)
+        assert lines[0].startswith("Figure 2")
+
+    def test_fig03_over_three_months(self, sparse_data):
+        fig = fig03_volume_trend.compute(sparse_data)
+        lines = fig03_volume_trend.report(fig)
+        assert any("ADSL" in line for line in lines)
+
+    def test_fig04_fails_loud_without_hourly_data(self, sparse_data):
+        """Fig. 4 needs the comparison months; the contract is a clear error."""
+        from repro.figures import fig04_hourly_ratio
+
+        with pytest.raises(ValueError, match="no hourly data"):
+            fig04_hourly_ratio.compute(sparse_data)
+
+    def test_fig05_partial_span(self, sparse_data):
+        fig = fig05_services.compute(sparse_data)
+        assert fig05_services.report(fig)
+
+    def test_fig06_netflix_preexistence_only(self, sparse_data):
+        fig = fig06_video_p2p.compute(sparse_data)
+        assert fig06_video_p2p.report(fig)
+
+    def test_fig07_short_span(self, sparse_data):
+        fig = fig07_social.compute(sparse_data)
+        assert fig07_social.report(fig)
+
+    def test_fig08_partial_events(self, sparse_data):
+        fig = fig08_protocols.compute(sparse_data)
+        assert fig08_protocols.report(fig)
+
+    def test_fig09_no_2014_data(self, sparse_data):
+        fig = fig09_autoplay.compute(sparse_data)
+        assert fig.monthly_mb == {}
+        assert fig09_autoplay.report(fig)
+
+    def test_fig10_no_rtt_samples(self, sparse_data):
+        fig = fig10_rtt.compute(sparse_data)
+        assert fig.distributions == {}
+        assert fig10_rtt.report(fig)
+
+    def test_fig11_no_flow_tier(self, sparse_data):
+        fig = fig11_infrastructure.compute(sparse_data)
+        assert fig11_infrastructure.report(fig)
+        for panel in fig.panels.values():
+            assert panel.census == []
+
+
+class TestEmptyData:
+    """A freshly initialized StudyData (no days processed at all)."""
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            fig02_ccdf,
+            fig03_volume_trend,
+            fig05_services,
+            fig06_video_p2p,
+            fig07_social,
+            fig08_protocols,
+            fig09_autoplay,
+            fig10_rtt,
+            fig11_infrastructure,
+        ],
+    )
+    def test_compute_and_report_survive(self, empty_data, module):
+        fig = module.compute(empty_data)
+        lines = module.report(fig)
+        assert lines

@@ -1,0 +1,106 @@
+"""Cross-cutting quality tests: doctests, corruption contracts, edge paths."""
+
+import datetime
+import doctest
+
+import pytest
+
+from repro.nettypes import ip as ip_module
+from repro.tstat.logs import LogFormatError, format_record, parse_record
+from repro.tstat.flow import NameSource, RttSummary, Transport, WebProtocol
+
+
+class TestDoctests:
+    def test_nettypes_ip_doctests(self):
+        results = doctest.testmod(ip_module)
+        assert results.failed == 0
+        assert results.attempted >= 3
+
+
+class TestLogCorruptionContract:
+    """Parsing a corrupted log line fails loudly, never silently."""
+
+    def _line(self):
+        from tests.test_tstat_logs_versions_outages import make_record
+
+        return format_record(make_record())
+
+    def test_bad_protocol_token(self):
+        fields = self._line().split("\t")
+        fields[11] = "not-a-protocol"
+        with pytest.raises(ValueError):
+            parse_record("\t".join(fields))
+
+    def test_bad_ip(self):
+        fields = self._line().split("\t")
+        fields[1] = "999.999.0.1"
+        with pytest.raises(ValueError):
+            parse_record("\t".join(fields))
+
+    def test_bad_number(self):
+        fields = self._line().split("\t")
+        fields[7] = "NaN-packets"
+        with pytest.raises(ValueError):
+            parse_record("\t".join(fields))
+
+
+class TestMeterUdpExpiry:
+    def test_udp_flows_expire_on_idle(self):
+        from repro.nettypes.ip import Prefix, ip_to_int
+        from repro.packets.capture import FrameDecoder, build_frame
+        from repro.packets.ipv4 import PROTO_UDP, IPv4Packet
+        from repro.packets.udp import UdpDatagram
+        from repro.tstat.meter import FlowMeter
+
+        client = ip_to_int("10.0.0.1")
+        server = ip_to_int("8.8.4.4")
+        meter = FlowMeter([Prefix.parse("10.0.0.0/8")], idle_timeout=5.0)
+        decoder = FrameDecoder()
+        datagram = UdpDatagram(5000, 4500, b"payload")
+        packet = decoder.decode(
+            build_frame(
+                0.0,
+                IPv4Packet(
+                    src=client,
+                    dst=server,
+                    protocol=PROTO_UDP,
+                    payload=datagram.encode(client, server),
+                ),
+            )
+        )
+        meter.process(packet)
+        assert meter.live_flows == 1
+        assert meter.expire_idle(3.0) == []
+        expired = meter.expire_idle(10.0)
+        assert len(expired) == 1
+        assert expired[0].transport is Transport.UDP
+
+
+class TestStudyDataMergeEdgeCases:
+    def test_merge_into_empty_months(self):
+        from repro.core.study import StudyData
+
+        empty = StudyData(months=[])
+        other = StudyData(months=[(2014, 1)])
+        empty.merge(other)
+        assert empty.months == [(2014, 1)]
+
+    def test_weekly_reach_without_data(self):
+        from repro.core.study import StudyData
+        from repro.synthesis.population import Technology
+
+        data = StudyData(months=[(2014, 1)])
+        assert data.weekly_reach("Netflix", Technology.ADSL, 2017) is None
+
+
+class TestCurveEdgeCases:
+    def test_single_knot_piecewise(self):
+        from repro.synthesis import curves
+
+        curve = curves.piecewise((datetime.date(2015, 1, 1), 3.0))
+        assert curve(datetime.date(2013, 1, 1)) == 3.0
+        assert curve(datetime.date(2017, 1, 1)) == 3.0
+
+    def test_rtt_summary_repr_fields(self):
+        summary = RttSummary()
+        assert summary.as_tuple() == (0, 0.0, 0.0, 0.0)

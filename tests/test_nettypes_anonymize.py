@@ -1,0 +1,89 @@
+"""Tests for the anonymizers (Section 2.1: consistent, immediate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nettypes.anonymize import PrefixPreservingAnonymizer, TableAnonymizer
+from repro.nettypes.ip import IPV4_MAX, ip_to_int
+
+addresses = st.integers(min_value=0, max_value=IPV4_MAX)
+
+
+class TestPrefixPreserving:
+    def test_deterministic(self):
+        a = PrefixPreservingAnonymizer(b"key")
+        b = PrefixPreservingAnonymizer(b"key")
+        address = ip_to_int("10.1.2.3")
+        assert a.anonymize(address) == b.anonymize(address)
+
+    def test_key_changes_mapping(self):
+        a = PrefixPreservingAnonymizer(b"key-1")
+        b = PrefixPreservingAnonymizer(b"key-2")
+        address = ip_to_int("10.1.2.3")
+        assert a.anonymize(address) != b.anonymize(address)
+
+    def test_consistent_within_instance(self):
+        anonymizer = PrefixPreservingAnonymizer(b"key")
+        address = ip_to_int("10.9.8.7")
+        assert anonymizer(address) == anonymizer(address)
+
+    def test_requires_key(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer(b"")
+
+    def test_rejects_out_of_range(self):
+        anonymizer = PrefixPreservingAnonymizer(b"key")
+        with pytest.raises(ValueError):
+            anonymizer.anonymize(IPV4_MAX + 1)
+
+    @given(addresses, addresses)
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_preservation(self, first, second):
+        """Shared k-bit prefixes survive anonymization (Crypt-PAn property)."""
+        anonymizer = PrefixPreservingAnonymizer(b"prop-key")
+        out_first = anonymizer.anonymize(first)
+        out_second = anonymizer.anonymize(second)
+        shared_in = _shared_prefix_len(first, second)
+        shared_out = _shared_prefix_len(out_first, out_second)
+        assert shared_out >= shared_in
+        # And nothing beyond: differing bit k must still differ at bit k.
+        if shared_in < 32:
+            assert shared_out == shared_in
+
+    @given(st.lists(addresses, min_size=2, max_size=40, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_injective(self, values):
+        anonymizer = PrefixPreservingAnonymizer(b"inj-key")
+        outputs = [anonymizer.anonymize(value) for value in values]
+        assert len(set(outputs)) == len(values)
+
+
+def _shared_prefix_len(a: int, b: int) -> int:
+    for bit in range(32):
+        mask = 1 << (31 - bit)
+        if (a & mask) != (b & mask):
+            return bit
+    return 32
+
+
+class TestTableAnonymizer:
+    def test_dense_sequential_ids(self):
+        anonymizer = TableAnonymizer()
+        first = anonymizer(ip_to_int("10.0.0.1"))
+        second = anonymizer(ip_to_int("10.0.0.2"))
+        assert (first, second) == (0, 1)
+        assert len(anonymizer) == 2
+
+    def test_stable(self):
+        anonymizer = TableAnonymizer()
+        address = ip_to_int("10.0.0.1")
+        assert anonymizer(address) == anonymizer(address)
+        assert len(anonymizer) == 1
+
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_ids_are_dense(self, values):
+        anonymizer = TableAnonymizer()
+        outputs = {anonymizer(value) for value in values}
+        assert outputs == set(range(len(set(values))))

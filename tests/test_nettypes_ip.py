@@ -1,0 +1,122 @@
+"""Tests for IPv4 value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nettypes.ip import (
+    IPV4_MAX,
+    AddressError,
+    Prefix,
+    int_to_ip,
+    ip_to_int,
+    is_private,
+)
+
+
+class TestIpConversion:
+    def test_parse_simple(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == IPV4_MAX
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+
+    def test_format_simple(self):
+        assert int_to_ip(0) == "0.0.0.0"
+        assert int_to_ip(IPV4_MAX) == "255.255.255.255"
+
+    @given(st.integers(min_value=0, max_value=IPV4_MAX))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize(
+        "text",
+        ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4", "", "1..2.3"],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(AddressError):
+            ip_to_int(text)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            int_to_ip(IPV4_MAX + 1)
+        with pytest.raises(AddressError):
+            int_to_ip(-1)
+
+
+class TestPrefix:
+    def test_parse(self):
+        prefix = Prefix.parse("192.168.0.0/16")
+        assert prefix.length == 16
+        assert prefix.network == ip_to_int("192.168.0.0")
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("192.168.0.1/16")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0")
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains(ip_to_int("10.200.3.4"))
+        assert not prefix.contains(ip_to_int("11.0.0.0"))
+
+    def test_zero_length_contains_everything(self):
+        prefix = Prefix.parse("0.0.0.0/0")
+        assert prefix.contains(0)
+        assert prefix.contains(IPV4_MAX)
+
+    def test_size_and_bounds(self):
+        prefix = Prefix.parse("10.1.0.0/24")
+        assert prefix.size() == 256
+        assert prefix.first() == ip_to_int("10.1.0.0")
+        assert prefix.last() == ip_to_int("10.1.0.255")
+
+    def test_nth(self):
+        prefix = Prefix.parse("10.1.0.0/24")
+        assert prefix.nth(0) == prefix.first()
+        assert prefix.nth(255) == prefix.last()
+        with pytest.raises(IndexError):
+            prefix.nth(256)
+
+    def test_hosts_iteration(self):
+        prefix = Prefix.parse("10.1.0.0/30")
+        assert list(prefix.hosts()) == [prefix.network + offset for offset in range(4)]
+
+    def test_str(self):
+        assert str(Prefix.parse("172.16.0.0/12")) == "172.16.0.0/12"
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_mask_has_length_leading_ones(self, length):
+        prefix = Prefix(0, length)
+        mask = prefix.mask()
+        assert bin(mask).count("1") == length
+        if length:
+            assert mask >> (32 - length) == (1 << length) - 1
+
+    @given(
+        st.integers(min_value=0, max_value=IPV4_MAX),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_canonicalized_prefix_contains_origin(self, address, length):
+        network = address & Prefix(0, length).mask()
+        prefix = Prefix(network, length)
+        assert prefix.contains(address)
+
+
+class TestPrivate:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10.1.2.3", True),
+            ("172.16.0.1", True),
+            ("172.32.0.1", False),
+            ("192.168.4.4", True),
+            ("8.8.8.8", False),
+        ],
+    )
+    def test_is_private(self, text, expected):
+        assert is_private(ip_to_int(text)) is expected

@@ -1,0 +1,79 @@
+"""Tests for the capture-path decoder (robustness to junk on the wire)."""
+
+import pytest
+
+from repro.nettypes.ip import ip_to_int
+from repro.packets.capture import (
+    CapturedPacket,
+    DecodedPacket,
+    FrameDecoder,
+    build_frame,
+)
+from repro.packets.ethernet import ETHERTYPE_ARP, EthernetFrame
+from repro.packets.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.packets.tcp import FLAG_SYN, TcpSegment
+from repro.packets.udp import UdpDatagram
+
+SRC = ip_to_int("10.0.0.1")
+DST = ip_to_int("8.8.4.4")
+
+
+def _tcp_packet(ts=0.0):
+    segment = TcpSegment(1234, 80, 0, 0, FLAG_SYN)
+    ip = IPv4Packet(src=SRC, dst=DST, protocol=PROTO_TCP, payload=segment.encode(SRC, DST))
+    return build_frame(ts, ip)
+
+
+def _udp_packet(ts=0.0):
+    datagram = UdpDatagram(5353, 53, b"q")
+    ip = IPv4Packet(src=SRC, dst=DST, protocol=PROTO_UDP, payload=datagram.encode(SRC, DST))
+    return build_frame(ts, ip)
+
+
+class TestFrameDecoder:
+    def test_decodes_tcp(self):
+        decoder = FrameDecoder()
+        decoded = decoder.decode(_tcp_packet(1.5))
+        assert isinstance(decoded, DecodedPacket)
+        assert decoded.is_tcp and not decoded.is_udp
+        assert decoded.timestamp == 1.5
+        assert decoder.stats.decoded == 0 or decoder.stats.total == 1
+
+    def test_decodes_udp(self):
+        decoder = FrameDecoder()
+        decoded = decoder.decode(_udp_packet())
+        assert decoded is not None and decoded.is_udp
+        assert decoded.payload == b"q"
+
+    def test_skips_non_ipv4(self):
+        decoder = FrameDecoder()
+        frame = EthernetFrame(b"\x02" * 6, b"\x04" * 6, ETHERTYPE_ARP, b"arp")
+        assert decoder.decode(CapturedPacket(0.0, frame.encode())) is None
+        assert decoder.stats.non_ipv4 == 1
+
+    def test_skips_non_tcp_udp(self):
+        decoder = FrameDecoder()
+        ip = IPv4Packet(src=SRC, dst=DST, protocol=PROTO_ICMP, payload=b"\x08\x00" + b"\x00" * 6)
+        assert decoder.decode(build_frame(0.0, ip)) is None
+        assert decoder.stats.non_tcp_udp == 1
+
+    def test_counts_malformed(self):
+        decoder = FrameDecoder()
+        assert decoder.decode(CapturedPacket(0.0, b"\x00" * 4)) is None
+        assert decoder.stats.malformed == 1
+        assert decoder.stats.by_error
+
+    def test_survives_corrupt_ip(self):
+        decoder = FrameDecoder()
+        packet = _tcp_packet()
+        corrupted = bytearray(packet.data)
+        corrupted[20] ^= 0xFF  # inside the IP header
+        assert decoder.decode(CapturedPacket(0.0, bytes(corrupted))) is None
+        assert decoder.stats.malformed == 1
+
+    def test_decode_stream_filters(self):
+        decoder = FrameDecoder()
+        packets = [_tcp_packet(0.0), CapturedPacket(0.1, b"junk"), _udp_packet(0.2)]
+        decoded = list(decoder.decode_stream(packets))
+        assert len(decoded) == 2
+        assert decoder.stats.total == 3

@@ -1,0 +1,210 @@
+"""Tests for the Ethernet / IPv4 / TCP / UDP codecs."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nettypes.ip import IPV4_MAX, ip_to_int
+from repro.packets.checksum import internet_checksum
+from repro.packets.ethernet import (
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    FrameError,
+    mac_to_text,
+)
+from repro.packets.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Packet, PacketError
+from repro.packets.tcp import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_RST,
+    FLAG_SYN,
+    TcpSegment,
+    mss_option,
+)
+from repro.packets.udp import UdpDatagram
+
+MAC_A = b"\x02\x00\x00\x00\x00\x01"
+MAC_B = b"\x02\x00\x00\x00\x00\x02"
+payloads = st.binary(min_size=0, max_size=200)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+addresses = st.integers(min_value=0, max_value=IPV4_MAX)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Known vector: checksum of these words per RFC 1071 arithmetic.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_verifies_to_zero(self):
+        data = b"\x45\x00\x00\x1c"
+        checksum = internet_checksum(data)
+        padded = data + struct.pack("!H", checksum)
+        assert internet_checksum(padded) == 0
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\xff") == internet_checksum(b"\xff\x00")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, b"payload")
+        decoded = EthernetFrame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_rejects_short_frame(self):
+        with pytest.raises(FrameError):
+            EthernetFrame.decode(b"\x00" * 13)
+
+    def test_rejects_bad_mac(self):
+        with pytest.raises(FrameError):
+            EthernetFrame(b"\x00" * 5, MAC_B, ETHERTYPE_IPV4, b"")
+
+    def test_mac_to_text(self):
+        assert mac_to_text(MAC_A) == "02:00:00:00:00:01"
+
+    @given(payloads, st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, payload, ethertype):
+        frame = EthernetFrame(MAC_A, MAC_B, ethertype, payload)
+        assert EthernetFrame.decode(frame.encode()) == frame
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        packet = IPv4Packet(
+            src=ip_to_int("10.0.0.1"),
+            dst=ip_to_int("8.8.8.8"),
+            protocol=PROTO_UDP,
+            payload=b"hello",
+            ttl=17,
+            identification=42,
+        )
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded == packet
+
+    def test_checksum_verified(self):
+        packet = IPv4Packet(src=1, dst=2, protocol=PROTO_TCP, payload=b"x")
+        wire = bytearray(packet.encode())
+        wire[8] ^= 0xFF  # corrupt the TTL
+        with pytest.raises(PacketError, match="checksum"):
+            IPv4Packet.decode(bytes(wire))
+
+    def test_checksum_check_can_be_disabled(self):
+        packet = IPv4Packet(src=1, dst=2, protocol=PROTO_TCP, payload=b"x")
+        wire = bytearray(packet.encode())
+        wire[8] ^= 0xFF
+        decoded = IPv4Packet.decode(bytes(wire), verify_checksum=False)
+        assert decoded.ttl != packet.ttl
+
+    def test_rejects_non_ipv4(self):
+        packet = IPv4Packet(src=1, dst=2, protocol=PROTO_TCP, payload=b"")
+        wire = bytearray(packet.encode())
+        wire[0] = (6 << 4) | 5
+        with pytest.raises(PacketError, match="version"):
+            IPv4Packet.decode(bytes(wire))
+
+    def test_rejects_truncated(self):
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(b"\x45\x00")
+
+    def test_total_len_respected(self):
+        """Trailing Ethernet padding must not leak into the payload."""
+        packet = IPv4Packet(src=1, dst=2, protocol=PROTO_UDP, payload=b"abc")
+        wire = packet.encode() + b"\x00" * 10  # padded frame
+        decoded = IPv4Packet.decode(wire)
+        assert decoded.payload == b"abc"
+
+    def test_options_preserved(self):
+        packet = IPv4Packet(
+            src=1, dst=2, protocol=PROTO_TCP, payload=b"", options=b"\x01\x01\x01\x01"
+        )
+        assert IPv4Packet.decode(packet.encode()).options == b"\x01\x01\x01\x01"
+
+    def test_rejects_unpadded_options(self):
+        with pytest.raises(PacketError):
+            IPv4Packet(src=1, dst=2, protocol=PROTO_TCP, payload=b"", options=b"\x01")
+
+    @given(addresses, addresses, payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, src, dst, payload):
+        packet = IPv4Packet(src=src, dst=dst, protocol=PROTO_TCP, payload=payload)
+        assert IPv4Packet.decode(packet.encode()) == packet
+
+
+class TestTcp:
+    def test_roundtrip(self):
+        segment = TcpSegment(
+            src_port=1234,
+            dst_port=443,
+            seq=100,
+            ack=200,
+            flags=FLAG_SYN | FLAG_ACK,
+            payload=b"data",
+            window=1024,
+            options=mss_option(1460),
+        )
+        decoded = TcpSegment.decode(segment.encode(1, 2))
+        assert decoded == segment
+
+    def test_flag_properties(self):
+        segment = TcpSegment(1, 2, 0, 0, FLAG_SYN | FLAG_ACK)
+        assert segment.syn and segment.has_ack
+        assert not segment.fin and not segment.rst
+        assert TcpSegment(1, 2, 0, 0, FLAG_RST).rst
+        assert TcpSegment(1, 2, 0, 0, FLAG_FIN).fin
+
+    def test_sequence_space(self):
+        assert TcpSegment(1, 2, 0, 0, FLAG_SYN).sequence_space() == 1
+        assert TcpSegment(1, 2, 0, 0, FLAG_ACK, b"abc").sequence_space() == 3
+        assert TcpSegment(1, 2, 0, 0, FLAG_FIN, b"ab").sequence_space() == 3
+
+    def test_end_seq_wraps(self):
+        segment = TcpSegment(1, 2, (1 << 32) - 1, 0, FLAG_ACK, b"xy")
+        assert segment.end_seq() == 1
+
+    def test_rejects_bad_offset(self):
+        segment = TcpSegment(1, 2, 0, 0, FLAG_ACK, b"abc")
+        wire = bytearray(segment.encode(1, 2))
+        wire[12] = 0x20  # data offset 8 words > segment length
+        with pytest.raises(PacketError):
+            TcpSegment.decode(bytes(wire))
+
+    def test_rejects_truncated(self):
+        with pytest.raises(PacketError):
+            TcpSegment.decode(b"\x00" * 10)
+
+    @given(ports, ports, payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, sport, dport, payload):
+        segment = TcpSegment(sport, dport, 7, 9, FLAG_ACK, payload)
+        assert TcpSegment.decode(segment.encode(3, 4)) == segment
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        datagram = UdpDatagram(53, 4444, b"dns-bytes")
+        assert UdpDatagram.decode(datagram.encode(1, 2)) == datagram
+
+    def test_length_respected(self):
+        datagram = UdpDatagram(1, 2, b"abc")
+        wire = datagram.encode(1, 2) + b"\x00" * 8
+        assert UdpDatagram.decode(wire).payload == b"abc"
+
+    def test_rejects_truncated(self):
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(b"\x00" * 7)
+
+    def test_rejects_bad_length_field(self):
+        wire = bytearray(UdpDatagram(1, 2, b"abc").encode(1, 2))
+        wire[4:6] = struct.pack("!H", 100)  # longer than the datagram
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(bytes(wire))
+
+    @given(ports, ports, payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, sport, dport, payload):
+        datagram = UdpDatagram(sport, dport, payload)
+        assert UdpDatagram.decode(datagram.encode(9, 10)) == datagram

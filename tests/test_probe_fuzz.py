@@ -1,0 +1,124 @@
+"""Fuzz tests: the probe must survive anything the mirror port sends.
+
+Section 2.3: probes run unattended for years under continuous load; a
+crash on a malformed packet means months of missing data.  These tests
+throw random garbage, bit-flipped real frames, and random-but-plausible
+packet streams at the full probe and assert it never raises and keeps its
+counters consistent.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nettypes.ip import ip_to_int
+from repro.packets.capture import CapturedPacket, FrameDecoder, build_frame
+from repro.packets.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.packets.tcp import TcpSegment
+from repro.packets.udp import UdpDatagram
+from repro.protocols.dns import DnsError, DnsMessage
+from repro.protocols.http import sniff_host
+from repro.protocols.quic import sniff_quic
+from repro.protocols.fbzero import sniff_zero
+from repro.protocols.tls import ClientHello, TlsError
+from repro.tstat.probe import Probe, ProbeConfig
+
+CLIENT = ip_to_int("10.0.0.5")
+SERVER = ip_to_int("93.184.216.34")
+
+
+class TestDecoderFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_random_bytes_never_raise(self, blob):
+        decoder = FrameDecoder()
+        decoder.decode(CapturedPacket(0.0, blob))  # must not raise
+        assert decoder.stats.total == 1
+
+    @given(st.binary(min_size=60, max_size=120), st.integers(0, 59))
+    @settings(max_examples=200, deadline=None)
+    def test_bitflipped_real_frame_never_raises(self, payload, position):
+        segment = TcpSegment(1234, 443, 1, 0, 0x18, payload)
+        ip = IPv4Packet(
+            src=CLIENT, dst=SERVER, protocol=PROTO_TCP,
+            payload=segment.encode(CLIENT, SERVER),
+        )
+        frame = bytearray(build_frame(0.0, ip).data)
+        frame[position % len(frame)] ^= 0xFF
+        decoder = FrameDecoder()
+        decoder.decode(CapturedPacket(0.0, bytes(frame)))  # must not raise
+
+
+class TestDpiFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_sniffers_never_raise(self, blob):
+        assert sniff_host(blob) is None or isinstance(sniff_host(blob), str)
+        sniff_quic(blob)
+        sniff_zero(blob)
+        with pytest.raises(TlsError):
+            # Either parses or raises TlsError — nothing else.
+            ClientHello.decode_record(blob)
+            raise TlsError("parsed cleanly")  # pragma: no cover
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_dns_decoder_never_raises_unexpectedly(self, blob):
+        try:
+            DnsMessage.decode(blob)
+        except DnsError:
+            pass  # the only acceptable failure mode
+
+
+def _random_packet(draw_bytes, ts, src, dst, transport, sport, dport):
+    if transport == "tcp":
+        segment = TcpSegment(sport, dport, 100, 0, 0x18, draw_bytes)
+        payload = segment.encode(src, dst)
+        protocol = PROTO_TCP
+    else:
+        payload = UdpDatagram(sport, dport, draw_bytes).encode(src, dst)
+        protocol = PROTO_UDP
+    return build_frame(ts, IPv4Packet(src=src, dst=dst, protocol=protocol, payload=payload))
+
+
+packet_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.sampled_from(["tcp", "udp"]),
+        st.booleans(),  # direction: client->server?
+        st.integers(min_value=1, max_value=65535),
+        st.sampled_from([53, 80, 443, 6881, 5222]),
+        st.binary(max_size=120),
+    ),
+    max_size=60,
+)
+
+
+class TestMeterFuzz:
+    @given(packet_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_probe_survives_random_streams(self, specs):
+        probe = Probe(ProbeConfig.for_pop("pop1", ["10.0.0.0/8"]))
+        packets = []
+        for ts, transport, upstream, sport, dport, payload in specs:
+            src, dst = (CLIENT, SERVER) if upstream else (SERVER, CLIENT)
+            packets.append(
+                _random_packet(payload, ts, src, dst, transport, sport, dport)
+            )
+        packets.sort(key=lambda packet: packet.timestamp)
+        records = probe.run(packets)
+        # Invariants: counters consistent, all flows exported exactly once.
+        stats = probe.meter_stats
+        exported = (
+            stats.flows_expired_rst
+            + stats.flows_expired_fin
+            + stats.flows_expired_idle
+            + stats.flows_expired_flush
+        )
+        assert len(records) == exported
+        assert exported <= stats.flows_created
+        assert probe.meter.live_flows == 0
+        for record in records:
+            assert record.ts_end >= record.ts_start
+            assert record.bytes_up >= 0 and record.bytes_down >= 0
+            assert record.packets_up + record.packets_down >= 1

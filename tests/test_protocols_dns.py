@@ -1,0 +1,163 @@
+"""Tests for the DNS codec (DN-Hunter's input format)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nettypes.ip import ip_to_int
+from repro.protocols.dns import (
+    FLAG_QR,
+    RCODE_NXDOMAIN,
+    TYPE_A,
+    TYPE_AAAA,
+    TYPE_CNAME,
+    DnsError,
+    DnsMessage,
+    Question,
+    ResourceRecord,
+)
+
+labels = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1,
+    max_size=12,
+).filter(lambda label: not label.startswith("-") and not label.endswith("-"))
+names = st.lists(labels, min_size=1, max_size=5).map(".".join)
+
+
+class TestQueryResponse:
+    def test_query_roundtrip(self):
+        query = DnsMessage.query("www.example.com", txid=77)
+        decoded = DnsMessage.decode(query.encode())
+        assert decoded.txid == 77
+        assert not decoded.is_response
+        assert decoded.questions == [Question("www.example.com", TYPE_A)]
+
+    def test_response_roundtrip(self):
+        query = DnsMessage.query("cdn.example.net", txid=5)
+        response = DnsMessage.response(
+            query, [ResourceRecord.a("cdn.example.net", "93.184.216.34", ttl=60)]
+        )
+        decoded = DnsMessage.decode(response.encode())
+        assert decoded.is_response
+        assert decoded.txid == 5
+        assert decoded.answers[0].address_text() == "93.184.216.34"
+        assert decoded.answers[0].ttl == 60
+
+    def test_nxdomain(self):
+        query = DnsMessage.query("missing.example")
+        response = DnsMessage.response(query, [], rcode=RCODE_NXDOMAIN)
+        decoded = DnsMessage.decode(response.encode())
+        assert decoded.rcode == RCODE_NXDOMAIN
+        assert decoded.resolved_addresses() == []
+
+    def test_cname_chain_attributed_to_origin(self):
+        """DN-Hunter stores the *queried* name, not the CDN alias."""
+        query = DnsMessage.query("www.netflix.com")
+        response = DnsMessage.response(
+            query,
+            [
+                ResourceRecord.cname("www.netflix.com", "www.geo.netflix.com"),
+                ResourceRecord.cname("www.geo.netflix.com", "edge.nflxvideo.net"),
+                ResourceRecord.a("edge.nflxvideo.net", "23.246.2.10"),
+            ],
+        )
+        wire = response.encode()
+        resolved = DnsMessage.decode(wire).resolved_addresses()
+        assert resolved == [("www.netflix.com", ip_to_int("23.246.2.10"))]
+
+    def test_multiple_a_records(self):
+        query = DnsMessage.query("multi.example")
+        response = DnsMessage.response(
+            query,
+            [
+                ResourceRecord.a("multi.example", "1.1.1.1"),
+                ResourceRecord.a("multi.example", "1.1.1.2"),
+            ],
+        )
+        resolved = DnsMessage.decode(response.encode()).resolved_addresses()
+        assert {address for _, address in resolved} == {
+            ip_to_int("1.1.1.1"),
+            ip_to_int("1.1.1.2"),
+        }
+
+    def test_names_case_folded(self):
+        query = DnsMessage.query("WWW.Example.COM")
+        assert query.questions[0].name == "www.example.com"
+
+    @given(names, st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, name, txid):
+        query = DnsMessage.query(name, txid=txid)
+        decoded = DnsMessage.decode(query.encode())
+        assert decoded.questions[0].name == name.lower()
+        assert decoded.txid == txid
+
+
+class TestCompression:
+    def test_compression_applied_on_encode(self):
+        """Answers repeating the question name must use pointers."""
+        query = DnsMessage.query("averylongdomainname.example.org")
+        response = DnsMessage.response(
+            query,
+            [ResourceRecord.a("averylongdomainname.example.org", "1.2.3.4")] * 3,
+        )
+        wire = response.encode()
+        uncompressed_estimate = len(query.encode()) + 3 * (
+            len("averylongdomainname.example.org") + 2 + 14
+        )
+        assert len(wire) < uncompressed_estimate
+
+    def test_decodes_pointer_chains(self):
+        query = DnsMessage.query("a.b.c.example.com")
+        response = DnsMessage.response(
+            query, [ResourceRecord.a("a.b.c.example.com", "9.9.9.9")]
+        )
+        decoded = DnsMessage.decode(response.encode())
+        assert decoded.answers[0].name == "a.b.c.example.com"
+
+    def test_rejects_forward_pointer(self):
+        # Header + a question whose name is a pointer to itself.
+        wire = bytearray(DnsMessage.query("x").encode())
+        # Craft a self-referencing pointer at the question name offset (12).
+        wire[12] = 0xC0
+        wire[13] = 12
+        with pytest.raises(DnsError):
+            DnsMessage.decode(bytes(wire))
+
+    def test_rejects_truncated_message(self):
+        wire = DnsMessage.query("example.com").encode()
+        with pytest.raises(DnsError):
+            DnsMessage.decode(wire[: len(wire) - 3])
+
+    def test_rejects_short_header(self):
+        with pytest.raises(DnsError):
+            DnsMessage.decode(b"\x00" * 4)
+
+
+class TestResourceRecord:
+    def test_a_accessors(self):
+        record = ResourceRecord.a("x.example", "10.0.0.1")
+        assert record.address() == ip_to_int("10.0.0.1")
+        assert record.address_text() == "10.0.0.1"
+
+    def test_address_of_non_a_raises(self):
+        record = ResourceRecord.cname("x.example", "y.example")
+        with pytest.raises(DnsError):
+            record.address()
+
+    def test_cname_target(self):
+        record = ResourceRecord.cname("x.example", "y.example")
+        assert record.cname_target() == "y.example"
+
+    def test_cname_target_of_a_raises(self):
+        record = ResourceRecord.a("x.example", "10.0.0.1")
+        with pytest.raises(DnsError):
+            record.cname_target()
+
+    def test_unknown_rtype_carried_opaquely(self):
+        record = ResourceRecord("x.example", TYPE_AAAA, 30, b"\x00" * 16)
+        query = DnsMessage.query("x.example", qtype=TYPE_AAAA)
+        decoded = DnsMessage.decode(DnsMessage.response(query, [record]).encode())
+        assert decoded.answers[0].rdata == b"\x00" * 16
+        assert decoded.resolved_addresses() == []

@@ -1,0 +1,103 @@
+"""Tests for the gQUIC and FB-Zero recognizers (events B, D and F)."""
+
+import pytest
+
+from repro.protocols.fbzero import FbZeroError, ZeroHello, sniff_zero
+from repro.protocols.quic import (
+    ChloMessage,
+    QuicError,
+    QuicPublicHeader,
+    build_client_initial,
+    sniff_quic,
+)
+from repro.protocols.tls import ClientHello
+
+
+class TestQuicPublicHeader:
+    def test_roundtrip_with_version(self):
+        header = QuicPublicHeader(connection_id=0xDEADBEEF, version="Q039")
+        decoded, rest = QuicPublicHeader.decode(header.encode())
+        assert decoded == header
+        assert rest == b""
+
+    def test_roundtrip_without_version(self):
+        header = QuicPublicHeader(connection_id=7, version=None, packet_number=9)
+        decoded, _ = QuicPublicHeader.decode(header.encode())
+        assert decoded.version is None
+        assert decoded.packet_number == 9
+
+    def test_rejects_empty(self):
+        with pytest.raises(QuicError):
+            QuicPublicHeader.decode(b"")
+
+    def test_rejects_truncated_cid(self):
+        with pytest.raises(QuicError):
+            QuicPublicHeader.decode(b"\x09\x00\x00")
+
+    def test_rejects_bad_version_tag(self):
+        header = bytearray(QuicPublicHeader(connection_id=1, version="Q039").encode())
+        header[9] = ord("X")  # version no longer starts with Q
+        with pytest.raises(QuicError):
+            QuicPublicHeader.decode(bytes(header))
+
+    def test_version_must_be_four_bytes(self):
+        with pytest.raises(QuicError):
+            QuicPublicHeader(connection_id=1, version="Q1").encode()
+
+
+class TestChlo:
+    def test_roundtrip(self):
+        message = ChloMessage.for_server("video.google.com")
+        decoded = ChloMessage.decode(message.encode())
+        assert decoded.sni == "video.google.com"
+
+    def test_rejects_non_chlo(self):
+        with pytest.raises(QuicError):
+            ChloMessage.decode(b"REJ\x00\x00\x00\x00\x00")
+
+    def test_rejects_bad_offsets(self):
+        message = bytearray(ChloMessage.for_server("x.example").encode())
+        message[8 + 4] = 0xFF  # corrupt first end-offset
+        with pytest.raises(QuicError):
+            ChloMessage.decode(bytes(message))
+
+    def test_no_sni_tag(self):
+        message = ChloMessage(tags={b"VER\x00": b"Q039"})
+        assert ChloMessage.decode(message.encode()).sni is None
+
+
+class TestSniffers:
+    def test_sniff_quic_full_initial(self):
+        payload = build_client_initial(42, "www.google.com", "Q043")
+        assert sniff_quic(payload) == ("Q043", "www.google.com")
+
+    def test_sniff_quic_rejects_tls(self):
+        payload = ClientHello(sni="x.example").encode_record()
+        assert sniff_quic(payload) is None
+
+    def test_sniff_quic_data_packet_is_ignored(self):
+        # No version flag → mid-connection packet, not a recognizable start.
+        header = QuicPublicHeader(connection_id=1, version=None)
+        assert sniff_quic(header.encode() + b"\x00" * 20) is None
+
+    def test_zero_roundtrip(self):
+        record = ZeroHello("edge.facebook.com").encode_record()
+        assert ZeroHello.decode_record(record).sni == "edge.facebook.com"
+
+    def test_sniff_zero_rejects_tls(self):
+        assert sniff_zero(ClientHello(sni="x").encode_record()) is None
+
+    def test_sniff_zero_happy(self):
+        assert sniff_zero(ZeroHello("m.facebook.com").encode_record()) == "m.facebook.com"
+
+    def test_zero_rejects_short(self):
+        with pytest.raises(FbZeroError):
+            ZeroHello.decode_record(b"\x16\x03")
+
+    def test_zero_and_tls_are_distinguishable(self):
+        """The probe must never confuse the two 'handshake' framings."""
+        tls = ClientHello(sni="a.example").encode_record()
+        zero = ZeroHello("a.example").encode_record()
+        assert sniff_zero(tls) is None
+        with pytest.raises(Exception):
+            ClientHello.decode_record(zero)

@@ -1,0 +1,133 @@
+"""Tests for the TLS ClientHello and HTTP request codecs (the DPI inputs)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.http import (
+    HttpError,
+    HttpRequest,
+    looks_like_http_request,
+    sniff_host,
+)
+from repro.protocols.tls import (
+    ALPN_HTTP2,
+    ALPN_SPDY3,
+    ClientHello,
+    TlsError,
+)
+
+hostnames = st.lists(
+    st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789"), min_size=1, max_size=10),
+    min_size=2,
+    max_size=4,
+).map(".".join)
+
+
+class TestClientHello:
+    def test_sni_roundtrip(self):
+        hello = ClientHello(sni="www.youtube.com")
+        decoded = ClientHello.decode_record(hello.encode_record())
+        assert decoded.sni == "www.youtube.com"
+        assert decoded.alpn == []
+
+    def test_alpn_roundtrip(self):
+        hello = ClientHello(sni="x.example", alpn=[ALPN_HTTP2, "http/1.1"])
+        decoded = ClientHello.decode_record(hello.encode_record())
+        assert decoded.alpn == [ALPN_HTTP2, "http/1.1"]
+
+    def test_spdy_alpn(self):
+        hello = ClientHello(sni="x.example", alpn=[ALPN_SPDY3])
+        assert ClientHello.decode_record(hello.encode_record()).alpn == [ALPN_SPDY3]
+
+    def test_no_sni(self):
+        hello = ClientHello()
+        decoded = ClientHello.decode_record(hello.encode_record())
+        assert decoded.sni is None
+
+    def test_sni_case_folded(self):
+        hello = ClientHello(sni="WWW.Example.COM")
+        assert ClientHello.decode_record(hello.encode_record()).sni == "www.example.com"
+
+    def test_cipher_suites_roundtrip(self):
+        hello = ClientHello(sni="x.example", cipher_suites=(0x1301, 0xC02F))
+        decoded = ClientHello.decode_record(hello.encode_record())
+        assert decoded.cipher_suites == (0x1301, 0xC02F)
+
+    def test_rejects_non_handshake_record(self):
+        record = bytearray(ClientHello(sni="x").encode_record())
+        record[0] = 23  # application_data
+        with pytest.raises(TlsError):
+            ClientHello.decode_record(bytes(record))
+
+    def test_rejects_truncated_record(self):
+        record = ClientHello(sni="www.example.com").encode_record()
+        with pytest.raises(TlsError):
+            ClientHello.decode_record(record[:20])
+
+    def test_rejects_server_hello(self):
+        record = bytearray(ClientHello(sni="x").encode_record())
+        record[5] = 2  # handshake type server_hello
+        with pytest.raises(TlsError):
+            ClientHello.decode_record(bytes(record))
+
+    def test_rejects_bad_random(self):
+        with pytest.raises(TlsError):
+            ClientHello(random=b"\x00" * 8)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TlsError):
+            ClientHello.decode_record(b"GET / HTTP/1.1\r\n\r\n")
+
+    @given(hostnames, st.lists(st.sampled_from(["h2", "http/1.1", "spdy/3.1"]), max_size=3, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, hostname, alpn):
+        hello = ClientHello(sni=hostname, alpn=alpn)
+        decoded = ClientHello.decode_record(hello.encode_record())
+        assert decoded.sni == hostname
+        assert decoded.alpn == alpn
+
+
+class TestHttpRequest:
+    def test_get_roundtrip(self):
+        request = HttpRequest.get("www.facebook.com", "/profile")
+        decoded = HttpRequest.parse(request.encode())
+        assert decoded.method == "GET"
+        assert decoded.target == "/profile"
+        assert decoded.host == "www.facebook.com"
+
+    def test_host_strips_port_and_case(self):
+        request = HttpRequest.get("EXAMPLE.com:8080")
+        assert HttpRequest.parse(request.encode()).host == "example.com"
+
+    def test_missing_host_is_none(self):
+        raw = b"GET / HTTP/1.0\r\nUser-Agent: x\r\n\r\n"
+        assert HttpRequest.parse(raw).host is None
+
+    def test_incomplete_head_raises(self):
+        with pytest.raises(HttpError):
+            HttpRequest.parse(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_bad_request_line(self):
+        with pytest.raises(HttpError):
+            HttpRequest.parse(b"NOT-A-REQUEST\r\n\r\n")
+
+    def test_unknown_method(self):
+        with pytest.raises(HttpError):
+            HttpRequest.parse(b"FETCH / HTTP/1.1\r\n\r\n")
+
+    def test_header_folding_rejected(self):
+        with pytest.raises(HttpError):
+            HttpRequest.parse(b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n")
+
+    def test_sniff_host_on_binary_returns_none(self):
+        assert sniff_host(b"\x16\x03\x01\x00\x05hello") is None
+
+    def test_sniff_host_happy(self):
+        assert sniff_host(HttpRequest.get("a.example").encode()) == "a.example"
+
+    def test_looks_like_http(self):
+        assert looks_like_http_request(b"GET / HTTP/1.1\r\n\r\n")
+        assert looks_like_http_request(b"POST /x HTTP/1.1\r\n\r\n")
+        assert not looks_like_http_request(b"\x16\x03\x01")
+        assert not looks_like_http_request(b"GETTING ready")

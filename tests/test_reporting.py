@@ -1,0 +1,99 @@
+"""Tests for ASCII rendering and CSV export."""
+
+import csv
+import datetime
+
+import pytest
+
+from repro.analytics.timeseries import MonthlySeries
+from repro.reporting.ascii import cdf_plot, heatmap, line_chart, stacked_bars
+from repro.reporting.export import (
+    write_daily_series,
+    write_distribution,
+    write_monthly_series,
+    write_rows,
+)
+
+D = datetime.date
+
+
+class TestAscii:
+    def test_line_chart_renders(self):
+        chart = line_chart([1.0, 2.0, 3.0, 2.0], height=4, title="t", y_label="MB")
+        assert "t" in chart
+        assert "max 3" in chart
+        assert "|" in chart
+
+    def test_line_chart_handles_gaps(self):
+        chart = line_chart([1.0, None, 3.0], height=3)
+        assert "max 3" in chart
+
+    def test_line_chart_empty(self):
+        assert "(no data)" in line_chart([None, None], title="x")
+
+    def test_heatmap_renders_rows(self):
+        rows = {"Google": [10.0, 60.0], "Bing": [None, 30.0]}
+        rendered = heatmap(rows, title="pop")
+        assert "Google" in rendered and "Bing" in rendered
+        assert rendered.count("|") == 4
+
+    def test_heatmap_empty(self):
+        assert "(no data)" in heatmap({"X": [None]})
+
+    def test_stacked_bars(self):
+        shares = [("2013-07", {"http": 0.8, "tls": 0.2})]
+        rendered = stacked_bars(shares, order=["http", "tls"], width=10)
+        assert "2013-07" in rendered
+        assert "legend" in rendered
+
+    def test_cdf_plot(self):
+        curves = {"fb2014": [(1.0, 0.1), (10.0, 0.9)], "fb2017": [(1.0, 0.5), (10.0, 1.0)]}
+        rendered = cdf_plot(curves, title="rtt")
+        assert "fb2014" in rendered
+        assert "rtt" in rendered
+
+
+class TestExport:
+    def test_write_rows(self, tmp_path):
+        path = write_rows(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_write_monthly_series(self, tmp_path):
+        months = ((2014, 1), (2014, 2))
+        series = {
+            "adsl": MonthlySeries(months=months, values=(1.5, None)),
+            "ftth": MonthlySeries(months=months, values=(2.5, 3.5)),
+        }
+        path = write_monthly_series(tmp_path / "fig3.csv", series)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["month", "adsl", "ftth"]
+        assert rows[1] == ["2014-01", "1.5", "2.5"]
+        assert rows[2] == ["2014-02", "", "3.5"]
+
+    def test_write_monthly_series_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_monthly_series(tmp_path / "x.csv", {})
+
+    def test_write_distribution(self, tmp_path):
+        path = write_distribution(
+            tmp_path / "fig10.csv", {"fb": [(1.0, 0.5)]}, x_label="rtt_ms", y_label="cdf"
+        )
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["curve", "rtt_ms", "cdf"]
+        assert rows[1] == ["fb", "1", "0.5"]
+
+    def test_write_daily_series(self, tmp_path):
+        path = write_daily_series(
+            tmp_path / "fig9.csv", [(D(2014, 3, 1), 35.5)], value_label="mb"
+        )
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["day", "mb"], ["2014-03-01", "35.5"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_rows(tmp_path / "deep" / "dir" / "x.csv", ["a"], [[1]])
+        assert path.exists()

@@ -1,0 +1,50 @@
+"""Additional reporting tests: stacked bars shapes, chart bounds."""
+
+import pytest
+
+from repro.reporting.ascii import line_chart, stacked_bars
+
+
+class TestStackedBars:
+    def test_full_bar_width(self):
+        shares = [("2017-01", {"a": 1.0})]
+        rendered = stacked_bars(shares, order=["a"], width=20)
+        bar_line = rendered.splitlines()[0]
+        assert bar_line.count("A") == 20
+
+    def test_shares_partition_width(self):
+        shares = [("x", {"a": 0.5, "b": 0.5})]
+        rendered = stacked_bars(
+            shares, order=["a", "b"], symbols={"a": "1", "b": "2"}, width=10
+        )
+        bar = rendered.splitlines()[0]
+        assert bar.count("1") == 5
+        assert bar.count("2") == 5
+
+    def test_missing_shares_render_empty(self):
+        shares = [("x", {})]
+        rendered = stacked_bars(shares, order=["a"], width=10)
+        assert "|" in rendered
+
+    def test_custom_symbols_in_legend(self):
+        rendered = stacked_bars([], order=["quic"], symbols={"quic": "Q"})
+        assert "Q=quic" in rendered
+
+
+class TestLineChartBounds:
+    def test_height_respected(self):
+        chart = line_chart([1.0, 5.0, 3.0], height=6)
+        body = [
+            line
+            for line in chart.splitlines()
+            if set(line) <= {" ", ".", "|"} and line
+        ]
+        assert len(body) == 6
+
+    def test_constant_series(self):
+        chart = line_chart([2.0, 2.0, 2.0], height=4)
+        assert "max 2" in chart and "min 2" in chart
+
+    def test_single_point(self):
+        chart = line_chart([7.0], height=3)
+        assert "max 7" in chart

@@ -1,0 +1,152 @@
+"""Tests for the LPM trie and the RIB archive."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nettypes.ip import IPV4_MAX, Prefix, ip_to_int
+from repro.routing import asns
+from repro.routing.rib import RibArchive, RibEntry, RibSnapshot
+from repro.routing.trie import PrefixTrie
+
+addresses = st.integers(min_value=0, max_value=IPV4_MAX)
+
+
+def prefix_strategy():
+    return st.tuples(addresses, st.integers(min_value=0, max_value=32)).map(
+        lambda pair: Prefix(pair[0] & Prefix(0, pair[1]).mask(), pair[1])
+    )
+
+
+class TestPrefixTrie:
+    def test_basic_lookup(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "big")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "small")
+        assert trie.lookup(ip_to_int("10.1.2.3")) == "small"
+        assert trie.lookup(ip_to_int("10.2.2.3")) == "big"
+        assert trie.lookup(ip_to_int("11.0.0.1")) is None
+
+    def test_longest_match_wins_regardless_of_insert_order(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.1.0.0/16"), "small")
+        trie.insert(Prefix.parse("10.0.0.0/8"), "big")
+        assert trie.lookup(ip_to_int("10.1.9.9")) == "small"
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("0.0.0.0/0"), "default")
+        assert trie.lookup(0) == "default"
+        assert trie.lookup(IPV4_MAX) == "default"
+
+    def test_replace_value(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("10.0.0.0/8")
+        trie.insert(prefix, 1)
+        trie.insert(prefix, 2)
+        assert trie.lookup(ip_to_int("10.0.0.1")) == 2
+        assert len(trie) == 1
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("1.2.3.4/32"), "host")
+        assert trie.lookup(ip_to_int("1.2.3.4")) == "host"
+        assert trie.lookup(ip_to_int("1.2.3.5")) is None
+
+    def test_lookup_with_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "x")
+        matched = trie.lookup_with_prefix(ip_to_int("10.9.9.9"))
+        assert matched == (Prefix.parse("10.0.0.0/8"), "x")
+        assert trie.lookup_with_prefix(ip_to_int("11.0.0.0")) is None
+
+    def test_items_roundtrip(self):
+        trie = PrefixTrie()
+        entries = {
+            Prefix.parse("10.0.0.0/8"): 1,
+            Prefix.parse("192.168.0.0/16"): 2,
+            Prefix.parse("0.0.0.0/0"): 3,
+        }
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        assert dict(trie.items()) == entries
+
+    @given(st.lists(prefix_strategy(), min_size=1, max_size=20), addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_lpm(self, prefixes, address):
+        """Trie lookup must equal brute-force longest-prefix match."""
+        trie = PrefixTrie()
+        table = {}
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+            table[prefix] = index  # later duplicates replace, as in the trie
+        best = None
+        best_len = -1
+        for prefix, value in table.items():
+            if prefix.contains(address) and prefix.length > best_len:
+                best, best_len = value, prefix.length
+        assert trie.lookup(address) == best
+
+
+class TestRib:
+    def _snapshot(self, month=(2015, 6)):
+        return RibSnapshot(
+            month,
+            [
+                RibEntry(Prefix.parse("31.13.64.0/19"), asns.FACEBOOK.number),
+                RibEntry(Prefix.parse("23.192.0.0/20"), asns.AKAMAI.number),
+            ],
+        )
+
+    def test_origin_lookup(self):
+        snapshot = self._snapshot()
+        assert snapshot.origin_of(ip_to_int("31.13.70.1")) == asns.FACEBOOK
+        assert snapshot.origin_of(ip_to_int("8.8.8.8")) is None
+        assert len(snapshot) == 2
+
+    def test_archive_exact_month(self):
+        archive = RibArchive()
+        archive.add(self._snapshot((2015, 6)))
+        found = archive.snapshot_for(datetime.date(2015, 6, 15))
+        assert found is not None and found.month == (2015, 6)
+
+    def test_archive_falls_back_to_earlier_month(self):
+        archive = RibArchive()
+        archive.add(self._snapshot((2015, 6)))
+        found = archive.snapshot_for(datetime.date(2015, 9, 1))
+        assert found is not None and found.month == (2015, 6)
+
+    def test_archive_no_earlier_snapshot(self):
+        archive = RibArchive()
+        archive.add(self._snapshot((2015, 6)))
+        assert archive.snapshot_for(datetime.date(2014, 1, 1)) is None
+
+    def test_origin_of_defaults_to_other(self):
+        archive = RibArchive()
+        archive.add(self._snapshot((2015, 6)))
+        origin = archive.origin_of(ip_to_int("8.8.8.8"), datetime.date(2015, 7, 1))
+        assert origin == asns.OTHER
+        # Before any snapshot: also OTHER, never a crash.
+        origin = archive.origin_of(ip_to_int("31.13.70.1"), datetime.date(2013, 1, 1))
+        assert origin == asns.OTHER
+
+
+class TestAsnCatalog:
+    def test_known_numbers(self):
+        assert asns.by_number(32934) == asns.FACEBOOK
+        assert asns.by_number(15169).name == "GOOGLE"
+
+    def test_unknown_number_gets_generic_name(self):
+        unknown = asns.by_number(65000)
+        assert unknown.name == "AS65000"
+        assert unknown.number == 65000
+
+    def test_by_name(self):
+        assert asns.by_name("akamai") == asns.AKAMAI
+        assert asns.by_name("NOPE") is None
+
+    def test_catalog_is_unique(self):
+        numbers = [system.number for system in asns.all_known()]
+        assert len(numbers) == len(set(numbers))

@@ -1,0 +1,200 @@
+"""Tests for the rule engine, the catalog (Table 1) and thresholds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.services import catalog
+from repro.services.rules import Rule, RuleError, RuleSet, exact, regexp, suffix
+from repro.services.thresholds import (
+    KB,
+    MB,
+    ActiveSubscriberCriterion,
+    DEFAULT_VISIT_THRESHOLDS,
+    VisitClassifier,
+    no_threshold_classifier,
+)
+
+label = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789"),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestRuleConstruction:
+    def test_exact(self):
+        rule = exact("Example.COM.", "Svc")
+        assert rule.pattern == "example.com"
+        assert rule.kind == "exact"
+
+    def test_bad_regexp_rejected(self):
+        with pytest.raises(RuleError):
+            regexp("([unclosed", "Svc")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(RuleError):
+            Rule("x", "y", "glob")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(RuleError):
+            exact("", "Svc")
+
+
+class TestRuleSet:
+    def test_exact_match(self):
+        rules = RuleSet([exact("netflix.com", "Netflix")])
+        assert rules.classify("netflix.com") == "Netflix"
+        assert rules.classify("www.netflix.com") is None
+
+    def test_suffix_match_includes_subdomains(self):
+        rules = RuleSet([suffix("fbcdn.net", "Facebook")])
+        assert rules.classify("fbcdn.net") == "Facebook"
+        assert rules.classify("scontent-mxp1-1.fbcdn.net") == "Facebook"
+        assert rules.classify("notfbcdn.net") is None  # no partial-label match
+
+    def test_regexp_match(self):
+        rules = RuleSet([regexp(r"^fbstatic-[a-z]\.akamaihd\.net$", "Facebook")])
+        assert rules.classify("fbstatic-a.akamaihd.net") == "Facebook"
+        assert rules.classify("fbstatic-1.akamaihd.net") is None
+
+    def test_specificity_exact_beats_suffix(self):
+        rules = RuleSet(
+            [suffix("akamaihd.net", "CDN"), exact("special.akamaihd.net", "Special")]
+        )
+        assert rules.classify("special.akamaihd.net") == "Special"
+        assert rules.classify("other.akamaihd.net") == "CDN"
+
+    def test_longest_suffix_wins(self):
+        rules = RuleSet([suffix("example.com", "Generic"), suffix("cdn.example.com", "Cdn")])
+        assert rules.classify("a.cdn.example.com") == "Cdn"
+        assert rules.classify("a.example.com") == "Generic"
+
+    def test_suffix_beats_regexp(self):
+        rules = RuleSet(
+            [regexp(r"akamaihd", "ByRegexp"), suffix("akamaihd.net", "BySuffix")]
+        )
+        assert rules.classify("x.akamaihd.net") == "BySuffix"
+
+    def test_none_and_empty(self):
+        rules = RuleSet([suffix("x.example", "X")])
+        assert rules.classify(None) is None
+        assert rules.classify("") is None
+
+    def test_case_and_trailing_dot(self):
+        rules = RuleSet([suffix("example.com", "X")])
+        assert rules.classify("WWW.EXAMPLE.COM.") == "X"
+
+    def test_services_listing(self):
+        rules = RuleSet([suffix("a.example", "B"), exact("c.example", "A")])
+        assert rules.services() == ["A", "B"]
+
+    def test_cache_consistency_after_add(self):
+        rules = RuleSet([suffix("example.com", "Old")])
+        assert rules.classify("x.example.com") == "Old"
+        rules.add(suffix("x.example.com", "New"))
+        assert rules.classify("x.example.com") == "New"
+
+    @given(st.lists(label, min_size=1, max_size=4), st.lists(label, min_size=0, max_size=2))
+    @settings(max_examples=50, deadline=None)
+    def test_suffix_property(self, base_labels, extra_labels):
+        base = ".".join(base_labels)
+        rules = RuleSet([suffix(base, "S")])
+        candidate = ".".join(extra_labels + base_labels)
+        assert rules.classify(candidate) == "S"
+
+
+class TestCatalog:
+    @pytest.mark.parametrize(
+        "domain,service",
+        [
+            ("facebook.com", catalog.FACEBOOK),
+            ("fbcdn.com", catalog.FACEBOOK),
+            ("fbstatic-a.akamaihd.net", catalog.FACEBOOK),
+            ("netflix.com", catalog.NETFLIX),
+            ("nflxvideo.net", catalog.NETFLIX),
+        ],
+    )
+    def test_table1_rows(self, domain, service):
+        """Table 1 of the paper, verbatim."""
+        assert catalog.default_ruleset().classify(domain) == service
+
+    @pytest.mark.parametrize(
+        "domain,service",
+        [
+            ("r3---sn-ab5l6nzr.googlevideo.com", catalog.YOUTUBE),
+            ("redirector.gvt1.com", catalog.YOUTUBE),
+            ("scontent-mxp1-1.cdninstagram.com", catalog.INSTAGRAM),
+            ("e4.whatsapp.net", catalog.WHATSAPP),
+            ("www.bing.com", catalog.BING),
+            ("audio-fa.scdn.co", catalog.SPOTIFY),
+            ("app.snapchat.com", catalog.SNAPCHAT),
+        ],
+    )
+    def test_wider_estate(self, domain, service):
+        assert catalog.default_ruleset().classify(domain) == service
+
+    def test_unknown_domain_unclassified(self):
+        assert catalog.default_ruleset().classify("totally-unknown.example") is None
+
+    def test_figure5_services_all_have_rules(self):
+        rules = catalog.default_ruleset()
+        covered = set(rules.services())
+        for service in catalog.FIGURE5_SERVICES:
+            if service == catalog.PEER_TO_PEER:
+                continue  # P2P is recognized by DPI, not by domain
+            assert service in covered, service
+
+    def test_google_search_distinct_from_youtube(self):
+        rules = catalog.default_ruleset()
+        assert rules.classify("www.google.com") == catalog.GOOGLE
+        assert rules.classify("www.youtube.com") == catalog.YOUTUBE
+
+
+class TestActiveCriterion:
+    def test_paper_thresholds(self):
+        criterion = ActiveSubscriberCriterion()
+        assert criterion.is_active(flows=10, bytes_down=15_001, bytes_up=5_001)
+        assert not criterion.is_active(flows=9, bytes_down=1_000_000, bytes_up=1_000_000)
+        assert not criterion.is_active(flows=100, bytes_down=15_000, bytes_up=5_001)
+        assert not criterion.is_active(flows=100, bytes_down=15_001, bytes_up=5_000)
+
+    def test_custom_thresholds(self):
+        criterion = ActiveSubscriberCriterion(min_flows=1, min_bytes_down=0, min_bytes_up=0)
+        assert criterion.is_active(1, 1, 1)
+
+
+class TestVisitClassifier:
+    def test_threshold_applied(self):
+        classifier = VisitClassifier()
+        threshold = classifier.threshold_for(catalog.FACEBOOK)
+        assert not classifier.is_visit(catalog.FACEBOOK, threshold - 1)
+        assert classifier.is_visit(catalog.FACEBOOK, threshold)
+
+    def test_embedded_services_have_high_floors(self):
+        """Like buttons everywhere → Facebook floor above, say, DuckDuckGo's."""
+        classifier = VisitClassifier()
+        assert classifier.threshold_for(catalog.FACEBOOK) > classifier.threshold_for(
+            catalog.DUCKDUCKGO
+        )
+        assert classifier.threshold_for(catalog.YOUTUBE) >= 100 * KB
+
+    def test_unknown_service_gets_fallback(self):
+        classifier = VisitClassifier()
+        assert classifier.threshold_for("Unheard-Of") > 0
+
+    def test_no_threshold_classifier_counts_everything(self):
+        classifier = no_threshold_classifier()
+        assert classifier.is_visit(catalog.FACEBOOK, 1)
+        assert classifier.is_visit("Unheard-Of", 0)
+
+    def test_set_threshold(self):
+        classifier = VisitClassifier()
+        classifier.set_threshold("X", 5)
+        assert classifier.threshold_for("X") == 5
+        with pytest.raises(ValueError):
+            classifier.set_threshold("X", -1)
+
+    def test_defaults_cover_figure5(self):
+        for service in catalog.FIGURE5_SERVICES:
+            assert service in DEFAULT_VISIT_THRESHOLDS

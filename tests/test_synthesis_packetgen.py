@@ -1,0 +1,141 @@
+"""Tests for the packet-tier synthesizer + probe (full wire round trip)."""
+
+import pytest
+
+from repro.nettypes.ip import ip_to_int
+from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
+from repro.tstat.flow import NameSource, Transport, WebProtocol
+from repro.tstat.probe import Probe, ProbeConfig
+
+CLIENT = ip_to_int("10.1.0.5")
+
+
+def spec(**overrides):
+    defaults = dict(
+        client_ip=CLIENT,
+        server_ip=ip_to_int("93.184.216.34"),
+        client_port=50001,
+        server_port=443,
+        protocol=WebProtocol.TLS,
+        domain="www.example.org",
+        rtt_ms=8.0,
+        bytes_down=20_000,
+        bytes_up=1_500,
+    )
+    defaults.update(overrides)
+    return FlowSpec(**defaults)
+
+
+def run_probe(specs, seed=3):
+    packets = PacketSynthesizer(seed=seed).synthesize(specs)
+    probe = Probe(ProbeConfig.for_pop("pop1", ["10.1.0.0/16"]))
+    return probe, probe.run(packets)
+
+
+class TestSingleFlows:
+    @pytest.mark.parametrize(
+        "protocol,source",
+        [
+            (WebProtocol.TLS, NameSource.SNI),
+            (WebProtocol.HTTP2, NameSource.SNI),
+            (WebProtocol.SPDY, NameSource.SNI),
+            (WebProtocol.FBZERO, NameSource.ZERO),
+        ],
+    )
+    def test_tcp_protocols_recognized(self, protocol, source):
+        _, records = run_probe([spec(protocol=protocol)])
+        assert len(records) == 1
+        assert records[0].protocol is protocol
+        assert records[0].server_name == "www.example.org"
+        assert records[0].name_source is source
+
+    def test_http_host(self):
+        _, records = run_probe([spec(protocol=WebProtocol.HTTP, server_port=80)])
+        assert records[0].protocol is WebProtocol.HTTP
+        assert records[0].name_source is NameSource.HOST
+
+    def test_quic(self):
+        _, records = run_probe([spec(protocol=WebProtocol.QUIC)])
+        assert records[0].protocol is WebProtocol.QUIC
+        assert records[0].transport is Transport.UDP
+        assert records[0].server_name == "www.example.org"
+
+    def test_rtt_recovered(self):
+        _, records = run_probe([spec(rtt_ms=25.0)])
+        assert records[0].rtt.samples >= 2
+        assert records[0].rtt.min_ms == pytest.approx(25.0, rel=0.1)
+
+    def test_bytes_scale_with_spec(self):
+        _, small_records = run_probe([spec(bytes_down=5_000)])
+        _, large_records = run_probe([spec(bytes_down=50_000)])
+        assert large_records[0].bytes_down > 5 * small_records[0].bytes_down
+
+    def test_rst_teardown(self):
+        probe, records = run_probe([spec(teardown="rst")])
+        assert len(records) == 1
+        assert probe.meter_stats.flows_expired_rst == 1
+
+    def test_no_teardown_flushed(self):
+        probe, records = run_probe([spec(teardown="none")])
+        assert len(records) == 1
+        assert probe.meter_stats.flows_expired_flush == 1
+
+
+class TestDnHunterPath:
+    def test_dns_names_opaque_flow(self):
+        opaque = spec(
+            protocol=WebProtocol.OTHER,
+            server_port=5222,
+            domain="chat.example.net",
+            with_dns=True,
+        )
+        _, records = run_probe([opaque])
+        chat = [record for record in records if record.server_port == 5222]
+        assert chat[0].server_name == "chat.example.net"
+        assert chat[0].name_source is NameSource.DNS
+
+    def test_dns_flow_itself_exported(self):
+        opaque = spec(
+            protocol=WebProtocol.OTHER,
+            server_port=5222,
+            domain="chat.example.net",
+            with_dns=True,
+        )
+        _, records = run_probe([opaque])
+        dns = [record for record in records if record.server_port == 53]
+        assert len(dns) == 1
+        assert dns[0].protocol is WebProtocol.DNS
+
+    def test_without_dns_flow_stays_unnamed(self):
+        opaque = spec(protocol=WebProtocol.OTHER, server_port=5222, domain=None)
+        _, records = run_probe([opaque])
+        assert records[0].server_name is None
+        assert records[0].name_source is NameSource.NONE
+
+
+class TestMixedCapture:
+    def test_many_flows_all_recovered(self):
+        specs = [
+            spec(client_port=50000 + index, server_ip=ip_to_int("93.184.216.34") + index)
+            for index in range(20)
+        ]
+        _, records = run_probe(specs)
+        assert len(records) == 20
+        assert len({record.server_ip for record in records}) == 20
+
+    def test_packets_interleave_across_flows(self):
+        packets = PacketSynthesizer(seed=1).synthesize(
+            [spec(client_port=51000), spec(client_port=51001, start_ts=0.001)]
+        )
+        timestamps = [packet.timestamp for packet in packets]
+        assert timestamps == sorted(timestamps)
+
+    def test_determinism(self):
+        first = PacketSynthesizer(seed=9).synthesize([spec()])
+        second = PacketSynthesizer(seed=9).synthesize([spec()])
+        assert [p.data for p in first] == [p.data for p in second]
+
+    def test_seed_changes_wire_bytes(self):
+        first = PacketSynthesizer(seed=1).synthesize([spec()])
+        second = PacketSynthesizer(seed=2).synthesize([spec()])
+        assert [p.data for p in first] != [p.data for p in second]

@@ -1,0 +1,89 @@
+"""Tests for DN-Hunter (DNS-based flow naming)."""
+
+import pytest
+
+from repro.nettypes.ip import ip_to_int
+from repro.protocols.dns import DnsMessage, ResourceRecord
+from repro.tstat.dnhunter import DnHunter
+
+CLIENT_A = ip_to_int("10.0.0.1")
+CLIENT_B = ip_to_int("10.0.0.2")
+SERVER = ip_to_int("23.246.2.10")
+
+
+def response_for(name, address_text, ttl=300, txid=1):
+    query = DnsMessage.query(name, txid=txid)
+    return DnsMessage.response(query, [ResourceRecord.a(name, address_text, ttl=ttl)])
+
+
+class TestDnHunter:
+    def test_names_later_flow(self):
+        hunter = DnHunter()
+        hunter.on_dns_response(CLIENT_A, response_for("nflxvideo.net", "23.246.2.10"), 10.0)
+        assert hunter.lookup(CLIENT_A, SERVER, 12.0) == "nflxvideo.net"
+        assert hunter.hits == 1
+
+    def test_cache_is_per_client(self):
+        hunter = DnHunter()
+        hunter.on_dns_response(CLIENT_A, response_for("a.example", "23.246.2.10"), 0.0)
+        assert hunter.lookup(CLIENT_B, SERVER, 1.0) is None
+        assert hunter.misses == 1
+
+    def test_queries_ignored(self):
+        hunter = DnHunter()
+        hunter.on_dns_response(CLIENT_A, DnsMessage.query("x.example"), 0.0)
+        assert hunter.responses_seen == 0
+        assert hunter.lookup(CLIENT_A, SERVER, 0.5) is None
+
+    def test_ttl_expiry_with_grace(self):
+        hunter = DnHunter()
+        hunter.on_dns_response(CLIENT_A, response_for("x.example", "23.246.2.10", ttl=10), 0.0)
+        assert hunter.lookup(CLIENT_A, SERVER, 60.0) == "x.example"  # within grace
+        assert hunter.lookup(CLIENT_A, SERVER, 120.0) is None  # ttl+grace passed
+
+    def test_newer_response_wins(self):
+        hunter = DnHunter()
+        hunter.on_dns_response(CLIENT_A, response_for("old.example", "23.246.2.10"), 0.0)
+        hunter.on_dns_response(CLIENT_A, response_for("new.example", "23.246.2.10"), 5.0)
+        assert hunter.lookup(CLIENT_A, SERVER, 6.0) == "new.example"
+
+    def test_cname_resolution_attributed_to_query(self):
+        hunter = DnHunter()
+        query = DnsMessage.query("www.netflix.com")
+        response = DnsMessage.response(
+            query,
+            [
+                ResourceRecord.cname("www.netflix.com", "edge.nflxvideo.net"),
+                ResourceRecord.a("edge.nflxvideo.net", "23.246.2.10"),
+            ],
+        )
+        hunter.on_dns_response(CLIENT_A, response, 0.0)
+        assert hunter.lookup(CLIENT_A, SERVER, 1.0) == "www.netflix.com"
+
+    def test_lru_eviction(self):
+        hunter = DnHunter(capacity_per_client=3)
+        for index in range(5):
+            hunter.on_dns_response(
+                CLIENT_A, response_for(f"s{index}.example", f"1.1.1.{index + 1}"), 0.0
+            )
+        assert hunter.lookup(CLIENT_A, ip_to_int("1.1.1.1"), 1.0) is None  # evicted
+        assert hunter.lookup(CLIENT_A, ip_to_int("1.1.1.5"), 1.0) == "s4.example"
+
+    def test_lookup_refreshes_lru_position(self):
+        hunter = DnHunter(capacity_per_client=2)
+        hunter.on_dns_response(CLIENT_A, response_for("first.example", "1.1.1.1"), 0.0)
+        hunter.on_dns_response(CLIENT_A, response_for("second.example", "1.1.1.2"), 0.0)
+        hunter.lookup(CLIENT_A, ip_to_int("1.1.1.1"), 0.5)  # refresh "first"
+        hunter.on_dns_response(CLIENT_A, response_for("third.example", "1.1.1.3"), 1.0)
+        assert hunter.lookup(CLIENT_A, ip_to_int("1.1.1.1"), 1.5) == "first.example"
+        assert hunter.lookup(CLIENT_A, ip_to_int("1.1.1.2"), 1.5) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DnHunter(capacity_per_client=0)
+
+    def test_clients_tracked(self):
+        hunter = DnHunter()
+        hunter.on_dns_response(CLIENT_A, response_for("a.example", "1.1.1.1"), 0.0)
+        hunter.on_dns_response(CLIENT_B, response_for("b.example", "1.1.1.2"), 0.0)
+        assert hunter.clients_tracked() == 2

@@ -1,0 +1,202 @@
+"""Tests for flow-log serialization, probe versioning and outages."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tstat.flow import (
+    FlowRecord,
+    NameSource,
+    RttSummary,
+    Transport,
+    WebProtocol,
+    second_level_domain,
+)
+from repro.tstat.logs import (
+    LogFormatError,
+    FlowLogWriter,
+    format_record,
+    load_flow_log,
+    parse_record,
+    read_flow_log,
+)
+from repro.tstat.outages import Outage, OutageCalendar, default_outages
+from repro.tstat.versions import (
+    FBZERO_REPORTING_DATE,
+    SPDY_REPORTING_DATE,
+    UpgradeLog,
+    capabilities_on,
+)
+
+
+def make_record(**overrides):
+    defaults = dict(
+        client_id=7,
+        server_ip=0x17F60210,
+        client_port=40001,
+        server_port=443,
+        transport=Transport.TCP,
+        ts_start=100.5,
+        ts_end=103.25,
+        packets_up=10,
+        packets_down=20,
+        bytes_up=1000,
+        bytes_down=50000,
+        protocol=WebProtocol.TLS,
+        server_name="edge.example.net",
+        name_source=NameSource.SNI,
+        rtt=RttSummary(samples=4, min_ms=3.1, avg_ms=4.5, max_ms=9.0),
+        vantage="pop1",
+    )
+    defaults.update(overrides)
+    return FlowRecord(**defaults)
+
+
+class TestLogFormat:
+    def test_roundtrip(self):
+        record = make_record()
+        assert parse_record(format_record(record)) == record
+
+    def test_unnamed_flow(self):
+        record = make_record(server_name=None, name_source=NameSource.NONE)
+        assert parse_record(format_record(record)).server_name is None
+
+    def test_rejects_wrong_field_count(self):
+        with pytest.raises(LogFormatError):
+            parse_record("a\tb\tc")
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.sampled_from(list(WebProtocol)),
+        st.sampled_from(list(NameSource)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, client_id, server_ip, protocol, source):
+        record = make_record(
+            client_id=client_id,
+            server_ip=server_ip,
+            protocol=protocol,
+            name_source=source,
+        )
+        assert parse_record(format_record(record)) == record
+
+
+class TestLogFiles:
+    def test_write_read_plain(self, tmp_path):
+        path = tmp_path / "flows.tsv"
+        with FlowLogWriter(path) as writer:
+            writer.write_all([make_record(client_id=index) for index in range(5)])
+            assert writer.records_written == 5
+        records = load_flow_log(path)
+        assert [record.client_id for record in records] == list(range(5))
+
+    def test_write_read_gzip(self, tmp_path):
+        path = tmp_path / "flows.tsv.gz"
+        with FlowLogWriter(path) as writer:
+            writer.write(make_record())
+        assert load_flow_log(path) == [make_record()]
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # actually gzip
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text(format_record(make_record()) + "\n")
+        with pytest.raises(LogFormatError, match="header"):
+            list(read_flow_log(path))
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.tsv"
+        path.write_text("#tstat-log v99\n")
+        with pytest.raises(LogFormatError, match="schema"):
+            list(read_flow_log(path))
+
+
+class TestSecondLevelDomain:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("r3---sn.googlevideo.com", "googlevideo.com"),
+            ("scontent-mxp1-1.fbcdn.net", "fbcdn.net"),
+            ("www.bbc.co.uk", "bbc.co.uk"),
+            ("example.com", "example.com"),
+            ("localhost", "localhost"),
+            ("A.B.Example.COM.", "example.com"),
+        ],
+    )
+    def test_examples(self, name, expected):
+        assert second_level_domain(name) == expected
+
+    def test_flow_record_method(self):
+        record = make_record(server_name="deep.cdn.akamaihd.net")
+        assert record.second_level_domain() == "akamaihd.net"
+        assert make_record(server_name=None).second_level_domain() is None
+
+
+class TestVersions:
+    def test_spdy_reporting_boundary(self):
+        before = capabilities_on(SPDY_REPORTING_DATE - datetime.timedelta(days=1))
+        after = capabilities_on(SPDY_REPORTING_DATE)
+        assert before.reported_label(WebProtocol.SPDY) is WebProtocol.TLS
+        assert after.reported_label(WebProtocol.SPDY) is WebProtocol.SPDY
+
+    def test_fbzero_reporting_boundary(self):
+        before = capabilities_on(FBZERO_REPORTING_DATE - datetime.timedelta(days=1))
+        after = capabilities_on(FBZERO_REPORTING_DATE)
+        assert before.reported_label(WebProtocol.FBZERO) is WebProtocol.TLS
+        assert after.reported_label(WebProtocol.FBZERO) is WebProtocol.FBZERO
+
+    def test_quic_unknown_before_2014(self):
+        caps = capabilities_on(datetime.date(2013, 8, 1))
+        assert caps.reported_label(WebProtocol.QUIC) is WebProtocol.OTHER
+
+    def test_http_always_reported(self):
+        for year in (2013, 2015, 2017):
+            caps = capabilities_on(datetime.date(year, 6, 15))
+            assert caps.reported_label(WebProtocol.HTTP) is WebProtocol.HTTP
+
+    def test_version_names_progress(self):
+        v2013 = capabilities_on(datetime.date(2013, 2, 1)).version
+        v2017 = capabilities_on(datetime.date(2017, 2, 1)).version
+        assert v2013 != v2017
+
+    def test_upgrade_log_records_first_seen(self):
+        log = UpgradeLog()
+        log.record(datetime.date(2013, 5, 1))
+        log.record(datetime.date(2016, 12, 1))
+        log.record(datetime.date(2017, 1, 1))
+        assert len(log.deployments) == 2
+
+
+class TestOutages:
+    def test_covers(self):
+        outage = Outage("pop1", datetime.date(2016, 3, 5), datetime.date(2016, 5, 28))
+        assert outage.covers(datetime.date(2016, 4, 1))
+        assert not outage.covers(datetime.date(2016, 6, 1))
+        assert outage.duration_days() == 85
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            Outage("pop1", datetime.date(2016, 5, 1), datetime.date(2016, 4, 1))
+
+    def test_calendar_queries(self):
+        calendar = OutageCalendar(
+            [Outage("pop1", datetime.date(2014, 1, 1), datetime.date(2014, 1, 3))]
+        )
+        assert calendar.is_down("pop1", datetime.date(2014, 1, 2))
+        assert not calendar.is_down("pop2", datetime.date(2014, 1, 2))
+        assert calendar.any_down(datetime.date(2014, 1, 2))
+        assert not calendar.any_down(datetime.date(2014, 2, 1))
+
+    def test_default_outages_include_severe_failure(self):
+        calendar = default_outages()
+        # The months-long 2016 hardware failure (Section 2.3).
+        assert calendar.is_down("pop1", datetime.date(2016, 4, 15))
+        assert calendar.total_lost_days("pop1") > 60
+
+    def test_add_and_len(self):
+        calendar = OutageCalendar()
+        calendar.add(Outage("p", datetime.date(2015, 1, 1), datetime.date(2015, 1, 1)))
+        assert len(calendar) == 1
+        assert calendar.outages_for("p")[0].duration_days() == 1

@@ -1,0 +1,234 @@
+"""Tests for the flow meter: direction, DPI, expiry, counters."""
+
+import datetime
+
+import pytest
+
+from repro.nettypes.ip import Prefix, ip_to_int
+from repro.packets.capture import DecodedPacket, build_frame, FrameDecoder
+from repro.packets.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.packets.tcp import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    TcpSegment,
+)
+from repro.packets.udp import UdpDatagram
+from repro.protocols.dns import DnsMessage, ResourceRecord
+from repro.protocols.fbzero import ZeroHello
+from repro.protocols.http import HttpRequest
+from repro.protocols.quic import build_client_initial
+from repro.protocols.tls import ALPN_HTTP2, ALPN_SPDY3, ClientHello
+from repro.tstat.flow import NameSource, Transport, WebProtocol
+from repro.tstat.meter import FlowMeter
+from repro.tstat.versions import capabilities_on
+
+CLIENT = ip_to_int("10.0.0.42")
+SERVER = ip_to_int("93.184.216.34")
+NETS = [Prefix.parse("10.0.0.0/8")]
+
+_decoder = FrameDecoder()
+
+
+def _decode(frame) -> DecodedPacket:
+    decoded = _decoder.decode(frame)
+    assert decoded is not None
+    return decoded
+
+
+def tcp(ts, src, dst, sport, dport, seq, ack, flags, payload=b""):
+    segment = TcpSegment(sport, dport, seq, ack, flags, payload)
+    ip = IPv4Packet(src=src, dst=dst, protocol=PROTO_TCP, payload=segment.encode(src, dst))
+    return _decode(build_frame(ts, ip))
+
+
+def udp(ts, src, dst, sport, dport, payload):
+    datagram = UdpDatagram(sport, dport, payload)
+    ip = IPv4Packet(src=src, dst=dst, protocol=PROTO_UDP, payload=datagram.encode(src, dst))
+    return _decode(build_frame(ts, ip))
+
+
+def tcp_session(meter, first_payload, server_port=443):
+    """Drive a complete handshake + request + FIN/FIN through the meter."""
+    records = []
+    records += meter.process(tcp(0.00, CLIENT, SERVER, 5001, server_port, 100, 0, FLAG_SYN))
+    records += meter.process(tcp(0.01, SERVER, CLIENT, server_port, 5001, 900, 101, FLAG_SYN | FLAG_ACK))
+    records += meter.process(
+        tcp(0.02, CLIENT, SERVER, 5001, server_port, 101, 901, FLAG_ACK | FLAG_PSH, first_payload)
+    )
+    end = 101 + len(first_payload)
+    records += meter.process(tcp(0.03, SERVER, CLIENT, server_port, 5001, 901, end, FLAG_ACK, b"y" * 400))
+    records += meter.process(tcp(0.04, CLIENT, SERVER, 5001, server_port, end, 1301, FLAG_ACK | FLAG_FIN))
+    records += meter.process(tcp(0.05, SERVER, CLIENT, server_port, 5001, 1301, end + 1, FLAG_ACK | FLAG_FIN))
+    return records
+
+
+@pytest.fixture
+def meter():
+    return FlowMeter(client_networks=NETS, vantage="pop-test")
+
+
+class TestDirectionality:
+    def test_transit_packet_skipped(self, meter):
+        other = ip_to_int("8.8.8.8")
+        meter.process(tcp(0.0, other, SERVER, 1, 2, 0, 0, FLAG_SYN))
+        assert meter.stats.skipped_direction == 1
+        assert meter.live_flows == 0
+
+    def test_internal_packet_skipped(self, meter):
+        other = ip_to_int("10.0.0.99")
+        meter.process(tcp(0.0, CLIENT, other, 1, 2, 0, 0, FLAG_SYN))
+        assert meter.stats.skipped_direction == 1
+
+    def test_bidirectional_same_flow(self, meter):
+        meter.process(tcp(0.0, CLIENT, SERVER, 5001, 80, 100, 0, FLAG_SYN))
+        meter.process(tcp(0.01, SERVER, CLIENT, 80, 5001, 1, 101, FLAG_SYN | FLAG_ACK))
+        assert meter.live_flows == 1
+
+    def test_requires_client_network(self):
+        with pytest.raises(ValueError):
+            FlowMeter(client_networks=[])
+
+
+class TestDpi:
+    def test_http_host(self, meter):
+        records = tcp_session(meter, HttpRequest.get("www.example.org").encode(), 80)
+        assert len(records) == 1
+        record = records[0]
+        assert record.protocol is WebProtocol.HTTP
+        assert record.server_name == "www.example.org"
+        assert record.name_source is NameSource.HOST
+
+    def test_tls_sni(self, meter):
+        records = tcp_session(meter, ClientHello(sni="tls.example").encode_record())
+        assert records[0].protocol is WebProtocol.TLS
+        assert records[0].server_name == "tls.example"
+        assert records[0].name_source is NameSource.SNI
+
+    def test_http2_via_alpn(self, meter):
+        hello = ClientHello(sni="h2.example", alpn=[ALPN_HTTP2]).encode_record()
+        records = tcp_session(meter, hello)
+        assert records[0].protocol is WebProtocol.HTTP2
+
+    def test_spdy_via_alpn(self, meter):
+        hello = ClientHello(sni="spdy.example", alpn=[ALPN_SPDY3]).encode_record()
+        records = tcp_session(meter, hello)
+        assert records[0].protocol is WebProtocol.SPDY
+
+    def test_fbzero(self, meter):
+        records = tcp_session(meter, ZeroHello("z.facebook.com").encode_record())
+        assert records[0].protocol is WebProtocol.FBZERO
+        assert records[0].name_source is NameSource.ZERO
+
+    def test_opaque_on_443_is_tls(self, meter):
+        records = tcp_session(meter, b"\x00\x01\x02\x03binary")
+        assert records[0].protocol is WebProtocol.TLS
+        assert records[0].server_name is None
+
+    def test_quic_udp(self, meter):
+        payload = build_client_initial(5, "quic.example")
+        meter.process(udp(0.0, CLIENT, SERVER, 5002, 443, payload))
+        records = meter.flush()
+        assert records[0].protocol is WebProtocol.QUIC
+        assert records[0].server_name == "quic.example"
+        assert records[0].transport is Transport.UDP
+
+    def test_p2p_port_heuristic(self, meter):
+        meter.process(tcp(0.0, CLIENT, SERVER, 5003, 6881, 0, 0, FLAG_SYN))
+        records = meter.flush()
+        assert records[0].protocol is WebProtocol.P2P
+
+    def test_dns_flow_label(self, meter):
+        query = DnsMessage.query("name.example")
+        meter.process(udp(0.0, CLIENT, SERVER, 5004, 53, query.encode()))
+        records = meter.flush()
+        assert records[0].protocol is WebProtocol.DNS
+
+
+class TestProbeVersioning:
+    def test_spdy_hidden_before_2015(self):
+        old = FlowMeter(
+            client_networks=NETS,
+            capabilities=capabilities_on(datetime.date(2015, 1, 10)),
+        )
+        hello = ClientHello(sni="spdy.example", alpn=[ALPN_SPDY3]).encode_record()
+        records = tcp_session(old, hello)
+        assert records[0].protocol is WebProtocol.TLS  # event C not yet shipped
+
+    def test_fbzero_hidden_before_launch_capability(self):
+        old = FlowMeter(
+            client_networks=NETS,
+            capabilities=capabilities_on(datetime.date(2016, 10, 1)),
+        )
+        records = tcp_session(old, ZeroHello("z.facebook.com").encode_record())
+        assert records[0].protocol is WebProtocol.TLS
+
+
+class TestExpiry:
+    def test_fin_fin_expires(self, meter):
+        records = tcp_session(meter, b"request")
+        assert len(records) == 1
+        assert meter.live_flows == 0
+        assert meter.stats.flows_expired_fin == 1
+
+    def test_rst_expires(self, meter):
+        meter.process(tcp(0.0, CLIENT, SERVER, 5001, 443, 100, 0, FLAG_SYN))
+        records = meter.process(
+            tcp(0.1, SERVER, CLIENT, 443, 5001, 0, 101, FLAG_RST | FLAG_ACK)
+        )
+        assert len(records) == 1
+        assert meter.stats.flows_expired_rst == 1
+
+    def test_trailing_ack_absorbed(self, meter):
+        tcp_session(meter, b"request")
+        meter.process(tcp(0.06, CLIENT, SERVER, 5001, 443, 109, 1302, FLAG_ACK))
+        assert meter.live_flows == 0
+        assert meter.stats.late_packets == 1
+
+    def test_idle_timeout(self):
+        meter = FlowMeter(client_networks=NETS, idle_timeout=10.0)
+        meter.process(tcp(0.0, CLIENT, SERVER, 5001, 443, 100, 0, FLAG_SYN))
+        assert meter.expire_idle(5.0) == []
+        expired = meter.expire_idle(11.0)
+        assert len(expired) == 1
+        assert meter.stats.flows_expired_idle == 1
+
+    def test_flush_exports_everything(self, meter):
+        meter.process(tcp(0.0, CLIENT, SERVER, 5001, 443, 100, 0, FLAG_SYN))
+        meter.process(udp(0.0, CLIENT, SERVER, 5002, 443, b"\x00"))
+        records = meter.flush()
+        assert len(records) == 2
+        assert meter.live_flows == 0
+
+
+class TestCounters:
+    def test_bytes_and_packets(self, meter):
+        records = tcp_session(meter, b"request!")
+        record = records[0]
+        assert record.packets_up == 3  # SYN, PSH, FIN
+        assert record.packets_down == 3  # SYN-ACK, data, FIN
+        assert record.bytes_down > 400
+        assert record.bytes_up > record.packets_up * 40
+
+    def test_timestamps(self, meter):
+        records = tcp_session(meter, b"request")
+        record = records[0]
+        assert record.ts_start == 0.0
+        assert record.ts_end == pytest.approx(0.05)
+        assert record.duration == pytest.approx(0.05)
+
+    def test_rtt_sampled(self, meter):
+        records = tcp_session(meter, b"request")
+        assert records[0].rtt.samples >= 1
+        assert records[0].rtt.min_ms == pytest.approx(10.0, rel=0.2)
+
+    def test_vantage_tagged(self, meter):
+        records = tcp_session(meter, b"request")
+        assert records[0].vantage == "pop-test"
+
+    def test_anonymizer_applied(self):
+        meter = FlowMeter(client_networks=NETS, anonymize=lambda ip: 424242)
+        records = tcp_session(meter, b"request")
+        assert records[0].client_id == 424242

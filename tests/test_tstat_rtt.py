@@ -1,0 +1,111 @@
+"""Tests for the SEQ/ACK RTT estimator."""
+
+import pytest
+
+from repro.packets.tcp import FLAG_ACK, FLAG_SYN, TcpSegment
+from repro.tstat.flow import RttSummary
+from repro.tstat.rtt import RttEstimator, seq_after
+
+
+def client_seg(seq, payload=b"x" * 10, flags=FLAG_ACK):
+    return TcpSegment(1000, 80, seq, 0, flags, payload)
+
+
+def server_ack(ack):
+    return TcpSegment(80, 1000, 500, ack, FLAG_ACK)
+
+
+class TestSeqAfter:
+    def test_simple(self):
+        assert seq_after(10, 5)
+        assert not seq_after(5, 10)
+        assert not seq_after(7, 7)
+
+    def test_wraparound(self):
+        high = (1 << 32) - 10
+        assert seq_after(5, high)  # 5 wrapped past the top
+        assert not seq_after(high, 5)
+
+
+class TestRttEstimator:
+    def test_basic_sample(self):
+        estimator = RttEstimator()
+        estimator.on_client_segment(client_seg(100), timestamp=1.000)
+        estimator.on_server_ack(server_ack(110), timestamp=1.025)
+        assert estimator.summary.samples == 1
+        assert estimator.summary.min_ms == pytest.approx(25.0)
+
+    def test_syn_counts_as_sequence_space(self):
+        estimator = RttEstimator()
+        estimator.on_client_segment(
+            TcpSegment(1, 2, 100, 0, FLAG_SYN), timestamp=0.0
+        )
+        estimator.on_server_ack(server_ack(101), timestamp=0.004)
+        assert estimator.summary.samples == 1
+        assert estimator.summary.min_ms == pytest.approx(4.0)
+
+    def test_cumulative_ack_matches_multiple(self):
+        estimator = RttEstimator()
+        estimator.on_client_segment(client_seg(100), timestamp=1.0)
+        estimator.on_client_segment(client_seg(110), timestamp=1.1)
+        estimator.on_server_ack(server_ack(120), timestamp=1.2)
+        assert estimator.summary.samples == 2
+        assert estimator.summary.max_ms == pytest.approx(200.0)
+        assert estimator.summary.min_ms == pytest.approx(100.0)
+
+    def test_karns_rule_discards_retransmissions(self):
+        estimator = RttEstimator()
+        estimator.on_client_segment(client_seg(100), timestamp=1.0)
+        estimator.on_client_segment(client_seg(100), timestamp=2.0)  # retransmit
+        estimator.on_server_ack(server_ack(110), timestamp=2.5)
+        assert estimator.summary.samples == 0
+
+    def test_ack_without_ack_flag_ignored(self):
+        estimator = RttEstimator()
+        estimator.on_client_segment(client_seg(100), timestamp=1.0)
+        bare = TcpSegment(80, 1000, 0, 110, 0)
+        estimator.on_server_ack(bare, timestamp=1.1)
+        assert estimator.summary.samples == 0
+
+    def test_pure_ack_not_registered(self):
+        estimator = RttEstimator()
+        estimator.on_client_segment(
+            TcpSegment(1, 2, 100, 50, FLAG_ACK), timestamp=1.0
+        )  # no payload, no SYN/FIN
+        estimator.on_server_ack(server_ack(100), timestamp=1.1)
+        assert estimator.summary.samples == 0
+
+    def test_old_ack_produces_nothing(self):
+        estimator = RttEstimator()
+        estimator.on_client_segment(client_seg(200), timestamp=1.0)
+        estimator.on_server_ack(server_ack(150), timestamp=1.1)  # stale
+        assert estimator.summary.samples == 0
+
+    def test_outstanding_bounded(self):
+        estimator = RttEstimator()
+        for index in range(200):
+            estimator.on_client_segment(client_seg(index * 10), timestamp=index * 0.01)
+        # Internal table must stay bounded.
+        assert len(estimator._outstanding) <= 64
+
+    def test_negative_interval_discarded(self):
+        estimator = RttEstimator()
+        estimator.on_client_segment(client_seg(100), timestamp=5.0)
+        estimator.on_server_ack(server_ack(110), timestamp=4.0)  # clock glitch
+        assert estimator.summary.samples == 0
+
+
+class TestRttSummary:
+    def test_running_stats(self):
+        summary = RttSummary()
+        for value in (10.0, 20.0, 30.0):
+            summary.add(value)
+        assert summary.samples == 3
+        assert summary.min_ms == 10.0
+        assert summary.max_ms == 30.0
+        assert summary.avg_ms == pytest.approx(20.0)
+
+    def test_single_sample(self):
+        summary = RttSummary()
+        summary.add(7.5)
+        assert summary.as_tuple() == (1, 7.5, 7.5, 7.5)
