@@ -16,7 +16,6 @@ import pytest
 
 from repro.core.config import StudyConfig
 from repro.core.study import LongitudinalStudy, StudyData
-from repro.services import catalog
 from repro.synthesis.world import WorldConfig
 
 BENCH_SEED = 42

@@ -10,7 +10,6 @@ the equal-results property is what the test suite asserts either way.
 
 import datetime
 
-import pytest
 
 from repro.core.config import StudyConfig
 from repro.core.parallel import run_parallel

@@ -19,11 +19,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.nettypes.ip import ip_to_int
-from repro.packets.pcap import load_pcap, read_pcap, write_pcap
+from repro.packets.pcap import read_pcap, write_pcap
 from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
 from repro.tstat.flow import WebProtocol
 from repro.tstat.ipfix import export_ipfix, parse_ipfix
-from repro.tstat.logs import FlowLogWriter, load_flow_log
+from repro.tstat.logs import load_flow_log
 from repro.tstat.probe import Probe, ProbeConfig
 
 

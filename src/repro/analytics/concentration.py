@@ -10,10 +10,11 @@ giants' service families over time, plus a standard concentration index
 from __future__ import annotations
 
 import datetime
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.analytics.timeseries import Month, MonthlySeries, month_of, monthly_mean
+from repro.analytics.timeseries import Month, MonthlySeries, monthly_mean
 from repro.services import catalog
 from repro.synthesis.flowgen import DailyUsage
 
@@ -83,7 +84,7 @@ def herfindahl_index(shares: Sequence[float]) -> float:
     total = sum(shares)
     if total <= 0:
         return 0.0
-    return sum((share / total) ** 2 for share in shares)
+    return math.fsum((share / total) ** 2 for share in shares)
 
 
 def service_hhi_series(

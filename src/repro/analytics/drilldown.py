@@ -9,7 +9,6 @@ service's dominant protocol change, and to what).
 
 from __future__ import annotations
 
-import datetime
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 

@@ -8,7 +8,6 @@ curves are smoothed using a Bezier interpolation."
 
 from __future__ import annotations
 
-import datetime
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 

@@ -105,7 +105,7 @@ def asn_breakdown(
         if classify_flow(record, rules) == service:
             addresses.add(record.server_ip)
     counts: Dict[str, int] = {}
-    for address in addresses:
+    for address in sorted(addresses):
         name = rib.origin_of(address, day).name
         if top_asns is not None and name not in top_asns:
             name = "OTHER"

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analytics.activity import SubscriberDay, active_subscribers_by_day
-from repro.analytics.timeseries import Month, MonthlySeries, month_of, monthly_mean
+from repro.analytics.timeseries import Month, MonthlySeries, monthly_mean
 from repro.services.thresholds import VisitClassifier
 from repro.synthesis.flowgen import DailyUsage
 from repro.synthesis.population import Technology

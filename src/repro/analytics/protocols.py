@@ -7,7 +7,6 @@ of each day* (SPDY hides inside TLS before June 2015, event C).
 
 from __future__ import annotations
 
-import datetime
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 

@@ -8,7 +8,7 @@ the distribution of minimum per-flow RTT, ignoring samples in the tails."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.analytics.distributions import EmpiricalDistribution
 from repro.services.rules import RuleSet

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analytics.activity import SubscriberDay
-from repro.analytics.timeseries import Month, MonthlySeries, month_of
+from repro.analytics.timeseries import Month, MonthlySeries
 from repro.synthesis.population import Technology
 
 GB = 1_000_000_000

@@ -7,7 +7,9 @@ Commands:
   name sources, RTT by service);
 * ``study [--scale ...] [--figure N|all] [--out DIR]`` — run the
   longitudinal study and print figure reports (optionally exporting CSVs);
-* ``events`` — list the Fig. 8 events with their model dates.
+* ``events`` — list the Fig. 8 events with their model dates;
+* ``lint [PATHS...] [--format text|json] [--baseline FILE]`` — run the
+  repo-specific static invariant checker (see :mod:`repro.quality`).
 """
 
 from __future__ import annotations
@@ -16,15 +18,13 @@ import argparse
 import collections
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.config import StudyConfig, small_study
 from repro.core.study import LongitudinalStudy
 from repro.services import catalog
 from repro.synthesis import servicemodels
 from repro.synthesis.world import WorldConfig
-
-_FIGURES = {}
 
 
 def _load_figures():
@@ -137,6 +137,40 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.quality import (
+        Analyzer,
+        LintError,
+        default_config,
+        load_baseline,
+        render_json,
+        render_text,
+        subtract_baseline,
+        write_baseline,
+    )
+
+    config = default_config()
+    if args.select:
+        config = dataclasses.replace(config, select=tuple(args.select))
+    try:
+        analyzer = Analyzer(config)
+        findings = analyzer.analyze(args.paths or None)
+        if args.write_baseline is not None:
+            path = write_baseline(args.write_baseline, findings)
+            print(f"wrote baseline with {len(findings)} finding(s) to {path}")
+            return 0
+        if args.baseline is not None:
+            findings = subtract_baseline(findings, load_baseline(args.baseline))
+    except (LintError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0
+
+
 def cmd_events(args: argparse.Namespace) -> int:
     events = [
         ("A", servicemodels.YOUTUBE_HTTPS_MIGRATION_START, "YouTube begins HTTPS migration"),
@@ -181,6 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     events = sub.add_parser("events", help="list the modelled event timeline")
     events.set_defaults(func=cmd_events)
+
+    lint = sub.add_parser(
+        "lint", help="run the static invariant checker over the source tree"
+    )
+    lint.add_argument("paths", nargs="*", type=Path,
+                      help="files or directories (default: the repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline", type=Path, default=None,
+                      help="subtract findings recorded in this baseline file")
+    lint.add_argument("--write-baseline", type=Path, default=None,
+                      help="snapshot current findings to FILE and exit 0")
+    lint.add_argument("--select", nargs="*", default=(), metavar="RULE",
+                      help="restrict to the given rule ids (e.g. RPR004)")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

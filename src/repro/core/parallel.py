@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import datetime
 import multiprocessing
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.config import StudyConfig
 from repro.core.study import LongitudinalStudy, StudyData

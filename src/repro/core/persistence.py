@@ -22,7 +22,6 @@ from typing import List, Optional
 
 from repro.core.study import LongitudinalStudy, StudyData
 from repro.dataflow.datalake import DataLake, LineCodec, tsv_codec
-from repro.services.rules import RuleSet
 from repro.services.thresholds import ActiveSubscriberCriterion, VisitClassifier
 from repro.synthesis.flowgen import (
     PROTOCOL_CODEC,

@@ -27,7 +27,7 @@ from repro.analytics.infrastructure import (
     service_ip_set,
 )
 from repro.analytics.popularity import DailyServiceStats, daily_service_stats
-from repro.analytics.timeseries import Month, month_of
+from repro.analytics.timeseries import Month
 from repro.core.config import COMPARISON_MONTHS, StudyConfig
 from repro.dataflow.datalake import month_days
 from repro.services import catalog

@@ -18,7 +18,7 @@ import datetime
 import gzip
 import io
 from pathlib import Path
-from typing import Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+from typing import Callable, Generic, Iterable, Iterator, List, TypeVar
 
 from repro.dataflow.engine import Dataset
 from repro.tstat.flow import FlowRecord

@@ -150,12 +150,16 @@ class Dataset(Generic[T]):
 
     def distinct(self) -> "Dataset[T]":
         def build() -> Iterator[T]:
+            # First-seen order, not set order: output must not depend on
+            # hash randomization (RPR006).
             seen = set()
+            ordered: List[T] = []
             for source in self._sources:
                 for item in source():
                     if item not in seen:
                         seen.add(item)
-            return iter(list(seen))
+                        ordered.append(item)
+            return iter(ordered)
 
         return Dataset([build])
 

@@ -18,7 +18,7 @@ from repro.analytics.hourly import (
     profile_ratio,
 )
 from repro.core.study import StudyData
-from repro.figures.common import Expectation, within
+from repro.figures.common import Expectation
 from repro.synthesis.population import Technology
 
 

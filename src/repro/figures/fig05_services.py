@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analytics.timeseries import Month, MonthlySeries, monthly_mean
+from repro.analytics.timeseries import MonthlySeries, monthly_mean
 from repro.core.study import StudyData
 from repro.figures.common import Expectation, within
 from repro.services import catalog

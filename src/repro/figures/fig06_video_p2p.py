@@ -10,11 +10,10 @@ popularity and >400 MB/day with no ADSL/FTTH difference.
 
 from __future__ import annotations
 
-import datetime
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analytics.timeseries import Month, MonthlySeries, monthly_mean
+from repro.analytics.timeseries import MonthlySeries, monthly_mean
 from repro.core.study import StudyData
 from repro.figures.common import MB, Expectation, ratio, within
 from repro.services import catalog

@@ -14,7 +14,6 @@ import datetime
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analytics.timeseries import MonthlySeries
 from repro.core.study import StudyData
 from repro.figures.common import MB, Expectation, within
 from repro.figures.fig06_video_p2p import ServicePanel, compute_panel, _year_mean

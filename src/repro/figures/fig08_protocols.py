@@ -13,14 +13,12 @@ November 2016 and carries more than half of Facebook's traffic.  End of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.analytics.protocols import (
     ProtocolShares,
-    detect_jumps,
     monthly_protocol_shares,
     service_protocol_volume,
-    share_series,
 )
 from repro.core.study import StudyData
 from repro.figures.common import Expectation, within

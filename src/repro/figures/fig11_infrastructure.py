@@ -20,6 +20,7 @@ the comparisons below are ratios, which survive the scaling.
 from __future__ import annotations
 
 import datetime
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -30,7 +31,7 @@ from repro.analytics.infrastructure import (
     build_ip_raster,
 )
 from repro.core.study import StudyData
-from repro.figures.common import Expectation, within
+from repro.figures.common import Expectation
 from repro.services import catalog
 
 SERVICES = (catalog.FACEBOOK, catalog.INSTAGRAM, catalog.YOUTUBE)
@@ -58,7 +59,7 @@ class ServiceInfraPanel:
         cells = [cell for cell in self.census_in_year(year) if cell.total_ips]
         if not cells:
             return None
-        return sum(cell.shared_ips / cell.total_ips for cell in cells) / len(cells)
+        return math.fsum(cell.shared_ips / cell.total_ips for cell in cells) / len(cells)
 
     def asn_share(self, year: int, asn_name: str) -> Optional[float]:
         cells = [entry for entry in self.asn if entry.day.year == year]
@@ -72,7 +73,7 @@ class ServiceInfraPanel:
         ]
         if not cells:
             return None
-        return sum(shares.get(sld, 0.0) for shares in cells) / len(cells)
+        return math.fsum(shares.get(sld, 0.0) for shares in cells) / len(cells)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,56 @@
+"""repro.quality — the repo-specific static invariant checker.
+
+``repro lint`` walks the source tree's ASTs and enforces the invariants
+the test suite can only spot-check: determinism of the seeded synthesis
+(RPR001/RPR002), anonymization before export (RPR003), fork-safety of the
+worker import closure (RPR004), and order-stable aggregation
+(RPR005/RPR006).  See DESIGN.md "Quality gates" for the rule ↔ invariant
+↔ paper-section mapping.
+
+Programmatic use::
+
+    from repro.quality import Analyzer, default_config
+
+    findings = Analyzer(default_config()).analyze()
+    assert not findings
+"""
+
+from repro.quality.baseline import load_baseline, subtract_baseline, write_baseline
+from repro.quality.engine import (
+    Analyzer,
+    FileContext,
+    LintConfig,
+    LintContext,
+    LintError,
+    default_config,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.quality.findings import Finding, Severity, sort_findings
+from repro.quality.importgraph import ImportGraph, fork_closure
+from repro.quality.registry import Rule, make_rules, register, registered_rules
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "ImportGraph",
+    "LintConfig",
+    "LintContext",
+    "LintError",
+    "Rule",
+    "Severity",
+    "default_config",
+    "fork_closure",
+    "load_baseline",
+    "make_rules",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "sort_findings",
+    "subtract_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,76 @@
+"""Baseline files: adopting the linter on a codebase with known debt.
+
+A baseline is a JSON inventory of findings that existed when the gate was
+introduced.  ``repro lint --baseline FILE`` subtracts baselined findings
+from the report so only *new* violations fail; ``--write-baseline``
+snapshots the current findings.  Matching is line-insensitive (see
+:meth:`Finding.baseline_key`) and count-aware: two identical findings need
+two baseline entries, so debt cannot silently grow behind one entry.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from pathlib import Path
+from typing import Counter, Iterable, List, Tuple, Union
+
+from repro.quality.findings import Finding
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+def write_baseline(path: Union[str, Path], findings: Iterable[Finding]) -> Path:
+    """Snapshot ``findings`` (sorted, line numbers dropped from identity)."""
+    path = Path(path)
+    entries = [
+        {"rule": rule, "path": rel_path, "message": message}
+        for rule, rel_path, message in sorted(
+            finding.baseline_key() for finding in findings
+        )
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> Counter[Tuple[str, str, str]]:
+    """Baseline keys with multiplicity, for count-aware subtraction."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(f"{path}: not a baseline file (missing 'findings')")
+    version = payload.get("version", _VERSION)
+    if version > _VERSION:
+        raise BaselineError(f"{path}: unsupported baseline version {version}")
+    keys: Counter[Tuple[str, str, str]] = collections.Counter()
+    for entry in payload["findings"]:
+        try:
+            keys[(str(entry["rule"]), str(entry["path"]), str(entry["message"]))] += 1
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"{path}: malformed entry {entry!r}") from exc
+    return keys
+
+
+def subtract_baseline(
+    findings: Iterable[Finding],
+    baseline: Counter[Tuple[str, str, str]],
+) -> List[Finding]:
+    """Findings not accounted for by the baseline (order preserved)."""
+    remaining = collections.Counter(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -1,0 +1,239 @@
+"""The analysis engine: files → ASTs → rules → reported findings.
+
+One :class:`Analyzer` run parses each target file once, hands the shared
+:class:`FileContext` to every applicable rule, filters the raw findings
+through in-source suppressions (``# repro: noqa[...]``) and the optional
+baseline, and renders the survivors as text or JSON.
+
+Whole-program facts (today: the fork-worker import closure for RPR004)
+live on the run-wide :class:`LintContext` and are computed lazily, so a
+``--select RPR001`` run never parses the import graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.quality.baseline import load_baseline, subtract_baseline
+from repro.quality.findings import Finding, Severity, sort_findings
+from repro.quality.importgraph import ImportGraph, fork_closure
+from repro.quality.registry import Rule, make_rules
+from repro.quality.suppressions import Suppression, parse_suppressions
+
+
+class LintError(ValueError):
+    """Raised for unusable configuration (bad entry point, bad paths)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """What to analyze and how the repo-specific rules are anchored."""
+
+    src_root: Path
+    #: Top-level package under ``src_root`` analyzed by default.
+    package: str = "repro"
+    #: ``module:function`` whose import closure defines the fork-worker
+    #: memory image (RPR004).  Verified against the AST, never hard-coded.
+    fork_entry: str = "repro.core.parallel:_run_chunk"
+    #: Path fragments scoping the wall-clock ban (RPR001).
+    wallclock_scopes: Tuple[str, ...] = ("synthesis", "analytics", "figures")
+    #: Path fragments scoping the float-accumulation rule (RPR005).
+    floatsum_scopes: Tuple[str, ...] = ("figures", "analytics")
+    #: Modules whose write APIs are anonymization sinks (RPR003).
+    sink_modules: Tuple[str, ...] = ("repro.reporting.export", "repro.tstat.logs")
+    select: Tuple[str, ...] = ()
+
+
+def default_config() -> LintConfig:
+    """Configuration for the repo's own ``src/`` tree."""
+    package_dir = Path(__file__).resolve().parent.parent
+    return LintConfig(src_root=package_dir.parent)
+
+
+class LintContext:
+    """Run-wide state shared by all files of one analysis."""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+        self.graph = ImportGraph(config.src_root)
+        self._fork_closure: Optional[Set[str]] = None
+
+    def fork_modules(self) -> Set[str]:
+        """Modules a fork worker executes (lazy; raises LintError if the
+        configured entry point does not resolve to a real function)."""
+        if self._fork_closure is None:
+            try:
+                self._fork_closure = fork_closure(
+                    self.config.src_root, self.config.fork_entry
+                )
+            except ValueError as exc:
+                raise LintError(str(exc)) from exc
+        return self._fork_closure
+
+
+class FileContext:
+    """One parsed file plus everything rules need to inspect it."""
+
+    def __init__(
+        self,
+        ctx: LintContext,
+        path: Path,
+        source: str,
+        tree: ast.Module,
+    ) -> None:
+        self.ctx = ctx
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module = ctx.graph.path_module(path)
+        try:
+            relative = path.resolve().relative_to(ctx.config.src_root.resolve())
+            self.relpath = relative.as_posix()
+        except ValueError:
+            self.relpath = path.as_posix()
+        self._suppressions: Optional[Dict[int, Suppression]] = None
+
+    def suppressions(self) -> Dict[int, Suppression]:
+        if self._suppressions is None:
+            self._suppressions = parse_suppressions(self.source)
+        return self._suppressions
+
+    def in_scope(self, scopes: Sequence[str]) -> bool:
+        """True when the file's relative path crosses any scope fragment."""
+        parts = set(Path(self.relpath).parts)
+        return any(scope in parts for scope in scopes)
+
+
+class Analyzer:
+    """Runs the registered rules over a source tree."""
+
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> None:
+        self.config = config or default_config()
+        self.rules: List[Rule] = (
+            list(rules) if rules is not None else make_rules(self.config.select)
+        )
+        self.context = LintContext(self.config)
+
+    # ------------------------------------------------------------------
+
+    def target_files(
+        self, paths: Optional[Iterable[Union[str, Path]]] = None
+    ) -> List[Path]:
+        if paths is None:
+            base = self.config.src_root / self.config.package
+            if not base.is_dir():
+                base = self.config.src_root
+            return sorted(base.rglob("*.py"))
+        files: List[Path] = []
+        for entry in paths:
+            entry = Path(entry)
+            if entry.is_dir():
+                files.extend(sorted(entry.rglob("*.py")))
+            elif entry.is_file():
+                files.append(entry)
+            else:
+                raise LintError(f"no such file or directory: {entry}")
+        return files
+
+    def analyze(
+        self, paths: Optional[Iterable[Union[str, Path]]] = None
+    ) -> List[Finding]:
+        """All non-suppressed findings over the target files, sorted."""
+        findings: List[Finding] = []
+        for path in self.target_files(paths):
+            findings.extend(self.analyze_file(path))
+        return sort_findings(findings)
+
+    def analyze_file(self, path: Union[str, Path]) -> List[Finding]:
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 1) - 1,
+                    rule_id="RPR000",
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        file_ctx = FileContext(self.context, path, source, tree)
+        raw: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(file_ctx):
+                continue
+            raw.extend(rule.check(file_ctx))
+        return self._apply_suppressions(file_ctx, raw)
+
+    def _apply_suppressions(
+        self, file_ctx: FileContext, findings: List[Finding]
+    ) -> List[Finding]:
+        directives = file_ctx.suppressions()
+        if not directives:
+            return findings
+        by_id = {rule.rule_id: rule for rule in self.rules}
+        kept: List[Finding] = []
+        for finding in findings:
+            directive = directives.get(finding.line)
+            rule = by_id.get(finding.rule_id)
+            requires_reason = rule.requires_justification if rule else False
+            if directive and directive.covers(
+                finding.rule_id, require_reason=requires_reason
+            ):
+                continue
+            kept.append(finding)
+        return kept
+
+
+# ----------------------------------------------------------------------
+# One-call entry points used by the CLI and the tests.
+
+
+def run_lint(
+    paths: Optional[Iterable[Union[str, Path]]] = None,
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Union[str, Path]] = None,
+) -> List[Finding]:
+    analyzer = Analyzer(config=config)
+    findings = analyzer.analyze(paths)
+    if baseline is not None:
+        findings = subtract_baseline(findings, load_baseline(baseline))
+    return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "repro lint: clean (0 findings)"
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"repro lint: {len(findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s))"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+            "warnings": sum(
+                1 for f in findings if f.severity is Severity.WARNING
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,187 @@
+"""Static import graph over a source tree.
+
+The fork-safety rule (RPR004) needs to know which modules a worker
+process actually executes, so this module rebuilds the import graph the
+same way the interpreter would — from the AST, not from hard-coded
+lists:
+
+* ``import a.b.c`` imports ``a.b.c`` *and* executes ``a`` and ``a.b``
+  package ``__init__`` modules on the way;
+* ``from a.b import c`` imports ``a.b`` (plus ancestors) and, when ``c``
+  resolves to a submodule file, ``a.b.c`` as well;
+* relative imports (``from . import x``, ``from ..y import z``) resolve
+  against the importing module's package;
+* imports nested inside functions count too — a fork worker runs them at
+  call time, so their module state is just as shared.
+
+Only modules that resolve to files under the analyzed root participate;
+stdlib and third-party imports are edges out of the graph and ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class ImportGraphError(ValueError):
+    """Raised when an entry point cannot be resolved in the source tree."""
+
+
+class ImportGraph:
+    """Lazily parsed module→imports graph rooted at ``src_root``."""
+
+    def __init__(self, src_root: Path) -> None:
+        self._root = Path(src_root)
+        self._edges: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # module ↔ file resolution
+
+    def module_path(self, module: str) -> Optional[Path]:
+        """The file implementing ``module`` under the root, if any."""
+        base = self._root.joinpath(*module.split("."))
+        init = base / "__init__.py"
+        if init.is_file():
+            return init
+        as_file = base.with_suffix(".py")
+        if as_file.is_file():
+            return as_file
+        return None
+
+    def path_module(self, path: Path) -> Optional[str]:
+        """Inverse of :meth:`module_path` for files under the root."""
+        try:
+            relative = Path(path).resolve().relative_to(self._root.resolve())
+        except ValueError:
+            return None
+        parts = list(relative.parts)
+        if not parts or not parts[-1].endswith(".py"):
+            return None
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][: -len(".py")]
+        return ".".join(parts) if parts else None
+
+    # ------------------------------------------------------------------
+    # edges
+
+    @staticmethod
+    def _ancestors(module: str) -> List[str]:
+        parts = module.split(".")
+        return [".".join(parts[:length]) for length in range(1, len(parts))]
+
+    def _expand(self, module: str) -> List[str]:
+        """A module plus every package ``__init__`` executed to reach it."""
+        return [*self._ancestors(module), module]
+
+    def imports_of(self, module: str) -> Set[str]:
+        """In-tree modules that executing ``module`` imports (memoized)."""
+        cached = self._edges.get(module)
+        if cached is not None:
+            return cached
+        path = self.module_path(module)
+        found: Set[str] = set()
+        if path is not None:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            package = module if path.name == "__init__.py" else module.rpartition(".")[0]
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        found.update(self._resolving(alias.name))
+                elif isinstance(node, ast.ImportFrom):
+                    found.update(self._from_edges(node, package))
+        resolved = {name for name in found if self.module_path(name) is not None}
+        self._edges[module] = resolved
+        return resolved
+
+    def _resolving(self, dotted: str) -> List[str]:
+        return [
+            name
+            for name in self._expand(dotted)
+            if self.module_path(name) is not None
+        ]
+
+    def _from_edges(self, node: ast.ImportFrom, package: str) -> Set[str]:
+        if node.level:
+            base_parts = package.split(".") if package else []
+            # level=1 is the current package; each extra level climbs one.
+            if node.level - 1 >= len(base_parts) and node.level > 1:
+                return set()
+            keep = len(base_parts) - (node.level - 1)
+            prefix = ".".join(base_parts[:keep])
+            source = f"{prefix}.{node.module}" if node.module else prefix
+        else:
+            source = node.module or ""
+        if not source:
+            return set()
+        edges: Set[str] = set(self._resolving(source))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            submodule = f"{source}.{alias.name}"
+            if self.module_path(submodule) is not None:
+                edges.add(submodule)
+        return edges
+
+    # ------------------------------------------------------------------
+    # closure
+
+    def closure(self, entry_module: str) -> Set[str]:
+        """``entry_module``, its package ancestors, and everything imported
+        transitively — the modules a fork worker's memory image contains."""
+        if self.module_path(entry_module) is None:
+            raise ImportGraphError(
+                f"entry module {entry_module!r} not found under {self._root}"
+            )
+        seen: Set[str] = set()
+        stack: List[str] = [
+            name
+            for name in self._expand(entry_module)
+            if self.module_path(name) is not None
+        ]
+        while stack:
+            module = stack.pop()
+            if module in seen:
+                continue
+            seen.add(module)
+            stack.extend(self.imports_of(module) - seen)
+        return seen
+
+
+def function_exists(src_root: Path, module: str, function: str) -> bool:
+    """True if ``module`` (under ``src_root``) defines ``function`` at
+    module scope — used to verify a fork entry point really exists."""
+    graph = ImportGraph(src_root)
+    path = graph.module_path(module)
+    if path is None:
+        return False
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name == function
+        for node in tree.body
+    )
+
+
+def fork_closure(src_root: Path, entry: str) -> Set[str]:
+    """Transitive import closure for a ``module:function`` entry point.
+
+    Raises :class:`ImportGraphError` unless the function is genuinely
+    defined in the entry module — the guarantee that the fork-safety rule
+    is anchored to real code, not to a stale configuration string.
+    """
+    module, _, function = entry.partition(":")
+    if not module:
+        raise ImportGraphError(f"bad fork entry {entry!r}")
+    if function and not function_exists(Path(src_root), module, function):
+        raise ImportGraphError(
+            f"fork entry {entry!r}: no function {function!r} in {module}"
+        )
+    return ImportGraph(Path(src_root)).closure(module)
+
+
+def sorted_closure(modules: Iterable[str]) -> List[str]:
+    return sorted(modules)

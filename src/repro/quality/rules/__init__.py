@@ -1,0 +1,32 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.quality.registry`:
+
+==========  ==========================================================
+RPR001      no wall-clock reads in synthesis/analytics/figures
+RPR002      only seeded RNGs (no stdlib random, no numpy global state)
+RPR003      raw client addresses anonymized before export sinks
+RPR004      no mutable module-level state in fork-worker imports
+RPR005      float reductions via math.fsum, not order-sensitive sum()
+RPR006      set iteration feeding aggregation/output must be sorted
+==========  ==========================================================
+"""
+
+from repro.quality.rules import (  # noqa: F401  (import registers the rules)
+    anonymize,
+    dictorder,
+    floatsum,
+    forksafe,
+    rng,
+    wallclock,
+)
+
+__all__ = [
+    "anonymize",
+    "dictorder",
+    "floatsum",
+    "forksafe",
+    "rng",
+    "wallclock",
+]

@@ -1,0 +1,218 @@
+"""RPR003 — raw client addresses never cross the export boundary.
+
+Invariant (paper §2.1): subscriber IP addresses are anonymized *at the
+probe*; everything downstream — flow logs, CSV exports — sees pseudonyms
+only.  This rule is a lightweight taint analysis: expressions that look
+like raw client addresses (``client_ip``, ``raw_addr``, ``subscriber_ip``
+names or attributes) may not appear as arguments to the write APIs of the
+sink modules (``repro.reporting.export``, ``repro.tstat.logs``) unless
+they pass through an anonymizer first.
+
+Sanitization is recognized two ways: the value is the result of a call
+whose name mentions ``anonymize``/``anonymizer`` (covers bound
+``TableAnonymizer`` instances and ``self._anonymize``), or the variable
+was reassigned from such a call earlier in the same function.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set, Tuple
+
+from repro.quality.findings import Finding
+from repro.quality.registry import (
+    Rule,
+    call_name,
+    dotted_name,
+    function_scopes,
+    register,
+)
+
+#: Identifiers that denote an un-anonymized subscriber address.
+_RAW_IP_RE = re.compile(
+    r"(?:^|_)(?:raw|client|subscriber|src|customer)_?(?:ip|addr|address)"
+    r"(?:es|s)?(?:$|_)"
+)
+
+_SANITIZER_RE = re.compile(r"anonym", re.IGNORECASE)
+
+_WRITE_METHODS = ("write", "write_all", "writerow", "writerows")
+
+
+def _is_raw_identifier(identifier: str) -> bool:
+    return bool(_RAW_IP_RE.search(identifier.lower()))
+
+
+def _is_sanitizer_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and bool(
+        _SANITIZER_RE.search(call_name(node) or "")
+    )
+
+
+@register
+class AnonymizeBeforeExportRule(Rule):
+    rule_id = "RPR003"
+    description = "raw client addresses must be anonymized before export sinks"
+    invariant = (
+        "client identity leaves the probe only as a stable pseudonym "
+        "(prefix-preserving or table anonymizer); export/log writers never "
+        "see a raw address"
+    )
+
+    def check(self, file_ctx) -> Iterator[Finding]:
+        sinks = _sink_bindings(file_ctx.tree, file_ctx.ctx.config.sink_modules)
+        if not sinks.names and not sinks.module_aliases:
+            return
+        for scope in function_scopes(file_ctx.tree):
+            yield from self._check_scope(file_ctx, scope, sinks)
+
+    def _check_scope(self, file_ctx, scope: ast.AST, sinks) -> Iterator[Finding]:
+        events: List[Tuple[int, int, str, ast.AST]] = []
+        for node in ast.walk(scope):
+            if node is scope:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # inner scopes get their own pass
+            if isinstance(node, ast.Assign):
+                events.append((node.lineno, node.col_offset, "assign", node))
+            elif isinstance(node, ast.Call):
+                events.append((node.lineno, node.col_offset, "call", node))
+        events.sort(key=lambda event: (event[0], event[1]))
+        sanitized: Set[str] = set()
+        tainted: Set[str] = set()
+        writer_names: Set[str] = set()
+        for _, _, kind, node in events:
+            if kind == "assign":
+                self._track_assign(node, sinks, sanitized, tainted, writer_names)
+            elif self._is_sink_call(node, sinks, writer_names):
+                yield from self._check_sink_args(file_ctx, node, sanitized, tainted)
+
+    @staticmethod
+    def _track_assign(
+        node: ast.Assign,
+        sinks,
+        sanitized: Set[str],
+        tainted: Set[str],
+        writer_names: Set[str],
+    ) -> None:
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if not targets:
+            return
+        if _is_sanitizer_call(node.value):
+            sanitized.update(targets)
+            tainted.difference_update(targets)
+        elif any(_tainted_subexpressions(node.value, sanitized, tainted)):
+            # Taint propagates through plain assignment: rows built from a
+            # raw address stay raw under any other name.
+            tainted.update(targets)
+        else:
+            tainted.difference_update(targets)
+        if isinstance(node.value, ast.Call):
+            callee = call_name(node.value)
+            if callee.split(".")[-1] in sinks.writer_classes:
+                writer_names.update(targets)
+
+    def _is_sink_call(
+        self, node: ast.Call, sinks, writer_names: Set[str]
+    ) -> bool:
+        name = call_name(node)
+        if not name:
+            # Chained FlowLogWriter(path).write(record): the receiver is a
+            # call expression, so resolve the writer class directly.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WRITE_METHODS
+                and isinstance(func.value, ast.Call)
+                and call_name(func.value).split(".")[-1] in sinks.writer_classes
+            ):
+                return True
+            return False
+        parts = name.split(".")
+        if parts[0] in sinks.names and len(parts) == 1:
+            return True
+        # export.write_rows(...) via a module alias.
+        if parts[0] in sinks.module_aliases and len(parts) >= 2:
+            return True
+        # writer.write(record) / writer.write_all(...) on a tracked instance.
+        if (
+            len(parts) == 2
+            and parts[-1] in _WRITE_METHODS
+            and parts[0] in writer_names
+        ):
+            return True
+        return False
+
+    def _check_sink_args(
+        self, file_ctx, node: ast.Call, sanitized: Set[str], tainted: Set[str]
+    ) -> Iterator[Finding]:
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            for raw in _tainted_subexpressions(arg, sanitized, tainted):
+                label = dotted_name(raw) or ast.dump(raw)[:40]
+                yield self.finding(
+                    file_ctx,
+                    raw,
+                    f"raw client address `{label}` reaches export sink "
+                    f"`{call_name(node)}` without passing through "
+                    "nettypes.anonymize",
+                )
+
+
+class _SinkBindings:
+    def __init__(self) -> None:
+        self.names: Set[str] = set()  # functions/classes imported from sinks
+        self.module_aliases: Set[str] = set()  # the sink modules themselves
+        self.writer_classes: Set[str] = set()  # class names (FlowLogWriter)
+
+
+def _sink_bindings(tree: ast.Module, sink_modules) -> _SinkBindings:
+    sinks = _SinkBindings()
+    sink_set = set(sink_modules)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and not node.level and node.module:
+            if node.module in sink_set:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    sinks.names.add(bound)
+                    if alias.name[:1].isupper():
+                        sinks.writer_classes.add(bound)
+            else:
+                # from repro.reporting import export
+                for alias in node.names:
+                    candidate = f"{node.module}.{alias.name}"
+                    if candidate in sink_set:
+                        sinks.module_aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in sink_set:
+                    sinks.module_aliases.add(
+                        alias.asname or alias.name.split(".")[0]
+                    )
+    return sinks
+
+
+def _tainted_subexpressions(
+    expression: ast.AST,
+    sanitized: Set[str],
+    tainted: Set[str] = frozenset(),  # type: ignore[assignment]
+) -> Iterator[ast.AST]:
+    """Raw-address names/attributes (or names carrying propagated taint)
+    in ``expression`` that are not inside a sanitizer call."""
+    stack: List[ast.AST] = [expression]
+    while stack:
+        node = stack.pop()
+        if _is_sanitizer_call(node):
+            continue  # everything below is cleansed
+        if isinstance(node, ast.Name):
+            if node.id in sanitized:
+                continue
+            if _is_raw_identifier(node.id) or node.id in tainted:
+                yield node
+            continue
+        if isinstance(node, ast.Attribute):
+            if _is_raw_identifier(node.attr):
+                yield node
+                continue
+        stack.extend(ast.iter_child_nodes(node))
+    return

@@ -1,0 +1,77 @@
+"""RPR005 — float reductions in figures/analytics must be order-stable.
+
+Invariant: merged parallel partials reproduce the serial run bit-for-bit.
+``sum()`` over floats associates left-to-right, so reordering the inputs
+(different worker partitioning, different set iteration) can change the
+last ulp of a figure value.  ``math.fsum`` is exactly rounded — the
+result is independent of summation order — and integer sums are exact by
+construction, so both are allowed; ``sum()`` over float-producing
+expressions is not.
+
+The check is syntactic: a ``sum(...)`` call is flagged when the summed
+expression visibly produces floats (a division, a float literal, or a
+``float(...)`` conversion) or when the ``start`` argument is a float
+literal.  Reductions over plain integer counters stay untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.quality.findings import Finding
+from repro.quality.registry import Rule, register
+
+
+@register
+class FloatAccumulationRule(Rule):
+    rule_id = "RPR005"
+    description = "float reductions use math.fsum, not sum()"
+    invariant = (
+        "figure and analytics reductions are independent of input order, so "
+        "parallel merges and set-iteration order cannot move a figure value"
+    )
+
+    def applies_to(self, file_ctx) -> bool:
+        return file_ctx.in_scope(file_ctx.ctx.config.floatsum_scopes)
+
+    def check(self, file_ctx) -> Iterator[Finding]:
+        for node in ast.walk(file_ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id == "sum"):
+                continue
+            if not node.args:
+                continue
+            reason = _float_evidence(node)
+            if reason:
+                yield self.finding(
+                    file_ctx,
+                    node,
+                    f"sum() over a float expression ({reason}) is "
+                    "order-sensitive; use math.fsum (exactly rounded) or "
+                    "keep the accumulation integral",
+                )
+
+
+def _float_evidence(call: ast.Call) -> str:
+    """Why the summed expression is float-valued, or ``""`` if no evidence."""
+    summed = call.args[0]
+    for node in ast.walk(summed):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return "division inside the summand"
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return "float literal inside the summand"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        ):
+            return "float() conversion inside the summand"
+    start_candidates = list(call.args[1:]) + [
+        keyword.value for keyword in call.keywords if keyword.arg == "start"
+    ]
+    for start in start_candidates:
+        if isinstance(start, ast.Constant) and isinstance(start.value, float):
+            return "float start value"
+    return ""

@@ -1,0 +1,135 @@
+"""RPR004 — fork-pool workers import no mutable module-level state.
+
+Invariant (core/parallel.py): "parallelism changes wall-clock, never
+results."  Worker processes are forked, so every module in the transitive
+import closure of ``core.parallel._run_chunk`` is duplicated into each
+worker's memory image.  A mutable module-level container in that closure
+is a trap: mutated in a worker, it silently diverges from its siblings
+and from the parent, and results start depending on which worker handled
+which day.
+
+The closure is computed from the real AST import graph
+(:mod:`repro.quality.importgraph`) every run — never from a hard-coded
+module list — and includes package ``__init__`` modules and
+function-local imports, because forked workers execute those too.
+
+A flagged assignment is accepted only when it is frozen
+(``tuple``/``frozenset``/``MappingProxyType``) or carries a
+``# repro: noqa[RPR004] -- <justification>`` explaining why sharing is
+safe.  A bare noqa without justification does not count.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.quality.findings import Finding
+from repro.quality.registry import (
+    Rule,
+    call_name,
+    module_level_statements,
+    register,
+)
+
+#: Callables producing mutable containers.
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+    "bytearray",
+    "ChainMap",
+}
+
+#: Callables whose result is safely shareable across forks.
+_FREEZING_FACTORIES = {"tuple", "frozenset", "MappingProxyType", "FrozenInstanceError"}
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+@register
+class ForkSafeWorkersRule(Rule):
+    rule_id = "RPR004"
+    description = "no mutable module-level containers in fork-worker imports"
+    invariant = (
+        "every module a fork-pool worker executes is free of mutable "
+        "module-level state, so workers cannot diverge from each other or "
+        "from a serial run"
+    )
+    requires_justification = True
+
+    def applies_to(self, file_ctx) -> bool:
+        return file_ctx.module is not None
+
+    def check(self, file_ctx) -> Iterator[Finding]:
+        if file_ctx.module not in file_ctx.ctx.fork_modules():
+            return
+        for statement in module_level_statements(file_ctx.tree):
+            if isinstance(statement, ast.Assign):
+                targets = statement.targets
+                value = statement.value
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                targets = [statement.target]
+                value = statement.value
+            else:
+                continue
+            names = _target_names(targets)
+            if not names or all(_is_dunder(name) for name in names):
+                continue
+            offense = _mutability(value)
+            if offense:
+                label = ", ".join(names)
+                yield self.finding(
+                    file_ctx,
+                    statement,
+                    f"module-level mutable {offense} `{label}` in fork-worker "
+                    f"import closure of `{file_ctx.ctx.config.fork_entry}`; "
+                    "freeze it (tuple/frozenset/MappingProxyType) or add "
+                    "`# repro: noqa[RPR004] -- <why sharing is safe>`",
+                )
+
+
+def _target_names(targets: List[ast.expr]) -> List[str]:
+    names: List[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                element.id
+                for element in target.elts
+                if isinstance(element, ast.Name)
+            )
+    return names
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _mutability(value: ast.expr) -> str:
+    """Human label of the mutable container ``value`` builds, or ``""``."""
+    if isinstance(value, ast.Dict) or isinstance(value, ast.DictComp):
+        return "dict"
+    if isinstance(value, ast.List) or isinstance(value, ast.ListComp):
+        return "list"
+    if isinstance(value, ast.Set) or isinstance(value, ast.SetComp):
+        return "set"
+    if isinstance(value, ast.Call):
+        name = call_name(value).split(".")[-1]
+        if name in _FREEZING_FACTORIES:
+            return ""
+        if name in _MUTABLE_FACTORIES:
+            return f"{name}()"
+    return ""

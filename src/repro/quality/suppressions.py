@@ -1,0 +1,70 @@
+"""In-source suppressions: ``# repro: noqa[RULE,...]`` directives.
+
+A directive on a line suppresses the named rules *on that line only*,
+matching how the repo's invariants are argued: each exception is visible
+next to the code it excuses.  Rules may demand a justification — written
+after the bracket, e.g.::
+
+    REGISTRY = {}  # repro: noqa[RPR004] -- populated once at import, then read-only
+
+Suppressions without the required justification do not apply (the finding
+is still reported), so "I silenced it" always comes with "because".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*(?:--|:)?\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One noqa directive: which rules it silences, on which line, and why."""
+
+    line: int
+    rule_ids: Sequence[str]
+    reason: str
+
+    def covers(self, rule_id: str, require_reason: bool = False) -> bool:
+        if rule_id.upper() not in self.rule_ids:
+            return False
+        if require_reason and not self.reason:
+            return False
+        return True
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """All noqa directives in ``source``, keyed by 1-based line number.
+
+    Parsing is lexical (a regex over raw lines), which means a directive
+    inside a string literal would also count; in exchange the directive
+    survives any AST transformation and needs no tokenizer round-trip.
+    """
+    directives: Dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        directives[lineno] = Suppression(line=lineno, rule_ids=rules, reason=reason)
+    return directives
+
+
+def directive_lines(source: str, rule_id: str) -> List[int]:
+    """Lines whose directive names ``rule_id`` (diagnostics helper)."""
+    return [
+        line
+        for line, suppression in parse_suppressions(source).items()
+        if rule_id.upper() in suppression.rule_ids
+    ]

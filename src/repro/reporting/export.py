@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import datetime
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.analytics.timeseries import MonthlySeries
 

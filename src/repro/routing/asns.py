@@ -9,7 +9,8 @@ caches).  Numbers are the real-world ASNs; names match the figure labels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from types import MappingProxyType
+from typing import Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -46,8 +47,13 @@ _ALL = (
     OTHER,
 )
 
-_BY_NUMBER: Dict[int, AutonomousSystem] = {system.number: system for system in _ALL}
-_BY_NAME: Dict[str, AutonomousSystem] = {system.name: system for system in _ALL}
+# Frozen: these catalogs are imported by fork-pool workers (RPR004).
+_BY_NUMBER: Mapping[int, AutonomousSystem] = MappingProxyType(
+    {system.number: system for system in _ALL}
+)
+_BY_NAME: Mapping[str, AutonomousSystem] = MappingProxyType(
+    {system.name: system for system in _ALL}
+)
 
 
 def by_number(number: int) -> AutonomousSystem:

@@ -15,6 +15,7 @@ hand for five years.
 from __future__ import annotations
 
 import re
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Pattern, Tuple
 
@@ -57,14 +58,26 @@ def regexp(pattern: str, service: str) -> Rule:
     return Rule(pattern, service, "regexp")
 
 
+#: Bounded size of the per-ruleset classification cache.  The paper's rule
+#: list sees millions of lookups per day but only ~hundreds of thousands of
+#: distinct names; true LRU keeps the hot names resident instead of
+#: periodically dropping the hit rate to zero.
+_CACHE_CAPACITY = 65536
+
+
 class RuleSet:
     """Compiled rule list with specificity-ordered lookup and an LRU cache."""
 
-    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+    def __init__(
+        self, rules: Iterable[Rule] = (), cache_capacity: int = _CACHE_CAPACITY
+    ) -> None:
+        if cache_capacity <= 0:
+            raise RuleError("cache capacity must be positive")
         self._exact: Dict[str, str] = {}
         self._suffixes: Dict[str, str] = {}
         self._regexps: List[Tuple[Pattern[str], str]] = []
-        self._cache: Dict[str, Optional[str]] = {}
+        self._capacity = cache_capacity
+        self._cache: "OrderedDict[str, Optional[str]]" = OrderedDict()
         for rule in rules:
             self.add(rule)
 
@@ -86,12 +99,16 @@ class RuleSet:
         if not domain:
             return None
         domain = domain.lower().rstrip(".")
-        if domain in self._cache:
-            return self._cache[domain]
+        cached = self._cache.get(domain)
+        if cached is not None or domain in self._cache:
+            # LRU bookkeeping mirrors tstat.dnhunter: refresh on hit,
+            # evict the coldest entry when full — never wholesale-clear.
+            self._cache.move_to_end(domain)
+            return cached
         result = self._classify_uncached(domain)
-        if len(self._cache) > 65536:
-            self._cache.clear()
         self._cache[domain] = result
+        if len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
         return result
 
     def _classify_uncached(self, domain: str) -> Optional[str]:

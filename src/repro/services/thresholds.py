@@ -16,6 +16,7 @@ Two different thresholds from the paper are implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict, Mapping
 
 from repro.services import catalog
@@ -43,7 +44,7 @@ class ActiveSubscriberCriterion:
 #: Per-service minimum daily bytes (down+up) for an *intentional* visit.
 #: Services whose objects are embedded all over the web get high floors;
 #: services one only reaches on purpose get token floors.
-DEFAULT_VISIT_THRESHOLDS: Mapping[str, int] = {
+DEFAULT_VISIT_THRESHOLDS: Mapping[str, int] = MappingProxyType({
     catalog.GOOGLE: 20 * KB,
     catalog.BING: 5 * KB,
     catalog.DUCKDUCKGO: 5 * KB,
@@ -62,7 +63,7 @@ DEFAULT_VISIT_THRESHOLDS: Mapping[str, int] = {
     catalog.AMAZON: 50 * KB,
     catalog.EBAY: 50 * KB,
     catalog.PEER_TO_PEER: 100 * KB,
-}
+})
 
 _FALLBACK_THRESHOLD = 10 * KB
 

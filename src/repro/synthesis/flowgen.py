@@ -28,7 +28,7 @@ import numpy as np
 from repro.dataflow.datalake import LineCodec, tsv_codec
 from repro.services import catalog
 from repro.synthesis import studycalendar
-from repro.synthesis.population import Subscriber, Technology
+from repro.synthesis.population import Technology
 from repro.synthesis.studycalendar import BINS_PER_DAY
 from repro.synthesis.world import World
 from repro.tstat.flow import (

@@ -11,9 +11,8 @@ volumes the packet tier cannot (DESIGN.md §5).
 
 from __future__ import annotations
 
-import datetime
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 import numpy as np
 

@@ -15,7 +15,8 @@ from __future__ import annotations
 import datetime
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from types import MappingProxyType
+from typing import Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -39,10 +40,11 @@ class Technology(enum.Enum):
 
 
 #: Subscriber-side address blocks per PoP (anonymized by probes on export).
-POP_NETWORKS = {
+#: Frozen: imported by fork-pool workers (RPR004).
+POP_NETWORKS: Mapping[str, Prefix] = MappingProxyType({
     "pop1": Prefix.parse("10.1.0.0/16"),
     "pop2": Prefix.parse("10.2.0.0/16"),
-}
+})
 
 
 @dataclass(frozen=True)

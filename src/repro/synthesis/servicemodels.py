@@ -20,7 +20,7 @@ and the Fig. 3 per-subscriber totals (300 → 700 MB/day on ADSL).
 from __future__ import annotations
 
 import datetime
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.services import catalog

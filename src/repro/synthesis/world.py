@@ -9,7 +9,7 @@ single seed; any day can be regenerated independently and reproducibly
 from __future__ import annotations
 
 import datetime
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np

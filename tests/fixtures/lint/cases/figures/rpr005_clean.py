@@ -1,0 +1,13 @@
+"""RPR005 fixture: exact reductions — integer sums and math.fsum."""
+
+import math
+
+
+def total_bytes(flows):
+    # Integer sum: exact, order-independent.
+    return sum(flow.total_bytes for flow in flows)
+
+
+def mean_gigabytes(flows):
+    # fsum is exactly rounded, so input order cannot move the result.
+    return math.fsum(flow.total_bytes / 1e9 for flow in flows) / len(flows)

@@ -1,0 +1,9 @@
+"""RPR005 fixture: order-sensitive float accumulation in a figure."""
+
+
+def mean_gigabytes(flows):
+    return sum(flow.total_bytes / 1e9 for flow in flows) / len(flows)
+
+
+def weighted(values):
+    return sum(values, 0.0)

@@ -1,0 +1,1 @@
+"""Miniature package with its own fork entry point (RPR004 fixtures)."""

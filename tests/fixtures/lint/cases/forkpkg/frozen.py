@@ -1,0 +1,10 @@
+"""RPR004 fixture (clean): frozen or justified module-level state."""
+
+from forkpkg import state  # noqa: F401  (keeps this module in the closure)
+from types import MappingProxyType
+
+LIMITS = MappingProxyType({"a": 1, "b": 2})
+NAMES = ("alpha", "beta")
+TAGS = frozenset({"x", "y"})
+
+REGISTRY = {}  # repro: noqa[RPR004] -- populated once at import time, read-only afterwards

@@ -1,0 +1,7 @@
+"""RPR004 fixture: imported lazily inside the worker — still in closure."""
+
+OFFSETS = {"a": 1}  # mutable, reached via a function-local import
+
+
+def offset(item):
+    return OFFSETS.get(str(item), 0)

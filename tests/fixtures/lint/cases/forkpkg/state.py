@@ -1,0 +1,11 @@
+"""RPR004 fixture (violating): mutable module-level containers."""
+
+CACHE = {}  # mutable dict shared across forked workers
+RESULTS = []  # mutable list shared across forked workers
+UNJUSTIFIED = {}  # repro: noqa[RPR004]
+
+
+def lookup(item):
+    if item not in CACHE:
+        CACHE[item] = len(CACHE)
+    return CACHE[item]

@@ -1,0 +1,8 @@
+"""RPR004 fixture: mutable state OUTSIDE the entry's import closure.
+
+Nothing reachable from ``forkpkg.pool:_run_chunk`` imports this module,
+so its mutable global must NOT be flagged — proof the rule walks the real
+import graph instead of flagging every module in the package.
+"""
+
+SCRATCH = {"anything": "goes"}

@@ -1,0 +1,15 @@
+"""Suppression fixtures: bare noqa, wrong-rule noqa, justified noqa."""
+
+import random
+
+
+def suppressed():
+    return random.random()  # repro: noqa[RPR002] -- fixture: deliberately suppressed
+
+
+def wrong_rule():
+    return random.random()  # repro: noqa[RPR001] -- names a different rule
+
+
+def unsuppressed():
+    return random.random()

@@ -1,0 +1,17 @@
+"""RPR002 fixture: all randomness flows from explicit seeds."""
+
+import random
+
+import numpy as np
+
+
+def day_rng(seed: int, day_ordinal: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed, day_ordinal]))
+
+
+def legacy_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw(rng: np.random.Generator, count: int):
+    return rng.normal(size=count)

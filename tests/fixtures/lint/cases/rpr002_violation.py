@@ -1,0 +1,13 @@
+"""RPR002 fixture: draws from shared global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()  # banned: stdlib global RNG
+
+
+def noise(count):
+    return np.random.normal(size=count)  # banned: numpy legacy global RNG

@@ -1,0 +1,33 @@
+"""RPR003 fixture: addresses anonymized before any sink sees them."""
+
+from repro.nettypes.anonymize import TableAnonymizer
+from repro.reporting.export import write_rows
+from repro.tstat.logs import FlowLogWriter
+
+
+def export_pseudonyms(path, records, anonymizer: TableAnonymizer):
+    write_rows(
+        path,
+        ["client", "bytes"],
+        [
+            (anonymizer.anonymize(record.client_ip), record.bytes_down)
+            for record in records
+        ],
+    )
+
+
+def export_sanitized_name(path, client_ip, volume, anonymize):
+    pseudonym = anonymize(client_ip)
+    write_rows(path, ["client", "bytes"], [(pseudonym, volume)])
+
+
+def export_reassigned(path, client_ip, volume, anonymize):
+    # Re-binding the raw name to its pseudonym sanitizes later uses.
+    client_ip = anonymize(client_ip)
+    write_rows(path, ["client", "bytes"], [(client_ip, volume)])
+
+
+def log_server_side(path, record):
+    # Server addresses are not client-identifying; they may be logged.
+    writer = FlowLogWriter(path)
+    writer.write(record)

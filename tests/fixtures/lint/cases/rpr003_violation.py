@@ -1,0 +1,28 @@
+"""RPR003 fixture: raw client addresses reaching export sinks."""
+
+from repro.reporting.export import write_rows
+from repro.tstat.logs import FlowLogWriter
+
+
+def export_raw_attribute(path, records):
+    # Attribute access to a raw client address flows straight into a CSV.
+    write_rows(
+        path,
+        ["client_ip", "bytes"],
+        [(record.client_ip, record.bytes_down) for record in records],
+    )
+
+
+def export_raw_name(path, client_ip, volume):
+    write_rows(path, ["client_ip", "bytes"], [(client_ip, volume)])
+
+
+def export_propagated(path, records):
+    # Taint survives the intermediate assignment.
+    rows = [(record.client_ip, record.bytes_down) for record in records]
+    write_rows(path, ["client_ip", "bytes"], rows)
+
+
+def log_raw(path, record, client_ip):
+    writer = FlowLogWriter(path)
+    writer.write(client_ip)

@@ -1,0 +1,20 @@
+"""RPR006 fixture: set traversals sorted (or never iterated)."""
+
+
+def count_by_prefix(addresses):
+    unique = set(addresses)
+    counts = {}
+    for address in sorted(unique):
+        prefix = address >> 8
+        counts[prefix] = counts.get(prefix, 0) + 1
+    return counts
+
+
+def serialize(names):
+    return sorted({name.lower() for name in names})
+
+
+def membership_only(candidates, allowed):
+    allowed_set = set(allowed)
+    # Membership tests and len() never observe iteration order.
+    return [c for c in candidates if c in allowed_set], len(allowed_set)

@@ -1,0 +1,18 @@
+"""RPR006 fixture: set iteration order leaking into aggregation/output."""
+
+
+def count_by_prefix(addresses):
+    unique = set(addresses)
+    counts = {}
+    for address in unique:  # arbitrary hash order feeds a reduce-by-key
+        prefix = address >> 8
+        counts[prefix] = counts.get(prefix, 0) + 1
+    return counts
+
+
+def serialize(names):
+    return list({name.lower() for name in names})  # unordered materialization
+
+
+def pairs(tags):
+    return [(tag, len(tag)) for tag in set(tags)]  # comprehension over a set

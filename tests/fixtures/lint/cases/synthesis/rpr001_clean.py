@@ -1,0 +1,12 @@
+"""RPR001 fixture: calendar-derived times only — no wall clock."""
+
+import datetime
+
+
+def midnight_of(day: datetime.date) -> float:
+    # datetime.time() is a plain constructor, not a clock read.
+    return datetime.datetime.combine(day, datetime.time()).timestamp()
+
+
+def study_day(ordinal: int) -> datetime.date:
+    return datetime.date.fromordinal(ordinal)

@@ -1,0 +1,11 @@
+"""RPR001 fixture: wall-clock reads inside a synthesis module."""
+
+import datetime
+import time
+
+
+def stamp_run():
+    started = time.time()  # banned: wall clock
+    today = datetime.date.today()  # banned: run-dependent date
+    now = datetime.datetime.now()  # banned: run-dependent datetime
+    return started, today, now

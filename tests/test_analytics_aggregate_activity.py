@@ -19,13 +19,7 @@ from repro.dataflow.engine import Dataset
 from repro.services import catalog
 from repro.synthesis.flowgen import DailyUsage
 from repro.synthesis.population import Technology
-from repro.tstat.flow import (
-    FlowRecord,
-    NameSource,
-    RttSummary,
-    Transport,
-    WebProtocol,
-)
+from repro.tstat.flow import FlowRecord, NameSource, Transport, WebProtocol
 
 DAY = datetime.date(2016, 9, 14)
 

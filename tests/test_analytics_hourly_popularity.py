@@ -4,7 +4,7 @@ import datetime
 
 import pytest
 
-from repro.analytics.activity import SubscriberDay, subscriber_days
+from repro.analytics.activity import subscriber_days
 from repro.analytics.hourly import (
     HourlyProfile,
     bezier_smooth,

@@ -2,7 +2,6 @@
 
 import datetime
 
-import pytest
 
 from repro.analytics.infrastructure import (
     IpRaster,
@@ -12,7 +11,7 @@ from repro.analytics.infrastructure import (
 from repro.nettypes.ip import ip_to_int
 from repro.reporting.ascii import ip_raster as render_raster
 from repro.services import catalog
-from repro.tstat.flow import FlowRecord, NameSource, RttSummary, Transport, WebProtocol
+from repro.tstat.flow import FlowRecord, NameSource, Transport, WebProtocol
 
 D = datetime.date
 

@@ -11,7 +11,7 @@ from repro.dataflow.datalake import (
     month_days,
     tsv_codec,
 )
-from repro.tstat.flow import FlowRecord, NameSource, RttSummary, Transport, WebProtocol
+from repro.tstat.flow import FlowRecord, NameSource, Transport, WebProtocol
 
 DAY = datetime.date(2015, 3, 14)
 

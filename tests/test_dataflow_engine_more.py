@@ -1,6 +1,5 @@
 """Additional property tests for the dataflow engine's wide operations."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

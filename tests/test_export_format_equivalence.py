@@ -5,7 +5,6 @@ accounting must be identical wherever the format can carry it, and the
 losses must be exactly the documented ones.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

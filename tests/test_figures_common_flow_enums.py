@@ -1,6 +1,5 @@
 """Tests for small shared helpers: figures.common and flow enums."""
 
-import pytest
 
 from repro.figures.common import MB, fmt_mb, monthly_row, ratio, within
 from repro.tstat.flow import NameSource, Transport, WebProtocol

@@ -6,8 +6,8 @@ import doctest
 import pytest
 
 from repro.nettypes import ip as ip_module
-from repro.tstat.logs import LogFormatError, format_record, parse_record
-from repro.tstat.flow import NameSource, RttSummary, Transport, WebProtocol
+from repro.tstat.logs import format_record, parse_record
+from repro.tstat.flow import RttSummary, Transport
 
 
 class TestDoctests:

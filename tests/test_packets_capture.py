@@ -1,6 +1,5 @@
 """Tests for the capture-path decoder (robustness to junk on the wire)."""
 
-import pytest
 
 from repro.nettypes.ip import ip_to_int
 from repro.packets.capture import (

@@ -6,11 +6,9 @@ from hypothesis import strategies as st
 
 from repro.nettypes.ip import ip_to_int
 from repro.protocols.dns import (
-    FLAG_QR,
     RCODE_NXDOMAIN,
     TYPE_A,
     TYPE_AAAA,
-    TYPE_CNAME,
     DnsError,
     DnsMessage,
     Question,

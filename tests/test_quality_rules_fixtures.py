@@ -1,0 +1,230 @@
+"""Per-rule fixture tests: one violating and one clean example per rule,
+plus suppression (``# repro: noqa[...]``) and baseline behavior."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.quality import (
+    Analyzer,
+    LintConfig,
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint" / "cases"
+
+
+def fixture_config(**overrides) -> LintConfig:
+    options = dict(
+        src_root=FIXTURES,
+        package="",
+        fork_entry="forkpkg.pool:_run_chunk",
+    )
+    options.update(overrides)
+    return LintConfig(**options)
+
+
+def run_rule(rule_id, *relative_paths, **config_overrides):
+    config = fixture_config(select=(rule_id,), **config_overrides)
+    paths = [FIXTURES / rel for rel in relative_paths]
+    return Analyzer(config).analyze(paths)
+
+
+class TestRpr001WallClock:
+    def test_violation(self):
+        findings = run_rule("RPR001", "synthesis/rpr001_violation.py")
+        assert {f.rule_id for f in findings} == {"RPR001"}
+        assert len(findings) == 3
+        assert all(f.path == "synthesis/rpr001_violation.py" for f in findings)
+        assert sorted(f.line for f in findings) == [8, 9, 10]
+
+    def test_clean(self):
+        assert run_rule("RPR001", "synthesis/rpr001_clean.py") == []
+
+    def test_out_of_scope_module_ignored(self):
+        # The same calls outside synthesis/analytics/figures are allowed
+        # (drivers may timestamp their own logs).
+        findings = run_rule("RPR001", "rpr002_violation.py")
+        assert findings == []
+
+
+class TestRpr002SeededRng:
+    def test_violation(self):
+        findings = run_rule("RPR002", "rpr002_violation.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "random.random" in messages
+        assert "np.random.normal" in messages
+
+    def test_clean(self):
+        assert run_rule("RPR002", "rpr002_clean.py") == []
+
+
+class TestRpr003Anonymize:
+    def test_violation(self):
+        findings = run_rule("RPR003", "rpr003_violation.py")
+        lines = {f.line for f in findings}
+        assert len(findings) >= 4
+        # attribute access, bare name, propagated taint, writer method
+        assert {12, 17, 23, 28} <= lines
+
+    def test_clean(self):
+        assert run_rule("RPR003", "rpr003_clean.py") == []
+
+
+class TestRpr004ForkSafety:
+    def test_violations_inside_closure(self):
+        findings = run_rule("RPR004", "forkpkg")
+        by_name = {}
+        for finding in findings:
+            by_name.setdefault(Path(finding.path).name, []).append(finding)
+        # state.py: CACHE, RESULTS, and the justification-less noqa.
+        assert len(by_name["state.py"]) == 3
+        # lazy.py is only imported inside the worker function body.
+        assert len(by_name["lazy.py"]) == 1
+        assert set(by_name) == {"state.py", "lazy.py"}
+
+    def test_frozen_and_justified_are_clean(self):
+        findings = run_rule("RPR004", "forkpkg/frozen.py")
+        assert findings == []
+
+    def test_unreachable_module_not_flagged(self):
+        """Proof the rule walks the import graph: the same mutable dict is
+        flagged in the closure and ignored outside it."""
+        findings = run_rule("RPR004", "forkpkg/unreachable.py")
+        assert findings == []
+
+    def test_bad_entry_is_an_error(self):
+        config = fixture_config(
+            select=("RPR004",), fork_entry="forkpkg.pool:does_not_exist"
+        )
+        with pytest.raises(ValueError):
+            Analyzer(config).analyze([FIXTURES / "forkpkg"])
+
+    def test_bare_noqa_does_not_suppress(self):
+        findings = run_rule("RPR004", "forkpkg/state.py")
+        assert any(f.line == 5 for f in findings), (
+            "noqa[RPR004] without justification must not count"
+        )
+
+
+class TestRpr005FloatAccumulation:
+    def test_violation(self):
+        findings = run_rule("RPR005", "figures/rpr005_violation.py")
+        assert len(findings) == 2
+        reasons = " ".join(f.message for f in findings)
+        assert "division" in reasons
+        assert "float start" in reasons
+
+    def test_clean(self):
+        assert run_rule("RPR005", "figures/rpr005_clean.py") == []
+
+    def test_out_of_scope_ignored(self):
+        # The float-sum ban applies to figures/analytics reductions only.
+        findings = run_rule("RPR005", "rpr006_violation.py")
+        assert findings == []
+
+
+class TestRpr006DictOrder:
+    def test_violation(self):
+        findings = run_rule("RPR006", "rpr006_violation.py")
+        assert len(findings) == 3
+        consumers = " ".join(f.message for f in findings)
+        assert "for-loop" in consumers
+        assert "list()" in consumers
+        assert "comprehension" in consumers
+
+    def test_clean(self):
+        assert run_rule("RPR006", "rpr006_clean.py") == []
+
+
+class TestSuppressions:
+    def test_noqa_suppresses_only_named_rule_on_that_line(self):
+        findings = run_rule("RPR002", "noqa_cases.py")
+        lines = sorted(f.line for f in findings)
+        # line 7 suppressed; line 11 names RPR001 (wrong rule); line 15 bare.
+        assert lines == [11, 15]
+
+
+class TestBaseline:
+    def test_baseline_round_trip(self, tmp_path):
+        violating = "rpr002_violation.py"
+        findings = run_rule("RPR002", violating)
+        assert findings
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        reloaded = load_baseline(baseline_path)
+        assert sum(reloaded.values()) == len(findings)
+        assert subtract_baseline(findings, reloaded) == []
+
+    def test_baseline_only_absorbs_recorded_findings(self, tmp_path):
+        rpr002 = run_rule("RPR002", "rpr002_violation.py")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, rpr002)
+        other = run_rule("RPR006", "rpr006_violation.py")
+        remaining = subtract_baseline(other, load_baseline(baseline_path))
+        assert remaining == other
+
+    def test_baseline_is_count_aware(self, tmp_path):
+        findings = run_rule("RPR002", "rpr002_violation.py")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings[:1])
+        remaining = subtract_baseline(findings, load_baseline(baseline_path))
+        assert len(remaining) == len(findings) - 1
+
+
+class TestCliOnFixtures:
+    def test_nonzero_exit_with_precise_location(self, capsys):
+        target = FIXTURES / "rpr002_violation.py"
+        code = main(["lint", str(target), "--select", "RPR002"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "rpr002_violation.py:9" in out
+        assert "RPR002" in out
+
+    def test_json_output_round_trips(self, capsys):
+        target = FIXTURES / "rpr002_violation.py"
+        code = main(
+            ["lint", str(target), "--select", "RPR002", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["summary"]["total"] == 2
+        assert all(f["rule"] == "RPR002" for f in payload["findings"])
+
+    def test_baseline_flag(self, tmp_path, capsys):
+        target = FIXTURES / "rpr002_violation.py"
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(["lint", str(target), "--select", "RPR002",
+                  "--write-baseline", str(baseline)])
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["lint", str(target), "--select", "RPR002",
+                     "--baseline", str(baseline)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--select", "NOPE"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestFixtureConfigIsolation:
+    def test_fixture_analyzer_never_reads_repo_src(self):
+        config = fixture_config(select=("RPR004",))
+        analyzer = Analyzer(config)
+        files = analyzer.target_files([FIXTURES / "forkpkg"])
+        assert all(FIXTURES in path.parents for path in files)
+
+    def test_dataclass_replace_keeps_frozen_config(self):
+        config = fixture_config()
+        replaced = dataclasses.replace(config, select=("RPR001",))
+        assert replaced.select == ("RPR001",)
+        assert config.select == ()

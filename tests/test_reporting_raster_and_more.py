@@ -1,6 +1,5 @@
 """Additional reporting tests: stacked bars shapes, chart bounds."""
 
-import pytest
 
 from repro.reporting.ascii import line_chart, stacked_bars
 

@@ -8,7 +8,6 @@ from repro.services import catalog
 from repro.services.rules import Rule, RuleError, RuleSet, exact, regexp, suffix
 from repro.services.thresholds import (
     KB,
-    MB,
     ActiveSubscriberCriterion,
     DEFAULT_VISIT_THRESHOLDS,
     VisitClassifier,

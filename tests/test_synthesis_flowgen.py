@@ -8,13 +8,11 @@ from repro.services import catalog
 from repro.synthesis.flowgen import (
     PROTOCOL_CODEC,
     USAGE_CODEC,
-    DailyUsage,
     TrafficGenerator,
     _integer_split,
 )
 from repro.synthesis.population import Technology
 from repro.synthesis.studycalendar import BINS_PER_DAY
-from repro.synthesis.world import World, WorldConfig
 from repro.tstat.flow import NameSource, Transport, WebProtocol
 
 D = datetime.date

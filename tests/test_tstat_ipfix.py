@@ -13,13 +13,7 @@ from repro.tstat.flow import (
     Transport,
     WebProtocol,
 )
-from repro.tstat.ipfix import (
-    DATA_SET_ID,
-    IPFIX_VERSION,
-    IpfixError,
-    export_ipfix,
-    parse_ipfix,
-)
+from repro.tstat.ipfix import IPFIX_VERSION, IpfixError, export_ipfix, parse_ipfix
 
 
 def record(**overrides):

@@ -16,7 +16,7 @@ from repro.packets.tcp import (
     TcpSegment,
 )
 from repro.packets.udp import UdpDatagram
-from repro.protocols.dns import DnsMessage, ResourceRecord
+from repro.protocols.dns import DnsMessage
 from repro.protocols.fbzero import ZeroHello
 from repro.protocols.http import HttpRequest
 from repro.protocols.quic import build_client_initial
