@@ -7,7 +7,18 @@ aggregation on the dataflow engine, and the LPM trie join.
 
 import datetime
 
+from conftest import SMOKE
+
 from repro.analytics.aggregate import aggregate_usage
+from repro.analytics.infrastructure import (
+    asn_breakdown,
+    daily_ip_roles,
+    daily_server_census,
+    domain_shares,
+    service_ip_set,
+)
+from repro.analytics.rtt import min_rtt_samples
+from repro.core.study import INFRA_SERVICES, RTT_SERVICES
 from repro.dataflow.engine import Dataset
 from repro.nettypes.ip import Prefix, ip_to_int
 from repro.routing.trie import PrefixTrie
@@ -22,7 +33,33 @@ DAY = datetime.date(2016, 9, 14)
 
 
 def _world():
+    if SMOKE:
+        return World(WorldConfig(seed=1, adsl_count=40, ftth_count=20))
     return World(WorldConfig(seed=1, adsl_count=200, ftth_count=100))
+
+
+def _stage1_flow_analytics(world, flows, rules, codes=None):
+    """The per-day stage-1 consumer fan-out of ``_consume_flows``."""
+    census = daily_server_census(
+        flows, rules, list(INFRA_SERVICES), DAY, codes=codes
+    )
+    roles = daily_ip_roles(
+        flows, rules, list(INFRA_SERVICES), DAY, codes=codes
+    )
+    per_service = []
+    for service in INFRA_SERVICES:
+        per_service.append(
+            (
+                asn_breakdown(flows, rules, world.rib, service, DAY, codes=codes),
+                domain_shares(flows, rules, service, codes=codes),
+                service_ip_set(flows, rules, service, codes=codes),
+            )
+        )
+    samples = [
+        min_rtt_samples(flows, rules, service, codes=codes)
+        for service in RTT_SERVICES
+    ]
+    return census, roles, per_service, samples
 
 
 def test_probe_packet_throughput(benchmark):
@@ -62,11 +99,54 @@ def test_aggregate_tier_generation(benchmark):
 
 
 def test_flow_tier_expansion(benchmark):
-    """One day of probe-grade flow records (RTT/infrastructure input)."""
+    """One day of probe-grade flow records (RTT/infrastructure input).
+
+    Times the compatibility row path: columnar build + ``to_records()``.
+    """
     generator = TrafficGenerator(_world())
     traffic = generator.generate_day(DAY)
     flows = benchmark(generator.expand_flows, DAY, traffic)
     assert flows
+    benchmark.extra_info["flows"] = len(flows)
+
+
+def test_flow_tier_expansion_columnar(benchmark):
+    """The pipeline's actual hot path: one day straight into a FlowBatch."""
+    generator = TrafficGenerator(_world())
+    traffic = generator.generate_day(DAY)
+    batch = benchmark(generator.expand_flows_batch, DAY, traffic)
+    assert len(batch)
+    benchmark.extra_info["flows"] = len(batch)
+
+
+def test_stage1_flow_analytics_rows(benchmark):
+    """Stage-1 infrastructure + RTT consumers over FlowRecord rows."""
+    world = _world()
+    generator = TrafficGenerator(world)
+    rules = catalog.default_ruleset()
+    flows = generator.expand_flows(DAY)
+
+    census, _, _, samples = benchmark(
+        _stage1_flow_analytics, world, flows, rules
+    )
+    assert census and any(samples)
+    benchmark.extra_info["flows"] = len(flows)
+
+
+def test_stage1_flow_analytics_columnar(benchmark):
+    """Same consumers over a FlowBatch with one shared classification."""
+    world = _world()
+    generator = TrafficGenerator(world)
+    rules = catalog.default_ruleset()
+    batch = generator.expand_flows_batch(DAY)
+
+    def job():
+        codes = batch.service_view(rules)
+        return _stage1_flow_analytics(world, batch, rules, codes=codes)
+
+    census, _, _, samples = benchmark(job)
+    assert census and any(samples)
+    benchmark.extra_info["flows"] = len(batch)
 
 
 def test_stage1_aggregation_job(benchmark):

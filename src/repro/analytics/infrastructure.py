@@ -8,18 +8,57 @@ Three views per service, all computed from flow records:
 * **ASN breakdown** (Fig. 11d-f): the same addresses joined against the
   monthly RIB archive;
 * **domain shares** (Fig. 11g-i): traffic per second-level domain.
+
+Every job accepts either a :class:`FlowRecord` iterable (row path) or a
+columnar :class:`~repro.tstat.flowbatch.FlowBatch` (vectorized path); the
+two produce identical results.  Batch callers that run several jobs over
+the same day pass the shared :class:`BatchServiceView` via ``codes=`` so
+classification happens exactly once per batch.
 """
 
 from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+import numpy as np
 
 from repro.analytics.aggregate import classify_flow
 from repro.routing.rib import RibArchive
 from repro.services.rules import RuleSet
 from repro.tstat.flow import FlowRecord, second_level_domain
+from repro.tstat.flowbatch import BatchServiceView, FlowBatch
+
+#: Every stage-1 flow analytic accepts rows or a columnar batch.
+Flows = Union[FlowBatch, Iterable[FlowRecord]]
+
+
+def _batch_view(
+    batch: FlowBatch, rules: RuleSet, codes: Optional[BatchServiceView]
+) -> BatchServiceView:
+    """The caller-shared classification, or one computed (and memoized) now."""
+    return codes if codes is not None else batch.service_view(rules)
+
+
+def _ip_service_pairs(
+    batch: FlowBatch, view: BatchServiceView
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct (server IP, service code) pairs plus the per-pair shared flag.
+
+    Returns ``(ips, service_codes, shared)`` aligned by pair; ``shared[i]``
+    is True when ``ips[i]`` also serves some other service that day.
+    """
+    if len(batch) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.zeros(0, dtype=bool)
+    pairs = np.unique(
+        np.stack((batch.server_ip, view.flow_codes)), axis=1
+    )
+    ips, service_codes = pairs[0], pairs[1]
+    # Pairs are distinct, so each IP's multiplicity is its service count.
+    _, inverse, counts = np.unique(ips, return_inverse=True, return_counts=True)
+    return ips, service_codes, counts[inverse] > 1
 
 
 @dataclass(frozen=True)
@@ -37,16 +76,33 @@ class DailyServerStats:
 
 
 def daily_server_census(
-    flows: Iterable[FlowRecord],
+    flows: Flows,
     rules: RuleSet,
     services: List[str],
     day: datetime.date,
+    codes: Optional[BatchServiceView] = None,
 ) -> List[DailyServerStats]:
     """Distinct per-service server IPs for one day, shared vs dedicated.
 
     An address is *shared* if, on the same day, it also served traffic
     classified to any other service (including the unnamed rest).
     """
+    if isinstance(flows, FlowBatch):
+        view = _batch_view(flows, rules, codes)
+        ips, service_codes, shared = _ip_service_pairs(flows, view)
+        stats = []
+        for service in services:
+            member = service_codes == view.code_of(service)
+            shared_ips = int(np.count_nonzero(shared & member))
+            stats.append(
+                DailyServerStats(
+                    day=day,
+                    service=service,
+                    dedicated_ips=int(np.count_nonzero(member)) - shared_ips,
+                    shared_ips=shared_ips,
+                )
+            )
+        return stats
     ips_by_service: Dict[str, Set[int]] = {service: set() for service in services}
     services_by_ip: Dict[int, Set[str]] = {}
     for record in flows:
@@ -92,20 +148,27 @@ class AsnBreakdown:
 
 
 def asn_breakdown(
-    flows: Iterable[FlowRecord],
+    flows: Flows,
     rules: RuleSet,
     rib: RibArchive,
     service: str,
     day: datetime.date,
     top_asns: Optional[List[str]] = None,
+    codes: Optional[BatchServiceView] = None,
 ) -> AsnBreakdown:
     """Join a service's daily server IPs against the monthly RIB."""
-    addresses: Set[int] = set()
-    for record in flows:
-        if classify_flow(record, rules) == service:
-            addresses.add(record.server_ip)
+    ordered: List[int]
+    if isinstance(flows, FlowBatch):
+        view = _batch_view(flows, rules, codes)
+        ordered = np.unique(flows.server_ip[view.flow_mask(service)]).tolist()
+    else:
+        addresses: Set[int] = set()
+        for record in flows:
+            if classify_flow(record, rules) == service:
+                addresses.add(record.server_ip)
+        ordered = sorted(addresses)
     counts: Dict[str, int] = {}
-    for address in sorted(addresses):
+    for address in ordered:
         name = rib.origin_of(address, day).name
         if top_asns is not None and name not in top_asns:
             name = "OTHER"
@@ -114,11 +177,14 @@ def asn_breakdown(
 
 
 def domain_shares(
-    flows: Iterable[FlowRecord],
+    flows: Flows,
     rules: RuleSet,
     service: str,
+    codes: Optional[BatchServiceView] = None,
 ) -> Dict[str, float]:
     """Fig. 11 bottom row: traffic share per second-level domain."""
+    if isinstance(flows, FlowBatch):
+        return _domain_shares_batch(flows, rules, service, codes)
     volumes: Dict[str, int] = {}
     total = 0
     for record in flows:
@@ -132,6 +198,41 @@ def domain_shares(
     if total == 0:
         return {}
     return {domain: volume / total for domain, volume in volumes.items()}
+
+
+def _domain_shares_batch(
+    batch: FlowBatch,
+    rules: RuleSet,
+    service: str,
+    codes: Optional[BatchServiceView],
+) -> Dict[str, float]:
+    """Vectorized domain shares: group int64 byte totals by interned SLD.
+
+    Byte sums stay integral (``np.add.at`` on an int64 accumulator), so the
+    final share divisions are the same exact int/int divisions the row path
+    performs — identical floats, any input order.
+    """
+    view = _batch_view(batch, rules, codes)
+    mask = view.flow_mask(service)
+    if not mask.any():
+        return {}
+    slds, sld_of_name = batch.sld_table()
+    sld_ids = sld_of_name[batch.name_id[mask]]
+    named = sld_ids >= 0
+    sld_ids = sld_ids[named]
+    if sld_ids.size == 0:
+        return {}
+    volumes = batch.total_bytes[mask][named]
+    totals = np.zeros(len(slds), dtype=np.int64)
+    np.add.at(totals, sld_ids, volumes)
+    total = int(totals.sum())
+    if total == 0:
+        return {}
+    # Zero-byte flows still name their SLD in the row path's dict.
+    return {
+        slds[sld_id]: int(totals[sld_id]) / total
+        for sld_id in np.unique(sld_ids).tolist()
+    }
 
 
 @dataclass(frozen=True)
@@ -166,9 +267,15 @@ class InfrastructureTimeline:
 
 
 def service_ip_set(
-    flows: Iterable[FlowRecord], rules: RuleSet, service: str
+    flows: Flows,
+    rules: RuleSet,
+    service: str,
+    codes: Optional[BatchServiceView] = None,
 ) -> Set[int]:
     """All server addresses of a service in a flow set."""
+    if isinstance(flows, FlowBatch):
+        view = _batch_view(flows, rules, codes)
+        return set(np.unique(flows.server_ip[view.flow_mask(service)]).tolist())
     return {
         record.server_ip
         for record in flows
@@ -177,16 +284,32 @@ def service_ip_set(
 
 
 def daily_ip_roles(
-    flows: Iterable[FlowRecord],
+    flows: Flows,
     rules: RuleSet,
     services: List[str],
     day: datetime.date,
+    codes: Optional[BatchServiceView] = None,
 ) -> Dict[str, Dict[int, bool]]:
     """Per service: its addresses of the day, flagged shared (True) or not.
 
     This is the raw material of Fig. 11's top panels: each (ip, day) cell
     is a red dot (dedicated) or a blue dot (also served another service).
     """
+    if isinstance(flows, FlowBatch):
+        view = _batch_view(flows, rules, codes)
+        ips, service_codes, shared = _ip_service_pairs(flows, view)
+        batch_roles: Dict[str, Dict[int, bool]] = {
+            service: {} for service in services
+        }
+        for service in services:
+            member = service_codes == view.code_of(service)
+            batch_roles[service] = dict(
+                zip(
+                    ips[member].tolist(),
+                    shared[member].tolist(),
+                )
+            )
+        return batch_roles
     services_by_ip: Dict[int, Set[str]] = {}
     for record in flows:
         service = classify_flow(record, rules)

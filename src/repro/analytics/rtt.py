@@ -8,20 +8,39 @@ the distribution of minimum per-flow RTT, ignoring samples in the tails."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.analytics.distributions import EmpiricalDistribution
 from repro.services.rules import RuleSet
 from repro.tstat.flow import FlowRecord, Transport
+from repro.tstat.flowbatch import TCP_CODE, BatchServiceView, FlowBatch
+
+#: RTT analytics accept rows or a columnar batch (identical results).
+Flows = Union[FlowBatch, Iterable[FlowRecord]]
 
 
 def min_rtt_samples(
-    flows: Iterable[FlowRecord],
+    flows: Flows,
     rules: RuleSet,
     service: str,
     min_samples: int = 1,
+    codes: Optional[BatchServiceView] = None,
 ) -> List[float]:
-    """Per-flow minimum RTTs (ms) of TCP flows classified to ``service``."""
+    """Per-flow minimum RTTs (ms) of TCP flows classified to ``service``.
+
+    Classification here is by domain rules alone (``rules.classify``): the
+    P2P fallback label never names an RTT-tracked service.  On a batch the
+    three filters reduce to one boolean mask over the columns, reusing the
+    caller's shared classification when ``codes`` is given.
+    """
+    if isinstance(flows, FlowBatch):
+        view = codes if codes is not None else flows.service_view(rules)
+        mask = (
+            (flows.transport == TCP_CODE)
+            & (flows.rtt_samples >= min_samples)
+            & view.name_mask(service)
+        )
+        return flows.rtt_min[mask].tolist()
     samples = []
     for record in flows:
         if record.transport is not Transport.TCP:
@@ -35,7 +54,7 @@ def min_rtt_samples(
 
 
 def rtt_distribution(
-    flows: Iterable[FlowRecord],
+    flows: Flows,
     rules: RuleSet,
     service: str,
     trim_tails: float = 0.01,
@@ -85,7 +104,7 @@ class RttSummaryStats:
 
 
 def summarize_services(
-    flows: List[FlowRecord], rules: RuleSet, services: Iterable[str]
+    flows: Flows, rules: RuleSet, services: Iterable[str]
 ) -> Dict[str, RttSummaryStats]:
     """RTT summaries for several services over one flow set."""
     summaries = {}

@@ -14,6 +14,7 @@ computes them so the claims can be asserted instead of eyeballed.
 from __future__ import annotations
 
 import datetime
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -112,7 +113,9 @@ def heavy_day_stats(
         subscribers_observed=len(by_subscriber),
         subscribers_with_heavy_days=len(with_heavy),
         mean_heavy_fraction=(
-            sum(heavy_fractions) / len(heavy_fractions) if heavy_fractions else 0.0
+            math.fsum(heavy_fractions) / len(heavy_fractions)
+            if heavy_fractions
+            else 0.0
         ),
         alternation_rate=alternations / transitions if transitions else 0.0,
     )

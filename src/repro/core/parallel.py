@@ -11,13 +11,23 @@ config, and merges the partial :class:`StudyData` results.
 
 The output is identical to :meth:`LongitudinalStudy.run` (asserted in
 tests): parallelism changes wall-clock, never results.
+
+Workers ship their partials back as :class:`ColumnarPartial`\\ s: the
+bulky flow-tier payloads — per-(service, year) RTT sample lists, per-day
+server-IP sets and (address → shared?) role maps — are flattened into
+NumPy arrays before pickling, so the parent deserializes a handful of
+buffers instead of millions of boxed floats and dict entries.  Packing
+and unpacking are exact inverses; the merged result is unchanged.
 """
 
 from __future__ import annotations
 
 import datetime
 import multiprocessing
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.core.config import StudyConfig
 from repro.core.study import LongitudinalStudy, StudyData
@@ -25,14 +35,66 @@ from repro.core.study import LongitudinalStudy, StudyData
 _Chunk = List[Tuple[datetime.date, Set[str]]]
 
 
-def _run_chunk(args: Tuple[StudyConfig, _Chunk]) -> StudyData:
+@dataclass
+class ColumnarPartial:
+    """One worker's StudyData with the heavy flow-tier fields columnarized."""
+
+    data: StudyData
+    rtt: List[Tuple[Tuple[str, int], np.ndarray]]
+    ip_sets: List[Tuple[str, datetime.date, np.ndarray]]
+    ip_roles: List[Tuple[str, datetime.date, np.ndarray, np.ndarray]]
+
+    @classmethod
+    def pack(cls, data: StudyData) -> "ColumnarPartial":
+        """Flatten the object-graph fields into compact arrays (in place)."""
+        rtt = [
+            (key, np.asarray(samples, dtype=np.float64))
+            for key, samples in data.rtt_samples.items()
+        ]
+        ip_sets = [
+            (service, day, np.fromiter(sorted(addresses), np.int64, len(addresses)))
+            for service, entries in data.daily_ip_sets.items()
+            for day, addresses in entries
+        ]
+        ip_roles = [
+            (
+                service,
+                day,
+                np.fromiter(roles.keys(), np.int64, len(roles)),
+                np.fromiter(roles.values(), bool, len(roles)),
+            )
+            for service, entries in data.daily_ip_roles.items()
+            for day, roles in entries
+        ]
+        data.rtt_samples = {}
+        data.daily_ip_sets = {}
+        data.daily_ip_roles = {}
+        return cls(data=data, rtt=rtt, ip_sets=ip_sets, ip_roles=ip_roles)
+
+    def unpack(self) -> StudyData:
+        """Rebuild the exact StudyData the worker reduced."""
+        data = self.data
+        for key, samples in self.rtt:
+            data.rtt_samples[key] = samples.tolist()
+        for service, day, addresses in self.ip_sets:
+            data.daily_ip_sets.setdefault(service, []).append(
+                (day, set(addresses.tolist()))
+            )
+        for service, day, addresses, shared in self.ip_roles:
+            data.daily_ip_roles.setdefault(service, []).append(
+                (day, dict(zip(addresses.tolist(), shared.tolist())))
+            )
+        return data
+
+
+def _run_chunk(args: Tuple[StudyConfig, _Chunk]) -> ColumnarPartial:
     """Worker entry point: process one chunk of planned days."""
     config, chunk = args
     study = LongitudinalStudy(config)
     data = study.empty_data()
     for day, roles in chunk:
         study.process_day(data, day, roles)
-    return data
+    return ColumnarPartial.pack(data)
 
 
 def partition_plan(
@@ -63,5 +125,5 @@ def run_parallel(
         partials = pool.map(_run_chunk, [(config, chunk) for chunk in chunks])
     merged = planner.empty_data()
     for partial in partials:
-        merged.merge(partial)
+        merged.merge(partial.unpack())
     return merged

@@ -11,6 +11,7 @@ grows constantly in popularity with volumes reaching 200 MB (FTTH) and
 from __future__ import annotations
 
 import datetime
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -56,7 +57,9 @@ def holiday_peak_ratio(fig: Fig7Data) -> Optional[float]:
             ordinary.append(value)
     if not holiday or not ordinary:
         return None
-    return (sum(holiday) / len(holiday)) / (sum(ordinary) / len(ordinary))
+    return (math.fsum(holiday) / len(holiday)) / (
+        math.fsum(ordinary) / len(ordinary)
+    )
 
 
 def report(fig: Fig7Data) -> List[str]:

@@ -42,7 +42,7 @@ class LintConfig:
     #: Path fragments scoping the wall-clock ban (RPR001).
     wallclock_scopes: Tuple[str, ...] = ("synthesis", "analytics", "figures")
     #: Path fragments scoping the float-accumulation rule (RPR005).
-    floatsum_scopes: Tuple[str, ...] = ("figures", "analytics")
+    floatsum_scopes: Tuple[str, ...] = ("figures", "analytics", "core")
     #: Modules whose write APIs are anonymization sinks (RPR003).
     sink_modules: Tuple[str, ...] = ("repro.reporting.export", "repro.tstat.logs")
     select: Tuple[str, ...] = ()

@@ -36,14 +36,10 @@ class FloatAccumulationRule(Rule):
         return file_ctx.in_scope(file_ctx.ctx.config.floatsum_scopes)
 
     def check(self, file_ctx) -> Iterator[Finding]:
-        for node in ast.walk(file_ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            if not (isinstance(node.func, ast.Name) and node.func.id == "sum"):
-                continue
+        for node, float_names in _sum_calls_in_scope(file_ctx.tree):
             if not node.args:
                 continue
-            reason = _float_evidence(node)
+            reason = _float_evidence(node, float_names)
             if reason:
                 yield self.finding(
                     file_ctx,
@@ -54,9 +50,74 @@ class FloatAccumulationRule(Rule):
                 )
 
 
-def _float_evidence(call: ast.Call) -> str:
+def _sum_calls_in_scope(tree: ast.Module):
+    """Every ``sum(...)`` call paired with the float-annotated names visible
+    at that point under lexical scoping.
+
+    An ``xs: List[float] = []`` annotation is evidence that ``sum(xs)``
+    later accumulates floats even though the call itself shows none.  The
+    annotation only counts inside the function (or module) scope that
+    declares it, plus nested functions — class-body annotations (dataclass
+    fields) do not leak into methods, matching Python's scoping rules.
+    """
+    results: list = []
+    _collect_scope(tree.body, frozenset(), results, is_class_scope=False)
+    return results
+
+
+def _collect_scope(body, inherited, results, is_class_scope) -> None:
+    local = set(inherited)
+    in_scope_nodes = []
+    nested = []
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            nested.append(node)
+            continue
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and _mentions_float(node.annotation)
+        ):
+            local.add(node.target.id)
+        in_scope_nodes.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    names = frozenset(local)
+    for node in in_scope_nodes:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+        ):
+            results.append((node, names))
+    # Class-body annotations are attribute declarations, not names visible
+    # to the methods beneath them.
+    passed_down = inherited if is_class_scope else names
+    for node in nested:
+        _collect_scope(
+            node.body, passed_down, results, isinstance(node, ast.ClassDef)
+        )
+
+
+def _mentions_float(annotation: ast.expr) -> bool:
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == "float":
+            return True
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and "float" in node.value
+        ):
+            return True
+    return False
+
+
+def _float_evidence(call: ast.Call, float_names: frozenset = frozenset()) -> str:
     """Why the summed expression is float-valued, or ``""`` if no evidence."""
     summed = call.args[0]
+    if isinstance(summed, ast.Name) and summed.id in float_names:
+        return "summand annotated as float-typed"
     for node in ast.walk(summed):
         if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
             return "division inside the summand"

@@ -8,10 +8,12 @@ Three fidelity tiers (DESIGN.md §5), all deterministic per (seed, day):
   and what the 54-month analyses consume.
 * :meth:`TrafficGenerator.generate_hourly` — 10-minute-bin volumes for the
   hour-of-day analysis (Fig. 4).
-* :meth:`TrafficGenerator.expand_flows` — the **flow tier**: usage rows
-  expanded into probe-grade :class:`FlowRecord`s with server addresses,
-  domains, per-flow protocols (as labelled by that day's probe software)
-  and RTT summaries.  Used by the RTT and infrastructure analyses.
+* :meth:`TrafficGenerator.expand_flows_batch` — the **flow tier**: usage
+  rows expanded into one columnar :class:`~repro.tstat.flowbatch.FlowBatch`
+  with server addresses, domains, per-flow protocols (as labelled by that
+  day's probe software) and RTT summaries.  Used by the RTT and
+  infrastructure analyses; :meth:`TrafficGenerator.expand_flows` is the
+  row-view wrapper returning the identical :class:`FlowRecord` list.
 
 Generation is vectorized per (day, service) over the subscriber axis.
 """
@@ -34,9 +36,15 @@ from repro.synthesis.world import World
 from repro.tstat.flow import (
     FlowRecord,
     NameSource,
-    RttSummary,
     Transport,
     WebProtocol,
+)
+from repro.tstat.flowbatch import (
+    FlowBatch,
+    FlowBatchBuilder,
+    name_source_code,
+    protocol_code,
+    transport_code,
 )
 from repro.tstat.versions import capabilities_on
 
@@ -358,11 +366,31 @@ class TrafficGenerator:
         traffic: Optional[DayTraffic] = None,
         max_flows_per_usage: int = 8,
     ) -> List[FlowRecord]:
-        """Expand usage rows into probe-grade flow records.
+        """Expand usage rows into probe-grade flow records (row view).
+
+        Compatibility wrapper over :meth:`expand_flows_batch`: the study's
+        hot path consumes the columnar batch directly, and this method
+        materializes the identical record list from it.
+        """
+        return self.expand_flows_batch(
+            day, traffic, max_flows_per_usage=max_flows_per_usage
+        ).to_records()
+
+    def expand_flows_batch(
+        self,
+        day: datetime.date,
+        traffic: Optional[DayTraffic] = None,
+        max_flows_per_usage: int = 8,
+    ) -> FlowBatch:
+        """Expand usage rows into one columnar :class:`FlowBatch`.
 
         Per-flow totals sum exactly to the usage row's bytes; the flow
         *count* is capped (``max_flows_per_usage``) to bound record volume,
-        mirroring the scale substitution of DESIGN.md §5.
+        mirroring the scale substitution of DESIGN.md §5.  The batch is
+        built column-wise — no intermediate :class:`FlowRecord` objects —
+        but draws from the per-day RNG stream in exactly the order the
+        historical row path did, so ``expand_flows_batch(...).to_records()``
+        is bit-identical to what ``expand_flows`` always returned.
         """
         traffic = traffic if traffic is not None else self.generate_day(day)
         rng = self.world.day_rng(day, stream=2)
@@ -374,7 +402,7 @@ class TrafficGenerator:
             )
             for technology in Technology
         }
-        records: List[FlowRecord] = []
+        builder = FlowBatchBuilder()
         for row in traffic.usage:
             service = self.world.service(row.service)
             infra = self.world.infrastructure_for(row.service)
@@ -383,30 +411,34 @@ class TrafficGenerator:
             weights = rng.dirichlet(np.full(count, 0.8))
             down_split = _integer_split(row.bytes_down, weights)
             up_split = _integer_split(row.bytes_up, weights)
+            packets_down = np.maximum(1, down_split // 1400)
+            packets_up = np.maximum(1, up_split // 700 + packets_down // 2)
             bins = rng.choice(
                 BINS_PER_DAY, size=count, p=profiles[row.technology]
             )
             protocols = _sample_protocols(mix, count, rng)
             for flow_index in range(count):
-                records.append(
-                    self._make_flow(
-                        row=row,
-                        infra=infra,
-                        day=day,
-                        true_protocol=protocols[flow_index],
-                        capabilities=capabilities,
-                        bytes_down=down_split[flow_index],
-                        bytes_up=up_split[flow_index],
-                        ts_start=midnight
-                        + studycalendar.bin_start_seconds(int(bins[flow_index]))
-                        + float(rng.uniform(0, 600)),
-                        rng=rng,
-                    )
+                self._append_flow(
+                    builder=builder,
+                    row=row,
+                    infra=infra,
+                    day=day,
+                    true_protocol=protocols[flow_index],
+                    capabilities=capabilities,
+                    bytes_down=int(down_split[flow_index]),
+                    bytes_up=int(up_split[flow_index]),
+                    packets_down=int(packets_down[flow_index]),
+                    packets_up=int(packets_up[flow_index]),
+                    ts_start=midnight
+                    + studycalendar.bin_start_seconds(int(bins[flow_index]))
+                    + float(rng.uniform(0, 600)),
+                    rng=rng,
                 )
-        return records
+        return builder.build()
 
-    def _make_flow(
+    def _append_flow(
         self,
+        builder: FlowBatchBuilder,
         row: DailyUsage,
         infra: object,
         day: datetime.date,
@@ -414,9 +446,11 @@ class TrafficGenerator:
         capabilities: object,
         bytes_down: int,
         bytes_up: int,
+        packets_down: int,
+        packets_up: int,
         ts_start: float,
         rng: np.random.Generator,
-    ) -> FlowRecord:
+    ) -> None:
         choice = infra.pick_server(day, rng)  # type: ignore[attr-defined]
         label = capabilities.reported_label(true_protocol)  # type: ignore[attr-defined]
         transport = (
@@ -425,52 +459,48 @@ class TrafficGenerator:
             else Transport.TCP
         )
         server_port = _server_port(true_protocol)
-        packets_down = max(1, bytes_down // 1400)
-        packets_up = max(1, bytes_up // 700 + packets_down // 2)
         duration = float(
             min(3600.0, 1.0 + rng.lognormal(0.0, 1.0) * (bytes_down / 1e6))
         )
         server_name, name_source = _flow_name(true_protocol, choice.domain, rng)
-        rtt = RttSummary()
+        samples, minimum, average, maximum = 0, 0.0, 0.0, 0.0
         if transport is Transport.TCP and true_protocol is not WebProtocol.P2P:
             samples = int(min(50, max(1, packets_up // 4)))
             minimum = choice.rtt_ms
             average = minimum * float(1.0 + rng.lognormal(-1.5, 0.8))
             maximum = average * float(1.0 + rng.lognormal(-1.0, 0.8))
-            rtt = RttSummary(
-                samples=samples, min_ms=minimum, avg_ms=average, max_ms=maximum
-            )
         elif true_protocol is WebProtocol.P2P:
             # Peers are far and jittery; Tstat still samples TCP P2P flows.
             minimum = choice.rtt_ms * float(rng.lognormal(0.0, 0.5))
-            rtt = RttSummary(
-                samples=5, min_ms=minimum, avg_ms=minimum * 1.6, max_ms=minimum * 3.0
-            )
-        return FlowRecord(
+            samples, average, maximum = 5, minimum * 1.6, minimum * 3.0
+        builder.append(
             client_id=row.subscriber_id,
             server_ip=choice.ip,
             client_port=int(rng.integers(1024, 65535)),
             server_port=server_port,
-            transport=transport,
+            transport=transport_code(transport),
             ts_start=ts_start,
             ts_end=ts_start + duration,
-            packets_up=int(packets_up),
-            packets_down=int(packets_down),
-            bytes_up=int(bytes_up),
-            bytes_down=int(bytes_down),
-            protocol=label,
+            packets_up=packets_up,
+            packets_down=packets_down,
+            bytes_up=bytes_up,
+            bytes_down=bytes_down,
+            protocol=protocol_code(label),
             server_name=server_name,
-            name_source=name_source,
-            rtt=rtt,
+            name_source=name_source_code(name_source),
+            rtt_samples=samples,
+            rtt_min=minimum,
+            rtt_avg=average,
+            rtt_max=maximum,
             vantage=row.pop,
         )
 
 
-def _integer_split(total: int, weights: np.ndarray) -> List[int]:
+def _integer_split(total: int, weights: np.ndarray) -> np.ndarray:
     """Split ``total`` into integer parts proportional to ``weights``."""
     parts = np.floor(total * weights).astype(np.int64)
     parts[0] += total - int(parts.sum())
-    return [int(part) for part in parts]
+    return parts
 
 
 def _sample_protocols(

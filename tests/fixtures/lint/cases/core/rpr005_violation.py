@@ -1,0 +1,10 @@
+"""RPR005 fixture: the rule also covers merge-order-sensitive core code."""
+
+from typing import List
+
+
+def weekly_reach(weeks) -> float:
+    ratios: List[float] = []
+    for visitors, active in weeks:
+        ratios.append(visitors / active)
+    return sum(ratios) / len(ratios)

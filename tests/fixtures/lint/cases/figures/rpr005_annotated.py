@@ -1,0 +1,29 @@
+"""RPR005 fixture: float evidence carried by annotations, lexically scoped."""
+
+from typing import List, Tuple
+
+
+def mean_ratio(pairs) -> float:
+    # Violation: the summand names a list annotated as holding floats.
+    ratios: List[float] = []
+    for left, right in pairs:
+        ratios.append(left / right)
+    return sum(ratios) / len(ratios)
+
+
+class Series:
+    # A class-body (dataclass-style) annotation is an attribute
+    # declaration; it must not taint same-named locals in methods.
+    values: Tuple[float, ...] = ()
+
+    def total_count(self, by_day) -> int:
+        total = 0
+        for values in by_day.values():
+            total += sum(values)  # integer counters: clean
+        return total
+
+
+def other_scope_clean(counts) -> int:
+    # ``ratios`` is float-annotated in mean_ratio's scope, not here.
+    ratios = [count * 2 for count in counts]
+    return sum(ratios)

@@ -1,0 +1,276 @@
+"""Row vs columnar equivalence: the FlowBatch tier must be invisible.
+
+The repo's invariant — "parallelism changes wall-clock, never results" —
+extends to batching: every stage-1 analytic must return exactly the same
+values whether fed ``FlowRecord`` rows or the columnar ``FlowBatch``,
+and a study run on the row path must equal the batched study bit for bit.
+"""
+
+import dataclasses
+import datetime
+
+import pytest
+
+from repro.analytics import rtt as rtt_analytics
+from repro.analytics.infrastructure import (
+    asn_breakdown,
+    daily_ip_roles,
+    daily_server_census,
+    domain_shares,
+    service_ip_set,
+)
+from repro.core.config import StudyConfig
+from repro.core.parallel import run_parallel
+from repro.core.study import (
+    INFRA_SERVICES,
+    RTT_SERVICES,
+    LongitudinalStudy,
+    StudyData,
+)
+from repro.services import catalog
+from repro.synthesis.flowgen import TrafficGenerator
+from repro.synthesis.population import Technology
+from repro.synthesis.world import World, WorldConfig
+from repro.tstat.flow import (
+    FlowRecord,
+    NameSource,
+    RttSummary,
+    Transport,
+    WebProtocol,
+)
+from repro.tstat.flowbatch import FlowBatch
+
+D = datetime.date
+DAY = D(2016, 9, 14)
+SEEDS = (3, 11, 29)
+
+
+def _world(seed):
+    return World(WorldConfig(seed=seed, adsl_count=60, ftth_count=30))
+
+
+def _stage1_results(world, flows, rules, codes=None):
+    """Every stage-1 flow consumer, as ``_consume_flows`` runs them."""
+    results = {
+        "census": daily_server_census(
+            flows, rules, list(INFRA_SERVICES), DAY, codes=codes
+        ),
+        "roles": daily_ip_roles(
+            flows, rules, list(INFRA_SERVICES), DAY, codes=codes
+        ),
+    }
+    for service in INFRA_SERVICES:
+        results[("asn", service)] = asn_breakdown(
+            flows, rules, world.rib, service, DAY, codes=codes
+        )
+        results[("domains", service)] = domain_shares(
+            flows, rules, service, codes=codes
+        )
+        results[("ips", service)] = service_ip_set(
+            flows, rules, service, codes=codes
+        )
+    for service in RTT_SERVICES:
+        results[("rtt", service)] = rtt_analytics.min_rtt_samples(
+            flows, rules, service, codes=codes
+        )
+    return results
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRowColumnarEquivalence:
+    def test_roundtrip_is_identity(self, seed):
+        batch = TrafficGenerator(_world(seed)).expand_flows_batch(DAY)
+        records = batch.to_records()
+        assert len(records) == len(batch)
+        rebuilt = FlowBatch.from_records(records)
+        assert rebuilt.to_records() == records
+
+    def test_records_cover_both_technologies(self, seed):
+        world = _world(seed)
+        records = TrafficGenerator(world).expand_flows(DAY)
+        technologies = {
+            world.population.by_id(record.client_id).technology
+            for record in records
+        }
+        assert technologies == {Technology.ADSL, Technology.FTTH}
+
+    def test_stage1_analytics_identical(self, seed):
+        world = _world(seed)
+        rules = catalog.default_ruleset()
+        batch = TrafficGenerator(world).expand_flows_batch(DAY)
+        records = batch.to_records()
+        rows = _stage1_results(world, records, rules)
+        view = batch.service_view(rules)
+        columnar = _stage1_results(world, batch, rules, codes=view)
+        assert set(rows) == set(columnar)
+        for key in rows:
+            assert rows[key] == columnar[key], key
+
+    def test_shared_view_matches_fresh_classification(self, seed):
+        world = _world(seed)
+        rules = catalog.default_ruleset()
+        batch = TrafficGenerator(world).expand_flows_batch(DAY)
+        shared = _stage1_results(
+            world, batch, rules, codes=batch.service_view(rules)
+        )
+        fresh = _stage1_results(world, batch, rules)
+        assert shared == fresh
+
+
+def _single_record():
+    rtt = RttSummary()
+    for sample in (12.5, 11.25, 13.0):
+        rtt.add(sample)
+    return FlowRecord(
+        client_id=7,
+        server_ip=0x5DB8D822,
+        client_port=51000,
+        server_port=443,
+        transport=Transport.TCP,
+        ts_start=10.0,
+        ts_end=42.0,
+        packets_up=20,
+        packets_down=80,
+        bytes_up=4_000,
+        bytes_down=120_000,
+        protocol=WebProtocol.TLS,
+        server_name="static.fbcdn.net",
+        name_source=NameSource.SNI,
+        rtt=rtt,
+    )
+
+
+class TestEdgeCases:
+    def test_empty_batch(self):
+        world = _world(1)
+        rules = catalog.default_ruleset()
+        empty = FlowBatch.from_records([])
+        assert len(empty) == 0
+        assert empty.to_records() == []
+        rows = _stage1_results(world, [], rules)
+        columnar = _stage1_results(
+            world, empty, rules, codes=empty.service_view(rules)
+        )
+        assert rows == columnar
+
+    def test_single_flow_batch(self):
+        world = _world(1)
+        rules = catalog.default_ruleset()
+        record = _single_record()
+        batch = FlowBatch.from_records([record])
+        assert batch.to_records() == [record]
+        rows = _stage1_results(world, [record], rules)
+        columnar = _stage1_results(
+            world, batch, rules, codes=batch.service_view(rules)
+        )
+        assert rows == columnar
+        assert columnar[("rtt", catalog.FACEBOOK)] == [11.25]
+        assert batch.total_bytes == record.total_bytes
+
+
+def _tiny_config(seed=17):
+    return StudyConfig(
+        world=WorldConfig(
+            seed=seed,
+            adsl_count=40,
+            ftth_count=20,
+            start=D(2014, 1, 1),
+            end=D(2014, 6, 30),
+        ),
+        day_stride=6,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=1,
+    )
+
+
+class RowPathStudy(LongitudinalStudy):
+    """A replica of ``_consume_flows`` on FlowRecord rows, no batch view.
+
+    Exists only to prove the columnar study output is bit-identical to
+    the pre-batch row pipeline.
+    """
+
+    def _consume_flows(self, data, day, traffic, with_rtt):
+        flows = self.generator.expand_flows(
+            day, traffic, max_flows_per_usage=self.config.max_flows_per_usage
+        )
+        data.flow_days.append(day)
+        data.census.extend(
+            daily_server_census(flows, self.rules, list(INFRA_SERVICES), day)
+        )
+        roles_by_service = daily_ip_roles(
+            flows, self.rules, list(INFRA_SERVICES), day
+        )
+        for service in INFRA_SERVICES:
+            data.asn.append(
+                asn_breakdown(flows, self.rules, self.world.rib, service, day)
+            )
+            data.domains.append(
+                (day, service, domain_shares(flows, self.rules, service))
+            )
+            data.daily_ip_sets.setdefault(service, []).append(
+                (day, service_ip_set(flows, self.rules, service))
+            )
+            data.daily_ip_roles.setdefault(service, []).append(
+                (day, roles_by_service[service])
+            )
+        if with_rtt:
+            for service in RTT_SERVICES:
+                samples = rtt_analytics.min_rtt_samples(
+                    flows, self.rules, service
+                )
+                data.rtt_samples.setdefault((service, day.year), []).extend(
+                    samples
+                )
+
+
+class TestFullStudyIdentity:
+    @pytest.fixture(scope="class")
+    def batched(self):
+        return LongitudinalStudy(_tiny_config()).run()
+
+    @pytest.fixture(scope="class")
+    def row_path(self):
+        return RowPathStudy(_tiny_config()).run()
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run_parallel(_tiny_config(), workers=3)
+
+    @pytest.mark.parametrize(
+        "field", [f.name for f in dataclasses.fields(StudyData)]
+    )
+    def test_batched_equals_row_path(self, batched, row_path, field):
+        # Serial vs serial: same iteration order, so raw equality holds.
+        assert getattr(batched, field) == getattr(row_path, field)
+
+    def test_parallel_equals_row_path_flow_fields(self, parallel, row_path):
+        # Chunked merges reorder the per-day lists; compare canonically.
+        by_day_service = lambda entry: (entry.day, entry.service)
+        assert sorted(parallel.census, key=by_day_service) == sorted(
+            row_path.census, key=by_day_service
+        )
+        assert sorted(parallel.asn, key=by_day_service) == sorted(
+            row_path.asn, key=by_day_service
+        )
+        assert sorted(parallel.domains, key=lambda e: e[:2]) == sorted(
+            row_path.domains, key=lambda e: e[:2]
+        )
+        assert set(parallel.daily_ip_sets) == set(row_path.daily_ip_sets)
+        for service in row_path.daily_ip_sets:
+            assert sorted(parallel.daily_ip_sets[service]) == sorted(
+                row_path.daily_ip_sets[service]
+            )
+        assert set(parallel.daily_ip_roles) == set(row_path.daily_ip_roles)
+        for service in row_path.daily_ip_roles:
+            by_day = lambda entry: entry[0]
+            assert sorted(
+                parallel.daily_ip_roles[service], key=by_day
+            ) == sorted(row_path.daily_ip_roles[service], key=by_day)
+        assert parallel.flow_days == row_path.flow_days
+        assert set(parallel.rtt_samples) == set(row_path.rtt_samples)
+        for key in row_path.rtt_samples:
+            # Bit-identical samples, order canonicalized across chunks.
+            assert sorted(parallel.rtt_samples[key]) == sorted(
+                row_path.rtt_samples[key]
+            )

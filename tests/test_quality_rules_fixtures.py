@@ -125,9 +125,23 @@ class TestRpr005FloatAccumulation:
         assert run_rule("RPR005", "figures/rpr005_clean.py") == []
 
     def test_out_of_scope_ignored(self):
-        # The float-sum ban applies to figures/analytics reductions only.
+        # The float-sum ban applies to figures/analytics/core reductions only.
         findings = run_rule("RPR005", "rpr006_violation.py")
         assert findings == []
+
+    def test_annotated_float_summand(self):
+        # ``xs: List[float]`` then ``sum(xs)`` is flagged — but only inside
+        # the annotating scope; class-field annotations don't leak into
+        # methods, and other functions' locals stay clean.
+        findings = run_rule("RPR005", "figures/rpr005_annotated.py")
+        assert [f.line for f in findings] == [11]
+        assert "annotated" in findings[0].message
+
+    def test_core_scope_covered(self):
+        # The StudyData.weekly_reach shape: core/ is in scope since the
+        # weekly sets are filled per-worker and merged in partial order.
+        findings = run_rule("RPR005", "core/rpr005_violation.py")
+        assert [f.line for f in findings] == [10]
 
 
 class TestRpr006DictOrder:
