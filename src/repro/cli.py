@@ -7,6 +7,9 @@ Commands:
   name sources, RTT by service);
 * ``study [--scale ...] [--figure N|all] [--out DIR]`` — run the
   longitudinal study and print figure reports (optionally exporting CSVs);
+* ``run [--checkpoint-dir DIR] [--resume] [--report]`` — fault-tolerant
+  study execution: per-day checkpoints, crash-safe parallel workers,
+  and a run manifest (see :mod:`repro.core.parallel`);
 * ``events`` — list the Fig. 8 events with their model dates;
 * ``lint [PATHS...] [--format text|json] [--baseline FILE]`` — run the
   repo-specific static invariant checker (see :mod:`repro.quality`).
@@ -104,7 +107,26 @@ def cmd_probe_log(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_error(command: str, workers: int) -> str:
+    return (
+        f"repro {command}: --workers must be a positive integer "
+        f"(got {workers}); use --workers 1 for a serial run"
+    )
+
+
+def _build_config(args: argparse.Namespace) -> StudyConfig:
+    if args.scale == "small":
+        return small_study(seed=args.seed)
+    return StudyConfig(
+        world=WorldConfig(seed=args.seed, adsl_count=500, ftth_count=250),
+        day_stride=4,
+    )
+
+
 def cmd_study(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(_workers_error("study", args.workers), file=sys.stderr)
+        return 2
     figures = _load_figures()
     wanted = list(figures) if args.figure == "all" else [args.figure]
     unknown = [name for name in wanted if name not in figures]
@@ -112,13 +134,7 @@ def cmd_study(args: argparse.Namespace) -> int:
         print(f"unknown figure(s): {unknown}; choose from {sorted(figures)}",
               file=sys.stderr)
         return 2
-    if args.scale == "small":
-        config = small_study(seed=args.seed)
-    else:
-        config = StudyConfig(
-            world=WorldConfig(seed=args.seed, adsl_count=500, ftth_count=250),
-            day_stride=4,
-        )
+    config = _build_config(args)
     data = None
     if wanted != ["table1"]:  # Table 1 needs no measurement pass
         print(f"running study (seed={args.seed}, scale={args.scale}, "
@@ -134,6 +150,60 @@ def cmd_study(args: argparse.Namespace) -> int:
         fig = module.compute() if name == "table1" else module.compute(data)
         print()
         print("\n".join(module.report(fig)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Fault-tolerant study execution with checkpoints and a manifest."""
+    import dataclasses
+    import datetime
+
+    from repro.core.parallel import ChunkError, RetryPolicy, execute_study
+
+    if args.workers is not None and args.workers < 1:
+        print(_workers_error("run", args.workers), file=sys.stderr)
+        return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("repro run: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    config = _build_config(args)
+    if args.start or args.end:
+        world = dataclasses.replace(
+            config.world,
+            start=datetime.date.fromisoformat(args.start)
+            if args.start else config.world.start,
+            end=datetime.date.fromisoformat(args.end)
+            if args.end else config.world.end,
+        )
+        config = dataclasses.replace(config, world=world)
+    method = None if args.start_method == "auto" else args.start_method
+    try:
+        result = execute_study(
+            config,
+            workers=args.workers,
+            start_method=method,
+            checkpoint_root=args.checkpoint_dir,
+            resume=args.resume,
+            retry=RetryPolicy(retries=args.retries),
+        )
+    except ChunkError as exc:
+        print(f"repro run: {exc}", file=sys.stderr)
+        if exc.report is not None:
+            for line in exc.report.summary_lines():
+                print(line, file=sys.stderr)
+            if args.checkpoint_dir is not None:
+                print(
+                    "completed days are checkpointed; re-run with --resume "
+                    "to retry only the failed day(s)",
+                    file=sys.stderr,
+                )
+        return 1
+    for line in result.report.summary_lines():
+        print(line)
+    if args.report:
+        print()
+        for line in result.report.day_lines():
+            print(line)
     return 0
 
 
@@ -212,6 +282,32 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--workers", type=int, default=1,
                        help="worker processes (results identical to serial)")
     study.set_defaults(func=cmd_study)
+
+    run = sub.add_parser(
+        "run",
+        help="fault-tolerant study run: checkpoints, resume, manifest",
+    )
+    run.add_argument("--scale", choices=("small", "medium"), default="small")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: CPU count - 1)")
+    run.add_argument("--start-method", choices=("auto", "fork", "spawn"),
+                     default="auto",
+                     help="multiprocessing start method (auto: fork where "
+                          "available, spawn otherwise)")
+    run.add_argument("--checkpoint-dir", type=Path, default=None,
+                     help="persist per-day checkpoints and manifest.json here")
+    run.add_argument("--resume", action="store_true",
+                     help="reuse checkpointed days from --checkpoint-dir")
+    run.add_argument("--report", action="store_true",
+                     help="print the per-day run manifest after the summary")
+    run.add_argument("--retries", type=int, default=2,
+                     help="max retries per day for transient worker failures")
+    run.add_argument("--start", default=None, metavar="YYYY-MM-DD",
+                     help="override the study start date")
+    run.add_argument("--end", default=None, metavar="YYYY-MM-DD",
+                     help="override the study end date")
+    run.set_defaults(func=cmd_run)
 
     events = sub.add_parser("events", help="list the modelled event timeline")
     events.set_defaults(func=cmd_events)

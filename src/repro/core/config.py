@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Tuple
 
@@ -33,6 +36,21 @@ class StudyConfig:
             raise ValueError("day_stride must be positive")
         if self.flow_days_per_month < 0:
             raise ValueError("flow_days_per_month must be >= 0")
+
+
+def config_hash(config: StudyConfig) -> str:
+    """Deterministic digest of every knob that shapes study results.
+
+    Per-day checkpoints (DESIGN.md §10) are keyed by this hash: two runs
+    share checkpoints iff their configs are field-for-field identical, so
+    a partial result computed under one seed/population/span can never
+    leak into a run with another.  The digest canonicalizes through JSON
+    (sorted keys, dates via ``str``) so it is stable across processes and
+    interpreter restarts.
+    """
+    payload = dataclasses.asdict(config)
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def small_study(seed: int = 7) -> StudyConfig:

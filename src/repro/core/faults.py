@@ -1,0 +1,123 @@
+"""Deterministic fault injection for the parallel study runner.
+
+The paper's pipeline ran for five years on shared infrastructure and
+treated partial failure as the normal case: probes rebooted, disks died,
+and software upgrades restarted jobs mid-day (Section 2).  The
+reproduction's equivalent is this harness: tests hand
+:func:`~repro.core.parallel.execute_study` a :class:`FaultPlan` that
+makes a *specific* worker attempt on a *specific* day raise, stall, or
+die outright — so every recovery path (retry, pool repair, resume from
+checkpoint) is exercised by deterministic scenarios instead of luck.
+
+Faults key on ``(day, attempt)``: ``times=2`` fails the first two
+attempts and lets the third succeed, ``times=-1`` fails every attempt (a
+poison day).  Plans are small frozen dataclasses, so they pickle cleanly
+into workers under both the fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Fault kinds a :class:`FaultSpec` can inject.
+KIND_TRANSIENT = "transient"  # raise TransientWorkerError (retried)
+KIND_ERROR = "error"  # raise FaultInjected (deterministic, not retried)
+KIND_KILL = "kill"  # os._exit — simulates a worker killed mid-chunk
+KIND_SLEEP = "sleep"  # stall the attempt, then proceed normally
+
+_KINDS = frozenset({KIND_TRANSIENT, KIND_ERROR, KIND_KILL, KIND_SLEEP})
+
+
+class FaultInjected(RuntimeError):
+    """A deterministic injected failure (bad input, poison day)."""
+
+
+class TransientWorkerError(RuntimeError):
+    """An injected failure modelling a recoverable fault (I/O hiccup)."""
+
+
+#: Exception types the runner treats as transient and therefore retries.
+#: Real worker code surfaces I/O flakiness as OSError/EOFError; injected
+#: transient faults use :class:`TransientWorkerError`.
+TRANSIENT_EXCEPTIONS: Tuple[type, ...] = (
+    TransientWorkerError,
+    OSError,
+    EOFError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether the runner should retry after ``exc`` (bounded, backed off)."""
+    return isinstance(exc, TRANSIENT_EXCEPTIONS)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what happens on which day, how many times.
+
+    ``times`` bounds the attempts that fault: the first ``times`` attempts
+    (0-based attempt numbers ``< times``) trigger, later ones succeed;
+    ``-1`` means every attempt (a poison day that never recovers).
+    """
+
+    day: datetime.date
+    kind: str = KIND_TRANSIENT
+    times: int = 1
+    exit_code: int = 19
+    sleep_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def triggers(self, attempt: int) -> bool:
+        return self.times < 0 or attempt < self.times
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable set of :class:`FaultSpec`\\ s consulted by workers."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        return cls(specs=tuple(specs))
+
+    def for_day(self, day: datetime.date) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.day == day:
+                return spec
+        return None
+
+    def fire(self, day: datetime.date, attempt: int) -> None:
+        """Inject the planned fault for ``(day, attempt)``, if any.
+
+        Called by the worker entry point before real work starts.  A
+        ``kill`` fault terminates the worker process without unwinding —
+        exactly what a SIGKILL'd or OOM-killed worker looks like to the
+        parent.  A ``sleep`` fault stalls, then returns so the attempt
+        proceeds (used to hold workers busy for interrupt tests).
+        """
+        spec = self.for_day(day)
+        if spec is None or not spec.triggers(attempt):
+            return
+        if spec.kind == KIND_SLEEP:
+            time.sleep(spec.sleep_seconds)
+            return
+        if spec.kind == KIND_KILL:
+            import os
+
+            os._exit(spec.exit_code)
+        if spec.kind == KIND_TRANSIENT:
+            raise TransientWorkerError(
+                f"injected transient fault on {day.isoformat()} "
+                f"(attempt {attempt})"
+            )
+        raise FaultInjected(
+            f"injected deterministic fault on {day.isoformat()} "
+            f"(attempt {attempt})"
+        )

@@ -1,16 +1,35 @@
-"""Parallel study execution across worker processes.
+"""Fault-tolerant parallel study execution.
 
-The paper processed its 247 billion records on a Hadoop cluster; the
+The paper processed its 247 billion records on a Hadoop cluster that
+survived probe outages, disk failures, and software upgrades (§2); the
 reproduction's equivalent lever is that every study day is independent —
 generation and stage-1 aggregation share no state across days (per-day
-seeds, DESIGN.md §6).  :func:`run_parallel` partitions the planned days
-round-robin over worker processes (round-robin, so the expensive
-comparison-month days spread evenly), runs each chunk in a fresh
-:class:`~repro.core.study.LongitudinalStudy` rebuilt from the picklable
-config, and merges the partial :class:`StudyData` results.
+seeds, DESIGN.md §6).  :func:`execute_study` therefore dispatches *one
+task per planned day* to a :class:`~repro.core.pool.SupervisedPool` and
+treats partial failure as the normal case:
 
-The output is identical to :meth:`LongitudinalStudy.run` (asserted in
-tests): parallelism changes wall-clock, never results.
+* a worker exception comes back as a structured :class:`DayFailure`
+  naming the day, attempt, and traceback — never as an opaque
+  ``Pool.map`` abort that throws away every other chunk;
+* transient failures (I/O flakiness, injected
+  :class:`~repro.core.faults.TransientWorkerError`, a worker process
+  dying mid-task) are retried with bounded exponential backoff;
+  deterministic failures fail fast;
+* days that fail permanently surface as a :class:`ChunkError` naming the
+  day, seed, and traceback — raised only after every other day has been
+  drained (and checkpointed), so one poison day cannot lose the rest;
+* each completed day is checkpointed through a
+  :class:`~repro.dataflow.datalake.CheckpointStore` keyed by
+  ``(config_hash, day)``, making a killed run resumable with
+  bit-identical merged results;
+* the whole run is described by a :class:`RunReport` manifest (per-day
+  wall time, attempts, worker id, checkpoint hits) that ``repro run
+  --report`` prints and checkpointed runs persist as ``manifest.json``.
+
+Partials are merged strictly in calendar order, so the merged
+:class:`StudyData` is *exactly* equal to :meth:`LongitudinalStudy.run`
+— parallelism, retries, crashes, and resumes change wall-clock, never
+results (asserted in tests).
 
 Workers ship their partials back as :class:`ColumnarPartial`\\ s: the
 bulky flow-tier payloads — per-(service, year) RTT sample lists, per-day
@@ -22,17 +41,36 @@ and unpacking are exact inverses; the merged result is unchanged.
 
 from __future__ import annotations
 
+import dataclasses
 import datetime
+import json
+import math
 import multiprocessing
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+import os
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.config import StudyConfig
+from repro.core.config import StudyConfig, config_hash
+from repro.core.faults import FaultPlan, is_transient
+from repro.core.pool import (
+    EVENT_CRASH,
+    EVENT_DONE,
+    EVENT_ERROR,
+    SupervisedPool,
+    resolve_start_method,
+)
 from repro.core.study import LongitudinalStudy, StudyData
+from repro.dataflow.datalake import CheckpointError, CheckpointStore
 
 _Chunk = List[Tuple[datetime.date, Set[str]]]
+
+#: Per-process memo of studies rebuilt from their (hashed) config, so a
+#: worker handling many single-day tasks builds its world once.
+_STUDY_CACHE: Dict[str, LongitudinalStudy] = {}  # repro: noqa[RPR004] -- per-process memo keyed by config hash; entries are rebuilt deterministically from the picklable config, never mutated after construction and never shipped between processes, so workers cannot diverge
 
 
 @dataclass
@@ -46,7 +84,14 @@ class ColumnarPartial:
 
     @classmethod
     def pack(cls, data: StudyData) -> "ColumnarPartial":
-        """Flatten the object-graph fields into compact arrays (in place)."""
+        """Flatten the object-graph fields into compact arrays.
+
+        ``data`` is left untouched: the returned partial wraps a shallow
+        copy whose three flow-tier dicts are emptied, so callers that
+        pack a partial and keep using their StudyData never see silent
+        loss.  (The copy shares the remaining aggregate lists with
+        ``data`` — packing is a serialization step, not a deep fork.)
+        """
         rtt = [
             (key, np.asarray(samples, dtype=np.float64))
             for key, samples in data.rtt_samples.items()
@@ -66,10 +111,10 @@ class ColumnarPartial:
             for service, entries in data.daily_ip_roles.items()
             for day, roles in entries
         ]
-        data.rtt_samples = {}
-        data.daily_ip_sets = {}
-        data.daily_ip_roles = {}
-        return cls(data=data, rtt=rtt, ip_sets=ip_sets, ip_roles=ip_roles)
+        shell = dataclasses.replace(
+            data, rtt_samples={}, daily_ip_sets={}, daily_ip_roles={}
+        )
+        return cls(data=shell, rtt=rtt, ip_sets=ip_sets, ip_roles=ip_roles)
 
     def unpack(self) -> StudyData:
         """Rebuild the exact StudyData the worker reduced."""
@@ -87,20 +132,276 @@ class ColumnarPartial:
         return data
 
 
-def _run_chunk(args: Tuple[StudyConfig, _Chunk]) -> ColumnarPartial:
-    """Worker entry point: process one chunk of planned days."""
-    config, chunk = args
-    study = LongitudinalStudy(config)
-    data = study.empty_data()
-    for day, roles in chunk:
-        study.process_day(data, day, roles)
-    return ColumnarPartial.pack(data)
+# ----------------------------------------------------------------------
+# Tasks and outcomes
+
+
+@dataclass(frozen=True)
+class DayTask:
+    """One unit of dispatch: a single planned day at a given attempt."""
+
+    index: int
+    day: datetime.date
+    roles: Tuple[str, ...]
+    attempt: int
+    config: StudyConfig
+    fault_plan: Optional[FaultPlan] = None
+
+
+@dataclass(frozen=True)
+class DaySuccess:
+    index: int
+    day: datetime.date
+    attempt: int
+    partial: ColumnarPartial
+    wall_time: float
+    worker: int
+
+
+@dataclass(frozen=True)
+class DayFailure:
+    """A structured worker failure: which day, which attempt, why."""
+
+    index: int
+    day: datetime.date
+    attempt: int
+    transient: bool
+    error: str
+    traceback_text: str
+    worker: Optional[int]
+
+
+def _cached_study(config: StudyConfig) -> LongitudinalStudy:
+    key = config_hash(config)
+    study = _STUDY_CACHE.get(key)
+    if study is None:
+        if len(_STUDY_CACHE) >= 4:
+            _STUDY_CACHE.clear()
+        study = LongitudinalStudy(config)
+        _STUDY_CACHE[key] = study
+    return study
+
+
+def _run_chunk(task: DayTask) -> object:
+    """Worker entry point: process one day, report the outcome.
+
+    Spawn-clean by construction: everything it touches arrives through
+    the picklable ``task`` or module-level imports, so the function works
+    identically under fork and spawn start methods (RPR004 walks this
+    function's import closure for shared mutable state).
+    """
+    started = time.perf_counter()
+    try:
+        if task.fault_plan is not None:
+            task.fault_plan.fire(task.day, task.attempt)
+        study = _cached_study(task.config)
+        data = study.day_partial(task.day, set(task.roles))
+        partial = ColumnarPartial.pack(data)
+    except Exception as exc:
+        return DayFailure(
+            index=task.index,
+            day=task.day,
+            attempt=task.attempt,
+            transient=is_transient(exc),
+            error=repr(exc),
+            traceback_text=traceback.format_exc(),
+            worker=os.getpid(),
+        )
+    return DaySuccess(
+        index=task.index,
+        day=task.day,
+        attempt=task.attempt,
+        partial=partial,
+        wall_time=time.perf_counter() - started,
+        worker=os.getpid(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Retry policy, manifest, and errors
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient failures.
+
+    ``retries`` counts *additional* attempts after the first (so a day
+    may run ``retries + 1`` times); worker crashes count as transient.
+    Deterministic failures are never retried.
+    """
+
+    retries: int = 2
+    backoff: float = 0.05
+    factor: float = 2.0
+
+    def delay(self, failed_attempt: int) -> float:
+        """Seconds to back off after 0-based ``failed_attempt`` failed."""
+        return self.backoff * (self.factor ** failed_attempt)
+
+
+@dataclass(frozen=True)
+class DayRecord:
+    """One manifest row: how a planned day reached its final state."""
+
+    day: datetime.date
+    status: str  # "completed" | "failed"
+    attempts: int
+    wall_time: float
+    worker: Optional[int]
+    source: str  # "worker" | "serial" | "checkpoint"
+    error: str = ""
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "day": self.day.isoformat(),
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "wall_time": round(self.wall_time, 6),
+            "worker": self.worker,
+            "source": self.source,
+            "error": self.error,
+        }
+
+
+@dataclass
+class RunReport:
+    """The run manifest: everything an operator needs post-mortem."""
+
+    config_hash: str
+    seed: int
+    start_method: str
+    workers: int
+    records: List[DayRecord] = field(default_factory=list)
+    crashes: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def planned_days(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.status == "completed")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r.status == "failed")
+
+    @property
+    def checkpoint_hits(self) -> int:
+        return sum(1 for r in self.records if r.source == "checkpoint")
+
+    @property
+    def retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    def worker_wall_time(self) -> float:
+        return math.fsum(r.wall_time for r in self.records)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "start_method": self.start_method,
+            "workers": self.workers,
+            "planned_days": self.planned_days,
+            "completed": self.completed,
+            "failed": self.failed,
+            "checkpoint_hits": self.checkpoint_hits,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "wall_time": round(self.wall_time, 6),
+            "days": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def summary_lines(self) -> List[str]:
+        return [
+            f"run {self.config_hash} seed={self.seed} "
+            f"method={self.start_method} workers={self.workers}",
+            f"days: {self.planned_days} planned, {self.completed} completed "
+            f"({self.checkpoint_hits} from checkpoints), {self.failed} failed",
+            f"faults: {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+            f"{self.crashes} worker crash(es)",
+            f"wall: {self.wall_time:.2f}s elapsed, "
+            f"{self.worker_wall_time():.2f}s of per-day work",
+        ]
+
+    def day_lines(self) -> List[str]:
+        lines = ["day         status     att  wall(s)  worker  source"]
+        for record in self.records:
+            lines.append(
+                f"{record.day.isoformat()}  {record.status:<9}  "
+                f"{record.attempts:>3}  {record.wall_time:7.3f}  "
+                f"{record.worker or '-':>6}  {record.source}"
+                + (f"  {record.error}" if record.error else "")
+            )
+        return lines
+
+
+class ChunkError(RuntimeError):
+    """A day failed permanently: names the day(s), seed, and traceback.
+
+    Raised only after every other day finished (and, when checkpointing,
+    was persisted), so nothing else is lost: ``report`` carries the full
+    manifest and a resumed run recomputes only the failed days.
+    """
+
+    def __init__(
+        self,
+        failures: List[DayFailure],
+        seed: int,
+        report: Optional[RunReport] = None,
+    ) -> None:
+        self.failures = tuple(failures)
+        self.seed = seed
+        self.report = report
+        first = self.failures[0]
+        days = ", ".join(f.day.isoformat() for f in self.failures)
+        message = (
+            f"{len(self.failures)} day(s) failed permanently "
+            f"(seed {seed}): {days}\n"
+            f"first failure: day {first.day.isoformat()} after "
+            f"{first.attempt + 1} attempt(s): {first.error}"
+        )
+        if first.traceback_text:
+            message += f"\n{first.traceback_text}"
+        super().__init__(message)
+
+    @property
+    def days(self) -> Tuple[datetime.date, ...]:
+        return tuple(f.day for f in self.failures)
+
+
+@dataclass
+class RunResult:
+    """What :func:`execute_study` hands back: the data plus its manifest."""
+
+    data: StudyData
+    report: RunReport
+
+
+# ----------------------------------------------------------------------
+# Planning
 
 
 def partition_plan(
     plan: Dict[datetime.date, Set[str]], workers: int
 ) -> List[_Chunk]:
-    """Round-robin partition of the planned days into ``workers`` chunks."""
+    """Round-robin partition of the planned days into ``workers`` chunks.
+
+    Retained for coarse-grained chunking experiments and tests; the
+    fault-tolerant dispatcher schedules single-day tasks dynamically and
+    does not pre-partition.
+    """
     if workers <= 0:
         raise ValueError("workers must be positive")
     chunks: List[_Chunk] = [[] for _ in range(workers)]
@@ -109,21 +410,316 @@ def partition_plan(
     return [chunk for chunk in chunks if chunk]
 
 
+# ----------------------------------------------------------------------
+# Execution
+
+
+class _Dispatch:
+    """Shared bookkeeping for the serial and pooled execution paths."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        store: Optional[CheckpointStore],
+        progress: Optional[Callable[[datetime.date], None]],
+    ) -> None:
+        self.policy = policy
+        self.store = store
+        self.progress = progress
+        self.partials: Dict[datetime.date, ColumnarPartial] = {}
+        self.records: Dict[datetime.date, DayRecord] = {}
+        self.failures: List[DayFailure] = []
+        self.crashes = 0
+
+    def succeed(self, outcome: DaySuccess, source: str) -> None:
+        self.partials[outcome.day] = outcome.partial
+        self.records[outcome.day] = DayRecord(
+            day=outcome.day,
+            status="completed",
+            attempts=outcome.attempt + 1,
+            wall_time=outcome.wall_time,
+            worker=outcome.worker,
+            source=source,
+        )
+        if self.store is not None:
+            self.store.save(outcome.day, outcome.partial)
+        if self.progress is not None:
+            self.progress(outcome.day)
+
+    def fail(self, failure: DayFailure) -> None:
+        self.failures.append(failure)
+        self.records[failure.day] = DayRecord(
+            day=failure.day,
+            status="failed",
+            attempts=failure.attempt + 1,
+            wall_time=0.0,
+            worker=failure.worker,
+            source="worker",
+            error=failure.error,
+        )
+
+    def hit_checkpoint(self, day: datetime.date, partial: ColumnarPartial) -> None:
+        self.partials[day] = partial
+        self.records[day] = DayRecord(
+            day=day,
+            status="completed",
+            attempts=0,
+            wall_time=0.0,
+            worker=None,
+            source="checkpoint",
+        )
+        if self.progress is not None:
+            self.progress(day)
+
+
+def _run_serial(
+    dispatch: _Dispatch,
+    config: StudyConfig,
+    remaining: List[Tuple[int, datetime.date, Tuple[str, ...]]],
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """In-process execution with the same retry semantics as the pool."""
+    for index, day, roles in remaining:
+        attempt = 0
+        while True:
+            task = DayTask(index, day, roles, attempt, config, fault_plan)
+            outcome = _run_chunk(task)
+            if isinstance(outcome, DaySuccess):
+                dispatch.succeed(outcome, source="serial")
+                break
+            assert isinstance(outcome, DayFailure)
+            if outcome.transient and attempt < dispatch.policy.retries:
+                time.sleep(dispatch.policy.delay(attempt))
+                attempt += 1
+                continue
+            dispatch.fail(outcome)
+            break
+
+
+def _run_pooled(
+    dispatch: _Dispatch,
+    config: StudyConfig,
+    remaining: List[Tuple[int, datetime.date, Tuple[str, ...]]],
+    fault_plan: Optional[FaultPlan],
+    workers: int,
+    start_method: Optional[str],
+    pool_observer: Optional[Callable[[SupervisedPool], None]] = None,
+) -> str:
+    """Dispatch one task per day to a supervised pool; returns the start
+    method actually used."""
+    policy = dispatch.policy
+    worker_count = min(workers, len(remaining))
+    pool = SupervisedPool(
+        worker_count, runner=_run_chunk, start_method=start_method
+    )
+    # Workers that die before ever announcing a task signal a broken
+    # environment (bad interpreter, unimportable package under spawn);
+    # respawning those forever would hang the run.
+    idle_crash_budget = max(8, 2 * worker_count)
+    try:
+        if pool_observer is not None:
+            pool_observer(pool)
+        outstanding: Dict[int, DayTask] = {}
+        deferred: List[Tuple[float, DayTask]] = []
+        for index, day, roles in remaining:
+            task = DayTask(index, day, roles, 0, config, fault_plan)
+            outstanding[task.index] = task
+            pool.submit(task)
+        while outstanding or deferred:
+            if deferred:
+                now = time.monotonic()
+                ready = [entry for entry in deferred if entry[0] <= now]
+                deferred = [entry for entry in deferred if entry[0] > now]
+                for _, task in ready:
+                    outstanding[task.index] = task
+                    pool.submit(task)
+                if not outstanding:
+                    time.sleep(policy.backoff or 0.01)
+                    continue
+            event = pool.next_event(timeout=0.05)
+            if event is None:
+                continue
+            kind = event[0]
+            if kind == EVENT_DONE:
+                _, index, outcome = event
+                task = outstanding.pop(index, None)
+                if task is None:
+                    continue  # duplicate of an already-settled task
+                if isinstance(outcome, DaySuccess):
+                    dispatch.succeed(outcome, source="worker")
+                else:
+                    _settle_failure(dispatch, task, outcome, deferred)
+            elif kind == EVENT_ERROR:
+                _, index, traceback_text = event
+                task = outstanding.pop(index, None)
+                if task is None:
+                    continue
+                dispatch.fail(
+                    DayFailure(
+                        index=task.index,
+                        day=task.day,
+                        attempt=task.attempt,
+                        transient=False,
+                        error="unhandled worker exception",
+                        traceback_text=traceback_text,
+                        worker=None,
+                    )
+                )
+            elif kind == EVENT_CRASH:
+                _, index, pid, exitcode = event
+                dispatch.crashes += 1
+                if index is not None and index in outstanding:
+                    task = outstanding.pop(index)
+                    crash = DayFailure(
+                        index=task.index,
+                        day=task.day,
+                        attempt=task.attempt,
+                        transient=True,
+                        error=f"worker {pid} died (exit code {exitcode})",
+                        traceback_text="",
+                        worker=pid,
+                    )
+                    _settle_failure(dispatch, task, crash, deferred)
+                else:
+                    idle_crash_budget -= 1
+                    if idle_crash_budget < 0:
+                        raise RuntimeError(
+                            "workers keep dying before accepting work "
+                            f"(last: pid {pid}, exit code {exitcode}); "
+                            "the worker environment is broken"
+                        )
+                    # The worker died between dequeuing a task and
+                    # announcing it: resubmit whatever never started.
+                    # Duplicates are harmless — days are deterministic
+                    # and the first settled result wins.
+                    started = pool.started_indices
+                    for task in list(outstanding.values()):
+                        if task.index not in started:
+                            pool.submit(task)
+        pool.stop(graceful=True)
+    finally:
+        pool.stop(graceful=False)
+    return pool.start_method
+
+
+def _settle_failure(
+    dispatch: _Dispatch,
+    task: DayTask,
+    failure: DayFailure,
+    deferred: List[Tuple[float, DayTask]],
+) -> None:
+    """Retry a transient failure (with backoff) or record it as final."""
+    if failure.transient and task.attempt < dispatch.policy.retries:
+        eligible_at = time.monotonic() + dispatch.policy.delay(task.attempt)
+        deferred.append((eligible_at, replace(task, attempt=task.attempt + 1)))
+        return
+    dispatch.fail(failure)
+
+
+def execute_study(
+    config: StudyConfig,
+    workers: Optional[int] = None,
+    *,
+    start_method: Optional[str] = None,
+    checkpoint_root: Optional[object] = None,
+    resume: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    progress: Optional[Callable[[datetime.date], None]] = None,
+    pool_observer: Optional[Callable[[SupervisedPool], None]] = None,
+) -> RunResult:
+    """Run the study fault-tolerantly; returns the data and its manifest.
+
+    ``checkpoint_root`` enables the per-day checkpoint tier (a directory;
+    partials land under ``config=<hash>/``).  With ``resume=True``,
+    checkpointed days are loaded instead of recomputed — results are
+    bit-identical either way.  Permanent failures raise
+    :class:`ChunkError` after all other days have been drained and
+    checkpointed; the manifest is written even then.
+    """
+    policy = retry or RetryPolicy()
+    if workers is None:
+        workers = max(1, (multiprocessing.cpu_count() or 2) - 1)
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    planner = LongitudinalStudy(config)
+    plan = planner.planned_days()
+    days = sorted(plan)
+    digest = config_hash(config)
+    store = (
+        CheckpointStore(checkpoint_root, digest)  # type: ignore[arg-type]
+        if checkpoint_root is not None
+        else None
+    )
+    started = time.perf_counter()
+    dispatch = _Dispatch(policy, store, progress)
+
+    if store is not None and resume:
+        for day in days:
+            if not store.has(day):
+                continue
+            try:
+                partial = store.load(day)
+            except CheckpointError:
+                continue  # unreadable or foreign: recompute the day
+            dispatch.hit_checkpoint(day, partial)
+
+    remaining = [
+        (index, day, tuple(sorted(plan[day])))
+        for index, day in enumerate(days)
+        if day not in dispatch.partials
+    ]
+    method = resolve_start_method(start_method)
+    if remaining:
+        if workers == 1 or len(remaining) == 1:
+            _run_serial(dispatch, config, remaining, fault_plan)
+        else:
+            method = _run_pooled(
+                dispatch,
+                config,
+                remaining,
+                fault_plan,
+                workers,
+                start_method,
+                pool_observer,
+            )
+
+    report = RunReport(
+        config_hash=digest,
+        seed=config.world.seed,
+        start_method=method,
+        workers=workers,
+        records=[dispatch.records[day] for day in sorted(dispatch.records)],
+        crashes=dispatch.crashes,
+        wall_time=time.perf_counter() - started,
+    )
+    if store is not None:
+        store.manifest_path.write_text(report.to_json())
+    if dispatch.failures:
+        raise ChunkError(dispatch.failures, seed=config.world.seed, report=report)
+    merged = planner.empty_data()
+    for day in days:
+        merged.merge(dispatch.partials[day].unpack())
+    return RunResult(data=merged, report=report)
+
+
 def run_parallel(
     config: StudyConfig,
     workers: Optional[int] = None,
+    *,
+    start_method: Optional[str] = None,
+    checkpoint_root: Optional[object] = None,
+    resume: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> StudyData:
     """Run the study across worker processes; results match a serial run."""
-    if workers is None:
-        workers = max(1, (multiprocessing.cpu_count() or 2) - 1)
-    planner = LongitudinalStudy(config)
-    plan = planner.planned_days()
-    chunks = partition_plan(plan, workers)
-    if len(chunks) <= 1:
-        return planner.run()
-    with multiprocessing.get_context("fork").Pool(len(chunks)) as pool:
-        partials = pool.map(_run_chunk, [(config, chunk) for chunk in chunks])
-    merged = planner.empty_data()
-    for partial in partials:
-        merged.merge(partial.unpack())
-    return merged
+    return execute_study(
+        config,
+        workers,
+        start_method=start_method,
+        checkpoint_root=checkpoint_root,
+        resume=resume,
+        retry=retry,
+        fault_plan=fault_plan,
+    ).data

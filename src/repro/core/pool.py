@@ -1,0 +1,243 @@
+"""A supervised worker-process pool that survives worker death.
+
+``multiprocessing.Pool.map`` turns one worker exception into an opaque
+abort of every chunk, and a worker killed mid-task (OOM, SIGKILL, a
+crashing C extension) hangs the iterator forever.  The study runner
+needs the opposite: per-task results, prompt notice of *which* task a
+dead worker was holding, and a pool that repairs itself and keeps
+going.  This module supplies exactly that, with no reliance on
+``multiprocessing`` internals:
+
+* each worker owns a private duplex :func:`multiprocessing.Pipe` for
+  announcements and results.  ``Connection.send`` writes synchronously —
+  once it returns, the parent can still read the message even if the
+  worker dies the next instant — so the ``("start", index, pid)``
+  announcement a worker makes before running a task is never lost, and
+  every crash is attributable to the exact task it interrupted (a
+  ``Queue``'s feeder thread cannot promise this: ``os._exit`` can kill
+  the process before the thread flushes);
+* worker death is detected by pipe EOF, not by liveness polling: the
+  dead worker is joined, its in-flight task reported as a ``crash``
+  event, and a replacement worker spawned;
+* the start method is selected at runtime (fork where available, spawn
+  otherwise — overridable), never hard-coded, and workers are spawned
+  before the first queue write so fork never duplicates a feeder
+  thread;
+* :meth:`SupervisedPool.stop` always terminates and joins every worker
+  on the error path, so an interrupted run leaves no orphans behind.
+
+The pool is deliberately generic: it runs ``runner(task)`` for any
+picklable task with an integer ``index`` attribute and never interprets
+outcomes — retry policy lives in :mod:`repro.core.parallel`.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import os
+import traceback
+from multiprocessing import connection
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+#: Event kinds yielded by :meth:`SupervisedPool.next_event`.
+EVENT_DONE = "done"  # (EVENT_DONE, task_index, outcome)
+EVENT_ERROR = "error"  # (EVENT_ERROR, task_index, traceback_text)
+EVENT_CRASH = "crash"  # (EVENT_CRASH, task_index_or_None, pid, exitcode)
+
+Event = Tuple[Any, ...]
+
+
+def resolve_start_method(preferred: Optional[str] = None) -> str:
+    """Pick a start method at runtime instead of hard-coding one.
+
+    ``fork`` is preferred where the platform offers it (cheap, shares
+    the parent's warmed-up imports); ``spawn`` is the portable fallback.
+    An explicit ``preferred`` must name an available method.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} not available here "
+                f"(choose from {available})"
+            )
+        return preferred
+    for method in ("fork", "spawn"):
+        if method in available:
+            return method
+    return available[0]
+
+
+def _worker_main(runner, tasks, conn) -> None:
+    """Worker loop: pull tasks until the ``None`` sentinel arrives.
+
+    Every task is bracketed by a synchronous ``start`` announcement and
+    a ``done``/``error`` result on the worker's private pipe; a
+    ``runner`` that raises is reported as an ``error`` message rather
+    than killing the loop, so one bad task never takes the worker down
+    with it.
+    """
+    while True:
+        task = tasks.get()
+        if task is None:
+            conn.close()
+            return
+        conn.send(("start", task.index, os.getpid()))
+        try:
+            outcome = runner(task)
+        except Exception:
+            conn.send(("error", task.index, traceback.format_exc()))
+        else:
+            conn.send(("done", task.index, outcome))
+
+
+class SupervisedPool:
+    """Worker processes + a task queue + per-worker result pipes."""
+
+    def __init__(
+        self,
+        workers: int,
+        runner: Callable[[Any], Any],
+        start_method: Optional[str] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.start_method = resolve_start_method(start_method)
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._runner = runner
+        self._poll = poll_interval
+        self._tasks: Any = self._ctx.Queue()
+        self._workers: Dict[Any, Any] = {}  # parent conn -> Process
+        self._running: Dict[int, int] = {}  # worker pid -> task index
+        self._started: Set[int] = set()  # task indices ever started
+        self._events: Deque[Event] = collections.deque()
+        self._stopped = False
+        # Spawn the full complement before the first queue write: under
+        # fork this guarantees no queue feeder thread exists yet, so
+        # children never inherit a half-alive thread.
+        for _ in range(workers):
+            self._spawn_worker()
+
+    # -- workers --------------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._runner, self._tasks, child_conn),
+            daemon=True,
+        )
+        process.start()
+        # Close the parent's copy of the child end: the pipe must reach
+        # EOF the moment the worker dies, or crashes go unnoticed.
+        child_conn.close()
+        self._workers[parent_conn] = process
+
+    def worker_pids(self) -> List[int]:
+        return sorted(process.pid for process in self._workers.values())
+
+    @property
+    def started_indices(self) -> Set[int]:
+        """Task indices some worker has (at least) begun executing."""
+        return set(self._started)
+
+    # -- submission and events -------------------------------------------------
+
+    def submit(self, task: Any) -> None:
+        if self._stopped:
+            raise RuntimeError("pool is stopped")
+        self._tasks.put(task)
+
+    def next_event(self, timeout: Optional[float] = None) -> Optional[Event]:
+        """The next ``done``/``error``/``crash`` event, or ``None`` on
+        timeout.  ``timeout=None`` blocks until an event arrives."""
+        remaining = timeout
+        while True:
+            if self._events:
+                return self._events.popleft()
+            wait = self._poll if remaining is None else min(self._poll, remaining)
+            ready = connection.wait(list(self._workers), timeout=wait)
+            for conn in ready:
+                self._drain(conn)
+            if self._events:
+                return self._events.popleft()
+            if remaining is not None:
+                remaining -= wait
+                if remaining <= 0:
+                    return None
+
+    def _drain(self, conn: Any) -> None:
+        """Ingest every buffered message; EOF means the worker died."""
+        try:
+            while conn.poll():
+                self._ingest(conn.recv())
+        except (EOFError, OSError):
+            self._reap(conn)
+
+    def _ingest(self, message: Tuple[Any, ...]) -> None:
+        kind = message[0]
+        if kind == "start":
+            _, index, pid = message
+            self._running[pid] = index
+            self._started.add(index)
+        elif kind == "done":
+            _, index, outcome = message
+            self._clear_running(index)
+            self._events.append((EVENT_DONE, index, outcome))
+        else:
+            _, index, traceback_text = message
+            self._clear_running(index)
+            self._events.append((EVENT_ERROR, index, traceback_text))
+
+    def _clear_running(self, index: int) -> None:
+        for pid, running_index in list(self._running.items()):
+            if running_index == index:
+                del self._running[pid]
+
+    def _reap(self, conn: Any) -> None:
+        """A worker's pipe hit EOF: join it, report, spawn a replacement."""
+        process = self._workers.pop(conn)
+        conn.close()
+        process.join()
+        index = self._running.pop(process.pid, None)
+        if not self._stopped:
+            self._spawn_worker()
+        self._events.append((EVENT_CRASH, index, process.pid, process.exitcode))
+
+    # -- shutdown --------------------------------------------------------------
+
+    def stop(self, graceful: bool = True, join_timeout: float = 5.0) -> None:
+        """Stop every worker; idempotent, and total on the error path.
+
+        Graceful stop sends one sentinel per worker and joins; anything
+        still alive afterwards — and everything, when ``graceful`` is
+        False — is terminated, then killed if termination is ignored, so
+        no worker can outlive the pool (KeyboardInterrupt included).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        procs = list(self._workers.values())
+        if graceful:
+            for _ in procs:
+                self._tasks.put(None)
+            for process in procs:
+                process.join(timeout=join_timeout)
+        for process in procs:
+            if process.is_alive():
+                process.terminate()
+        for process in procs:
+            process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=join_timeout)
+        for conn in list(self._workers):
+            conn.close()
+        self._workers.clear()
+        self._running.clear()
+        # Unflushed task-queue buffers must not block interpreter exit
+        # after an interrupt.
+        self._tasks.close()
+        self._tasks.cancel_join_thread()

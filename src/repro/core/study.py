@@ -248,6 +248,18 @@ class LongitudinalStudy:
         if "flows" in roles:
             self._consume_flows(data, day, traffic, with_rtt="rtt" in roles)
 
+    def day_partial(self, day: datetime.date, roles: Set[str]) -> StudyData:
+        """One planned day reduced into a fresh :class:`StudyData`.
+
+        The unit of fault-tolerant execution: days are independent
+        (per-day seeds, DESIGN.md §6), so a worker can compute any day in
+        isolation and the parent merges partials in calendar order to
+        reproduce a serial run exactly.
+        """
+        data = self.empty_data()
+        self.process_day(data, day, roles)
+        return data
+
     def run(self, progress: Optional[object] = None) -> StudyData:
         """Execute the study; returns the reduced per-day data."""
         data = self.empty_data()

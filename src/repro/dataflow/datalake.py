@@ -17,8 +17,10 @@ from __future__ import annotations
 import datetime
 import gzip
 import io
+import os
+import pickle
 from pathlib import Path
-from typing import Callable, Generic, Iterable, Iterator, List, TypeVar
+from typing import Any, Callable, Generic, Iterable, Iterator, List, TypeVar
 
 from repro.dataflow.engine import Dataset
 from repro.tstat.flow import FlowRecord
@@ -158,6 +160,114 @@ def _file_source(path: Path, codec: LineCodec[T]) -> Callable[[], Iterator[T]]:
                 yield codec.decode(line)
 
     return read
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable or keyed for a different run."""
+
+
+#: Bumped whenever the checkpoint payload layout changes; older files
+#: are rejected (and recomputed) instead of being misread.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointStore:
+    """Crash-safe per-day storage of partial results, keyed by config.
+
+    The fault-tolerance tier of the lake (DESIGN.md §10): while the
+    study runs, each completed day's packed partial is persisted under
+    ``<root>/config=<config_hash>/day=<ISO>.ckpt``.  A killed run
+    resumes by loading finished days and recomputing only the rest.
+
+    Two guarantees make resumes trustworthy:
+
+    * **Keying.** The directory *and* an in-file header carry the config
+      hash and the day; :meth:`load` verifies both, so a checkpoint
+      written under a different configuration (or renamed on disk) is
+      rejected with :class:`CheckpointError` rather than silently merged.
+    * **Atomicity.** :meth:`save` writes to a temp file in the same
+      directory and ``os.replace``\\ s it into place, so a crash mid-write
+      leaves either the previous state or the complete new file — never a
+      torn checkpoint.
+    """
+
+    def __init__(self, root: Path, config_hash: str) -> None:
+        self.root = Path(root)
+        self.config_hash = config_hash
+        self.directory = self.root / f"config={config_hash}"
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, day: datetime.date) -> Path:
+        return self.directory / f"day={day.isoformat()}.ckpt"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    # -- io ------------------------------------------------------------------
+
+    def has(self, day: datetime.date) -> bool:
+        return self.path_for(day).is_file()
+
+    def save(self, day: datetime.date, payload: Any) -> Path:
+        """Persist one day's payload atomically; returns the final path."""
+        path = self.path_for(day)
+        blob = pickle.dumps(
+            {
+                "version": CHECKPOINT_VERSION,
+                "config_hash": self.config_hash,
+                "day": day,
+                "payload": payload,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, day: datetime.date) -> Any:
+        """The payload checkpointed for ``day``; raises CheckpointError
+        when the file is corrupt or keyed for another config/day."""
+        path = self.path_for(day)
+        try:
+            record = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint for {day.isoformat()}") from None
+        except Exception as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {path}: {exc!r}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise CheckpointError(f"malformed checkpoint {path}")
+        if record.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has version {record.get('version')!r}, "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        if record.get("config_hash") != self.config_hash:
+            raise CheckpointError(
+                f"checkpoint {path} belongs to config "
+                f"{record.get('config_hash')!r}, not {self.config_hash!r}"
+            )
+        if record.get("day") != day:
+            raise CheckpointError(
+                f"checkpoint {path} holds {record.get('day')!r}, not {day}"
+            )
+        return record["payload"]
+
+    def days(self) -> List[datetime.date]:
+        """Every day with a checkpoint on disk, sorted."""
+        found: List[datetime.date] = []
+        for path in self.directory.glob("day=*.ckpt"):
+            raw = path.name[len("day=") : -len(".ckpt")]
+            try:
+                found.append(datetime.date.fromisoformat(raw))
+            except ValueError:
+                continue
+        return sorted(found)
 
 
 def month_days(year: int, month: int) -> List[datetime.date]:

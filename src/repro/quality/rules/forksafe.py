@@ -1,17 +1,27 @@
-"""RPR004 — fork-pool workers import no mutable module-level state.
+"""RPR004 — worker-process imports are start-method clean.
 
 Invariant (core/parallel.py): "parallelism changes wall-clock, never
-results."  Worker processes are forked, so every module in the transitive
-import closure of ``core.parallel._run_chunk`` is duplicated into each
-worker's memory image.  A mutable module-level container in that closure
-is a trap: mutated in a worker, it silently diverges from its siblings
-and from the parent, and results start depending on which worker handled
-which day.
+results."  Workers may start via ``fork`` *or* ``spawn`` — the method is
+resolved at runtime (:func:`repro.core.pool.resolve_start_method`), so
+every module in the transitive import closure of
+``core.parallel._run_chunk`` must behave identically under both.  Two
+traps are flagged:
+
+* **Mutable module-level containers.**  Under fork the container is
+  duplicated into each worker's memory image; mutated in a worker, it
+  silently diverges from its siblings and from the parent.  Under spawn
+  it is re-initialised per worker instead — a different wrong answer.
+  Either way, results start depending on which worker handled which day.
+* **Hard-coded start methods.**  A literal ``get_context("fork")`` or
+  ``set_start_method("spawn")`` inside the closure pins the whole run to
+  one method, breaking the runtime selection contract (and, for
+  ``"fork"``, portability to platforms without it).  Pass a resolved
+  variable instead.
 
 The closure is computed from the real AST import graph
 (:mod:`repro.quality.importgraph`) every run — never from a hard-coded
 module list — and includes package ``__init__`` modules and
-function-local imports, because forked workers execute those too.
+function-local imports, because workers execute those too.
 
 A flagged assignment is accepted only when it is frozen
 (``tuple``/``frozenset``/``MappingProxyType``) or carries a
@@ -22,7 +32,7 @@ safe.  A bare noqa without justification does not count.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.quality.findings import Finding
 from repro.quality.registry import (
@@ -57,15 +67,19 @@ _MUTABLE_LITERALS = (
     ast.SetComp,
 )
 
+#: Calls that pin the multiprocessing start method when given a literal.
+_START_METHOD_CALLS = {"get_context", "set_start_method"}
+
 
 @register
 class ForkSafeWorkersRule(Rule):
     rule_id = "RPR004"
-    description = "no mutable module-level containers in fork-worker imports"
+    description = "worker-import closure: no mutable module state, no pinned start method"
     invariant = (
-        "every module a fork-pool worker executes is free of mutable "
-        "module-level state, so workers cannot diverge from each other or "
-        "from a serial run"
+        "every module a pool worker executes is free of mutable "
+        "module-level state and never pins the multiprocessing start "
+        "method, so workers cannot diverge from each other or from a "
+        "serial run under either fork or spawn"
     )
     requires_justification = True
 
@@ -98,6 +112,27 @@ class ForkSafeWorkersRule(Rule):
                     "freeze it (tuple/frozenset/MappingProxyType) or add "
                     "`# repro: noqa[RPR004] -- <why sharing is safe>`",
                 )
+        yield from self._pinned_start_methods(file_ctx)
+
+    def _pinned_start_methods(self, file_ctx) -> Iterator[Finding]:
+        """Flag literal-argument get_context/set_start_method calls."""
+        for node in ast.walk(file_ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node).split(".")[-1]
+            if name not in _START_METHOD_CALLS:
+                continue
+            method = _literal_start_method(node)
+            if method is None:
+                continue
+            yield self.finding(
+                file_ctx,
+                node,
+                f"`{name}({method!r})` pins the start method inside the "
+                f"worker-import closure of `{file_ctx.ctx.config.fork_entry}`; "
+                "resolve it at runtime (repro.core.pool.resolve_start_method) "
+                "and pass the result instead",
+            )
 
 
 def _target_names(targets: List[ast.expr]) -> List[str]:
@@ -116,6 +151,20 @@ def _target_names(targets: List[ast.expr]) -> List[str]:
 
 def _is_dunder(name: str) -> bool:
     return name.startswith("__") and name.endswith("__")
+
+
+def _literal_start_method(call: ast.Call) -> Optional[str]:
+    """The literal method string a start-method call pins, or ``None``."""
+    candidates = list(call.args[:1])
+    candidates.extend(
+        keyword.value for keyword in call.keywords if keyword.arg == "method"
+    )
+    for candidate in candidates:
+        if isinstance(candidate, ast.Constant) and isinstance(
+            candidate.value, str
+        ):
+            return candidate.value
+    return None
 
 
 def _mutability(value: ast.expr) -> str:

@@ -1,15 +1,15 @@
 """Fixture fork entry: ``forkpkg.pool:_run_chunk``.
 
-Imports ``state`` at module level and ``lazy`` inside the worker body —
-both must land in the analyzed closure.
+Imports ``state`` and ``spawnctx`` at module level and ``lazy`` inside
+the worker body — all must land in the analyzed closure.
 """
 
-from forkpkg import state
+from forkpkg import spawnctx, state
 from forkpkg.frozen import LIMITS
 
 
 def _run_chunk(chunk):
     from forkpkg import lazy
 
-    bound = LIMITS.get("a", 0)
+    bound = LIMITS.get("a", 0) + len(spawnctx.__name__)
     return [state.lookup(item) + lazy.offset(item) + bound for item in chunk]

@@ -1,0 +1,15 @@
+"""RPR004 fixture (violating): hard-coded start methods in the closure.
+
+Two pinned calls are flagged; the runtime-resolved call is not.
+"""
+
+import multiprocessing
+
+
+def make_pool():
+    return multiprocessing.get_context("fork")
+
+
+def configure(method):
+    multiprocessing.set_start_method(method)  # variable arg: clean
+    return multiprocessing.get_context(method="spawn")

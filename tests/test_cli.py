@@ -70,6 +70,42 @@ class TestStudyCommand:
         assert "Table 1" in out
 
 
+    def test_workers_zero_rejected(self, capsys):
+        assert main(["study", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers must be a positive integer" in err
+        assert "got 0" in err
+
+    def test_workers_negative_rejected(self, capsys):
+        assert main(["study", "--workers", "-3"]) == 2
+
+
+class TestRunCommand:
+    RUN_SPAN = ["run", "--seed", "3", "--workers", "1",
+                "--start", "2014-01-01", "--end", "2014-02-28"]
+
+    def test_workers_zero_rejected(self, capsys):
+        assert main(["run", "--workers", "0"]) == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["run", "--resume"]) == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_run_prints_summary(self, capsys):
+        assert main(self.RUN_SPAN) == 0
+        out = capsys.readouterr().out
+        assert "planned" in out and "completed" in out
+
+    def test_run_report_and_resume(self, tmp_path, capsys):
+        checkpoint = ["--checkpoint-dir", str(tmp_path)]
+        assert main(self.RUN_SPAN + checkpoint) == 0
+        capsys.readouterr()
+        assert main(self.RUN_SPAN + checkpoint + ["--resume", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out  # per-day rows name their source
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -79,3 +115,10 @@ class TestParser:
         args = build_parser().parse_args(["study"])
         assert args.figure == "all"
         assert args.scale == "small"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workers is None
+        assert args.start_method == "auto"
+        assert args.retries == 2
+        assert not args.resume

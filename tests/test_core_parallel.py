@@ -1,11 +1,19 @@
 """Tests for the parallel study runner: identical results, any worker count."""
 
+import copy
+import dataclasses
 import datetime
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
 
 import pytest
 
 from repro.core.config import StudyConfig
-from repro.core.parallel import partition_plan, run_parallel
+from repro.core.parallel import ColumnarPartial, partition_plan, run_parallel
 from repro.core.study import LongitudinalStudy
 from repro.synthesis.world import WorldConfig
 
@@ -93,6 +101,120 @@ class TestParallelEqualsSerial:
     def test_single_worker_falls_back_to_serial(self):
         data = run_parallel(tiny_config(), workers=1)
         assert data.subscriber_days
+
+
+class TestColumnarPartialPack:
+    def test_pack_does_not_mutate_its_input(self):
+        """Regression: pack() used to strip rtt_samples/daily_ip_sets/
+        daily_ip_roles off the StudyData it was given, corrupting any
+        caller that kept using the original."""
+        study = LongitudinalStudy(tiny_config())
+        day, roles = _richest_day(study)
+        data = study.day_partial(day, roles)
+        snapshot = copy.deepcopy(data)
+        ColumnarPartial.pack(data)
+        for field in dataclasses.fields(data):
+            assert getattr(data, field.name) == getattr(snapshot, field.name), (
+                f"pack() mutated StudyData.{field.name}"
+            )
+
+    def test_pack_unpack_roundtrip_exact(self):
+        study = LongitudinalStudy(tiny_config())
+        day, roles = _richest_day(study)
+        data = study.day_partial(day, roles)
+        restored = ColumnarPartial.pack(data).unpack()
+        for field in dataclasses.fields(data):
+            assert getattr(data, field.name) == getattr(restored, field.name)
+
+
+def _richest_day(study):
+    """The planned day with the most roles — exercises every packed field."""
+    plan = study.planned_days()
+    day = max(sorted(plan), key=lambda d: len(plan[d]))
+    return day, plan[day]
+
+
+class TestExactEquality:
+    def test_parallel_equals_serial_field_for_field(self):
+        """Per-day dispatch merged in calendar order is *exactly* the
+        serial result — no canonical-sort escape hatch needed."""
+        serial = LongitudinalStudy(tiny_config()).run()
+        parallel = run_parallel(tiny_config(), workers=3)
+        for field in dataclasses.fields(serial):
+            assert getattr(serial, field.name) == getattr(parallel, field.name)
+
+
+_SIGINT_DRIVER = textwrap.dedent(
+    """
+    import datetime, sys
+    from repro.core.config import StudyConfig
+    from repro.core.parallel import execute_study
+    from repro.synthesis.world import WorldConfig
+
+    def announce(pool):
+        print("PIDS " + " ".join(map(str, pool.worker_pids())), flush=True)
+
+    config = StudyConfig(
+        world=WorldConfig(
+            seed=17, adsl_count=200, ftth_count=100,
+            start=datetime.date(2014, 1, 1), end=datetime.date(2016, 12, 31),
+        ),
+        day_stride=2,
+    )
+    execute_study(config, workers=3, pool_observer=announce)
+    """
+)
+
+
+class TestInterrupt:
+    def test_sigint_leaves_no_orphaned_workers(self, tmp_path):
+        """Regression: run_parallel leaked live pool workers when the
+        parent took a KeyboardInterrupt mid-run."""
+        script = tmp_path / "driver.py"
+        script.write_text(_SIGINT_DRIVER)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(_SRC_ROOT), env.get("PYTHONPATH")])
+        )
+        process = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            start_new_session=True,  # isolate the SIGINT from pytest
+        )
+        try:
+            line = process.stdout.readline()
+            assert line.startswith("PIDS "), f"driver never started: {line!r}"
+            worker_pids = [int(token) for token in line.split()[1:]]
+            assert worker_pids
+            process.send_signal(signal.SIGINT)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not any(_alive(pid) for pid in worker_pids):
+                return
+            time.sleep(0.1)
+        leaked = [pid for pid in worker_pids if _alive(pid)]
+        assert not leaked, f"workers survived SIGINT: {leaked}"
+
+
+_SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
 
 
 class TestMerge:

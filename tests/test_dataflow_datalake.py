@@ -6,6 +6,8 @@ import pytest
 
 from repro.dataflow.datalake import (
     FLOW_CODEC,
+    CheckpointError,
+    CheckpointStore,
     DataLake,
     LineCodec,
     month_days,
@@ -111,6 +113,64 @@ class TestDataLake:
             path.unlink()
         with pytest.raises(FileNotFoundError):
             dataset.collect()
+
+
+class TestCheckpointStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafebabe")
+        assert not store.has(DAY)
+        store.save(DAY, {"rows": [1, 2, 3]})
+        assert store.has(DAY)
+        assert store.load(DAY) == {"rows": [1, 2, 3]}
+        assert store.days() == [DAY]
+
+    def test_layout_is_keyed_by_config_hash(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafebabe")
+        path = store.save(DAY, "payload")
+        assert path == tmp_path / "config=cafebabe" / "day=2015-03-14.ckpt"
+        assert store.manifest_path.parent == path.parent
+
+    def test_atomic_save_leaves_no_temp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafebabe")
+        store.save(DAY, "first")
+        store.save(DAY, "second")
+        assert store.load(DAY) == "second"
+        leftovers = [p for p in store.directory.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafebabe")
+        with pytest.raises(CheckpointError):
+            store.load(DAY)
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafebabe")
+        store.path_for(DAY).write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            store.load(DAY)
+
+    def test_foreign_config_hash_rejected(self, tmp_path):
+        writer = CheckpointStore(tmp_path, "cafebabe")
+        writer.save(DAY, "payload")
+        reader = CheckpointStore(tmp_path, "deadbeef")
+        # A renamed/moved file must not sneak into a different run.
+        writer.path_for(DAY).rename(reader.path_for(DAY))
+        with pytest.raises(CheckpointError, match="belongs to config"):
+            reader.load(DAY)
+
+    def test_wrong_day_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafebabe")
+        other = DAY + datetime.timedelta(days=1)
+        store.save(DAY, "payload")
+        store.path_for(DAY).rename(store.path_for(other))
+        with pytest.raises(CheckpointError, match="holds"):
+            store.load(other)
+
+    def test_days_ignores_unparseable_names(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafebabe")
+        store.save(DAY, "payload")
+        (store.directory / "day=garbage.ckpt").write_bytes(b"x")
+        assert store.days() == [DAY]
 
 
 class TestMonthDays:

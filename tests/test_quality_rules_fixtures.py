@@ -87,7 +87,16 @@ class TestRpr004ForkSafety:
         assert len(by_name["state.py"]) == 3
         # lazy.py is only imported inside the worker function body.
         assert len(by_name["lazy.py"]) == 1
-        assert set(by_name) == {"state.py", "lazy.py"}
+        # spawnctx.py: get_context("fork") and get_context(method="spawn");
+        # the variable-argument set_start_method(method) stays clean.
+        assert len(by_name["spawnctx.py"]) == 2
+        assert set(by_name) == {"state.py", "lazy.py", "spawnctx.py"}
+
+    def test_pinned_start_method_message(self):
+        findings = run_rule("RPR004", "forkpkg/spawnctx.py")
+        assert len(findings) == 2
+        assert all("pins the start method" in f.message for f in findings)
+        assert {f.line for f in findings} == {10, 15}
 
     def test_frozen_and_justified_are_clean(self):
         findings = run_rule("RPR004", "forkpkg/frozen.py")
