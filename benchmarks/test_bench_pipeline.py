@@ -26,10 +26,12 @@ from repro.services import catalog
 from repro.synthesis.flowgen import TrafficGenerator
 from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
 from repro.synthesis.world import World, WorldConfig
+from repro.telemetry import Telemetry, VirtualClock, activate
 from repro.tstat.flow import WebProtocol
 from repro.tstat.probe import Probe, ProbeConfig
 
 DAY = datetime.date(2016, 9, 14)
+ALL_ROLES = {"aggregate", "hourly", "flows", "rtt"}
 
 
 def _world():
@@ -180,6 +182,32 @@ def test_datalake_day_roundtrip(benchmark, tmp_path):
     count = benchmark(roundtrip)
     assert count == len(rows)
     benchmark.extra_info["rows"] = len(rows)
+
+
+def test_study_day_telemetry_off(benchmark, study):
+    """One full study day with telemetry at its default (no-op) registry.
+
+    The baseline for the <2% disabled-overhead budget: every counter and
+    span site still executes, but lands on the inert ``NULL`` bundle.
+    """
+    data = benchmark(study.day_partial, DAY, ALL_ROLES)
+    assert data.subscriber_days
+
+
+def test_study_day_telemetry_on(benchmark, study):
+    """The same day with a live registry + virtual-clock span recorder."""
+
+    def job():
+        bundle = Telemetry(VirtualClock())
+        with activate(bundle):
+            result = study.day_partial(DAY, ALL_ROLES)
+        return result, bundle.snapshot()
+
+    data, snapshot = benchmark(job)
+    assert data.subscriber_days
+    assert snapshot.metrics.counters
+    benchmark.extra_info["counters"] = len(snapshot.metrics.counters)
+    benchmark.extra_info["spans"] = len(snapshot.spans)
 
 
 def test_lpm_trie_lookups(benchmark):

@@ -7,9 +7,13 @@ Commands:
   name sources, RTT by service);
 * ``study [--scale ...] [--figure N|all] [--out DIR]`` — run the
   longitudinal study and print figure reports (optionally exporting CSVs);
-* ``run [--checkpoint-dir DIR] [--resume] [--report]`` — fault-tolerant
-  study execution: per-day checkpoints, crash-safe parallel workers,
-  and a run manifest (see :mod:`repro.core.parallel`);
+* ``run [--checkpoint-dir DIR] [--resume] [--report] [--telemetry DIR]``
+  — fault-tolerant study execution: per-day checkpoints, crash-safe
+  parallel workers, a run manifest, and optional telemetry exports
+  (see :mod:`repro.core.parallel`);
+* ``profile [--clock virtual] [--out DIR]`` — run a telemetry-enabled
+  study and print per-stage counters, histograms, and the span tree
+  (see :mod:`repro.telemetry`);
 * ``events`` — list the Fig. 8 events with their model dates;
 * ``lint [PATHS...] [--format text|json] [--baseline FILE]`` — run the
   repo-specific static invariant checker (see :mod:`repro.quality`).
@@ -153,11 +157,35 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    """Fault-tolerant study execution with checkpoints and a manifest."""
+def _apply_date_range(config: StudyConfig, args: argparse.Namespace) -> StudyConfig:
+    """Apply ``--start``/``--end`` overrides to a study config."""
     import dataclasses
     import datetime
 
+    if not (args.start or args.end):
+        return config
+    world = dataclasses.replace(
+        config.world,
+        start=datetime.date.fromisoformat(args.start)
+        if args.start else config.world.start,
+        end=datetime.date.fromisoformat(args.end)
+        if args.end else config.world.end,
+    )
+    return dataclasses.replace(config, world=world)
+
+
+def _write_telemetry(run_telemetry, directory: Path) -> None:
+    """Write the three exporter outputs into ``directory``."""
+    from repro.telemetry import write_jsonl, write_prometheus, write_summary
+
+    directory.mkdir(parents=True, exist_ok=True)
+    write_jsonl(run_telemetry, directory / "telemetry.jsonl")
+    write_prometheus(run_telemetry, directory / "metrics.prom")
+    write_summary(run_telemetry, directory / "summary.txt")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Fault-tolerant study execution with checkpoints and a manifest."""
     from repro.core.parallel import ChunkError, RetryPolicy, execute_study
 
     if args.workers is not None and args.workers < 1:
@@ -166,17 +194,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint_dir is None:
         print("repro run: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
-    config = _build_config(args)
-    if args.start or args.end:
-        world = dataclasses.replace(
-            config.world,
-            start=datetime.date.fromisoformat(args.start)
-            if args.start else config.world.start,
-            end=datetime.date.fromisoformat(args.end)
-            if args.end else config.world.end,
-        )
-        config = dataclasses.replace(config, world=world)
+    config = _apply_date_range(_build_config(args), args)
     method = None if args.start_method == "auto" else args.start_method
+    telemetry = None
+    if args.telemetry is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.for_spec(args.clock)
     try:
         result = execute_study(
             config,
@@ -185,6 +209,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             checkpoint_root=args.checkpoint_dir,
             resume=args.resume,
             retry=RetryPolicy(retries=args.retries),
+            telemetry=telemetry,
         )
     except ChunkError as exc:
         print(f"repro run: {exc}", file=sys.stderr)
@@ -204,6 +229,37 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         for line in result.report.day_lines():
             print(line)
+        print()
+        for line in result.report.telemetry_lines():
+            print(line)
+    if args.telemetry is not None and result.telemetry is not None:
+        _write_telemetry(result.telemetry, args.telemetry)
+        print(f"telemetry written to {args.telemetry}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a telemetry-enabled study and print the ASCII profile."""
+    from repro.core.parallel import ChunkError, execute_study
+    from repro.telemetry import Telemetry, ascii_summary
+
+    if args.workers is not None and args.workers < 1:
+        print(_workers_error("profile", args.workers), file=sys.stderr)
+        return 2
+    config = _apply_date_range(_build_config(args), args)
+    telemetry = Telemetry.for_spec(args.clock)
+    try:
+        result = execute_study(
+            config, workers=args.workers, telemetry=telemetry
+        )
+    except ChunkError as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 1
+    assert result.telemetry is not None
+    print("\n".join(ascii_summary(result.telemetry, max_tree_rows=args.tree_rows)))
+    if args.out is not None:
+        _write_telemetry(result.telemetry, args.out)
+        print(f"\ntelemetry written to {args.out}")
     return 0
 
 
@@ -307,7 +363,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the study start date")
     run.add_argument("--end", default=None, metavar="YYYY-MM-DD",
                      help="override the study end date")
+    run.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                     help="collect run telemetry and write telemetry.jsonl, "
+                          "metrics.prom, and summary.txt into DIR")
+    run.add_argument("--clock", choices=("monotonic", "virtual"),
+                     default="monotonic",
+                     help="telemetry clock: real time, or a deterministic "
+                          "virtual clock (byte-identical exports per seed)")
     run.set_defaults(func=cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a telemetry-enabled study and print the stage profile",
+    )
+    profile.add_argument("--scale", choices=("small", "medium"),
+                         default="small")
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default: serial)")
+    profile.add_argument("--clock", choices=("monotonic", "virtual"),
+                         default="monotonic")
+    profile.add_argument("--start", default=None, metavar="YYYY-MM-DD",
+                         help="override the study start date")
+    profile.add_argument("--end", default=None, metavar="YYYY-MM-DD",
+                         help="override the study end date")
+    profile.add_argument("--tree-rows", type=int, default=40,
+                         help="max span-tree rows to print (default 40)")
+    profile.add_argument("--out", type=Path, default=None, metavar="DIR",
+                         help="also write the three telemetry exports here")
+    profile.set_defaults(func=cmd_profile)
 
     events = sub.add_parser("events", help="list the modelled event timeline")
     events.set_defaults(func=cmd_events)

@@ -49,6 +49,7 @@ import multiprocessing
 import os
 import time
 import traceback
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -65,6 +66,12 @@ from repro.core.pool import (
 )
 from repro.core.study import LongitudinalStudy, StudyData
 from repro.dataflow.datalake import CheckpointError, CheckpointStore
+from repro.telemetry import runtime as telemetry_runtime
+from repro.telemetry.clock import Clock, MonotonicClock, VirtualClock, clock_for
+from repro.telemetry.export import RunEvent, RunTelemetry
+from repro.telemetry.metrics import merge_snapshots
+from repro.telemetry.runtime import Telemetry, TelemetrySnapshot
+from repro.telemetry.spans import SpanRecord, reparent
 
 _Chunk = List[Tuple[datetime.date, Set[str]]]
 
@@ -146,6 +153,13 @@ class DayTask:
     attempt: int
     config: StudyConfig
     fault_plan: Optional[FaultPlan] = None
+    #: When set, the worker activates a fresh Telemetry bundle around the
+    #: day and ships the snapshot back on the result pipe (no live state
+    #: ever crosses the process boundary).
+    telemetry_enabled: bool = False
+    #: Clock spec for the worker's bundle; matches the parent's clock so
+    #: virtual-clock runs stay deterministic end to end.
+    clock_spec: str = "monotonic"
 
 
 @dataclass(frozen=True)
@@ -156,6 +170,7 @@ class DaySuccess:
     partial: ColumnarPartial
     wall_time: float
     worker: int
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 @dataclass(frozen=True)
@@ -190,12 +205,19 @@ def _run_chunk(task: DayTask) -> object:
     identically under fork and spawn start methods (RPR004 walks this
     function's import closure for shared mutable state).
     """
-    started = time.perf_counter()
+    clock = clock_for(task.clock_spec)
+    started = clock.now()
+    bundle: Optional[Telemetry] = None
     try:
         if task.fault_plan is not None:
             task.fault_plan.fire(task.day, task.attempt)
         study = _cached_study(task.config)
-        data = study.day_partial(task.day, set(task.roles))
+        if task.telemetry_enabled:
+            bundle = Telemetry.for_spec(task.clock_spec)
+            with telemetry_runtime.activate(bundle):
+                data = study.day_partial(task.day, set(task.roles))
+        else:
+            data = study.day_partial(task.day, set(task.roles))
         partial = ColumnarPartial.pack(data)
     except Exception as exc:
         return DayFailure(
@@ -212,8 +234,9 @@ def _run_chunk(task: DayTask) -> object:
         day=task.day,
         attempt=task.attempt,
         partial=partial,
-        wall_time=time.perf_counter() - started,
+        wall_time=clock.now() - started,
         worker=os.getpid(),
+        telemetry=bundle.snapshot() if bundle is not None else None,
     )
 
 
@@ -279,6 +302,12 @@ class RunReport:
     records: List[DayRecord] = field(default_factory=list)
     crashes: int = 0
     wall_time: float = 0.0
+    #: How the days actually ran: "serial", "pool", or "none" (every day
+    #: came from checkpoints / nothing was planned).  ``start_method`` is
+    #: always the *resolved* method — never the ``None`` default — even
+    #: when no pool was spawned, so manifests from defaulted runs still
+    #: say what a resume would use.
+    execution: str = "none"
 
     @property
     def planned_days(self) -> int:
@@ -303,12 +332,30 @@ class RunReport:
     def worker_wall_time(self) -> float:
         return math.fsum(r.wall_time for r in self.records)
 
+    def telemetry_dict(self) -> dict:
+        """The manifest's telemetry section: per-day wall time, retry
+        counts, and where each day's result came from."""
+        return {
+            "worker_wall_time": round(self.worker_wall_time(), 6),
+            "retries": self.retries,
+            "checkpoint_hits": self.checkpoint_hits,
+            "days": {
+                record.day.isoformat(): {
+                    "wall_time": round(record.wall_time, 6),
+                    "retries": record.retries,
+                    "source": record.source,
+                }
+                for record in self.records
+            },
+        }
+
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "version": 2,
             "config_hash": self.config_hash,
             "seed": self.seed,
             "start_method": self.start_method,
+            "execution": self.execution,
             "workers": self.workers,
             "planned_days": self.planned_days,
             "completed": self.completed,
@@ -317,16 +364,33 @@ class RunReport:
             "retries": self.retries,
             "crashes": self.crashes,
             "wall_time": round(self.wall_time, 6),
+            "telemetry": self.telemetry_dict(),
             "days": [record.to_dict() for record in self.records],
         }
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
+    def telemetry_lines(self) -> List[str]:
+        """The telemetry section, rendered for ``repro run --report``."""
+        lines = [
+            f"telemetry: {self.worker_wall_time():.2f}s of per-day work, "
+            f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+            f"{self.checkpoint_hits} checkpoint hit(s)",
+            "day         wall(s)  retries  source",
+        ]
+        for record in self.records:
+            lines.append(
+                f"{record.day.isoformat()}  {record.wall_time:7.3f}  "
+                f"{record.retries:>7}  {record.source}"
+            )
+        return lines
+
     def summary_lines(self) -> List[str]:
         return [
             f"run {self.config_hash} seed={self.seed} "
-            f"method={self.start_method} workers={self.workers}",
+            f"method={self.start_method} ({self.execution}) "
+            f"workers={self.workers}",
             f"days: {self.planned_days} planned, {self.completed} completed "
             f"({self.checkpoint_hits} from checkpoints), {self.failed} failed",
             f"faults: {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
@@ -387,6 +451,9 @@ class RunResult:
 
     data: StudyData
     report: RunReport
+    #: Populated only when :func:`execute_study` ran with a telemetry
+    #: bundle: the merged metrics, span forest, and execution events.
+    telemetry: Optional[RunTelemetry] = None
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +497,8 @@ class _Dispatch:
         self.records: Dict[datetime.date, DayRecord] = {}
         self.failures: List[DayFailure] = []
         self.crashes = 0
+        self.day_telemetry: Dict[datetime.date, TelemetrySnapshot] = {}
+        self.events: List[RunEvent] = []
 
     def succeed(self, outcome: DaySuccess, source: str) -> None:
         self.partials[outcome.day] = outcome.partial
@@ -441,6 +510,10 @@ class _Dispatch:
             worker=outcome.worker,
             source=source,
         )
+        if outcome.telemetry is not None:
+            self.day_telemetry[outcome.day] = outcome.telemetry
+            telemetry_runtime.count("pool_days_completed")
+            telemetry_runtime.observe("pool_day_wall_seconds", outcome.wall_time)
         if self.store is not None:
             self.store.save(outcome.day, outcome.partial)
         if self.progress is not None:
@@ -457,6 +530,35 @@ class _Dispatch:
             source="worker",
             error=failure.error,
         )
+        self.events.append(
+            RunEvent(
+                "day_failed",
+                day=failure.day.isoformat(),
+                attrs=(("error", failure.error),),
+            )
+        )
+
+    def note_retry(self, task: DayTask, failure: DayFailure) -> None:
+        """Record a scheduled retry of a transient failure."""
+        telemetry_runtime.count("pool_retries")
+        self.events.append(
+            RunEvent(
+                "retry",
+                day=task.day.isoformat(),
+                attrs=(
+                    ("attempt", str(task.attempt + 1)),
+                    ("error", failure.error),
+                ),
+            )
+        )
+
+    def note_crash(self, exitcode: Optional[int]) -> None:
+        """Record one worker process death (and its respawn)."""
+        self.crashes += 1
+        telemetry_runtime.count("pool_worker_crashes")
+        self.events.append(
+            RunEvent("worker_crash", attrs=(("exit_code", str(exitcode)),))
+        )
 
     def hit_checkpoint(self, day: datetime.date, partial: ColumnarPartial) -> None:
         self.partials[day] = partial
@@ -468,6 +570,7 @@ class _Dispatch:
             worker=None,
             source="checkpoint",
         )
+        self.events.append(RunEvent("checkpoint_hit", day=day.isoformat()))
         if self.progress is not None:
             self.progress(day)
 
@@ -477,18 +580,30 @@ def _run_serial(
     config: StudyConfig,
     remaining: List[Tuple[int, datetime.date, Tuple[str, ...]]],
     fault_plan: Optional[FaultPlan],
+    telemetry_enabled: bool = False,
+    clock_spec: str = "monotonic",
 ) -> None:
     """In-process execution with the same retry semantics as the pool."""
     for index, day, roles in remaining:
         attempt = 0
         while True:
-            task = DayTask(index, day, roles, attempt, config, fault_plan)
+            task = DayTask(
+                index,
+                day,
+                roles,
+                attempt,
+                config,
+                fault_plan,
+                telemetry_enabled=telemetry_enabled,
+                clock_spec=clock_spec,
+            )
             outcome = _run_chunk(task)
             if isinstance(outcome, DaySuccess):
                 dispatch.succeed(outcome, source="serial")
                 break
             assert isinstance(outcome, DayFailure)
             if outcome.transient and attempt < dispatch.policy.retries:
+                dispatch.note_retry(task, outcome)
                 time.sleep(dispatch.policy.delay(attempt))
                 attempt += 1
                 continue
@@ -504,6 +619,8 @@ def _run_pooled(
     workers: int,
     start_method: Optional[str],
     pool_observer: Optional[Callable[[SupervisedPool], None]] = None,
+    telemetry_enabled: bool = False,
+    clock_spec: str = "monotonic",
 ) -> str:
     """Dispatch one task per day to a supervised pool; returns the start
     method actually used."""
@@ -512,6 +629,10 @@ def _run_pooled(
     pool = SupervisedPool(
         worker_count, runner=_run_chunk, start_method=start_method
     )
+    # Retry backoff runs on real time even under a virtual telemetry
+    # clock: scheduling is operational, never exported, and a virtual
+    # "now" would make eligibility depend on loop iteration counts.
+    sched = MonotonicClock()
     # Workers that die before ever announcing a task signal a broken
     # environment (bad interpreter, unimportable package under spawn);
     # respawning those forever would hang the run.
@@ -522,12 +643,21 @@ def _run_pooled(
         outstanding: Dict[int, DayTask] = {}
         deferred: List[Tuple[float, DayTask]] = []
         for index, day, roles in remaining:
-            task = DayTask(index, day, roles, 0, config, fault_plan)
+            task = DayTask(
+                index,
+                day,
+                roles,
+                0,
+                config,
+                fault_plan,
+                telemetry_enabled=telemetry_enabled,
+                clock_spec=clock_spec,
+            )
             outstanding[task.index] = task
             pool.submit(task)
         while outstanding or deferred:
             if deferred:
-                now = time.monotonic()
+                now = sched.now()
                 ready = [entry for entry in deferred if entry[0] <= now]
                 deferred = [entry for entry in deferred if entry[0] > now]
                 for _, task in ready:
@@ -548,7 +678,7 @@ def _run_pooled(
                 if isinstance(outcome, DaySuccess):
                     dispatch.succeed(outcome, source="worker")
                 else:
-                    _settle_failure(dispatch, task, outcome, deferred)
+                    _settle_failure(dispatch, task, outcome, deferred, sched)
             elif kind == EVENT_ERROR:
                 _, index, traceback_text = event
                 task = outstanding.pop(index, None)
@@ -567,7 +697,7 @@ def _run_pooled(
                 )
             elif kind == EVENT_CRASH:
                 _, index, pid, exitcode = event
-                dispatch.crashes += 1
+                dispatch.note_crash(exitcode)
                 if index is not None and index in outstanding:
                     task = outstanding.pop(index)
                     crash = DayFailure(
@@ -579,7 +709,7 @@ def _run_pooled(
                         traceback_text="",
                         worker=pid,
                     )
-                    _settle_failure(dispatch, task, crash, deferred)
+                    _settle_failure(dispatch, task, crash, deferred, sched)
                 else:
                     idle_crash_budget -= 1
                     if idle_crash_budget < 0:
@@ -607,13 +737,55 @@ def _settle_failure(
     task: DayTask,
     failure: DayFailure,
     deferred: List[Tuple[float, DayTask]],
+    sched: Clock,
 ) -> None:
     """Retry a transient failure (with backoff) or record it as final."""
     if failure.transient and task.attempt < dispatch.policy.retries:
-        eligible_at = time.monotonic() + dispatch.policy.delay(task.attempt)
+        dispatch.note_retry(task, failure)
+        eligible_at = sched.now() + dispatch.policy.delay(task.attempt)
         deferred.append((eligible_at, replace(task, attempt=task.attempt + 1)))
         return
     dispatch.fail(failure)
+
+
+def _assemble_run_telemetry(
+    bundle: Telemetry,
+    dispatch: _Dispatch,
+    digest: str,
+    seed: int,
+) -> RunTelemetry:
+    """Merge day snapshots and the parent trace into one RunTelemetry.
+
+    Deterministic regardless of worker completion order: day metric
+    snapshots merge in sorted-day order with the parent's registry last
+    (so parent gauges win), and each day's spans are re-id'd past every
+    earlier day before the parent's own trace is appended — the exported
+    forest depends only on (config, seed, calendar, clock spec).
+    """
+    parent = bundle.snapshot()
+    ordered = sorted(dispatch.day_telemetry)
+    metrics = merge_snapshots(
+        [dispatch.day_telemetry[day].metrics for day in ordered]
+        + [parent.metrics]
+    )
+    spans: List[SpanRecord] = []
+    offset = 0
+    for day in ordered:
+        day_spans = list(dispatch.day_telemetry[day].spans)
+        spans.extend(reparent(day_spans, id_offset=offset, root_parent=None))
+        offset += max((r.span_id for r in day_spans), default=-1) + 1
+    spans.extend(reparent(list(parent.spans), id_offset=offset, root_parent=None))
+    clock_name = (
+        "virtual" if isinstance(bundle.clock, VirtualClock) else "monotonic"
+    )
+    return RunTelemetry(
+        config_hash=digest,
+        seed=seed,
+        clock=clock_name,
+        metrics=metrics,
+        spans=spans,
+        events=list(dispatch.events),
+    )
 
 
 def execute_study(
@@ -627,6 +799,7 @@ def execute_study(
     fault_plan: Optional[FaultPlan] = None,
     progress: Optional[Callable[[datetime.date], None]] = None,
     pool_observer: Optional[Callable[[SupervisedPool], None]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
     """Run the study fault-tolerantly; returns the data and its manifest.
 
@@ -636,6 +809,13 @@ def execute_study(
     bit-identical either way.  Permanent failures raise
     :class:`ChunkError` after all other days have been drained and
     checkpointed; the manifest is written even then.
+
+    ``telemetry`` opts the run into measurement: the parent bundle is
+    activated around planning, dispatch, and merge; workers collect into
+    fresh bundles on the same clock spec and ship snapshots back with
+    their partials; :attr:`RunResult.telemetry` carries the merged
+    :class:`~repro.telemetry.export.RunTelemetry`.  ``None`` (default)
+    costs one no-op call per instrumentation site.
     """
     policy = retry or RetryPolicy()
     if workers is None:
@@ -651,38 +831,71 @@ def execute_study(
         if checkpoint_root is not None
         else None
     )
-    started = time.perf_counter()
+    run_clock: Clock = (
+        telemetry.clock if telemetry is not None else MonotonicClock()
+    )
+    clock_spec = (
+        "virtual"
+        if telemetry is not None and isinstance(telemetry.clock, VirtualClock)
+        else "monotonic"
+    )
+
+    def scope():
+        return (
+            telemetry_runtime.activate(telemetry)
+            if telemetry is not None
+            else nullcontext()
+        )
+
+    started = run_clock.now()
     dispatch = _Dispatch(policy, store, progress)
-
-    if store is not None and resume:
-        for day in days:
-            if not store.has(day):
-                continue
-            try:
-                partial = store.load(day)
-            except CheckpointError:
-                continue  # unreadable or foreign: recompute the day
-            dispatch.hit_checkpoint(day, partial)
-
-    remaining = [
-        (index, day, tuple(sorted(plan[day])))
-        for index, day in enumerate(days)
-        if day not in dispatch.partials
-    ]
+    execution = "none"
     method = resolve_start_method(start_method)
-    if remaining:
-        if workers == 1 or len(remaining) == 1:
-            _run_serial(dispatch, config, remaining, fault_plan)
-        else:
-            method = _run_pooled(
-                dispatch,
-                config,
-                remaining,
-                fault_plan,
-                workers,
-                start_method,
-                pool_observer,
-            )
+
+    with scope():
+        with telemetry_runtime.span("run", config_hash=digest):
+            if store is not None and resume:
+                with telemetry_runtime.span("resume"):
+                    for day in days:
+                        if not store.has(day):
+                            continue
+                        try:
+                            partial = store.load(day)
+                        except CheckpointError:
+                            continue  # unreadable or foreign: recompute
+                        dispatch.hit_checkpoint(day, partial)
+
+            remaining = [
+                (index, day, tuple(sorted(plan[day])))
+                for index, day in enumerate(days)
+                if day not in dispatch.partials
+            ]
+            if remaining:
+                if workers == 1 or len(remaining) == 1:
+                    execution = "serial"
+                    with telemetry_runtime.span("dispatch", mode="serial"):
+                        _run_serial(
+                            dispatch,
+                            config,
+                            remaining,
+                            fault_plan,
+                            telemetry_enabled=telemetry is not None,
+                            clock_spec=clock_spec,
+                        )
+                else:
+                    execution = "pool"
+                    with telemetry_runtime.span("dispatch", mode="pool"):
+                        method = _run_pooled(
+                            dispatch,
+                            config,
+                            remaining,
+                            fault_plan,
+                            workers,
+                            start_method,
+                            pool_observer,
+                            telemetry_enabled=telemetry is not None,
+                            clock_spec=clock_spec,
+                        )
 
     report = RunReport(
         config_hash=digest,
@@ -691,16 +904,24 @@ def execute_study(
         workers=workers,
         records=[dispatch.records[day] for day in sorted(dispatch.records)],
         crashes=dispatch.crashes,
-        wall_time=time.perf_counter() - started,
+        wall_time=run_clock.now() - started,
+        execution=execution,
     )
     if store is not None:
         store.manifest_path.write_text(report.to_json())
     if dispatch.failures:
         raise ChunkError(dispatch.failures, seed=config.world.seed, report=report)
     merged = planner.empty_data()
-    for day in days:
-        merged.merge(dispatch.partials[day].unpack())
-    return RunResult(data=merged, report=report)
+    with scope():
+        with telemetry_runtime.span("merge", days=len(days)):
+            for day in days:
+                merged.merge(dispatch.partials[day].unpack())
+    run_telemetry = (
+        _assemble_run_telemetry(telemetry, dispatch, digest, config.world.seed)
+        if telemetry is not None
+        else None
+    )
+    return RunResult(data=merged, report=report, telemetry=run_telemetry)
 
 
 def run_parallel(

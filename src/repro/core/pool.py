@@ -40,6 +40,8 @@ import traceback
 from multiprocessing import connection
 from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.telemetry import runtime as telemetry
+
 #: Event kinds yielded by :meth:`SupervisedPool.next_event`.
 EVENT_DONE = "done"  # (EVENT_DONE, task_index, outcome)
 EVENT_ERROR = "error"  # (EVENT_ERROR, task_index, traceback_text)
@@ -134,6 +136,7 @@ class SupervisedPool:
         # EOF the moment the worker dies, or crashes go unnoticed.
         child_conn.close()
         self._workers[parent_conn] = process
+        telemetry.count("pool_workers_spawned")
 
     def worker_pids(self) -> List[int]:
         return sorted(process.pid for process in self._workers.values())
@@ -148,6 +151,7 @@ class SupervisedPool:
     def submit(self, task: Any) -> None:
         if self._stopped:
             raise RuntimeError("pool is stopped")
+        telemetry.count("pool_tasks_submitted")
         self._tasks.put(task)
 
     def next_event(self, timeout: Optional[float] = None) -> Optional[Event]:
@@ -202,6 +206,7 @@ class SupervisedPool:
         conn.close()
         process.join()
         index = self._running.pop(process.pid, None)
+        telemetry.count("pool_workers_reaped")
         if not self._stopped:
             self._spawn_worker()
         self._events.append((EVENT_CRASH, index, process.pid, process.exitcode))

@@ -44,6 +44,7 @@ from repro.synthesis.flowgen import (
 from repro.synthesis.population import Technology
 from repro.synthesis.studycalendar import study_days, study_months
 from repro.synthesis.world import World
+from repro.telemetry import runtime as telemetry
 from repro.tstat.flowbatch import FlowBatch
 
 #: Services whose infrastructure Fig. 11 tracks.
@@ -238,15 +239,33 @@ class LongitudinalStudy:
     def process_day(
         self, data: StudyData, day: datetime.date, roles: Set[str]
     ) -> None:
-        """Run one planned day's generation + stage-1 into ``data``."""
-        traffic = self.generator.generate_day(day)
-        if not traffic.usage:
-            return
-        self._consume_aggregate(data, day, traffic)
-        if "hourly" in roles:
-            data.hourly.extend(self.generator.generate_hourly(day, traffic))
-        if "flows" in roles:
-            self._consume_flows(data, day, traffic, with_rtt="rtt" in roles)
+        """Run one planned day's generation + stage-1 into ``data``.
+
+        The single site that opens the per-day telemetry span: serial
+        runs, pool workers, and checkpoint-resumed recomputation all pass
+        through here, so every execution mode yields the same trace shape
+        (day → generate/aggregate/hourly/flows → expand/stage1).
+        """
+        with telemetry.span(
+            "day", day=day.isoformat(), roles=",".join(sorted(roles))
+        ):
+            with telemetry.span("generate"):
+                traffic = self.generator.generate_day(day)
+            if not traffic.usage:
+                return
+            telemetry.count("study_days_processed")
+            with telemetry.span("aggregate"):
+                self._consume_aggregate(data, day, traffic)
+            if "hourly" in roles:
+                with telemetry.span("hourly"):
+                    data.hourly.extend(
+                        self.generator.generate_hourly(day, traffic)
+                    )
+            if "flows" in roles:
+                with telemetry.span("flows"):
+                    self._consume_flows(
+                        data, day, traffic, with_rtt="rtt" in roles
+                    )
 
     def day_partial(self, day: datetime.date, roles: Set[str]) -> StudyData:
         """One planned day reduced into a fresh :class:`StudyData`.
@@ -324,38 +343,45 @@ class LongitudinalStudy:
         traffic: DayTraffic,
         with_rtt: bool,
     ) -> None:
-        flows: FlowBatch = self.generator.expand_flows_batch(
-            day, traffic, max_flows_per_usage=self.config.max_flows_per_usage
-        )
-        # One classification pass over the batch, shared by every consumer.
-        codes = flows.service_view(self.rules)
-        data.flow_days.append(day)
-        data.census.extend(
-            daily_server_census(
+        with telemetry.span("expand"):
+            flows: FlowBatch = self.generator.expand_flows_batch(
+                day, traffic, max_flows_per_usage=self.config.max_flows_per_usage
+            )
+        with telemetry.span("stage1"):
+            # One classification pass over the batch, shared by every consumer.
+            codes = flows.service_view(self.rules)
+            data.flow_days.append(day)
+            data.census.extend(
+                daily_server_census(
+                    flows, self.rules, list(INFRA_SERVICES), day, codes=codes
+                )
+            )
+            roles_by_service = daily_ip_roles(
                 flows, self.rules, list(INFRA_SERVICES), day, codes=codes
             )
-        )
-        roles_by_service = daily_ip_roles(
-            flows, self.rules, list(INFRA_SERVICES), day, codes=codes
-        )
-        for service in INFRA_SERVICES:
-            data.asn.append(
-                asn_breakdown(
-                    flows, self.rules, self.world.rib, service, day, codes=codes
+            for service in INFRA_SERVICES:
+                data.asn.append(
+                    asn_breakdown(
+                        flows, self.rules, self.world.rib, service, day, codes=codes
+                    )
                 )
-            )
-            data.domains.append(
-                (day, service, domain_shares(flows, self.rules, service, codes=codes))
-            )
-            data.daily_ip_sets.setdefault(service, []).append(
-                (day, service_ip_set(flows, self.rules, service, codes=codes))
-            )
-            data.daily_ip_roles.setdefault(service, []).append(
-                (day, roles_by_service[service])
-            )
-        if with_rtt:
-            for service in RTT_SERVICES:
-                samples = rtt_analytics.min_rtt_samples(
-                    flows, self.rules, service, codes=codes
+                data.domains.append(
+                    (day, service, domain_shares(flows, self.rules, service, codes=codes))
                 )
-                data.rtt_samples.setdefault((service, day.year), []).extend(samples)
+                data.daily_ip_sets.setdefault(service, []).append(
+                    (day, service_ip_set(flows, self.rules, service, codes=codes))
+                )
+                data.daily_ip_roles.setdefault(service, []).append(
+                    (day, roles_by_service[service])
+                )
+            if with_rtt:
+                for service in RTT_SERVICES:
+                    samples = rtt_analytics.min_rtt_samples(
+                        flows, self.rules, service, codes=codes
+                    )
+                    telemetry.count(
+                        "rtt_samples_collected", len(samples), service=service
+                    )
+                    data.rtt_samples.setdefault((service, day.year), []).extend(
+                        samples
+                    )

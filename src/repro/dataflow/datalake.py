@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Callable, Generic, Iterable, Iterator, List, TypeVar
 
 from repro.dataflow.engine import Dataset
+from repro.telemetry import runtime as telemetry
 from repro.tstat.flow import FlowRecord
 from repro.tstat.logs import format_record, parse_record
 
@@ -88,6 +89,7 @@ class DataLake:
         with io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8") as handle:
             for record in records:
                 handle.write(codec.encode(record) + "\n")
+        telemetry.count("datalake_files_written", table=table)
         return path
 
     # -- reads ----------------------------------------------------------------
@@ -153,6 +155,7 @@ class DataLake:
 
 def _file_source(path: Path, codec: LineCodec[T]) -> Callable[[], Iterator[T]]:
     def read() -> Iterator[T]:
+        telemetry.count("datalake_files_read")
         with io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8") as handle:
             for line in handle:
                 if line.startswith("#") or not line.strip():
@@ -226,11 +229,21 @@ class CheckpointStore:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_bytes(blob)
         os.replace(tmp, path)
+        telemetry.count("checkpoint_saves")
         return path
 
     def load(self, day: datetime.date) -> Any:
         """The payload checkpointed for ``day``; raises CheckpointError
         when the file is corrupt or keyed for another config/day."""
+        try:
+            payload = self._load(day)
+        except CheckpointError:
+            telemetry.count("checkpoint_load_errors")
+            raise
+        telemetry.count("checkpoint_loads")
+        return payload
+
+    def _load(self, day: datetime.date) -> Any:
         path = self.path_for(day)
         try:
             record = pickle.loads(path.read_bytes())

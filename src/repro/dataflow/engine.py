@@ -28,6 +28,8 @@ from typing import (
     TypeVar,
 )
 
+from repro.telemetry import runtime as telemetry
+
 T = TypeVar("T")
 U = TypeVar("U")
 K = TypeVar("K", bound=Hashable)
@@ -187,6 +189,7 @@ class Dataset(Generic[T]):
     def iterate(self) -> Iterator[T]:
         """Stream every record of every partition."""
         for source in self._sources:
+            telemetry.count("dataflow_partitions_scanned")
             yield from source()
 
     def collect(self) -> List[T]:

@@ -40,7 +40,20 @@ class LintConfig:
     #: memory image (RPR004).  Verified against the AST, never hard-coded.
     fork_entry: str = "repro.core.parallel:_run_chunk"
     #: Path fragments scoping the wall-clock ban (RPR001).
-    wallclock_scopes: Tuple[str, ...] = ("synthesis", "analytics", "figures")
+    wallclock_scopes: Tuple[str, ...] = (
+        "synthesis",
+        "analytics",
+        "figures",
+        "core",
+        "dataflow",
+        "tstat",
+        "telemetry",
+    )
+    #: Files exempt from the wall-clock ban (RPR001), as relative-path
+    #: suffixes.  The telemetry clock is the single sanctioned
+    #: ``perf_counter`` site: everything else reads time through its
+    #: :class:`~repro.telemetry.clock.Clock` protocol.
+    wallclock_allowlist: Tuple[str, ...] = ("repro/telemetry/clock.py",)
     #: Path fragments scoping the float-accumulation rule (RPR005).
     floatsum_scopes: Tuple[str, ...] = ("figures", "analytics", "core")
     #: Modules whose write APIs are anonymization sinks (RPR003).

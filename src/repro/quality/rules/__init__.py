@@ -4,7 +4,7 @@ Importing this package registers every rule with
 :mod:`repro.quality.registry`:
 
 ==========  ==========================================================
-RPR001      no wall-clock reads in synthesis/analytics/figures
+RPR001      no wall-clock reads outside the telemetry clock
 RPR002      only seeded RNGs (no stdlib random, no numpy global state)
 RPR003      raw client addresses anonymized before export sinks
 RPR004      no mutable module-level state in fork-worker imports

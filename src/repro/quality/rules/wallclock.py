@@ -4,6 +4,14 @@ Invariant (DESIGN.md §6): synthesis, analytics, and figure code is a pure
 function of (config, seed, calendar).  A single ``datetime.now()`` or
 ``time.time()`` makes two runs of the study diverge, which is exactly the
 silent-pipeline-drift failure the reproduction guards against.
+
+The telemetry subsystem needs exactly one exception: something has to
+read real elapsed time when an operator profiles a run.  The config's
+``wallclock_allowlist`` (matched as relative-path suffixes) names the
+sanctioned call sites — by default only ``repro/telemetry/clock.py`` —
+and this rule skips those files entirely; every other module in scope,
+telemetry included, must go through the :class:`~repro.telemetry.clock.
+Clock` protocol.
 """
 
 from __future__ import annotations
@@ -30,14 +38,20 @@ _BANNED_TIME_FUNCS = {"time", "time_ns", "monotonic", "monotonic_ns", "perf_coun
 @register
 class WallClockRule(Rule):
     rule_id = "RPR001"
-    description = "no wall-clock reads in synthesis/analytics/figures"
+    description = "no wall-clock reads outside the telemetry clock"
     invariant = (
         "per-day seeded generation is deterministic: outputs depend only on "
         "(config, seed, calendar), never on when the study runs"
     )
 
     def applies_to(self, file_ctx) -> bool:
-        return file_ctx.in_scope(file_ctx.ctx.config.wallclock_scopes)
+        config = file_ctx.ctx.config
+        if any(
+            file_ctx.relpath.endswith(entry)
+            for entry in config.wallclock_allowlist
+        ):
+            return False
+        return file_ctx.in_scope(config.wallclock_scopes)
 
     def check(self, file_ctx) -> Iterator[Finding]:
         time_aliases = _time_module_aliases(file_ctx.tree)

@@ -33,6 +33,7 @@ from repro.synthesis import studycalendar
 from repro.synthesis.population import Technology
 from repro.synthesis.studycalendar import BINS_PER_DAY
 from repro.synthesis.world import World
+from repro.telemetry import runtime as telemetry
 from repro.tstat.flow import (
     FlowRecord,
     NameSource,
@@ -328,6 +329,7 @@ class TrafficGenerator:
                 protocol_totals.items(), key=lambda item: (item[0][0], item[0][1].value)
             )
         )
+        telemetry.count("usage_rows_generated", len(usage_rows))
         return DayTraffic(day=day, usage=tuple(usage_rows), protocols=protocol_rows)
 
     # -- hourly tier -----------------------------------------------------------
@@ -434,7 +436,9 @@ class TrafficGenerator:
                     + float(rng.uniform(0, 600)),
                     rng=rng,
                 )
-        return builder.build()
+        batch = builder.build()
+        telemetry.count("flows_expanded", len(batch))
+        return batch
 
     def _append_flow(
         self,

@@ -1,0 +1,94 @@
+"""Deterministic telemetry: counters, histograms, and stage spans.
+
+The observability tier of the reproduction (DESIGN.md §11).  Everything
+is zero-dependency and deterministic by construction: metrics merge in
+sorted label order with ``fsum`` for float sums, spans are id-ordered
+over a pluggable clock, and the disabled default (:data:`runtime.NULL`)
+costs one no-op call per instrumentation site.
+
+Quick tour::
+
+    from repro.telemetry import Telemetry, runtime
+    from repro.telemetry.clock import VirtualClock
+
+    tele = Telemetry(VirtualClock())
+    with runtime.activate(tele):
+        with runtime.span("stage", day="2017-04-12"):
+            runtime.count("records", 42)
+    snap = tele.snapshot()
+"""
+
+from repro.telemetry import runtime
+from repro.telemetry.clock import (
+    CLOCK_SPECS,
+    Clock,
+    MonotonicClock,
+    VirtualClock,
+    clock_for,
+)
+from repro.telemetry.export import (
+    RunEvent,
+    RunTelemetry,
+    ascii_summary,
+    jsonl_lines,
+    prometheus_text,
+    write_jsonl,
+    write_prometheus,
+    write_summary,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricRegistry,
+    MetricsSnapshot,
+    NoopRegistry,
+    merge_snapshots,
+)
+from repro.telemetry.runtime import NULL, Telemetry, TelemetrySnapshot, activate
+from repro.telemetry.spans import (
+    EventRecord,
+    NoopSpanRecorder,
+    SpanRecord,
+    SpanRecorder,
+    reparent,
+    span_tree,
+)
+
+__all__ = [
+    "CLOCK_SPECS",
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "clock_for",
+    "RunEvent",
+    "RunTelemetry",
+    "ascii_summary",
+    "jsonl_lines",
+    "prometheus_text",
+    "write_jsonl",
+    "write_prometheus",
+    "write_summary",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricRegistry",
+    "MetricsSnapshot",
+    "NoopRegistry",
+    "merge_snapshots",
+    "NULL",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "activate",
+    "EventRecord",
+    "NoopSpanRecorder",
+    "SpanRecord",
+    "SpanRecorder",
+    "reparent",
+    "span_tree",
+    "runtime",
+]

@@ -1,0 +1,80 @@
+"""Telemetry clocks: the single sanctioned wall-clock call site.
+
+The reproduction's core invariant is that results are a pure function of
+(config, seed, calendar) — `repro lint` (RPR001) bans wall-clock reads
+across synthesis, analytics, figures, dataflow, tstat, and core.  But a
+telemetry layer *exists* to measure elapsed time, so the ban needs one
+carefully fenced exception.  This module is it: the lint allowlist names
+``repro/telemetry/clock.py`` as the only file permitted to touch
+``time.perf_counter``, and everything else — span durations in
+:mod:`repro.telemetry.spans`, task latency in
+:mod:`repro.core.parallel`, retry backoff scheduling — reads time through
+the :class:`Clock` protocol defined here.
+
+Two implementations:
+
+* :class:`MonotonicClock` — real monotonic time for production runs;
+* :class:`VirtualClock` — a deterministic counter for tests: every read
+  advances by a fixed tick, so two runs of the same seed produce
+  byte-identical span durations and telemetry exports (tier-1 tests run
+  entirely on it, keeping RPR001's no-wall-clock invariant meaningful).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Protocol: anything with a ``now() -> float`` in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Real monotonic time (the only sanctioned ``perf_counter`` caller)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class VirtualClock(Clock):
+    """A deterministic clock: every read advances by ``tick`` seconds.
+
+    Monotonic by construction and independent of when or where the code
+    runs, so span durations become a deterministic function of *how many*
+    clock reads the instrumented code performed — which is itself a pure
+    function of (config, seed, calendar).
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.001) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self._now = float(start)
+        self._tick = float(tick)
+
+    def now(self) -> float:
+        value = self._now
+        self._now = value + self._tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        """Jump forward without counting as a read (test convenience)."""
+        if seconds < 0:
+            raise ValueError("cannot move a monotonic clock backwards")
+        self._now += seconds
+
+
+#: Spec strings accepted by :func:`clock_for` (shipped in pickled tasks so
+#: pool workers build the same kind of clock as the parent).
+CLOCK_SPECS = ("monotonic", "virtual")
+
+
+def clock_for(spec: str) -> Clock:
+    """Build a clock from its picklable spec string."""
+    if spec == "monotonic":
+        return MonotonicClock()
+    if spec == "virtual":
+        return VirtualClock()
+    raise ValueError(f"unknown clock spec {spec!r} (choose from {CLOCK_SPECS})")

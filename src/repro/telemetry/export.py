@@ -1,0 +1,328 @@
+"""Telemetry exporters: JSONL event stream, Prometheus textfile, ASCII.
+
+All three render the same :class:`RunTelemetry` — the merged metrics,
+span forest, and execution events of one study run — and all three are
+deterministic: keys sort lexically, spans export in id order, events in
+(day, name, attrs) order, floats through ``repr`` via ``json.dumps``.
+Two runs of the same seed on the virtual clock produce *byte-identical*
+files (asserted in tier-1 tests), which is what makes telemetry diffable
+across code changes — the meta-measurement analogue of the paper's
+"results must not depend on when the pipeline ran".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.metrics import HistogramValue, MetricKey, MetricsSnapshot
+from repro.telemetry.spans import SpanRecord, span_tree
+
+#: Format version stamped into every export.
+EXPORT_VERSION = 1
+
+#: Prefix for the Prometheus textfile exposition.
+PROM_PREFIX = "repro_"
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One execution event (retry, worker crash, checkpoint hit...)."""
+
+    name: str
+    day: str = ""  # ISO date, or "" for run-scoped events
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    def sort_key(self) -> Tuple[str, str, Tuple[Tuple[str, str], ...]]:
+        return (self.day, self.name, self.attrs)
+
+
+@dataclass
+class RunTelemetry:
+    """Everything one run measured about itself, merged and ordered."""
+
+    config_hash: str = ""
+    seed: int = 0
+    clock: str = "monotonic"
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    spans: List[SpanRecord] = field(default_factory=list)
+    events: List[RunEvent] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+
+
+def _labels_dict(key: MetricKey) -> Dict[str, str]:
+    return {label: value for label, value in key[1]}
+
+
+def _dump(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def jsonl_lines(run: RunTelemetry) -> List[str]:
+    """One JSON object per line: meta, metrics, spans, events."""
+    lines = [
+        _dump(
+            {
+                "type": "meta",
+                "version": EXPORT_VERSION,
+                "config_hash": run.config_hash,
+                "seed": run.seed,
+                "clock": run.clock,
+            }
+        )
+    ]
+    for key in sorted(run.metrics.counters):
+        lines.append(
+            _dump(
+                {
+                    "type": "counter",
+                    "name": key[0],
+                    "labels": _labels_dict(key),
+                    "value": run.metrics.counters[key],
+                }
+            )
+        )
+    for key in sorted(run.metrics.gauges):
+        lines.append(
+            _dump(
+                {
+                    "type": "gauge",
+                    "name": key[0],
+                    "labels": _labels_dict(key),
+                    "value": run.metrics.gauges[key],
+                }
+            )
+        )
+    for key in sorted(run.metrics.histograms):
+        hist = run.metrics.histograms[key]
+        lines.append(
+            _dump(
+                {
+                    "type": "histogram",
+                    "name": key[0],
+                    "labels": _labels_dict(key),
+                    "bounds": list(hist.bounds),
+                    "counts": list(hist.counts),
+                    "overflow": hist.overflow,
+                    "total": hist.total,
+                    "sum": hist.sum,
+                }
+            )
+        )
+    for record in sorted(run.spans, key=lambda r: r.span_id):
+        lines.append(
+            _dump(
+                {
+                    "type": "span",
+                    "id": record.span_id,
+                    "parent": record.parent_id,
+                    "name": record.name,
+                    "start": record.start,
+                    "end": record.end,
+                    "attrs": dict(record.attrs),
+                    "events": [
+                        {"name": e.name, "at": e.at, "attrs": dict(e.attrs)}
+                        for e in record.events
+                    ],
+                }
+            )
+        )
+    for event in sorted(run.events, key=RunEvent.sort_key):
+        lines.append(
+            _dump(
+                {
+                    "type": "event",
+                    "name": event.name,
+                    "day": event.day,
+                    "attrs": dict(event.attrs),
+                }
+            )
+        )
+    return lines
+
+
+def write_jsonl(run: RunTelemetry, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text("\n".join(jsonl_lines(run)) + "\n", encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus textfile
+
+
+def _prom_labels(key: MetricKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = tuple(key[1]) + extra
+    if not items:
+        return ""
+    body = ",".join(f'{label}="{value}"' for label, value in items)
+    return "{" + body + "}"
+
+
+def _prom_number(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(value)
+
+
+def prometheus_text(run: RunTelemetry) -> str:
+    """Prometheus exposition-format textfile (node_exporter compatible)."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def typ(name: str, kind: str) -> None:
+        if seen_types.get(name) != kind:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {PROM_PREFIX}{name} {kind}")
+
+    for key in sorted(run.metrics.counters):
+        typ(key[0], "counter")
+        lines.append(
+            f"{PROM_PREFIX}{key[0]}{_prom_labels(key)} "
+            f"{_prom_number(run.metrics.counters[key])}"
+        )
+    for key in sorted(run.metrics.gauges):
+        typ(key[0], "gauge")
+        lines.append(
+            f"{PROM_PREFIX}{key[0]}{_prom_labels(key)} "
+            f"{_prom_number(run.metrics.gauges[key])}"
+        )
+    for key in sorted(run.metrics.histograms):
+        hist = run.metrics.histograms[key]
+        typ(key[0], "histogram")
+        cumulative = 0
+        for bound, bucket in zip(hist.bounds, hist.counts):
+            cumulative += bucket
+            lines.append(
+                f"{PROM_PREFIX}{key[0]}_bucket"
+                f"{_prom_labels(key, (('le', repr(bound)),))} {cumulative}"
+            )
+        lines.append(
+            f"{PROM_PREFIX}{key[0]}_bucket"
+            f"{_prom_labels(key, (('le', '+Inf'),))} {hist.total}"
+        )
+        lines.append(
+            f"{PROM_PREFIX}{key[0]}_sum{_prom_labels(key)} "
+            f"{_prom_number(hist.sum)}"
+        )
+        lines.append(
+            f"{PROM_PREFIX}{key[0]}_count{_prom_labels(key)} {hist.total}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(run: RunTelemetry, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(prometheus_text(run), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# ASCII summary
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6g}"
+
+
+def _histogram_mean(hist: HistogramValue) -> float:
+    return hist.sum / hist.total if hist.total else 0.0
+
+
+def _span_aggregates(
+    spans: List[SpanRecord],
+) -> List[Tuple[str, int, float]]:
+    """(name, count, total duration) per span name, sorted by total desc."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for record in spans:
+        count, total = totals.get(record.name, (0, 0.0))
+        totals[record.name] = (count + 1, total + record.duration)
+    rows = [
+        (name, count, total) for name, (count, total) in totals.items()
+    ]
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return rows
+
+
+def ascii_summary(
+    run: RunTelemetry, max_tree_rows: Optional[int] = 40
+) -> List[str]:
+    """Human-oriented report: counters, histograms, stage totals, tree."""
+    lines: List[str] = [
+        f"telemetry for run {run.config_hash or '(unkeyed)'} "
+        f"seed={run.seed} clock={run.clock}"
+    ]
+    if run.metrics.counters or run.metrics.gauges:
+        lines.append("")
+        lines.append("counters")
+        width = max(
+            (len(_metric_label(key)) for key in run.metrics.counters),
+            default=0,
+        )
+        for key in sorted(run.metrics.counters):
+            lines.append(
+                f"  {_metric_label(key):<{width}}  "
+                f"{_format_value(run.metrics.counters[key])}"
+            )
+        for key in sorted(run.metrics.gauges):
+            lines.append(
+                f"  {_metric_label(key)}  "
+                f"{_format_value(run.metrics.gauges[key])} (gauge)"
+            )
+    if run.metrics.histograms:
+        lines.append("")
+        lines.append("histograms          count      mean       sum")
+        for key in sorted(run.metrics.histograms):
+            hist = run.metrics.histograms[key]
+            lines.append(
+                f"  {_metric_label(key):<16} {hist.total:>7} "
+                f"{_histogram_mean(hist):>9.4f} {hist.sum:>9.3f}"
+            )
+    if run.spans:
+        lines.append("")
+        lines.append("stage totals        count  total(s)")
+        for name, count, total in _span_aggregates(run.spans):
+            lines.append(f"  {name:<16} {count:>7}  {total:8.3f}")
+        lines.append("")
+        lines.append("span tree (truncated)" if max_tree_rows else "span tree")
+        rows = span_tree(run.spans)
+        shown = rows if max_tree_rows is None else rows[:max_tree_rows]
+        for record, depth in shown:
+            attrs = " ".join(f"{k}={v}" for k, v in record.attrs)
+            lines.append(
+                f"  {'  ' * depth}{record.name}"
+                + (f"[{attrs}]" if attrs else "")
+                + f" {record.duration * 1000:.3f}ms"
+            )
+        if max_tree_rows is not None and len(rows) > max_tree_rows:
+            lines.append(f"  ... {len(rows) - max_tree_rows} more span(s)")
+    if run.events:
+        lines.append("")
+        lines.append(f"events ({len(run.events)})")
+        for event in sorted(run.events, key=RunEvent.sort_key)[:20]:
+            attrs = " ".join(f"{k}={v}" for k, v in event.attrs)
+            prefix = f"{event.day}  " if event.day else ""
+            lines.append(f"  {prefix}{event.name}" + (f"  {attrs}" if attrs else ""))
+    return lines
+
+
+def _metric_label(key: MetricKey) -> str:
+    if not key[1]:
+        return key[0]
+    labels = ",".join(f"{label}={value}" for label, value in key[1])
+    return f"{key[0]}{{{labels}}}"
+
+
+def write_summary(run: RunTelemetry, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text("\n".join(ascii_summary(run)) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,236 @@
+"""Structured tracing: spans and point events over a pluggable clock.
+
+A :class:`SpanRecorder` produces a flat list of :class:`SpanRecord`\\ s
+that encode a tree through sequential ids and parent pointers — the
+structure the paper's operators needed from their cluster's job history
+("what did the platform do, stage by stage, for this day?").  Typical
+trace of one study day::
+
+    day(2017-04-12)
+    ├── aggregate
+    ├── hourly
+    └── flows
+        ├── expand
+        └── stage1
+
+Ids are assigned in *start* order by a plain counter, never from a
+global or a wall clock, so a recorder driven by deterministic code on a
+:class:`~repro.telemetry.clock.VirtualClock` emits byte-identical traces
+run after run.  Records are picklable; pool workers ship their per-day
+trace back alongside the day's partial and the parent re-ids them into
+the run-wide forest in sorted-day order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.clock import Clock
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """A point annotation inside a span (retry fired, checkpoint hit...)."""
+
+    name: str
+    at: float
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span; ``parent`` is the id of the enclosing span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: float
+    attrs: Tuple[Tuple[str, str], ...] = ()
+    events: Tuple[EventRecord, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _LiveSpan:
+    """Context manager handed out by :meth:`SpanRecorder.span`."""
+
+    __slots__ = ("_recorder", "_span_id", "_name", "_attrs", "_start", "_events")
+
+    def __init__(
+        self,
+        recorder: "SpanRecorder",
+        span_id: int,
+        name: str,
+        attrs: Tuple[Tuple[str, str], ...],
+    ) -> None:
+        self._recorder = recorder
+        self._span_id = span_id
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+        self._events: List[EventRecord] = []
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = self._recorder.clock.now()
+        self._recorder._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._recorder.clock.now()
+        stack = self._recorder._stack
+        assert stack and stack[-1] is self, "spans must close LIFO"
+        stack.pop()
+        attrs = self._attrs
+        if exc_type is not None:
+            attrs = attrs + (("error", exc_type.__name__),)
+        parent = stack[-1]._span_id if stack else None
+        self._recorder._records.append(
+            SpanRecord(
+                span_id=self._span_id,
+                parent_id=parent,
+                name=self._name,
+                start=self._start,
+                end=end,
+                attrs=attrs,
+                events=tuple(self._events),
+            )
+        )
+
+    def event(self, name: str, **attrs: object) -> None:
+        self._events.append(
+            EventRecord(
+                name=name,
+                at=self._recorder.clock.now(),
+                attrs=tuple(sorted((k, str(v)) for k, v in attrs.items())),
+            )
+        )
+
+
+class SpanRecorder:
+    """Issues spans over one clock; collects completed records."""
+
+    enabled = True
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._next_id = 0
+        self._stack: List[_LiveSpan] = []
+        self._records: List[SpanRecord] = []
+
+    def span(self, name: str, **attrs: object) -> _LiveSpan:
+        span_id = self._next_id
+        self._next_id += 1
+        return _LiveSpan(
+            self,
+            span_id,
+            name,
+            tuple(sorted((k, str(v)) for k, v in attrs.items())),
+        )
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Attach an event to the innermost open span (dropped if none)."""
+        if self._stack:
+            self._stack[-1].event(name, **attrs)
+
+    def records(self) -> List[SpanRecord]:
+        """Completed spans, ordered by completion; ids are start-ordered."""
+        return list(self._records)
+
+
+class _NoopLiveSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopLiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopLiveSpan()
+
+
+class NoopSpanRecorder(SpanRecorder):
+    """Disabled tracing: every span is the same inert context manager."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.clock = None  # type: ignore[assignment]
+        self._records = []
+
+    def span(self, name: str, **attrs: object):  # type: ignore[override]
+        return _NOOP_SPAN
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def records(self) -> List[SpanRecord]:
+        return []
+
+
+# ----------------------------------------------------------------------
+# Forest assembly (used when merging worker traces into the run trace)
+
+
+def reparent(
+    records: List[SpanRecord],
+    id_offset: int,
+    root_parent: Optional[int],
+    extra_root_attrs: Tuple[Tuple[str, str], ...] = (),
+) -> List[SpanRecord]:
+    """Shift a trace's ids by ``id_offset`` and graft its roots.
+
+    Worker traces all start at id 0; the parent offsets each day's trace
+    past everything merged before it and hangs the day's root spans under
+    its own run span, yielding one globally consistent forest.
+    """
+    out: List[SpanRecord] = []
+    for record in records:
+        parent: Optional[int]
+        attrs = record.attrs
+        if record.parent_id is None:
+            parent = root_parent
+            if extra_root_attrs:
+                attrs = tuple(sorted(attrs + extra_root_attrs))
+        else:
+            parent = record.parent_id + id_offset
+        out.append(
+            replace(
+                record,
+                span_id=record.span_id + id_offset,
+                parent_id=parent,
+                attrs=attrs,
+            )
+        )
+    return out
+
+
+def span_tree(records: List[SpanRecord]) -> List[Tuple[SpanRecord, int]]:
+    """Flatten a record list to (record, depth) rows in tree order.
+
+    Children sort by span id (start order) under their parent; roots by
+    id.  Purely structural — no clock reads — so it is safe anywhere.
+    """
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for record in records:
+        children.setdefault(record.parent_id, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda record: record.span_id)
+
+    rows: List[Tuple[SpanRecord, int]] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        for record in children.get(parent, []):
+            rows.append((record, depth))
+            walk(record.span_id, depth + 1)
+
+    walk(None, 0)
+    return rows

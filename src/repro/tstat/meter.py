@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.nettypes.ip import Prefix
+from repro.telemetry import runtime as telemetry
 from repro.packets.capture import DecodedPacket
 from repro.packets.tcp import TcpSegment
 from repro.packets.udp import UdpDatagram
@@ -83,6 +84,8 @@ class MeterStats:
     dns_messages: int = 0
     late_packets: int = 0  # trailing segments absorbed in TIME_WAIT
     tcp_retransmissions: int = 0  # client-side retransmitted segments
+    dpi_tcp: int = 0  # TCP flows run through the DPI stack
+    dpi_udp: int = 0  # UDP flows run through the DPI stack
 
 
 class FlowMeter:
@@ -119,6 +122,7 @@ class FlowMeter:
         self.stats = MeterStats()
         self._packets_since_sweep = 0
         self._clock = 0.0
+        self._published: Dict[str, int] = {}
 
     @property
     def live_flows(self) -> int:
@@ -251,6 +255,7 @@ class FlowMeter:
     def _dpi_tcp(self, state: _FlowState, payload: bytes) -> None:
         """Classify from the first upstream payload of a TCP flow."""
         state.dpi_done = True
+        self.stats.dpi_tcp += 1
         if state.key.server_port == 80 or http.looks_like_http_request(payload):
             host = http.sniff_host(payload)
             if host or state.key.server_port == 80:
@@ -286,6 +291,7 @@ class FlowMeter:
     def _dpi_udp(self, state: _FlowState, payload: bytes) -> None:
         """Classify from the first upstream payload of a UDP flow."""
         state.dpi_done = True
+        self.stats.dpi_udp += 1
         if state.key.server_port == 443:
             sniffed = quic.sniff_quic(payload)
             if sniffed is not None:
@@ -355,3 +361,18 @@ class FlowMeter:
         self.stats.flows_expired_flush += len(records)
         self._flows.clear()
         return records
+
+    def publish_telemetry(self) -> None:
+        """Publish :class:`MeterStats` deltas as ``meter_*`` counters.
+
+        Safe to call repeatedly: only the growth since the previous call
+        is counted, so the exported counters stay monotonic even when a
+        probe flushes several times per day.
+        """
+        stats = vars(self.stats)
+        for name in sorted(stats):
+            value = stats[name]
+            delta = value - self._published.get(name, 0)
+            if delta:
+                telemetry.count(f"meter_{name}", delta, vantage=self._vantage)
+                self._published[name] = value

@@ -87,6 +87,7 @@ class Probe:
         for packet in packets:
             records.extend(self.feed(packet))
         records.extend(self.meter.flush())
+        self.meter.publish_telemetry()
         return records
 
     def run_to_log(
@@ -101,4 +102,5 @@ class Probe:
             for packet in packets:
                 writer.write_all(self.feed(packet))
             writer.write_all(self.meter.flush())
+            self.meter.publish_telemetry()
             return writer.records_written

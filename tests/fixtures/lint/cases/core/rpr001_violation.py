@@ -1,0 +1,12 @@
+"""RPR001 fixture: wall-clock reads inside a core module.
+
+The widened scope covers core/: task timing and retry scheduling must go
+through the telemetry Clock protocol, never the stdlib clocks directly.
+"""
+
+import time
+
+
+def time_task():
+    started = time.monotonic()  # banned: core must use the Clock protocol
+    return time.perf_counter() - started  # banned: same

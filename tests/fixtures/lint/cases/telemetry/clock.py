@@ -1,0 +1,16 @@
+"""RPR001 fixture: the sanctioned clock module.
+
+Mirrors ``repro/telemetry/clock.py`` — the one file the wall-clock
+allowlist exempts.  With ``wallclock_allowlist=("telemetry/clock.py",)``
+these reads are clean; without the allowlist entry they are findings.
+"""
+
+import time
+
+
+class MonotonicClock:
+    def now(self):
+        return time.perf_counter()  # allowlisted: the sanctioned site
+
+    def coarse(self):
+        return time.monotonic()  # allowlisted alongside perf_counter

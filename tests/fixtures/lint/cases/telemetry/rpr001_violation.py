@@ -1,0 +1,11 @@
+"""RPR001 fixture: telemetry code outside clock.py reading the clock.
+
+Only the allowlisted clock module may touch ``time``; a span recorder
+that bypasses the Clock protocol defeats virtual-clock determinism.
+"""
+
+from time import perf_counter
+
+
+def span_start():
+    return perf_counter()  # banned: not the allowlisted clock module

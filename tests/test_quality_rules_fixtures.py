@@ -47,10 +47,40 @@ class TestRpr001WallClock:
         assert run_rule("RPR001", "synthesis/rpr001_clean.py") == []
 
     def test_out_of_scope_module_ignored(self):
-        # The same calls outside synthesis/analytics/figures are allowed
+        # The same calls outside the scoped directories are allowed
         # (drivers may timestamp their own logs).
         findings = run_rule("RPR001", "rpr002_violation.py")
         assert findings == []
+
+    def test_core_scope_covered(self):
+        # The widened scope: core/ task timing must use the Clock protocol.
+        findings = run_rule("RPR001", "core/rpr001_violation.py")
+        assert sorted(f.line for f in findings) == [11, 12]
+
+    def test_allowlisted_clock_module_is_clean(self):
+        findings = run_rule(
+            "RPR001",
+            "telemetry/clock.py",
+            wallclock_allowlist=("telemetry/clock.py",),
+        )
+        assert findings == []
+
+    def test_allowlist_matches_exact_suffix_only(self):
+        # The default allowlist names repro/telemetry/clock.py; a fixture
+        # at telemetry/clock.py is NOT that suffix, so the reads flag.
+        findings = run_rule("RPR001", "telemetry/clock.py")
+        assert len(findings) == 2
+
+    def test_telemetry_outside_clock_still_banned(self):
+        # The allowlist is per-file, not per-package: other telemetry
+        # modules may not read the clock directly.
+        findings = run_rule(
+            "RPR001",
+            "telemetry/rpr001_violation.py",
+            wallclock_allowlist=("telemetry/clock.py",),
+        )
+        assert [f.line for f in findings] == [11]
+        assert "clock imported by name" in findings[0].message
 
 
 class TestRpr002SeededRng:

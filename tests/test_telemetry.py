@@ -1,0 +1,451 @@
+"""Tests for the deterministic telemetry subsystem (DESIGN.md §11).
+
+The load-bearing assertions: two runs of the same seed on the virtual
+clock export *byte-identical* JSONL; serial and pooled execution merge
+to the same day-level metrics; and the disabled default changes nothing
+about the study's results.
+"""
+
+import datetime
+import json
+import pickle
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.faults import KIND_TRANSIENT, FaultPlan, FaultSpec
+from repro.core.parallel import RetryPolicy, execute_study
+from repro.synthesis.world import WorldConfig
+from repro.telemetry import (
+    MetricRegistry,
+    NoopRegistry,
+    Telemetry,
+    VirtualClock,
+    activate,
+    ascii_summary,
+    clock_for,
+    jsonl_lines,
+    merge_snapshots,
+    prometheus_text,
+    reparent,
+    runtime,
+    span_tree,
+)
+from repro.telemetry.spans import SpanRecorder
+
+D = datetime.date
+
+
+def micro_config(seed: int = 17) -> StudyConfig:
+    """A study small enough to execute several times per test module."""
+    return StudyConfig(
+        world=WorldConfig(
+            seed=seed,
+            adsl_count=40,
+            ftth_count=20,
+            start=D(2014, 1, 1),
+            end=D(2014, 1, 31),
+        ),
+        day_stride=6,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Metrics
+
+
+class TestMetrics:
+    def test_counter_and_label_canonicalization(self):
+        registry = MetricRegistry()
+        registry.counter("flows", service="youtube", year="2014").inc(3)
+        registry.counter("flows", year="2014", service="youtube").inc(2)
+        snap = registry.snapshot()
+        key = ("flows", (("service", "youtube"), ("year", "2014")))
+        assert snap.counters == {key: 5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("live")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert registry.snapshot().gauges[("live", ())] == 6
+
+    def test_histogram_buckets_and_overflow(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        value = registry.snapshot().histograms[("lat", ())]
+        assert value.bounds == (1.0, 2.0)
+        assert value.counts == (1, 1)
+        assert value.overflow == 1
+        assert value.total == 3
+        assert value.sum == pytest.approx(7.0)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().histogram("h", buckets=(2.0, 1.0))
+
+    def test_merge_counters_stay_int_without_floats(self):
+        a = MetricRegistry()
+        a.counter("n").inc(2)
+        b = MetricRegistry()
+        b.counter("n").inc(3)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged.counters[("n", ())] == 5
+        assert isinstance(merged.counters[("n", ())], int)
+
+    def test_merge_float_counters_use_fsum(self):
+        a = MetricRegistry()
+        a.counter("bytes").inc(0.1)
+        b = MetricRegistry()
+        b.counter("bytes").inc(0.2)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged.counters[("bytes", ())] == pytest.approx(0.3)
+
+    def test_merge_gauges_last_wins_and_histograms_add(self):
+        a = MetricRegistry()
+        a.gauge("g").set(1)
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricRegistry()
+        b.gauge("g").set(9)
+        b.histogram("h", buckets=(1.0,)).observe(2.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged.gauges[("g", ())] == 9
+        hist = merged.histograms[("h", ())]
+        assert hist.counts == (1,)
+        assert hist.overflow == 1
+        assert hist.total == 2
+
+    def test_merge_rejects_bounds_mismatch(self):
+        a = MetricRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_noop_registry_shares_inert_instruments(self):
+        registry = NoopRegistry()
+        assert registry.counter("a") is registry.counter("b")
+        registry.counter("a").inc(5)
+        assert registry.snapshot().is_empty()
+        assert registry.enabled is False
+
+
+# ----------------------------------------------------------------------
+# Spans and clocks
+
+
+class TestSpans:
+    def test_tree_structure_and_ids(self):
+        recorder = SpanRecorder(VirtualClock())
+        with recorder.span("day", day="2014-01-01"):
+            with recorder.span("generate"):
+                pass
+            with recorder.span("flows"):
+                with recorder.span("expand"):
+                    pass
+        records = recorder.records()
+        by_name = {r.name: r for r in records}
+        assert by_name["day"].parent_id is None
+        assert by_name["generate"].parent_id == by_name["day"].span_id
+        assert by_name["expand"].parent_id == by_name["flows"].span_id
+        rows = span_tree(records)
+        assert [(r.name, depth) for r, depth in rows] == [
+            ("day", 0), ("generate", 1), ("flows", 1), ("expand", 2),
+        ]
+
+    def test_exception_annotates_span(self):
+        recorder = SpanRecorder(VirtualClock())
+        with pytest.raises(RuntimeError):
+            with recorder.span("stage"):
+                raise RuntimeError("boom")
+        (record,) = recorder.records()
+        assert ("error", "RuntimeError") in record.attrs
+
+    def test_event_attaches_to_innermost_span(self):
+        recorder = SpanRecorder(VirtualClock())
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                recorder.event("checkpoint", day="2014-01-01")
+        inner = next(r for r in recorder.records() if r.name == "inner")
+        assert inner.events[0].name == "checkpoint"
+
+    def test_virtual_clock_traces_repeat_exactly(self):
+        def trace():
+            recorder = SpanRecorder(VirtualClock())
+            with recorder.span("a"):
+                with recorder.span("b"):
+                    pass
+            return recorder.records()
+
+        assert trace() == trace()
+
+    def test_reparent_shifts_ids_and_grafts_roots(self):
+        recorder = SpanRecorder(VirtualClock())
+        with recorder.span("day"):
+            with recorder.span("stage"):
+                pass
+        shifted = reparent(recorder.records(), id_offset=10, root_parent=99)
+        day = next(r for r in shifted if r.name == "day")
+        stage = next(r for r in shifted if r.name == "stage")
+        assert day.parent_id == 99
+        assert stage.parent_id == day.span_id == 10
+
+    def test_clock_for_rejects_unknown_spec(self):
+        with pytest.raises(ValueError):
+            clock_for("wall")
+
+    def test_virtual_clock_is_monotonic(self):
+        clock = VirtualClock(tick=0.5)
+        assert clock.now() == 0.0
+        assert clock.now() == 0.5
+        clock.advance(10.0)
+        assert clock.now() == 11.0
+
+
+# ----------------------------------------------------------------------
+# Runtime activation
+
+
+class TestRuntime:
+    def test_inactive_helpers_are_noops(self):
+        assert runtime.get().enabled is False
+        runtime.count("ignored", 5)
+        with runtime.span("ignored"):
+            runtime.event("ignored")
+        assert runtime.get().snapshot().is_empty()
+
+    def test_activate_restores_previous(self):
+        bundle = Telemetry(VirtualClock())
+        with activate(bundle):
+            runtime.count("seen")
+            assert runtime.get() is bundle
+        assert runtime.get().enabled is False
+        assert bundle.snapshot().metrics.counters[("seen", ())] == 1
+
+    def test_snapshot_pickles(self):
+        bundle = Telemetry(VirtualClock())
+        with activate(bundle):
+            with runtime.span("day"):
+                runtime.count("flows", 7, service="netflix")
+        snap = bundle.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+
+
+# ----------------------------------------------------------------------
+# Execute-study integration
+
+
+def run_with_telemetry(workers, seed=17, **kwargs):
+    telemetry = Telemetry(VirtualClock())
+    result = execute_study(
+        micro_config(seed), workers=workers, telemetry=telemetry, **kwargs
+    )
+    assert result.telemetry is not None
+    return result
+
+
+def day_metrics(run_telemetry):
+    """The day-level counters: parent-side pool_* bookkeeping dropped."""
+    return {
+        key: value
+        for key, value in run_telemetry.metrics.counters.items()
+        if not key[0].startswith("pool_")
+    }
+
+
+class TestExecuteStudyTelemetry:
+    def test_serial_exports_are_byte_identical(self):
+        first = "\n".join(jsonl_lines(run_with_telemetry(workers=1).telemetry))
+        second = "\n".join(jsonl_lines(run_with_telemetry(workers=1).telemetry))
+        assert first == second
+
+    def test_pooled_exports_are_byte_identical(self):
+        first = "\n".join(jsonl_lines(run_with_telemetry(workers=2).telemetry))
+        second = "\n".join(jsonl_lines(run_with_telemetry(workers=2).telemetry))
+        assert first == second
+
+    def test_serial_and_pooled_day_metrics_agree(self):
+        serial = run_with_telemetry(workers=1).telemetry
+        pooled = run_with_telemetry(workers=2).telemetry
+        assert day_metrics(serial) == day_metrics(pooled)
+        assert day_metrics(serial)  # non-vacuous: the study counted things
+
+    def test_day_spans_agree_between_serial_and_pooled(self):
+        def day_span_names(run_telemetry):
+            return [
+                (record.name, record.attrs, depth)
+                for record, depth in span_tree(run_telemetry.spans)
+                if record.name not in ("run", "dispatch", "merge", "resume")
+            ]
+
+        serial = run_with_telemetry(workers=1).telemetry
+        pooled = run_with_telemetry(workers=2).telemetry
+        assert day_span_names(serial) == day_span_names(pooled)
+
+    def test_disabled_telemetry_changes_nothing(self):
+        plain = execute_study(micro_config(), workers=1)
+        measured = run_with_telemetry(workers=1)
+        assert plain.telemetry is None
+        assert set(plain.data.subscriber_days) == set(
+            measured.data.subscriber_days
+        )
+        key = lambda cell: (cell.day, cell.service, cell.technology.value)
+        assert sorted(plain.data.service_stats, key=key) == sorted(
+            measured.data.service_stats, key=key
+        )
+
+    def test_export_content_reflects_the_study(self):
+        run_telemetry = run_with_telemetry(workers=1).telemetry
+        names = {key[0] for key in run_telemetry.metrics.counters}
+        assert "study_days_processed" in names
+        assert "usage_rows_generated" in names
+        assert "flows_expanded" in names  # January carries one flow day
+        roots = [r for r in run_telemetry.spans if r.parent_id is None]
+        assert [r.name for r in roots][-2:] == ["run", "merge"]
+        assert any(r.name == "day" for r in roots)
+
+    def test_retry_events_and_counters(self):
+        target = D(2014, 1, 7)
+        plan = FaultPlan.of(
+            FaultSpec(day=target, kind=KIND_TRANSIENT, times=1)
+        )
+        telemetry = Telemetry(VirtualClock())
+        result = execute_study(
+            micro_config(),
+            workers=1,
+            telemetry=telemetry,
+            fault_plan=plan,
+            retry=RetryPolicy(retries=2, backoff=0.001),
+        )
+        assert result.telemetry is not None
+        events = [e for e in result.telemetry.events if e.name == "retry"]
+        assert [e.day for e in events] == [target.isoformat()]
+        assert result.telemetry.metrics.counters[("pool_retries", ())] == 1
+
+
+class TestManifestTelemetry:
+    def test_manifest_carries_telemetry_section(self, tmp_path):
+        result = execute_study(
+            micro_config(), workers=1, checkpoint_root=tmp_path
+        )
+        manifest = json.loads(
+            next(tmp_path.glob("config=*/manifest.json")).read_text()
+        )
+        section = manifest["telemetry"]
+        assert section["retries"] == 0
+        assert section["checkpoint_hits"] == 0
+        assert set(section["days"]) == {
+            r.day.isoformat() for r in result.report.records
+        }
+        for entry in section["days"].values():
+            assert entry["source"] == "serial"
+            assert entry["retries"] == 0
+            assert entry["wall_time"] >= 0
+
+    def test_resume_marks_checkpoint_sources_and_events(self, tmp_path):
+        execute_study(micro_config(), workers=1, checkpoint_root=tmp_path)
+        telemetry = Telemetry(VirtualClock())
+        result = execute_study(
+            micro_config(),
+            workers=1,
+            checkpoint_root=tmp_path,
+            resume=True,
+            telemetry=telemetry,
+        )
+        assert result.report.execution == "none"
+        assert all(r.source == "checkpoint" for r in result.report.records)
+        manifest = json.loads(
+            next(tmp_path.glob("config=*/manifest.json")).read_text()
+        )
+        days = manifest["telemetry"]["days"]
+        assert all(entry["source"] == "checkpoint" for entry in days.values())
+        assert result.telemetry is not None
+        hits = [
+            e for e in result.telemetry.events if e.name == "checkpoint_hit"
+        ]
+        assert len(hits) == len(result.report.records)
+        assert (
+            result.telemetry.metrics.counters[("checkpoint_loads", ())]
+            == len(result.report.records)
+        )
+
+    def test_start_method_is_resolved_even_when_defaulted(self):
+        import multiprocessing
+
+        result = execute_study(micro_config(), workers=1)
+        assert result.report.execution == "serial"
+        assert result.report.start_method in (
+            multiprocessing.get_all_start_methods()
+        )
+        manifest = result.report.to_dict()
+        assert manifest["start_method"] == result.report.start_method
+        assert manifest["execution"] == "serial"
+
+    def test_pooled_execution_recorded(self):
+        result = run_with_telemetry(workers=2)
+        assert result.report.execution == "pool"
+        assert result.report.to_dict()["execution"] == "pool"
+
+
+# ----------------------------------------------------------------------
+# Exporters
+
+
+@pytest.fixture(scope="module")
+def sample_run():
+    return run_with_telemetry(workers=1).telemetry
+
+
+class TestExporters:
+    def test_jsonl_parses_and_orders(self, sample_run):
+        lines = jsonl_lines(sample_run)
+        payloads = [json.loads(line) for line in lines]
+        assert payloads[0]["type"] == "meta"
+        assert payloads[0]["clock"] == "virtual"
+        kinds = [p["type"] for p in payloads]
+        # meta, then metrics, then spans, then events — never interleaved.
+        order = {"meta": 0, "counter": 1, "gauge": 2, "histogram": 3,
+                 "span": 4, "event": 5}
+        assert [order[k] for k in kinds] == sorted(order[k] for k in kinds)
+        span_ids = [p["id"] for p in payloads if p["type"] == "span"]
+        assert span_ids == sorted(span_ids)
+
+    def test_prometheus_exposition_shape(self, sample_run):
+        text = prometheus_text(sample_run)
+        assert "# TYPE repro_study_days_processed counter" in text
+        assert "# TYPE repro_pool_day_wall_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_pool_day_wall_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)  # cumulative
+
+    def test_ascii_summary_mentions_stages(self, sample_run):
+        text = "\n".join(ascii_summary(sample_run))
+        assert "counters" in text
+        assert "span tree" in text
+        assert "day" in text
+
+    def test_run_telemetry_round_trips_through_jsonl(self, sample_run):
+        lines = jsonl_lines(sample_run)
+        counters = {
+            (p["name"], tuple(sorted(p["labels"].items()))): p["value"]
+            for p in map(json.loads, lines)
+            if p["type"] == "counter"
+        }
+        assert counters == {
+            (k[0], k[1]): v for k, v in sample_run.metrics.counters.items()
+        }
