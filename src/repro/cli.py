@@ -16,7 +16,15 @@ Commands:
   (see :mod:`repro.telemetry`);
 * ``events`` — list the Fig. 8 events with their model dates;
 * ``lint [PATHS...] [--format text|json] [--baseline FILE]`` — run the
-  repo-specific static invariant checker (see :mod:`repro.quality`).
+  repo-specific static invariant checker (see :mod:`repro.quality`);
+* ``fsck LAKE [--quarantine] [--no-decode] [--format text|json]`` — scan
+  a data lake's partitions against their integrity manifests and report
+  torn files, checksum/count mismatches, schema drift, and undecodable
+  records (see :mod:`repro.dataflow.integrity`);
+* ``replay LAKE [--bad-records strict|quarantine|skip]
+  [--min-day-quality F] [--report]`` — rebuild the aggregate-tier study
+  from an archived lake under an integrity policy, excluding degraded
+  days like outage holes (see :mod:`repro.core.persistence`).
 """
 
 from __future__ import annotations
@@ -297,6 +305,79 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Scan a data lake for integrity violations."""
+    import json
+
+    import repro.core.persistence  # noqa: F401 — registers table codecs
+    from repro.dataflow.datalake import DataLake
+    from repro.dataflow.integrity import fsck_lake
+
+    if not args.lake.is_dir():
+        print(f"repro fsck: no lake at {args.lake}", file=sys.stderr)
+        return 2
+    lake = DataLake(args.lake)
+    report = fsck_lake(
+        lake, decode=not args.no_decode, quarantine=args.quarantine
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print("\n".join(report.summary_lines()))
+    return 0 if report.clean else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Rebuild the study from an archived lake under an integrity policy."""
+    from repro.core.persistence import run_replay
+    from repro.dataflow.datalake import DataLake
+    from repro.dataflow.integrity import (
+        PartitionIntegrityError,
+        RecordDecodeError,
+    )
+    from repro.synthesis.studycalendar import study_months
+
+    if not args.lake.is_dir():
+        print(f"repro replay: no lake at {args.lake}", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.min_day_quality <= 1.0:
+        print("repro replay: --min-day-quality must be within [0, 1]",
+              file=sys.stderr)
+        return 2
+    lake = DataLake(args.lake)
+    all_days = sorted(
+        {day for table in lake.tables() for day in lake.days(table)}
+    )
+    if not all_days:
+        print(f"repro replay: lake {args.lake} holds no days", file=sys.stderr)
+        return 1
+    months = study_months(all_days[0], all_days[-1])
+    try:
+        result = run_replay(
+            lake,
+            months,
+            policy=args.bad_records,
+            min_day_quality=args.min_day_quality,
+        )
+    except (PartitionIntegrityError, RecordDecodeError) as exc:
+        print(f"repro replay: {exc}", file=sys.stderr)
+        return 1
+    for line in result.report.summary_lines():
+        print(line)
+    excluded = [r.day.isoformat() for r in result.report.records
+                if r.status == "excluded"]
+    if excluded:
+        print(f"excluded {len(excluded)} degraded day(s): "
+              + ", ".join(excluded))
+    print(f"replayed {len(result.data.subscriber_days)} day(s) of usage, "
+          f"{len(result.data.protocol_rows)} protocol row(s), "
+          f"{len(result.data.hourly)} hourly bin(s)")
+    if args.report:
+        print()
+        print(result.report.to_json())
+    return 0
+
+
 def cmd_events(args: argparse.Namespace) -> int:
     events = [
         ("A", servicemodels.YOUTUBE_HTTPS_MIGRATION_START, "YouTube begins HTTPS migration"),
@@ -392,6 +473,37 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--out", type=Path, default=None, metavar="DIR",
                          help="also write the three telemetry exports here")
     profile.set_defaults(func=cmd_profile)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan a data lake against its integrity manifests",
+    )
+    fsck.add_argument("lake", type=Path, help="data lake root directory")
+    fsck.add_argument("--quarantine", action="store_true",
+                      help="route bad records/partitions to <lake>/_quarantine")
+    fsck.add_argument("--no-decode", action="store_true",
+                      help="structural checks only (skip per-record decoding)")
+    fsck.add_argument("--format", choices=("text", "json"), default="text")
+    fsck.set_defaults(func=cmd_fsck)
+
+    replay = sub.add_parser(
+        "replay",
+        help="rebuild the study from an archived lake (quality-gated)",
+    )
+    replay.add_argument("lake", type=Path, help="data lake root directory")
+    replay.add_argument("--bad-records",
+                        choices=("strict", "quarantine", "skip"),
+                        default="strict",
+                        help="policy for corrupt partitions and records "
+                             "(default: strict — abort with a typed error)")
+    replay.add_argument("--min-day-quality", type=float, default=0.999,
+                        metavar="F",
+                        help="exclude days whose decoded fraction falls "
+                             "below F (default 0.999)")
+    replay.add_argument("--report", action="store_true",
+                        help="print the full run manifest (JSON) after the "
+                             "summary")
+    replay.set_defaults(func=cmd_replay)
 
     events = sub.add_parser("events", help="list the modelled event timeline")
     events.set_defaults(func=cmd_events)

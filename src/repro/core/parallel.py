@@ -267,7 +267,7 @@ class DayRecord:
     """One manifest row: how a planned day reached its final state."""
 
     day: datetime.date
-    status: str  # "completed" | "failed"
+    status: str  # "completed" | "failed" | "excluded" (quality-gated replay)
     attempts: int
     wall_time: float
     worker: Optional[int]
@@ -308,6 +308,10 @@ class RunReport:
     #: when no pool was spawned, so manifests from defaulted runs still
     #: say what a resume would use.
     execution: str = "none"
+    #: Per-day data-quality dicts (see :class:`repro.dataflow.integrity.
+    #: DayQualityReport.to_dict`) for runs that read from the lake under
+    #: an integrity policy; empty for world-model runs.
+    data_quality: List[dict] = field(default_factory=list)
 
     @property
     def planned_days(self) -> int:
@@ -366,6 +370,7 @@ class RunReport:
             "wall_time": round(self.wall_time, 6),
             "telemetry": self.telemetry_dict(),
             "days": [record.to_dict() for record in self.records],
+            "data_quality": self.data_quality,
         }
 
     def to_json(self) -> str:

@@ -18,10 +18,20 @@ for the reproduction:
 from __future__ import annotations
 
 import datetime
-from typing import List, Optional
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
+    from repro.core.parallel import RunReport
 
 from repro.core.study import LongitudinalStudy, StudyData
 from repro.dataflow.datalake import DataLake, LineCodec, tsv_codec
+from repro.dataflow.integrity import (
+    DayAdmission,
+    LakeIntegrity,
+    register_codec_provider,
+)
 from repro.services.thresholds import ActiveSubscriberCriterion, VisitClassifier
 from repro.synthesis.flowgen import (
     PROTOCOL_CODEC,
@@ -48,6 +58,15 @@ HOURLY_CODEC: LineCodec[HourlyVolume] = tsv_codec(
         str(row.bin_index),
         str(row.bytes_down),
     ],
+)
+
+# Make the aggregate tables decodable by `repro fsck` record scans.
+register_codec_provider(
+    lambda: {
+        USAGE_TABLE: USAGE_CODEC.decode,
+        PROTOCOL_TABLE: PROTOCOL_CODEC.decode,
+        HOURLY_TABLE: HOURLY_CODEC.decode,
+    }
 )
 
 
@@ -105,11 +124,22 @@ def replay_study(
     months: List,
     visit_classifier: Optional[VisitClassifier] = None,
     criterion: Optional[ActiveSubscriberCriterion] = None,
+    *,
+    integrity: Optional[LakeIntegrity] = None,
+    admission: Optional[DayAdmission] = None,
 ) -> StudyData:
     """Rebuild aggregate-tier StudyData from an archived lake.
 
     The world model is not consulted: this is the pure historical-query
     path.  Stage-2 figure modules run unchanged on the result.
+
+    The replay is day-major: each calendar day's partitions (across all
+    three tables) are read and merged together, so an ``integrity``
+    context can score the whole day and an ``admission`` gate can drop a
+    degraded day atomically — the same hole in the calendar that an
+    :class:`~repro.tstat.outages.OutageCalendar` outage leaves.  Without
+    the keyword arguments the result is identical to the historical
+    unguarded replay.
     """
     from repro.analytics.activity import subscriber_days
     from repro.analytics.popularity import daily_service_stats
@@ -118,27 +148,106 @@ def replay_study(
     classifier = visit_classifier or VisitClassifier()
     active_criterion = criterion or ActiveSubscriberCriterion()
     data = StudyData(months=list(months))
-    for day in lake.days(USAGE_TABLE):
-        usage = lake.read_day(USAGE_TABLE, day, USAGE_CODEC).collect()
-        if not usage:
-            continue
-        day_rows = subscriber_days(usage, active_criterion)
-        data.subscriber_days[day] = day_rows
-        for technology in Technology:
-            data.service_stats.extend(
-                daily_service_stats(
-                    usage, day_rows, classifier=classifier, technology=technology
+    all_days = sorted(
+        set(lake.days(USAGE_TABLE))
+        | set(lake.days(PROTOCOL_TABLE))
+        | set(lake.days(HOURLY_TABLE))
+    )
+    for day in all_days:
+        usage = lake.read_day(USAGE_TABLE, day, USAGE_CODEC, integrity).collect()
+        protocols = lake.read_day(
+            PROTOCOL_TABLE, day, PROTOCOL_CODEC, integrity
+        ).collect()
+        hourly = lake.read_day(HOURLY_TABLE, day, HOURLY_CODEC, integrity).collect()
+        if integrity is not None and admission is not None:
+            if not admission.admit(integrity.ledger.report_for(day)):
+                continue
+        if usage:
+            day_rows = subscriber_days(usage, active_criterion)
+            data.subscriber_days[day] = day_rows
+            for technology in Technology:
+                data.service_stats.extend(
+                    daily_service_stats(
+                        usage,
+                        day_rows,
+                        classifier=classifier,
+                        technology=technology,
+                    )
                 )
-            )
-        if (day.year, day.month) in COMPARISON_MONTHS:
-            _replay_weekly(data, day, usage, day_rows, classifier)
-    for day in lake.days(PROTOCOL_TABLE):
-        data.protocol_rows.extend(
-            lake.read_day(PROTOCOL_TABLE, day, PROTOCOL_CODEC).collect()
-        )
-    for day in lake.days(HOURLY_TABLE):
-        data.hourly.extend(lake.read_day(HOURLY_TABLE, day, HOURLY_CODEC).collect())
+            if (day.year, day.month) in COMPARISON_MONTHS:
+                _replay_weekly(data, day, usage, day_rows, classifier)
+        data.protocol_rows.extend(protocols)
+        data.hourly.extend(hourly)
     return data
+
+
+@dataclass
+class ReplayResult:
+    """A replayed study plus its run manifest (quality reports included)."""
+
+    data: StudyData
+    report: "RunReport"
+
+
+def run_replay(
+    lake: DataLake,
+    months: List,
+    visit_classifier: Optional[VisitClassifier] = None,
+    criterion: Optional[ActiveSubscriberCriterion] = None,
+    *,
+    policy: str = "strict",
+    min_day_quality: float = 0.999,
+    verify_checksums: bool = True,
+) -> ReplayResult:
+    """Replay a lake under an integrity policy and produce a manifest.
+
+    The returned :class:`~repro.core.parallel.RunReport` carries one
+    :class:`~repro.core.parallel.DayRecord` per lake day (``status`` is
+    ``"excluded"`` for days the quality gate dropped) and the per-day
+    :class:`~repro.dataflow.integrity.DayQualityReport` dicts in its
+    ``data_quality`` section.  Deterministic end to end: same lake bytes
+    and same policy ⇒ identical manifest.
+    """
+    from repro.core.parallel import DayRecord, RunReport
+
+    integrity = LakeIntegrity.for_lake_root(
+        lake.root, policy=policy, verify=verify_checksums
+    )
+    admission = DayAdmission(min_quality=min_day_quality)
+    data = replay_study(
+        lake,
+        months,
+        visit_classifier,
+        criterion,
+        integrity=integrity,
+        admission=admission,
+    )
+    key = f"replay|{policy}|{min_day_quality}|{verify_checksums}"
+    report = RunReport(
+        config_hash=hashlib.sha256(key.encode("utf-8")).hexdigest()[:12],
+        seed=0,
+        start_method="none",
+        workers=0,
+        execution="replay",
+    )
+    excluded = set(admission.excluded)
+    for quality in admission.reports:
+        report.records.append(
+            DayRecord(
+                day=quality.day,
+                status="excluded" if quality.day in excluded else "completed",
+                attempts=1,
+                wall_time=0.0,
+                worker=None,
+                source="lake",
+                error=(
+                    f"quality {quality.quality:.6f} below "
+                    f"{min_day_quality}" if quality.day in excluded else ""
+                ),
+            )
+        )
+    report.data_quality = admission.quality_dicts()
+    return ReplayResult(data=data, report=report)
 
 
 def _replay_weekly(data: StudyData, day, usage, day_rows, classifier) -> None:

@@ -10,6 +10,16 @@ Tables are typed through a :class:`LineCodec`; flow logs reuse the probe's
 on-disk format so a file written by a probe can be dropped into the lake
 unchanged.  Reads come back as lazy :class:`~repro.dataflow.engine.Dataset`
 partitions — one partition per stored file — so stage-1 jobs stream.
+
+Every partition is finalized atomically (temp file + ``os.replace``) and
+carries a sidecar :class:`~repro.dataflow.integrity.PartitionManifest`
+(CRC32 + record count + schema version), so torn copies and bit rot are
+detectable.  Reads accept a :class:`~repro.dataflow.integrity.LakeIntegrity`
+that verifies partitions lazily and routes undecodable records per policy
+(``strict`` | ``quarantine`` | ``skip``); without one, reads behave as
+before except that decode failures surface as the typed
+:class:`~repro.dataflow.integrity.RecordDecodeError` naming the table,
+day, source file, and line number.
 """
 
 from __future__ import annotations
@@ -19,10 +29,30 @@ import gzip
 import io
 import os
 import pickle
+import zlib
 from pathlib import Path
-from typing import Any, Callable, Generic, Iterable, Iterator, List, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    TypeVar,
+)
 
 from repro.dataflow.engine import Dataset
+from repro.dataflow.integrity import (
+    LakeIntegrity,
+    PartitionCheck,
+    PartitionIntegrityError,
+    PayloadDigest,
+    RecordDecodeError,
+    load_manifest,
+    verify_partition,
+    write_manifest,
+)
 from repro.telemetry import runtime as telemetry
 from repro.tstat.flow import FlowRecord
 from repro.tstat.logs import format_record, parse_record
@@ -82,13 +112,29 @@ class DataLake:
         codec: LineCodec[T],
         source: str = "part-0",
     ) -> Path:
-        """Write one source file into a day partition; returns its path."""
+        """Write one source file into a day partition; returns its path.
+
+        The data file is staged to a temp name and ``os.replace``\\ d into
+        place, then its sidecar manifest is finalized the same way — so a
+        crash mid-write leaves either nothing, or a complete data file
+        whose missing/stale manifest flags it as unverified.  The gzip
+        header is written with ``mtime=0``: identical records produce
+        byte-identical partitions.
+        """
         directory = self.day_dir(table, day)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{source}.tsv.gz"
-        with io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8") as handle:
-            for record in records:
-                handle.write(codec.encode(record) + "\n")
+        tmp = directory / f".{source}.tsv.gz.{os.getpid()}.part"
+        digest = PayloadDigest()
+        with open(tmp, "wb") as raw:
+            gz = gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0)
+            with io.TextIOWrapper(gz, encoding="utf-8") as handle:
+                for record in records:
+                    line = codec.encode(record) + "\n"
+                    handle.write(line)
+                    digest.add_line(line)
+        os.replace(tmp, path)
+        write_manifest(path, digest.manifest())
         telemetry.count("datalake_files_written", table=table)
         return path
 
@@ -118,14 +164,26 @@ class DataLake:
         return found
 
     def read_day(
-        self, table: str, day: datetime.date, codec: LineCodec[T]
+        self,
+        table: str,
+        day: datetime.date,
+        codec: LineCodec[T],
+        integrity: Optional[LakeIntegrity] = None,
     ) -> Dataset[T]:
-        """The records of one day as a lazy dataset (one partition/file)."""
+        """The records of one day as a lazy dataset (one partition/file).
+
+        With an ``integrity`` context, each partition is verified against
+        its sidecar manifest at first iteration and undecodable records
+        are routed per the context's policy; without one, reads are
+        unverified and any decode failure raises a typed
+        :class:`RecordDecodeError` naming the partition and line.
+        """
         directory = self.day_dir(table, day)
         if not directory.is_dir():
             return Dataset.empty()
         sources = [
-            _file_source(path, codec) for path in sorted(directory.glob("*.tsv.gz"))
+            _file_source(path, codec, table, day, integrity)
+            for path in sorted(directory.glob("*.tsv.gz"))
         ]
         return Dataset.from_partitions(sources)
 
@@ -135,10 +193,11 @@ class DataLake:
         start: datetime.date,
         end: datetime.date,
         codec: LineCodec[T],
+        integrity: Optional[LakeIntegrity] = None,
     ) -> Dataset[T]:
         """Records of every stored day in [start, end] (missing days skip)."""
         datasets = [
-            self.read_day(table, day, codec)
+            self.read_day(table, day, codec, integrity)
             for day in self.days(table)
             if start <= day <= end
         ]
@@ -148,19 +207,89 @@ class DataLake:
         return combined
 
     def tables(self) -> List[str]:
+        """Every data table in the lake (service dirs like ``_quarantine``
+        are kept out of the namespace by their underscore prefix)."""
         return sorted(
-            entry.name for entry in self.root.iterdir() if entry.is_dir()
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and not entry.name.startswith("_")
         )
 
 
-def _file_source(path: Path, codec: LineCodec[T]) -> Callable[[], Iterator[T]]:
+def _file_source(
+    path: Path,
+    codec: LineCodec[T],
+    table: str,
+    day: datetime.date,
+    integrity: Optional[LakeIntegrity],
+) -> Callable[[], Iterator[T]]:
+    source = path.name[: -len(".tsv.gz")] if path.name.endswith(".tsv.gz") else path.name
+
     def read() -> Iterator[T]:
         telemetry.count("datalake_files_read")
-        with io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8") as handle:
-            for line in handle:
-                if line.startswith("#") or not line.strip():
-                    continue
-                yield codec.decode(line)
+        if integrity is not None:
+            try:
+                manifest = load_manifest(path)
+            except PartitionIntegrityError as exc:
+                integrity.ledger.note_partition(table, day, None)
+                integrity.bad_partition(
+                    PartitionCheck(path, ok=False, kind=exc.kind, detail=exc.detail),
+                    table=table, day=day, source=source,
+                )
+                return
+            integrity.ledger.note_partition(table, day, manifest)
+            if integrity.verify_checksums:
+                check = verify_partition(path, manifest)
+                if not check.ok:
+                    integrity.bad_partition(
+                        check, table=table, day=day, source=source
+                    )
+                    return
+        try:
+            with io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    if line.startswith("#") or not line.strip():
+                        continue
+                    try:
+                        record = codec.decode(line)
+                    except Exception as exc:  # noqa: BLE001 — normalized below
+                        error = (
+                            exc
+                            if isinstance(exc, RecordDecodeError)
+                            else RecordDecodeError(f"undecodable record: {exc!r}")
+                        )
+                        if integrity is None:
+                            raise error.with_context(
+                                table=table, day=day, source=source,
+                                line_number=line_number, line=line,
+                            ) from exc
+                        integrity.bad_record(
+                            error, table=table, day=day, source=source,
+                            line_number=line_number, line=line,
+                        )
+                        continue
+                    if integrity is not None:
+                        integrity.ledger.note_decoded(
+                            day, len(line.encode("utf-8"))
+                        )
+                    yield record
+        except (OSError, EOFError, zlib.error, gzip.BadGzipFile) as exc:
+            # A stream-level failure mid-read (torn tail reached without a
+            # prior verification pass): treat the partition as bad.
+            if integrity is None:
+                if isinstance(exc, FileNotFoundError):
+                    raise  # a vanished file is not corruption
+                raise PartitionIntegrityError(
+                    path, "torn", f"unreadable partition: {exc!r}",
+                    table=table, day=day,
+                ) from exc
+            integrity.bad_partition(
+                PartitionCheck(
+                    path, ok=False, kind="torn",
+                    detail=f"unreadable partition: {exc!r}",
+                ),
+                table=table, day=day, source=source,
+            )
 
     return read
 
@@ -170,8 +299,10 @@ class CheckpointError(RuntimeError):
 
 
 #: Bumped whenever the checkpoint payload layout changes; older files
-#: are rejected (and recomputed) instead of being misread.
-CHECKPOINT_VERSION = 1
+#: are rejected (and recomputed) instead of being misread.  v2 pickles
+#: the payload separately and stores its CRC32 alongside, so truncation
+#: and bit rot inside the payload are detected, not just torn envelopes.
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointStore:
@@ -192,6 +323,11 @@ class CheckpointStore:
       directory and ``os.replace``\\ s it into place, so a crash mid-write
       leaves either the previous state or the complete new file — never a
       torn checkpoint.
+    * **Verification.** The payload is pickled separately and stored with
+      its CRC32; :meth:`load` checks the CRC before unpickling, so a
+      truncated or bit-rotted file raises :class:`CheckpointError` (which
+      resume treats as "missing: recompute") instead of crashing the run
+      or silently merging garbage.
     """
 
     def __init__(self, root: Path, config_hash: str) -> None:
@@ -217,12 +353,14 @@ class CheckpointStore:
     def save(self, day: datetime.date, payload: Any) -> Path:
         """Persist one day's payload atomically; returns the final path."""
         path = self.path_for(day)
+        payload_blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         blob = pickle.dumps(
             {
                 "version": CHECKPOINT_VERSION,
                 "config_hash": self.config_hash,
                 "day": day,
-                "payload": payload,
+                "payload_blob": payload_blob,
+                "crc": zlib.crc32(payload_blob),
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -269,7 +407,20 @@ class CheckpointStore:
             raise CheckpointError(
                 f"checkpoint {path} holds {record.get('day')!r}, not {day}"
             )
-        return record["payload"]
+        payload_blob = record.get("payload_blob")
+        if not isinstance(payload_blob, bytes):
+            raise CheckpointError(f"malformed checkpoint {path}: no payload")
+        if zlib.crc32(payload_blob) != record.get("crc"):
+            raise CheckpointError(
+                f"checkpoint {path} failed CRC verification (truncated or "
+                f"bit-rotted payload)"
+            )
+        try:
+            return pickle.loads(payload_blob)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint {path} payload does not unpickle: {exc!r}"
+            ) from exc
 
     def days(self) -> List[datetime.date]:
         """Every day with a checkpoint on disk, sorted."""

@@ -103,6 +103,25 @@ class Dataset(Generic[T]):
     def key_by(self, fn: Callable[[T], K]) -> "Dataset[Tuple[K, T]]":
         return self.map(lambda item: (fn(item), item))
 
+    def guard_partitions(
+        self, handler: Callable[[int, Exception], bool]
+    ) -> "Dataset[T]":
+        """Contain partition-level failures instead of killing the job.
+
+        When iterating a partition raises, ``handler(partition_index,
+        exc)`` decides the outcome: ``True`` suppresses the rest of that
+        partition (records already yielded stand — the lake's quarantine
+        path uses this to drop a torn tail without losing the day), and
+        ``False`` re-raises.  Transformations stacked *after* the guard
+        run inside it; failures in earlier stages pass through untouched.
+        """
+        return Dataset(
+            [
+                _guarded(source, index, handler)
+                for index, source in enumerate(self._sources)
+            ]
+        )
+
     # -- wide transformations (shuffle) --------------------------------------
 
     def reduce_by_key(
@@ -263,3 +282,25 @@ def _partition_mapped(
     source: PartitionSource, fn: Callable[[Iterator[T]], Iterator[U]]
 ) -> PartitionSource:
     return lambda: fn(source())
+
+
+def _guarded(
+    source: PartitionSource,
+    index: int,
+    handler: Callable[[int, Exception], bool],
+) -> PartitionSource:
+    def generate() -> Iterator[T]:
+        iterator = source()
+        while True:
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+            except Exception as exc:  # noqa: BLE001 — routed to the handler
+                telemetry.count("dataflow_partitions_guarded")
+                if handler(index, exc):
+                    return
+                raise
+            yield item
+
+    return generate

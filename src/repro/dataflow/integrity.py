@@ -1,0 +1,935 @@
+"""Data-plane integrity: checksummed partitions, quarantine, day admission.
+
+The paper's pipeline shipped probe logs to a central lake daily for five
+years (Section 2.2) and survived probe outages "from few hours up to some
+months" (Section 2.3).  Surviving that long means the *data* plane — not
+just the compute plane — must treat corruption as the normal case: torn
+writes when a copy is interrupted, bit rot in long-term storage, schema
+drift as probe software evolves, and partial days around outages.  This
+module is the reproduction's answer, in four tiers:
+
+* **Partition manifests** — every partition written into the lake gets a
+  deterministic JSON sidecar (:class:`PartitionManifest`: CRC32 of the
+  payload lines, record count, byte total, schema version) finalized
+  atomically, so a torn or silently altered partition is detectable
+  without trusting the data bytes themselves.
+* **Record quarantine** — decode failures surface as the typed
+  :class:`RecordDecodeError` naming table, day, source, and line number;
+  a :class:`LakeIntegrity` policy (``strict`` | ``quarantine`` | ``skip``)
+  decides whether a bad line aborts the read, is routed to
+  ``<root>/_quarantine/`` with full provenance, or is dropped counted.
+* **Quality-gated admission** — per-day :class:`DayQualityReport`\\ s feed
+  a :class:`DayAdmission` threshold that excludes degraded days from the
+  study exactly like :class:`~repro.tstat.outages.OutageCalendar` holes,
+  so analytics tolerate data loss the way the paper's figures tolerate
+  probe gaps.
+* **Deterministic corruption injection** — a :class:`CorruptionPlan` (in
+  the style of :mod:`repro.core.faults`) applies seeded, byte-reproducible
+  damage keyed on ``(table, day, source)``; :func:`fsck_lake` scans a lake
+  and must find every injected class with zero false positives.
+
+Everything here is deterministic: same seed + same plan ⇒ identical
+quarantine directories, identical reports, identical fsck findings.
+"""
+
+from __future__ import annotations
+
+import datetime
+import gzip
+import io
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry import runtime as telemetry
+
+# ----------------------------------------------------------------------
+# Policies
+
+POLICY_STRICT = "strict"  # any corruption aborts the read (typed error)
+POLICY_QUARANTINE = "quarantine"  # bad lines routed to _quarantine/, read continues
+POLICY_SKIP = "skip"  # bad lines dropped (counted), nothing persisted
+
+POLICIES = (POLICY_STRICT, POLICY_QUARANTINE, POLICY_SKIP)
+
+
+def validate_policy(policy: str) -> str:
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown bad-records policy {policy!r}; choose from {POLICIES}"
+        )
+    return policy
+
+
+# ----------------------------------------------------------------------
+# Typed errors
+
+
+class RecordDecodeError(ValueError):
+    """A record failed to decode, with full provenance.
+
+    Carries (when known) the table, day, source file, 1-based line
+    number, and the offending line, so an operator can go from a stack
+    trace straight to the byte in the lake.  Context is usually attached
+    in layers: the parser knows the reason, the log reader adds the
+    source and line number, the lake read path adds table and day.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        table: Optional[str] = None,
+        day: Optional[datetime.date] = None,
+        source: Optional[str] = None,
+        line_number: Optional[int] = None,
+        line: Optional[str] = None,
+    ) -> None:
+        self.reason = reason
+        self.table = table
+        self.day = day
+        self.source = source
+        self.line_number = line_number
+        self.line = line
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        where: List[str] = []
+        if self.table is not None:
+            where.append(f"table {self.table!r}")
+        if self.day is not None:
+            where.append(f"day {self.day.isoformat()}")
+        if self.source is not None:
+            where.append(f"source {self.source!r}")
+        if self.line_number is not None:
+            where.append(f"line {self.line_number}")
+        prefix = ", ".join(where)
+        return f"{prefix}: {self.reason}" if prefix else self.reason
+
+    def with_context(
+        self,
+        *,
+        table: Optional[str] = None,
+        day: Optional[datetime.date] = None,
+        source: Optional[str] = None,
+        line_number: Optional[int] = None,
+        line: Optional[str] = None,
+    ) -> "RecordDecodeError":
+        """A copy (same type, so subclasses like ``LogFormatError``
+        survive enrichment) with missing provenance fields filled in."""
+        return type(self)(
+            self.reason,
+            table=self.table if self.table is not None else table,
+            day=self.day if self.day is not None else day,
+            source=self.source if self.source is not None else source,
+            line_number=(
+                self.line_number if self.line_number is not None else line_number
+            ),
+            line=self.line if self.line is not None else line,
+        )
+
+
+class PartitionIntegrityError(RuntimeError):
+    """A whole partition failed verification; names the partition and why."""
+
+    def __init__(
+        self, path: Path, kind: str, detail: str, *,
+        table: Optional[str] = None, day: Optional[datetime.date] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.detail = detail
+        self.table = table
+        self.day = day
+        where = f"partition {self.path}"
+        if table is not None and day is not None:
+            where = f"partition {table}/{day.isoformat()}/{self.path.name}"
+        super().__init__(f"{where}: {kind}: {detail}")
+
+
+# ----------------------------------------------------------------------
+# Partition manifests
+
+#: Bumped when the sidecar layout changes.
+MANIFEST_FORMAT = 1
+
+#: Schema version recorded for lake partitions written by this code.
+LAKE_SCHEMA_VERSION = 1
+
+_HEADER_RE = re.compile(r"^#tstat-log v(\d+)")
+
+
+@dataclass(frozen=True)
+class PartitionManifest:
+    """What a partition *should* contain: enough to verify it later.
+
+    The CRC covers the payload lines only (comment and blank lines are
+    skipped, exactly as readers skip them), so a harmless annotation does
+    not invalidate a partition while any payload change does.
+    """
+
+    records: int
+    crc32: int
+    payload_bytes: int
+    schema_version: int = LAKE_SCHEMA_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": MANIFEST_FORMAT,
+                "records": self.records,
+                "crc32": self.crc32,
+                "payload_bytes": self.payload_bytes,
+                "schema_version": self.schema_version,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PartitionManifest":
+        raw = json.loads(text)
+        if raw.get("format") != MANIFEST_FORMAT:
+            raise ValueError(f"unknown manifest format {raw.get('format')!r}")
+        return cls(
+            records=int(raw["records"]),
+            crc32=int(raw["crc32"]),
+            payload_bytes=int(raw["payload_bytes"]),
+            schema_version=int(raw["schema_version"]),
+        )
+
+
+def manifest_path_for(data_path: Path) -> Path:
+    return data_path.with_name(data_path.name + ".manifest.json")
+
+
+def write_manifest(data_path: Path, manifest: PartitionManifest) -> Path:
+    """Atomically finalize a partition's sidecar manifest."""
+    path = manifest_path_for(data_path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.part")
+    tmp.write_text(manifest.to_json() + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(data_path: Path) -> Optional[PartitionManifest]:
+    """The sidecar manifest of a partition, or None when absent/unreadable."""
+    path = manifest_path_for(data_path)
+    try:
+        return PartitionManifest.from_json(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (ValueError, KeyError, OSError) as exc:
+        raise PartitionIntegrityError(
+            data_path, "manifest", f"unreadable sidecar manifest: {exc!r}"
+        ) from exc
+
+
+class PayloadDigest:
+    """Incrementally tracks what a :class:`PartitionManifest` records."""
+
+    def __init__(self, schema_version: int = LAKE_SCHEMA_VERSION) -> None:
+        self.records = 0
+        self.payload_bytes = 0
+        self.schema_version = schema_version
+        self._crc = 0
+
+    def add_line(self, line: str) -> None:
+        """Fold one payload line (as written, with its newline) in."""
+        encoded = line.encode("utf-8")
+        self._crc = zlib.crc32(encoded, self._crc)
+        self.records += 1
+        self.payload_bytes += len(encoded)
+
+    def manifest(self) -> PartitionManifest:
+        return PartitionManifest(
+            records=self.records,
+            crc32=self._crc,
+            payload_bytes=self.payload_bytes,
+            schema_version=self.schema_version,
+        )
+
+
+def is_payload_line(line: str) -> bool:
+    return not line.startswith("#") and bool(line.strip())
+
+
+# ----------------------------------------------------------------------
+# Partition verification
+
+
+@dataclass(frozen=True)
+class PartitionCheck:
+    """Outcome of verifying one partition against its manifest."""
+
+    path: Path
+    ok: bool
+    kind: str = ""  # "" | "torn" | "checksum" | "count" | "schema" | "manifest"
+    detail: str = ""
+
+
+def verify_partition(
+    path: Path, manifest: Optional[PartitionManifest] = None
+) -> PartitionCheck:
+    """Stream a partition once and compare it to its manifest.
+
+    Detects torn gzip tails and bit flips (the gzip container fails to
+    decode, or the payload CRC diverges), record-count mismatches
+    (dropped/duplicated lines), and foreign schema headers (an embedded
+    ``#tstat-log vN`` claiming a version the manifest does not).  A
+    missing manifest downgrades verification to a readability check.
+    """
+    if manifest is None:
+        manifest = load_manifest(path)
+    digest = PayloadDigest()
+    declared_schema: Optional[int] = None
+    try:
+        with _open_partition_text(path) as handle:
+            for line in handle:
+                header = _HEADER_RE.match(line)
+                if header is not None:
+                    declared_schema = int(header.group(1))
+                if is_payload_line(line):
+                    digest.add_line(line)
+    except (OSError, EOFError, zlib.error, gzip.BadGzipFile) as exc:
+        return PartitionCheck(
+            path, ok=False, kind="torn",
+            detail=f"unreadable partition (torn or bit-rotted): {exc!r}",
+        )
+    except UnicodeDecodeError as exc:
+        return PartitionCheck(
+            path, ok=False, kind="torn",
+            detail=f"undecodable bytes (bit-rotted): {exc!r}",
+        )
+    if manifest is None:
+        return PartitionCheck(path, ok=True, kind="manifest",
+                              detail="no sidecar manifest (unverified)")
+    computed = digest.manifest()
+    if declared_schema is not None and declared_schema != manifest.schema_version:
+        return PartitionCheck(
+            path, ok=False, kind="schema",
+            detail=(f"partition declares schema v{declared_schema}, "
+                    f"manifest recorded v{manifest.schema_version}"),
+        )
+    if computed.records != manifest.records:
+        return PartitionCheck(
+            path, ok=False, kind="count",
+            detail=(f"{computed.records} records on disk, "
+                    f"manifest recorded {manifest.records}"),
+        )
+    if computed.crc32 != manifest.crc32:
+        return PartitionCheck(
+            path, ok=False, kind="checksum",
+            detail=(f"payload CRC32 {computed.crc32:#010x} != "
+                    f"recorded {manifest.crc32:#010x}"),
+        )
+    return PartitionCheck(path, ok=True)
+
+
+def _open_partition_text(path: Path) -> io.TextIOWrapper:
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Quarantine
+
+QUARANTINE_DIR = "_quarantine"
+
+
+class Quarantine:
+    """Routes bad records (and bad partitions) aside with full provenance.
+
+    Layout::
+
+        <root>/<table>/day=YYYY-MM-DD/<source>.bad         one line per record
+        <root>/<table>/day=YYYY-MM-DD/<source>.partition   whole-file failures
+
+    Record lines are ``<line_number>\\t<reason>\\t<raw line>``; appends
+    happen in deterministic read order, so two identical runs produce
+    byte-identical quarantine trees (asserted in tests).
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.records_quarantined = 0
+        self.partitions_quarantined = 0
+
+    def _day_dir(self, table: str, day: datetime.date) -> Path:
+        directory = self.root / table / f"day={day.isoformat()}"
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+
+    def record(
+        self,
+        table: str,
+        day: datetime.date,
+        source: str,
+        line_number: int,
+        line: str,
+        reason: str,
+    ) -> None:
+        path = self._day_dir(table, day) / f"{source}.bad"
+        entry = f"{line_number}\t{reason}\t{line.rstrip(chr(10))}\n"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(entry)
+        self.records_quarantined += 1
+        telemetry.count("lake_quarantined_records", table=table)
+
+    def partition(
+        self, table: str, day: datetime.date, source: str, reason: str
+    ) -> None:
+        path = self._day_dir(table, day) / f"{source}.partition"
+        path.write_text(reason + "\n", encoding="utf-8")
+        self.partitions_quarantined += 1
+        telemetry.count("lake_quarantined_partitions", table=table)
+
+
+# ----------------------------------------------------------------------
+# Day quality and admission
+
+
+@dataclass
+class DayQualityReport:
+    """How much of one day's data actually decoded, across all tables."""
+
+    day: datetime.date
+    decoded: int = 0
+    quarantined: int = 0
+    expected: int = 0  # sum of manifest record counts (0 when unmanifested)
+    payload_bytes: int = 0
+    partitions: int = 0
+    failed_partitions: int = 0
+    tables: List[str] = field(default_factory=list)
+
+    @property
+    def quality(self) -> float:
+        """Fraction of the day's expected records that decoded cleanly.
+
+        Against the manifests' expected totals when available (so a torn
+        partition counts everything it *should* have held as lost),
+        falling back to decoded/(decoded+quarantined) otherwise.  An
+        empty, undamaged day is perfect by definition.
+        """
+        denominator = max(self.expected, self.decoded + self.quarantined)
+        if denominator == 0:
+            return 0.0 if self.failed_partitions else 1.0
+        return self.decoded / denominator
+
+    def degraded(self, min_quality: float) -> bool:
+        return self.quality < min_quality
+
+    def to_dict(self) -> dict:
+        return {
+            "day": self.day.isoformat(),
+            "decoded": self.decoded,
+            "quarantined": self.quarantined,
+            "expected": self.expected,
+            "payload_bytes": self.payload_bytes,
+            "partitions": self.partitions,
+            "failed_partitions": self.failed_partitions,
+            "quality": round(self.quality, 6),
+            "tables": sorted(set(self.tables)),
+        }
+
+
+class DayAdmission:
+    """The quality gate: which degraded days enter the study calendar.
+
+    Days whose :class:`DayQualityReport` falls below ``min_quality`` are
+    excluded from the merged study — the same hole the analytics already
+    tolerate for probe outages — and recorded for the run manifest.
+    """
+
+    def __init__(self, min_quality: float = 0.999) -> None:
+        if not 0.0 <= min_quality <= 1.0:
+            raise ValueError("min_quality must be within [0, 1]")
+        self.min_quality = min_quality
+        self.reports: List[DayQualityReport] = []
+        self.excluded: List[datetime.date] = []
+
+    def admit(self, report: DayQualityReport) -> bool:
+        self.reports.append(report)
+        if report.degraded(self.min_quality):
+            self.excluded.append(report.day)
+            telemetry.count("lake_days_excluded")
+            return False
+        return True
+
+    def quality_dicts(self) -> List[dict]:
+        return [report.to_dict() for report in self.reports]
+
+
+class QualityLedger:
+    """Accumulates per-day read statistics as lake partitions stream."""
+
+    def __init__(self) -> None:
+        self._reports: Dict[datetime.date, DayQualityReport] = {}
+
+    def report_for(self, day: datetime.date) -> DayQualityReport:
+        report = self._reports.get(day)
+        if report is None:
+            report = DayQualityReport(day=day)
+            self._reports[day] = report
+        return report
+
+    def note_partition(
+        self,
+        table: str,
+        day: datetime.date,
+        manifest: Optional[PartitionManifest],
+    ) -> None:
+        report = self.report_for(day)
+        report.partitions += 1
+        report.tables.append(table)
+        if manifest is not None:
+            report.expected += manifest.records
+
+    def note_decoded(self, day: datetime.date, payload_bytes: int) -> None:
+        report = self.report_for(day)
+        report.decoded += 1
+        report.payload_bytes += payload_bytes
+
+    def note_quarantined(self, day: datetime.date) -> None:
+        self.report_for(day).quarantined += 1
+
+    def note_failed_partition(self, day: datetime.date) -> None:
+        self.report_for(day).failed_partitions += 1
+
+    def reports(self) -> List[DayQualityReport]:
+        return [self._reports[day] for day in sorted(self._reports)]
+
+
+@dataclass
+class LakeIntegrity:
+    """How a lake read treats corruption: policy + sinks + bookkeeping.
+
+    ``policy`` routes bad *records*; ``verify_checksums`` arms lazy
+    per-partition manifest verification; partition-level failures follow
+    the same policy (strict ⇒ :class:`PartitionIntegrityError`, otherwise
+    the partition is quarantined/skipped whole and its manifest-expected
+    records count as lost in the day's quality report).
+    """
+
+    policy: str = POLICY_STRICT
+    verify_checksums: bool = True
+    quarantine: Optional[Quarantine] = None
+    ledger: QualityLedger = field(default_factory=QualityLedger)
+
+    def __post_init__(self) -> None:
+        validate_policy(self.policy)
+
+    @classmethod
+    def for_lake_root(
+        cls, root: Path, policy: str = POLICY_STRICT, verify: bool = True
+    ) -> "LakeIntegrity":
+        quarantine = (
+            Quarantine(Path(root) / QUARANTINE_DIR)
+            if policy == POLICY_QUARANTINE
+            else None
+        )
+        return cls(policy=policy, verify_checksums=verify, quarantine=quarantine)
+
+    # -- record-level routing ----------------------------------------------
+
+    def bad_record(
+        self,
+        error: RecordDecodeError,
+        *,
+        table: str,
+        day: datetime.date,
+        source: str,
+        line_number: int,
+        line: str,
+    ) -> None:
+        """Route one undecodable line per policy (raises under strict)."""
+        enriched = error.with_context(
+            table=table, day=day, source=source,
+            line_number=line_number, line=line,
+        )
+        if self.policy == POLICY_STRICT:
+            raise enriched
+        self.ledger.note_quarantined(day)
+        if self.quarantine is not None:
+            self.quarantine.record(
+                table, day, source, line_number, line, enriched.reason
+            )
+        else:
+            telemetry.count("lake_skipped_records", table=table)
+
+    # -- partition-level routing -------------------------------------------
+
+    def bad_partition(
+        self,
+        check: PartitionCheck,
+        *,
+        table: str,
+        day: datetime.date,
+        source: str,
+    ) -> None:
+        """Route one failed partition per policy (raises under strict)."""
+        telemetry.count("lake_checksum_failures", table=table)
+        if self.policy == POLICY_STRICT:
+            raise PartitionIntegrityError(
+                check.path, check.kind, check.detail, table=table, day=day
+            )
+        self.ledger.note_failed_partition(day)
+        if self.quarantine is not None:
+            self.quarantine.partition(
+                table, day, source, f"{check.kind}: {check.detail}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Deterministic corruption injection
+
+CORRUPT_TRUNCATE = "truncate"  # cut the gzip tail: a torn copy
+CORRUPT_BIT_FLIP = "bit_flip"  # flip one byte mid-stream: bit rot
+CORRUPT_DROP_COLUMN = "drop_column"  # remove a field from every line: drift
+CORRUPT_DUPLICATE_LINE = "duplicate_line"  # repeat a line: count mismatch
+CORRUPT_FOREIGN_HEADER = "foreign_header"  # claim an alien schema version
+
+_CORRUPTION_KINDS = frozenset(
+    {
+        CORRUPT_TRUNCATE,
+        CORRUPT_BIT_FLIP,
+        CORRUPT_DROP_COLUMN,
+        CORRUPT_DUPLICATE_LINE,
+        CORRUPT_FOREIGN_HEADER,
+    }
+)
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """One injected corruption: what happens to which partition."""
+
+    table: str
+    day: datetime.date
+    kind: str
+    source: str = "part-0"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CORRUPTION_KINDS:
+            raise ValueError(f"unknown corruption kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class CorruptionPlan:
+    """A deterministic set of :class:`CorruptionSpec`\\ s to apply to a lake.
+
+    In the style of :class:`~repro.core.faults.FaultPlan`: fully keyed
+    (table, day, source, kind, seed), so applying the same plan to two
+    identical lakes damages them byte-identically — which is what lets
+    the determinism-under-corruption tests compare whole study runs.
+    """
+
+    specs: Tuple[CorruptionSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def of(cls, *specs: CorruptionSpec, seed: int = 0) -> "CorruptionPlan":
+        return cls(specs=tuple(specs), seed=seed)
+
+    def apply(self, lake_root: Path) -> List[Path]:
+        """Damage the lake in place; returns the partitions touched."""
+        touched: List[Path] = []
+        for spec in self.specs:
+            path = _partition_path(lake_root, spec)
+            if not path.is_file():
+                raise FileNotFoundError(
+                    f"cannot corrupt missing partition {path}"
+                )
+            _apply_one(path, spec, self.seed)
+            touched.append(path)
+        return touched
+
+
+def _partition_path(lake_root: Path, spec: CorruptionSpec) -> Path:
+    day = spec.day
+    return (
+        Path(lake_root)
+        / spec.table
+        / f"year={day.year:04d}"
+        / f"month={day.month:02d}"
+        / f"day={day.day:02d}"
+        / f"{spec.source}.tsv.gz"
+    )
+
+
+def _spec_offset(spec: CorruptionSpec, seed: int, span: int) -> int:
+    """A deterministic offset in [0, span) keyed by the spec, not by RNG
+    state shared across specs (plans must not be order-sensitive)."""
+    key = f"{spec.table}|{spec.day.isoformat()}|{spec.source}|{spec.kind}|{seed}"
+    return zlib.crc32(key.encode("utf-8")) % max(1, span)
+
+
+def _apply_one(path: Path, spec: CorruptionSpec, seed: int) -> None:
+    if spec.kind == CORRUPT_TRUNCATE:
+        blob = path.read_bytes()
+        keep = max(12, len(blob) * 3 // 5)  # past the gzip header, pre-tail
+        path.write_bytes(blob[:keep])
+        return
+    if spec.kind == CORRUPT_BIT_FLIP:
+        blob = bytearray(path.read_bytes())
+        # Flip a byte inside the deflate stream: after the 10-byte gzip
+        # header, before the 8-byte CRC/length trailer.
+        span = max(1, len(blob) - 18)
+        offset = 10 + _spec_offset(spec, seed, span)
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        return
+    lines = _read_lines(path)
+    payload_indices = [
+        index for index, line in enumerate(lines) if is_payload_line(line)
+    ]
+    if spec.kind == CORRUPT_FOREIGN_HEADER:
+        lines.insert(0, "#tstat-log v99\n")
+    elif spec.kind == CORRUPT_DUPLICATE_LINE and payload_indices:
+        victim = payload_indices[
+            _spec_offset(spec, seed, len(payload_indices))
+        ]
+        lines.insert(victim, lines[victim])
+    elif spec.kind == CORRUPT_DROP_COLUMN:
+        lines = [
+            _drop_last_field(line) if is_payload_line(line) else line
+            for line in lines
+        ]
+    _write_lines(path, lines)
+
+
+def _drop_last_field(line: str) -> str:
+    fields = line.rstrip("\n").split("\t")
+    return "\t".join(fields[:-1]) + "\n"
+
+
+def _read_lines(path: Path) -> List[str]:
+    with _open_partition_text(path) as handle:
+        return handle.readlines()
+
+
+def _write_lines(path: Path, lines: List[str]) -> None:
+    # mtime=0 keeps the rewritten gzip byte-deterministic, matching the
+    # lake's own writes.
+    buffer = io.BytesIO()
+    with gzip.GzipFile(filename="", mode="wb", fileobj=buffer, mtime=0) as gz:
+        gz.write("".join(lines).encode("utf-8"))
+    path.write_bytes(buffer.getvalue())
+
+
+# ----------------------------------------------------------------------
+# fsck
+
+
+@dataclass(frozen=True)
+class IntegrityFinding:
+    """One fsck discovery: which partition, what class of damage."""
+
+    table: str
+    day: datetime.date
+    source: str
+    kind: str  # "torn" | "checksum" | "count" | "schema" | "record" | "manifest"
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"{self.table}/{self.day.isoformat()}/{self.source}  "
+            f"[{self.kind}] {self.detail}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "day": self.day.isoformat(),
+            "source": self.source,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Everything ``repro fsck`` learned about a lake."""
+
+    root: Path
+    partitions_scanned: int = 0
+    records_decoded: int = 0
+    findings: List[IntegrityFinding] = field(default_factory=list)
+    quarantined_records: int = 0
+    quarantined_partitions: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"fsck {self.root}: {self.partitions_scanned} partition(s), "
+            f"{self.records_decoded} record(s) decoded",
+        ]
+        if self.clean:
+            lines.append("clean: no integrity findings")
+            return lines
+        kinds = ", ".join(f"{kind}={n}" for kind, n in self.kinds().items())
+        lines.append(f"{len(self.findings)} finding(s): {kinds}")
+        lines.extend(finding.render() for finding in self.findings)
+        if self.quarantined_records or self.quarantined_partitions:
+            lines.append(
+                f"quarantined: {self.quarantined_records} record(s), "
+                f"{self.quarantined_partitions} partition(s)"
+            )
+        return lines
+
+    def to_dict(self) -> dict:
+        return {
+            "root": str(self.root),
+            "partitions_scanned": self.partitions_scanned,
+            "records_decoded": self.records_decoded,
+            "clean": self.clean,
+            "kinds": self.kinds(),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "quarantined_records": self.quarantined_records,
+            "quarantined_partitions": self.quarantined_partitions,
+        }
+
+
+#: Providers of per-table record decoders, registered by the layers that
+#: own the codecs (``tstat.logs`` for flow logs, ``core.persistence`` for
+#: the aggregate tables).  Integrity sits *beneath* those layers, so it
+#: must not import them — they push their decoders down at import time.
+_CODEC_PROVIDERS: List[Callable[[], Dict[str, Callable[[str], object]]]] = []  # repro: noqa[RPR004] -- append-only at import time, before any worker forks
+
+
+def register_codec_provider(
+    provider: Callable[[], Dict[str, Callable[[str], object]]]
+) -> None:
+    """Register a table→decoder mapping for :func:`default_codecs`."""
+    _CODEC_PROVIDERS.append(provider)
+
+
+def default_codecs() -> Dict[str, Callable[[str], object]]:
+    """Decoders fsck uses per table to surface bad *records* (not just bad
+    partitions).  Unknown tables still get structural verification.  Only
+    tables whose owning module has been imported are decodable — the CLI
+    imports them all before scanning."""
+    codecs: Dict[str, Callable[[str], object]] = {}
+    for provider in _CODEC_PROVIDERS:
+        codecs.update(provider())
+    return codecs
+
+
+def fsck_lake(
+    lake,
+    *,
+    decode: bool = True,
+    quarantine: bool = False,
+    codecs: Optional[Dict[str, Callable[[str], object]]] = None,
+) -> FsckReport:
+    """Scan every partition of a lake and report integrity findings.
+
+    Structural checks (torn gzip, CRC, record count, schema header) run
+    against the sidecar manifests; with ``decode=True``, tables with a
+    known codec are additionally decoded line by line so malformed
+    records are named individually.  ``quarantine=True`` routes bad
+    records and failed partitions into ``<root>/_quarantine/``.
+
+    ``lake`` is any object with the :class:`~repro.dataflow.datalake.
+    DataLake` surface (``root``, ``tables()``, ``days()``, ``day_dir()``).
+    """
+    if codecs is None:
+        codecs = default_codecs() if decode else {}
+    sink = Quarantine(Path(lake.root) / QUARANTINE_DIR) if quarantine else None
+    report = FsckReport(root=Path(lake.root))
+    for table in lake.tables():
+        decoder = codecs.get(table) if decode else None
+        for day in lake.days(table):
+            directory = lake.day_dir(table, day)
+            for path in sorted(directory.glob("*.tsv.gz")):
+                source = path.name[: -len(".tsv.gz")]
+                report.partitions_scanned += 1
+                telemetry.count("fsck_partitions_scanned", table=table)
+                try:
+                    check = verify_partition(path)
+                except PartitionIntegrityError as exc:
+                    check = PartitionCheck(
+                        path, ok=False, kind=exc.kind, detail=exc.detail
+                    )
+                if not check.ok:
+                    report.findings.append(
+                        IntegrityFinding(table, day, source, check.kind,
+                                         check.detail)
+                    )
+                    telemetry.count("lake_checksum_failures", table=table)
+                    if sink is not None:
+                        sink.partition(
+                            table, day, source, f"{check.kind}: {check.detail}"
+                        )
+                    continue
+                if check.kind == "manifest":
+                    report.findings.append(
+                        IntegrityFinding(table, day, source, "manifest",
+                                         check.detail)
+                    )
+                if decoder is not None:
+                    _fsck_decode(report, sink, decoder, path, table, day, source)
+    if sink is not None:
+        report.quarantined_records = sink.records_quarantined
+        report.quarantined_partitions = sink.partitions_quarantined
+    return report
+
+
+def _fsck_decode(
+    report: FsckReport,
+    sink: Optional[Quarantine],
+    decoder: Callable[[str], object],
+    path: Path,
+    table: str,
+    day: datetime.date,
+    source: str,
+) -> None:
+    """Decode every payload line of one verified partition."""
+    with _open_partition_text(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not is_payload_line(line):
+                continue
+            try:
+                decoder(line)
+            except Exception as exc:  # noqa: BLE001 — normalized below
+                reason = (
+                    exc.reason
+                    if isinstance(exc, RecordDecodeError)
+                    else f"undecodable record: {exc!r}"
+                )
+                report.findings.append(
+                    IntegrityFinding(
+                        table, day, source, "record",
+                        f"line {line_number}: {reason}",
+                    )
+                )
+                if sink is not None:
+                    sink.record(table, day, source, line_number, line, reason)
+            else:
+                report.records_decoded += 1
+
+
+def quarantine_tree(root: Path) -> Dict[str, str]:
+    """Relative path → content of a quarantine directory (for equality
+    assertions: two deterministic runs must produce identical trees)."""
+    root = Path(root)
+    if not root.is_dir():
+        return {}
+    return {
+        path.relative_to(root).as_posix(): path.read_text(encoding="utf-8")
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }

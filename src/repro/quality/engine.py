@@ -58,6 +58,10 @@ class LintConfig:
     floatsum_scopes: Tuple[str, ...] = ("figures", "analytics", "core")
     #: Modules whose write APIs are anonymization sinks (RPR003).
     sink_modules: Tuple[str, ...] = ("repro.reporting.export", "repro.tstat.logs")
+    #: Path fragments scoping the silent-exception-swallow rule (RPR007):
+    #: the data and compute planes, where a swallowed error means silently
+    #: corrupted StudyData rather than a cosmetic glitch.
+    swallow_scopes: Tuple[str, ...] = ("dataflow", "tstat", "core")
     select: Tuple[str, ...] = ()
 
 

@@ -10,6 +10,7 @@ RPR003      raw client addresses anonymized before export sinks
 RPR004      no mutable module-level state in fork-worker imports
 RPR005      float reductions via math.fsum, not order-sensitive sum()
 RPR006      set iteration feeding aggregation/output must be sorted
+RPR007      no silently swallowed broad exceptions in data/compute planes
 ==========  ==========================================================
 """
 
@@ -19,6 +20,7 @@ from repro.quality.rules import (  # noqa: F401  (import registers the rules)
     floatsum,
     forksafe,
     rng,
+    swallow,
     wallclock,
 )
 
@@ -28,5 +30,6 @@ __all__ = [
     "floatsum",
     "forksafe",
     "rng",
+    "swallow",
     "wallclock",
 ]

@@ -97,8 +97,10 @@ class Probe:
 
         Returns the number of records written.  This is the daily export
         path of the real deployment: records never accumulate in memory.
+        The export carries a sidecar integrity manifest, so corruption
+        picked up in transit to the lake is detectable on arrival.
         """
-        with FlowLogWriter(path) as writer:
+        with FlowLogWriter(path, manifest=True) as writer:
             for packet in packets:
                 writer.write_all(self.feed(packet))
             writer.write_all(self.meter.flush())

@@ -1,0 +1,29 @@
+"""Fixture: broad handlers that route the error, and narrow handlers."""
+
+
+class DecodeError(ValueError):
+    pass
+
+
+def wrap_in_typed_error(line):
+    try:
+        return int(line)
+    except Exception as exc:
+        raise DecodeError(f"bad line {line!r}") from exc
+
+
+def record_and_continue(lines, telemetry):
+    decoded = []
+    for line in lines:
+        try:
+            decoded.append(int(line))
+        except Exception:
+            telemetry.count("bad_lines")
+    return decoded
+
+
+def narrow_handler_is_control_flow(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        return None

@@ -1,0 +1,26 @@
+"""Fixture: broad exception handlers that silently swallow errors."""
+
+
+def eat_everything(lines):
+    decoded = []
+    for line in lines:
+        try:
+            decoded.append(int(line))
+        except Exception:
+            pass
+    return decoded
+
+
+def bare_swallow(path):
+    try:
+        return open(path).read()
+    except:  # noqa: E722
+        return None
+
+
+def tuple_with_broad(value):
+    try:
+        return float(value)
+    except (ValueError, Exception):
+        result = 0.0
+    return result

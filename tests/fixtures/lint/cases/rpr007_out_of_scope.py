@@ -1,0 +1,9 @@
+"""Fixture: swallowed exception outside dataflow/tstat/core — allowed
+(driver-layer cosmetics are not the data plane)."""
+
+
+def best_effort_banner(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return ""

@@ -122,3 +122,131 @@ class TestParser:
         assert args.start_method == "auto"
         assert args.retries == 2
         assert not args.resume
+
+
+@pytest.fixture(scope="module")
+def small_lake(tmp_path_factory):
+    """A tiny archived lake for the fsck/replay commands."""
+    import datetime
+
+    from repro.core.config import StudyConfig
+    from repro.core.persistence import PersistingStudy
+    from repro.dataflow.datalake import DataLake
+    from repro.synthesis.world import WorldConfig
+
+    root = tmp_path_factory.mktemp("cli-lake") / "lake"
+    config = StudyConfig(
+        world=WorldConfig(
+            seed=5,
+            adsl_count=20,
+            ftth_count=10,
+            start=datetime.date(2014, 2, 1),
+            end=datetime.date(2014, 3, 31),
+        ),
+        day_stride=7,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=1,
+    )
+    PersistingStudy(config, lake=DataLake(root)).run()
+    return root
+
+
+def corrupt_one_partition(lake_root):
+    from repro.dataflow.datalake import DataLake
+    from repro.dataflow.integrity import (
+        CORRUPT_TRUNCATE,
+        CorruptionPlan,
+        CorruptionSpec,
+    )
+
+    lake = DataLake(lake_root)
+    day = lake.days("usage")[0]
+    CorruptionPlan.of(
+        CorruptionSpec("usage", day, CORRUPT_TRUNCATE)
+    ).apply(lake_root)
+    return day
+
+
+class TestFsckCommand:
+    def test_missing_lake(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "absent")]) == 2
+        assert "no lake" in capsys.readouterr().err
+
+    def test_clean_lake(self, small_lake, capsys):
+        assert main(["fsck", str(small_lake)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_corrupt_lake_found(self, small_lake, tmp_path, capsys):
+        import shutil
+
+        root = tmp_path / "lake"
+        shutil.copytree(small_lake, root)
+        day = corrupt_one_partition(root)
+        assert main(["fsck", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert day.isoformat() in out
+        assert "torn" in out
+
+    def test_json_format(self, small_lake, capsys):
+        import json
+
+        assert main(["fsck", str(small_lake), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["partitions_scanned"] > 0
+
+
+class TestReplayCommand:
+    def test_missing_lake(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "absent")]) == 2
+
+    def test_bad_threshold(self, small_lake, capsys):
+        code = main(
+            ["replay", str(small_lake), "--min-day-quality", "1.5"]
+        )
+        assert code == 2
+        assert "min-day-quality" in capsys.readouterr().err
+
+    def test_clean_replay(self, small_lake, capsys):
+        assert main(["replay", str(small_lake)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+
+    def test_strict_fails_on_corruption(self, small_lake, tmp_path, capsys):
+        import shutil
+
+        root = tmp_path / "lake"
+        shutil.copytree(small_lake, root)
+        corrupt_one_partition(root)
+        assert main(["replay", str(root)]) == 1
+        err = capsys.readouterr().err
+        assert "usage" in err and "part-0" in err
+
+    def test_quarantine_completes_and_reports(
+        self, small_lake, tmp_path, capsys
+    ):
+        import json
+        import shutil
+
+        root = tmp_path / "lake"
+        shutil.copytree(small_lake, root)
+        day = corrupt_one_partition(root)
+        code = main(
+            ["replay", str(root), "--bad-records", "quarantine", "--report"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "excluded 1 degraded day(s)" in out
+        assert day.isoformat() in out
+        manifest = json.loads(out[out.index("{"):])
+        quality = {q["day"]: q for q in manifest["data_quality"]}
+        assert quality[day.isoformat()]["quality"] < 1.0
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["replay", "some-lake"])
+        assert args.bad_records == "strict"
+        assert args.min_day_quality == 0.999
+        fsck_args = build_parser().parse_args(["fsck", "some-lake"])
+        assert fsck_args.format == "text"
+        assert not fsck_args.quarantine

@@ -183,6 +183,29 @@ class TestResume:
         )
         assert_identical(LongitudinalStudy(second).run(), result.data)
 
+    def test_truncated_checkpoint_recomputed_bit_identical(
+        self, tmp_path, serial_17
+    ):
+        """A .ckpt torn mid-file is treated as missing on resume: the day
+        is recomputed and the merged StudyData stays bit-identical."""
+        config = micro_config(seed=17)
+        days = planned_days(config)
+        execute_study(
+            config, workers=1, checkpoint_root=tmp_path, retry=FAST_RETRY,
+        )
+        from repro.dataflow.datalake import CheckpointStore
+
+        store = CheckpointStore(tmp_path, config_hash(config))
+        torn = store.path_for(days[1])
+        blob = torn.read_bytes()
+        torn.write_bytes(blob[: len(blob) // 2])
+        resumed = execute_study(
+            config, workers=1, checkpoint_root=tmp_path, resume=True,
+            retry=FAST_RETRY,
+        )
+        assert resumed.report.checkpoint_hits == len(days) - 1
+        assert_identical(serial_17, resumed.data)
+
     def test_manifest_written_next_to_checkpoints(self, tmp_path):
         import json
 

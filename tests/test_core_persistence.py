@@ -11,6 +11,7 @@ from repro.core.persistence import (
     USAGE_TABLE,
     PersistingStudy,
     replay_study,
+    run_replay,
 )
 from repro.core.study import LongitudinalStudy
 from repro.dataflow.datalake import DataLake
@@ -103,6 +104,32 @@ class TestReplay:
         fresh, original = replayed
         assert fresh.weekly_active == original.weekly_active
         assert fresh.weekly_visitors == original.weekly_visitors
+
+    def test_run_replay_matches_plain_replay(self, archived, replayed):
+        """The manifest-producing entry point computes the same data."""
+        lake, data, _ = archived
+        fresh, _ = replayed
+        result = run_replay(lake, data.months, policy="strict")
+        assert result.data == fresh
+
+    def test_run_replay_manifest_shape(self, archived):
+        lake, data, _ = archived
+        result = run_replay(lake, data.months, policy="quarantine")
+        report = result.report.to_dict()
+        assert report["execution"] == "replay"
+        days = sorted(
+            set(lake.days(USAGE_TABLE))
+            | set(lake.days(PROTOCOL_TABLE))
+            | set(lake.days(HOURLY_TABLE))
+        )
+        assert [r["day"] for r in report["days"]] == [
+            d.isoformat() for d in days
+        ]
+        assert all(r["status"] == "completed" for r in report["days"])
+        quality = report["data_quality"]
+        assert len(quality) == len(days)
+        assert all(q["quality"] == 1.0 for q in quality)
+        assert all(q["failed_partitions"] == 0 for q in quality)
 
     def test_figures_run_on_replayed_data(self, replayed):
         fresh, original = replayed

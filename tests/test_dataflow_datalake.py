@@ -102,6 +102,24 @@ class TestDataLake:
         lake.write_day("pairs", DAY, [("a", 1)], PAIR_CODEC)
         assert lake.tables() == ["flows", "pairs"]
 
+    def test_tables_hides_underscore_directories(self, tmp_path):
+        """Bookkeeping trees like _quarantine are not data tables."""
+        lake = DataLake(tmp_path / "lake")
+        lake.write_day("flows", DAY, [record()], FLOW_CODEC)
+        (lake.root / "_quarantine").mkdir()
+        assert lake.tables() == ["flows"]
+
+    def test_write_day_finalizes_manifest_sidecar(self, tmp_path):
+        from repro.dataflow.integrity import load_manifest
+
+        lake = DataLake(tmp_path / "lake")
+        path = lake.write_day("pairs", DAY, [("a", 1), ("b", 2)], PAIR_CODEC)
+        manifest = load_manifest(path)
+        assert manifest is not None
+        assert manifest.records == 2
+        leftovers = [p for p in path.parent.iterdir() if ".part" in p.name]
+        assert leftovers == []
+
     def test_lazy_read(self, tmp_path):
         """read_day must not open files until iterated."""
         lake = DataLake(tmp_path / "lake")
@@ -171,6 +189,29 @@ class TestCheckpointStore:
         store.save(DAY, "payload")
         (store.directory / "day=garbage.ckpt").write_bytes(b"x")
         assert store.days() == [DAY]
+
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.3, 0.6, 0.95])
+    def test_truncated_checkpoint_rejected(self, tmp_path, keep_fraction):
+        """A file torn at any point loads as CheckpointError, never as a
+        partial payload — resume then recomputes the day."""
+        store = CheckpointStore(tmp_path, "cafebabe")
+        path = store.save(DAY, {"rows": list(range(100))})
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * keep_fraction)])
+        with pytest.raises(CheckpointError):
+            store.load(DAY)
+
+    def test_bit_rot_in_payload_caught_by_crc(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafebabe")
+        path = store.save(DAY, "y" * 200)
+        blob = bytearray(path.read_bytes())
+        # Flip a byte inside the payload run; the envelope still unpickles,
+        # so only the CRC check can catch this.
+        index = bytes(blob).index(b"y" * 200) + 100
+        blob[index] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="CRC"):
+            store.load(DAY)
 
 
 class TestMonthDays:

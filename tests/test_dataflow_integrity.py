@@ -1,0 +1,580 @@
+"""Tests for the data-plane integrity tier: manifests, quarantine,
+quality-gated admission, corruption injection, and fsck."""
+
+import datetime
+import gzip
+import shutil
+
+import pytest
+
+import repro.core.persistence  # noqa: F401 — registers fsck table codecs
+from repro.core.persistence import (
+    PROTOCOL_TABLE,
+    USAGE_TABLE,
+    PersistingStudy,
+    replay_study,
+    run_replay,
+)
+from repro.core.config import StudyConfig
+from repro.dataflow.datalake import DataLake, LineCodec, tsv_codec
+from repro.dataflow.engine import Dataset
+from repro.dataflow.integrity import (
+    CORRUPT_BIT_FLIP,
+    CORRUPT_DROP_COLUMN,
+    CORRUPT_DUPLICATE_LINE,
+    CORRUPT_FOREIGN_HEADER,
+    CORRUPT_TRUNCATE,
+    CorruptionPlan,
+    CorruptionSpec,
+    DayAdmission,
+    DayQualityReport,
+    LakeIntegrity,
+    PartitionIntegrityError,
+    PartitionManifest,
+    Quarantine,
+    RecordDecodeError,
+    fsck_lake,
+    load_manifest,
+    manifest_path_for,
+    quarantine_tree,
+    validate_policy,
+    verify_partition,
+    write_manifest,
+)
+from repro.synthesis.world import WorldConfig
+
+D = datetime.date
+DAY = D(2014, 2, 3)
+
+PAIR_CODEC: LineCodec = tsv_codec(
+    from_fields=lambda fields: (int(fields[0]), fields[1]),
+    to_fields=lambda pair: [str(pair[0]), pair[1]],
+)
+
+
+def make_lake(root, records=None, table="pairs", day=DAY, source="part-0"):
+    lake = DataLake(root)
+    if records is None:
+        records = [(i, f"value-{i}") for i in range(20)]
+    lake.write_day(table, day, records, PAIR_CODEC, source=source)
+    return lake
+
+
+class TestRecordDecodeError:
+    def test_message_names_all_context(self):
+        error = RecordDecodeError(
+            "bad int", table="usage", day=DAY, source="pop1.tsv.gz",
+            line_number=17,
+        )
+        message = str(error)
+        assert "usage" in message
+        assert "2014-02-03" in message
+        assert "pop1.tsv.gz" in message
+        assert "line 17" in message
+        assert "bad int" in message
+
+    def test_with_context_fills_only_missing_fields(self):
+        error = RecordDecodeError("bad", source="a.tsv.gz")
+        enriched = error.with_context(
+            table="usage", day=DAY, source="IGNORED", line_number=3
+        )
+        assert enriched.table == "usage"
+        assert enriched.source == "a.tsv.gz"  # original wins
+        assert enriched.line_number == 3
+
+    def test_is_a_value_error(self):
+        assert issubclass(RecordDecodeError, ValueError)
+
+
+class TestPartitionManifest:
+    def test_sidecar_written_with_partition(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        manifest = load_manifest(path)
+        assert manifest is not None
+        assert manifest.records == 20
+        assert manifest.payload_bytes > 0
+
+    def test_json_round_trip(self):
+        manifest = PartitionManifest(
+            records=5, crc32=123456, payload_bytes=99, schema_version=2
+        )
+        assert PartitionManifest.from_json(manifest.to_json()) == manifest
+
+    def test_missing_sidecar_is_none(self, tmp_path):
+        path = tmp_path / "orphan.tsv.gz"
+        assert load_manifest(path) is None
+
+    def test_unreadable_sidecar_raises(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        manifest_path_for(path).write_text("{not json")
+        with pytest.raises(PartitionIntegrityError, match="manifest"):
+            load_manifest(path)
+
+    def test_identical_records_identical_bytes(self, tmp_path):
+        """mtime=0 gzip writes make partitions byte-deterministic."""
+        lake_a = make_lake(tmp_path / "a")
+        lake_b = make_lake(tmp_path / "b")
+        path_a = lake_a.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        path_b = lake_b.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        assert path_a.read_bytes() == path_b.read_bytes()
+        assert (
+            manifest_path_for(path_a).read_text()
+            == manifest_path_for(path_b).read_text()
+        )
+
+
+class TestVerifyPartition:
+    def test_clean_partition_verifies(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        check = verify_partition(path)
+        assert check.ok and check.kind == ""
+
+    def test_torn_gzip_detected(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        check = verify_partition(path)
+        assert not check.ok and check.kind == "torn"
+
+    def test_count_mismatch_detected(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        lines = gzip.decompress(path.read_bytes())
+        path.write_bytes(gzip.compress(lines + b"21\textra\n"))
+        check = verify_partition(path)
+        assert not check.ok and check.kind == "count"
+
+    def test_content_change_detected_as_checksum(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        text = gzip.decompress(path.read_bytes()).decode()
+        altered = text.replace("value-0", "value-X", 1)
+        path.write_bytes(gzip.compress(altered.encode()))
+        check = verify_partition(path)
+        assert not check.ok and check.kind == "checksum"
+
+    def test_comment_lines_do_not_affect_crc(self, tmp_path):
+        """The CRC covers payload lines only, as readers skip comments."""
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        text = gzip.decompress(path.read_bytes()).decode()
+        path.write_bytes(gzip.compress(("# harmless note\n" + text).encode()))
+        assert verify_partition(path).ok
+
+    def test_foreign_schema_header_detected(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        text = gzip.decompress(path.read_bytes()).decode()
+        path.write_bytes(gzip.compress(("#tstat-log v99\n" + text).encode()))
+        check = verify_partition(path)
+        assert not check.ok and check.kind == "schema"
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            validate_policy("lenient")
+        with pytest.raises(ValueError, match="policy"):
+            LakeIntegrity(policy="lenient")
+
+    def _corrupt_line(self, lake):
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        text = gzip.decompress(path.read_bytes()).decode()
+        lines = text.splitlines(keepends=True)
+        lines[4] = "not-an-int\toops\n"
+        path.write_bytes(gzip.compress("".join(lines).encode()))
+        return path
+
+    def test_strict_record_error_names_partition_and_line(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        self._corrupt_line(lake)
+        integrity = LakeIntegrity(policy="strict", verify_checksums=False)
+        with pytest.raises(RecordDecodeError) as excinfo:
+            lake.read_day("pairs", DAY, PAIR_CODEC, integrity).collect()
+        message = str(excinfo.value)
+        assert "pairs" in message
+        assert "2014-02-03" in message
+        assert "line 5" in message
+
+    def test_strict_partition_error_names_partition(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        self._corrupt_line(lake)  # stale manifest -> checksum failure
+        integrity = LakeIntegrity(policy="strict", verify_checksums=True)
+        with pytest.raises(PartitionIntegrityError) as excinfo:
+            lake.read_day("pairs", DAY, PAIR_CODEC, integrity).collect()
+        message = str(excinfo.value)
+        assert "pairs" in message and "part-0" in message
+
+    def test_quarantine_routes_bad_line_with_provenance(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        self._corrupt_line(lake)
+        integrity = LakeIntegrity(
+            policy="quarantine",
+            verify_checksums=False,
+            quarantine=Quarantine(lake.root / "_quarantine"),
+        )
+        rows = lake.read_day("pairs", DAY, PAIR_CODEC, integrity).collect()
+        assert len(rows) == 19
+        tree = quarantine_tree(lake.root / "_quarantine")
+        assert list(tree) == ["pairs/day=2014-02-03/part-0.bad"]
+        entry = tree["pairs/day=2014-02-03/part-0.bad"]
+        assert entry.startswith("5\t")  # line number
+        assert "not-an-int" in entry
+
+    def test_quarantined_table_hidden_from_tables(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        self._corrupt_line(lake)
+        integrity = LakeIntegrity.for_lake_root(lake.root, policy="quarantine")
+        lake.read_day(
+            "pairs", DAY, PAIR_CODEC,
+            LakeIntegrity(policy="quarantine", verify_checksums=False,
+                          quarantine=integrity.quarantine),
+        ).collect()
+        assert lake.tables() == ["pairs"]
+
+    def test_skip_drops_bad_lines_without_persisting(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        self._corrupt_line(lake)
+        integrity = LakeIntegrity(policy="skip", verify_checksums=False)
+        rows = lake.read_day("pairs", DAY, PAIR_CODEC, integrity).collect()
+        assert len(rows) == 19
+        assert not (lake.root / "_quarantine").exists()
+        report = integrity.ledger.report_for(DAY)
+        assert report.quarantined == 1
+        assert report.decoded == 19
+
+    def test_unguarded_read_raises_typed_error_with_context(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        self._corrupt_line(lake)
+        with pytest.raises(RecordDecodeError) as excinfo:
+            lake.read_day("pairs", DAY, PAIR_CODEC).collect()
+        assert excinfo.value.line_number == 5
+        assert excinfo.value.table == "pairs"
+
+
+class TestDayQuality:
+    def test_quality_fraction(self):
+        report = DayQualityReport(day=DAY, decoded=99, quarantined=1,
+                                  expected=100)
+        assert report.quality == pytest.approx(0.99)
+
+    def test_failed_partition_counts_expected_as_lost(self):
+        report = DayQualityReport(day=DAY, decoded=0, expected=50,
+                                  partitions=1, failed_partitions=1)
+        assert report.quality == 0.0
+
+    def test_empty_undamaged_day_is_perfect(self):
+        assert DayQualityReport(day=DAY).quality == 1.0
+
+    def test_admission_thresholds(self):
+        admission = DayAdmission(min_quality=0.9)
+        good = DayQualityReport(day=DAY, decoded=95, quarantined=5,
+                                expected=100)
+        bad = DayQualityReport(day=DAY + datetime.timedelta(days=1),
+                               decoded=10, quarantined=90, expected=100)
+        assert admission.admit(good)
+        assert not admission.admit(bad)
+        assert admission.excluded == [DAY + datetime.timedelta(days=1)]
+        assert len(admission.quality_dicts()) == 2
+
+    def test_admission_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            DayAdmission(min_quality=1.5)
+
+
+class TestCorruptionPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            CorruptionSpec("pairs", DAY, "meteor_strike")
+
+    def test_missing_partition_rejected(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        plan = CorruptionPlan.of(
+            CorruptionSpec("pairs", DAY, CORRUPT_TRUNCATE, source="absent")
+        )
+        with pytest.raises(FileNotFoundError):
+            plan.apply(lake.root)
+
+    def test_deterministic_across_identical_lakes(self, tmp_path):
+        other = DAY + datetime.timedelta(days=1)
+        plan = CorruptionPlan.of(
+            CorruptionSpec("pairs", DAY, CORRUPT_BIT_FLIP),
+            CorruptionSpec("pairs", other, CORRUPT_DUPLICATE_LINE),
+            seed=9,
+        )
+        blobs = []
+        for name in ("a", "b"):
+            lake = make_lake(tmp_path / name)
+            lake.write_day(
+                "pairs", other, [(i, f"o-{i}") for i in range(9)], PAIR_CODEC
+            )
+            plan.apply(lake.root)
+            blobs.append(
+                (lake.day_dir("pairs", DAY) / "part-0.tsv.gz").read_bytes()
+                + (lake.day_dir("pairs", other) / "part-0.tsv.gz").read_bytes()
+            )
+        assert blobs[0] == blobs[1]
+
+    def test_every_kind_detected_by_fsck(self, tmp_path):
+        expected_kind = {
+            CORRUPT_TRUNCATE: "torn",
+            CORRUPT_BIT_FLIP: "torn",  # gzip container fails to decode
+            CORRUPT_DROP_COLUMN: "checksum",
+            CORRUPT_DUPLICATE_LINE: "count",
+            CORRUPT_FOREIGN_HEADER: "schema",
+        }
+        for kind, finding_kind in expected_kind.items():
+            lake = make_lake(tmp_path / kind)
+            CorruptionPlan.of(
+                CorruptionSpec("pairs", DAY, kind), seed=3
+            ).apply(lake.root)
+            report = fsck_lake(lake, codecs={"pairs": PAIR_CODEC.decode})
+            assert not report.clean, kind
+            assert finding_kind in report.kinds(), (kind, report.kinds())
+
+
+class TestFsck:
+    def test_clean_lake_zero_false_positives(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        lake.write_day("pairs", DAY + datetime.timedelta(days=1),
+                       [(9, "z")], PAIR_CODEC)
+        report = fsck_lake(lake, codecs={"pairs": PAIR_CODEC.decode})
+        assert report.clean
+        assert report.partitions_scanned == 2
+        assert report.records_decoded == 21
+
+    def test_finding_names_partition(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        CorruptionPlan.of(
+            CorruptionSpec("pairs", DAY, CORRUPT_TRUNCATE)
+        ).apply(lake.root)
+        report = fsck_lake(lake, decode=False)
+        (finding,) = report.findings
+        assert finding.table == "pairs"
+        assert finding.day == DAY
+        assert finding.source == "part-0"
+        assert "part-0" in finding.render()
+
+    def test_missing_manifest_reported(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        manifest_path_for(path).unlink()
+        report = fsck_lake(lake, decode=False)
+        assert report.kinds() == {"manifest": 1}
+
+    def test_record_level_findings_with_codec(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        path = lake.day_dir("pairs", DAY) / "part-0.tsv.gz"
+        text = gzip.decompress(path.read_bytes()).decode()
+        altered = text.replace("0\tvalue-0", "zero\tvalue-0", 1)
+        path.write_bytes(gzip.compress(altered.encode()))
+        write_manifest(path, _recompute_manifest(path))  # structural pass ok
+        report = fsck_lake(lake, codecs={"pairs": PAIR_CODEC.decode})
+        assert report.kinds() == {"record": 1}
+        assert "line 1" in report.findings[0].detail
+
+    def test_quarantine_option_routes_findings(self, tmp_path):
+        lake = make_lake(tmp_path / "lake")
+        CorruptionPlan.of(
+            CorruptionSpec("pairs", DAY, CORRUPT_TRUNCATE)
+        ).apply(lake.root)
+        report = fsck_lake(lake, decode=False, quarantine=True)
+        assert report.quarantined_partitions == 1
+        tree = quarantine_tree(lake.root / "_quarantine")
+        assert list(tree) == ["pairs/day=2014-02-03/part-0.partition"]
+
+    def test_report_serializes(self, tmp_path):
+        import json
+
+        lake = make_lake(tmp_path / "lake")
+        report = fsck_lake(lake, decode=False)
+        parsed = json.loads(json.dumps(report.to_dict()))
+        assert parsed["clean"] is True
+        assert parsed["partitions_scanned"] == 1
+        assert "\n".join(report.summary_lines())
+
+
+def _recompute_manifest(path):
+    from repro.dataflow.integrity import PayloadDigest, is_payload_line
+
+    digest = PayloadDigest()
+    text = gzip.decompress(path.read_bytes()).decode()
+    for line in text.splitlines(keepends=True):
+        if is_payload_line(line):
+            digest.add_line(line)
+    return digest.manifest()
+
+
+class TestGuardPartitions:
+    def test_suppresses_failing_partition_tail(self):
+        def good():
+            return iter([1, 2, 3])
+
+        def bad():
+            yield 10
+            raise OSError("torn")
+
+        seen = []
+        dataset = Dataset.from_partitions([good, bad]).guard_partitions(
+            lambda index, exc: seen.append((index, type(exc).__name__)) or True
+        )
+        assert dataset.collect() == [1, 2, 3, 10]
+        assert seen == [(1, "OSError")]
+
+    def test_reraises_when_handler_declines(self):
+        def bad():
+            raise ValueError("boom")
+            yield  # pragma: no cover
+
+        dataset = Dataset.from_partitions([bad]).guard_partitions(
+            lambda index, exc: False
+        )
+        with pytest.raises(ValueError, match="boom"):
+            dataset.collect()
+
+
+def replay_config():
+    return StudyConfig(
+        world=WorldConfig(
+            seed=31,
+            adsl_count=30,
+            ftth_count=15,
+            start=D(2014, 2, 1),
+            end=D(2014, 3, 31),
+        ),
+        day_stride=7,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def pristine_lake(tmp_path_factory):
+    """A small archived lake, kept pristine — tests copy it."""
+    root = tmp_path_factory.mktemp("pristine") / "lake"
+    lake = DataLake(root)
+    PersistingStudy(replay_config(), lake=lake).run()
+    return lake
+
+
+def copy_lake(pristine, destination):
+    shutil.copytree(pristine.root, destination)
+    return DataLake(destination)
+
+
+class TestQualityGatedReplay:
+    def test_clean_quarantine_replay_matches_plain(self, pristine_lake, tmp_path):
+        """No corruption: quarantine mode is identical to the plain path."""
+        lake = copy_lake(pristine_lake, tmp_path / "lake")
+        plain = replay_study(lake, [])
+        result = run_replay(lake, [], policy="quarantine")
+        assert result.data == plain
+        assert not (lake.root / "_quarantine").exists() or not quarantine_tree(
+            lake.root / "_quarantine"
+        )
+        assert all(r.status == "completed" for r in result.report.records)
+        assert all(
+            q["quality"] == 1.0 for q in result.report.data_quality
+        )
+
+    def test_deterministic_under_corruption(self, pristine_lake, tmp_path):
+        """Same plan + same lake bytes: two quarantine runs are identical."""
+        days = pristine_lake.days(USAGE_TABLE)
+        plan = CorruptionPlan.of(
+            CorruptionSpec(USAGE_TABLE, days[1], CORRUPT_BIT_FLIP),
+            CorruptionSpec(PROTOCOL_TABLE, days[2], CORRUPT_DUPLICATE_LINE),
+            seed=11,
+        )
+        outcomes = []
+        for name in ("one", "two"):
+            lake = copy_lake(pristine_lake, tmp_path / name)
+            plan.apply(lake.root)
+            result = run_replay(
+                lake, [], policy="quarantine", min_day_quality=0.999
+            )
+            outcomes.append(
+                (
+                    result.data,
+                    quarantine_tree(lake.root / "_quarantine"),
+                    result.report.data_quality,
+                    [r.to_dict() for r in result.report.records],
+                )
+            )
+        assert outcomes[0][0] == outcomes[1][0]  # field-for-field StudyData
+        assert outcomes[0][1] == outcomes[1][1]  # identical quarantine trees
+        assert outcomes[0][2] == outcomes[1][2]  # identical quality reports
+        assert outcomes[0][3] == outcomes[1][3]
+
+    def test_corrupt_days_excluded_and_flagged(self, pristine_lake, tmp_path):
+        """One fully corrupt day and one partially corrupt day: the run
+        completes in quarantine mode and gates per the threshold."""
+        lake = copy_lake(pristine_lake, tmp_path / "lake")
+        days = lake.days(USAGE_TABLE)
+        full, partial = days[1], days[3]
+        specs = [
+            CorruptionSpec(table, full, CORRUPT_TRUNCATE)
+            for table in lake.tables()
+            if full in lake.days(table)
+        ] + [CorruptionSpec(PROTOCOL_TABLE, partial, CORRUPT_DUPLICATE_LINE)]
+        CorruptionPlan.of(*specs, seed=4).apply(lake.root)
+        result = run_replay(
+            lake, [], policy="quarantine", min_day_quality=0.999
+        )
+        by_day = {r.day: r for r in result.report.records}
+        assert by_day[full].status == "excluded"
+        assert by_day[partial].status == "excluded"
+        assert full not in result.data.subscriber_days
+        clean_day = days[0]
+        assert by_day[clean_day].status == "completed"
+        assert clean_day in result.data.subscriber_days
+        quality = {q["day"]: q for q in result.report.data_quality}
+        assert quality[full.isoformat()]["quality"] == 0.0
+        assert 0.0 < quality[partial.isoformat()]["quality"] < 1.0
+
+    def test_low_threshold_admits_partial_day(self, pristine_lake, tmp_path):
+        lake = copy_lake(pristine_lake, tmp_path / "lake")
+        partial = lake.days(PROTOCOL_TABLE)[0]
+        CorruptionPlan.of(
+            CorruptionSpec(PROTOCOL_TABLE, partial, CORRUPT_TRUNCATE)
+        ).apply(lake.root)
+        result = run_replay(lake, [], policy="quarantine", min_day_quality=0.1)
+        by_day = {r.day: r for r in result.report.records}
+        assert by_day[partial].status == "completed"
+        quality = {q["day"]: q for q in result.report.data_quality}
+        assert quality[partial.isoformat()]["quality"] < 1.0  # still flagged
+
+    def test_strict_replay_raises_typed_error_naming_partition(
+        self, pristine_lake, tmp_path
+    ):
+        lake = copy_lake(pristine_lake, tmp_path / "lake")
+        day = lake.days(USAGE_TABLE)[0]
+        CorruptionPlan.of(
+            CorruptionSpec(USAGE_TABLE, day, CORRUPT_TRUNCATE)
+        ).apply(lake.root)
+        with pytest.raises(PartitionIntegrityError) as excinfo:
+            run_replay(lake, [], policy="strict")
+        assert USAGE_TABLE in str(excinfo.value)
+        assert "part-0" in str(excinfo.value)
+
+    def test_fsck_finds_all_injected_corruptions(self, pristine_lake, tmp_path):
+        lake = copy_lake(pristine_lake, tmp_path / "lake")
+        days = lake.days(USAGE_TABLE)
+        plan = CorruptionPlan.of(
+            CorruptionSpec(USAGE_TABLE, days[0], CORRUPT_TRUNCATE),
+            CorruptionSpec(USAGE_TABLE, days[1], CORRUPT_BIT_FLIP),
+            CorruptionSpec(PROTOCOL_TABLE, days[2], CORRUPT_DUPLICATE_LINE),
+            CorruptionSpec(PROTOCOL_TABLE, days[3], CORRUPT_FOREIGN_HEADER),
+            seed=2,
+        )
+        touched = plan.apply(lake.root)
+        report = fsck_lake(lake)
+        found = {(f.table, f.day, f.source) for f in report.findings}
+        expected = {
+            (spec.table, spec.day, spec.source) for spec in plan.specs
+        }
+        assert expected <= found, report.findings
+        assert len(report.findings) == len(touched)  # zero false positives

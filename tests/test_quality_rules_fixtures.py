@@ -196,6 +196,25 @@ class TestRpr006DictOrder:
         assert run_rule("RPR006", "rpr006_clean.py") == []
 
 
+class TestRpr007Swallow:
+    def test_violation(self):
+        findings = run_rule("RPR007", "dataflow/rpr007_violation.py")
+        assert {f.rule_id for f in findings} == {"RPR007"}
+        assert sorted(f.line for f in findings) == [9, 17, 24]
+        messages = " ".join(f.message for f in findings)
+        assert "Exception" in messages
+
+    def test_clean(self):
+        # Broad handlers that re-raise or call out (telemetry, logging)
+        # are legitimate; narrow handlers are always fine.
+        assert run_rule("RPR007", "dataflow/rpr007_clean.py") == []
+
+    def test_out_of_scope_module_ignored(self):
+        # Presentation-layer code may swallow; only the data/compute
+        # planes (dataflow, tstat, core) are covered.
+        assert run_rule("RPR007", "rpr007_out_of_scope.py") == []
+
+
 class TestSuppressions:
     def test_noqa_suppresses_only_named_rule_on_that_line(self):
         findings = run_rule("RPR002", "noqa_cases.py")

@@ -14,7 +14,10 @@ from repro.tstat.flow import (
     WebProtocol,
     second_level_domain,
 )
+from repro.dataflow.integrity import RecordDecodeError, load_manifest
 from repro.tstat.logs import (
+    COLUMNS,
+    COLUMNS_V1,
     LogFormatError,
     FlowLogWriter,
     format_record,
@@ -82,6 +85,113 @@ class TestLogFormat:
             name_source=source,
         )
         assert parse_record(format_record(record)) == record
+
+
+class TestSchemaVersions:
+    def test_v1_roundtrip_drops_rtt(self):
+        record = make_record()
+        line = format_record(record, schema_version=1)
+        assert len(line.split("\t")) == len(COLUMNS_V1) == 15
+        parsed = parse_record(line, schema_version=1)
+        assert parsed.rtt == RttSummary()  # pre-RTT probes: empty summary
+        assert parsed.vantage == record.vantage
+        assert parsed.client_id == record.client_id
+        assert parsed.server_name == record.server_name
+
+    def test_v2_roundtrip_keeps_rtt(self):
+        record = make_record()
+        line = format_record(record, schema_version=2)
+        assert len(line.split("\t")) == len(COLUMNS) == 19
+        assert parse_record(line, schema_version=2) == record
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(LogFormatError, match="unsupported"):
+            format_record(make_record(), schema_version=3)
+        with pytest.raises(LogFormatError, match="unsupported"):
+            parse_record("x", schema_version=0)
+
+    def test_cross_version_read(self, tmp_path):
+        """A v1 archive parses alongside v2 through the same reader."""
+        record = make_record()
+        old = tmp_path / "2013.tsv"
+        new = tmp_path / "2016.tsv"
+        with FlowLogWriter(old, schema_version=1) as writer:
+            writer.write(record)
+        with FlowLogWriter(new, schema_version=2) as writer:
+            writer.write(record)
+        assert old.read_text().startswith("#tstat-log v1\n")
+        (from_old,) = load_flow_log(old)
+        (from_new,) = load_flow_log(new)
+        assert from_old.rtt == RttSummary()
+        assert from_new == record
+        assert from_old == make_record(rtt=RttSummary())
+
+    def test_error_names_source_and_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        good = format_record(make_record())
+        path.write_text(f"#tstat-log v2\n{good}\nmangled\t line\n")
+        with pytest.raises(LogFormatError) as excinfo:
+            load_flow_log(path)
+        assert excinfo.value.source == "bad.tsv"
+        assert excinfo.value.line_number == 3
+        assert "bad.tsv" in str(excinfo.value)
+        assert isinstance(excinfo.value, RecordDecodeError)
+
+    def test_writer_manifest_sidecar(self, tmp_path):
+        path = tmp_path / "flows.tsv.gz"
+        with FlowLogWriter(path, manifest=True) as writer:
+            writer.write_all([make_record(client_id=i) for i in range(3)])
+        manifest = load_manifest(path)
+        assert manifest is not None
+        assert manifest.records == 3
+        assert manifest.schema_version == 2
+
+    @given(
+        line=st.text(
+            alphabet=st.characters(blacklist_characters="\x00"),
+            max_size=120,
+        ),
+        version=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_parse_never_crashes_untyped(self, line, version):
+        """Arbitrary input either parses or raises the typed error —
+        never a bare ValueError/KeyError/IndexError."""
+        try:
+            record = parse_record(line, schema_version=version)
+        except LogFormatError:
+            pass
+        else:
+            assert isinstance(record, FlowRecord)
+
+    @given(
+        data=st.data(),
+        mutation=st.sampled_from(["drop", "dup", "garble", "swap", "empty"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_parse_mutated_valid_lines(self, data, mutation):
+        """Structured mutations of a valid line: typed error or record."""
+        fields = format_record(make_record()).split("\t")
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(fields) - 1)
+        )
+        if mutation == "drop":
+            del fields[index]
+        elif mutation == "dup":
+            fields.insert(index, fields[index])
+        elif mutation == "garble":
+            fields[index] = data.draw(st.text(max_size=8))
+        elif mutation == "swap":
+            fields[index], fields[-1] = fields[-1], fields[index]
+        elif mutation == "empty":
+            fields[index] = ""
+        line = "\t".join(fields)
+        try:
+            record = parse_record(line)
+        except LogFormatError as exc:
+            assert str(exc)
+        else:
+            assert isinstance(record, FlowRecord)
 
 
 class TestLogFiles:
