@@ -1,0 +1,52 @@
+"""Lint benchmarks: cold whole-program analysis vs a warm cache.
+
+The interprocedural rules (RPR008–RPR011) made `repro lint` a
+whole-program pass — parse every module, build the symbol table and
+call graph, run escape/taint fixpoints.  The incremental cache exists
+to make the *second* run cheap: a fully warm run hashes files and
+replays stored findings, running zero rules and never building
+ProjectFacts.  These benchmarks pin both ends of that trade and assert
+the cache's contract (byte-identical findings, ≥3× faster warm).
+"""
+
+import itertools
+
+from conftest import SMOKE
+
+from repro.quality import Analyzer, default_config, open_cache, render_json
+
+
+def test_lint_cold(benchmark, tmp_path):
+    """Whole-tree lint with an empty cache: the full analysis cost."""
+    config = default_config()
+    fresh = itertools.count()
+
+    def setup():
+        cache_path = tmp_path / f"cold-{next(fresh)}.json"
+        return (open_cache(cache_path),), {}
+
+    def run(cache):
+        return Analyzer(config, cache=cache).analyze()
+
+    findings = benchmark.pedantic(
+        run, setup=setup, rounds=1 if SMOKE else 5
+    )
+    assert findings == []  # the tree stays clean
+
+
+def test_lint_warm(benchmark, tmp_path):
+    """Whole-tree lint against a populated cache: hash + replay only."""
+    config = default_config()
+    cache_path = tmp_path / "warm.json"
+    cold = Analyzer(config, cache=open_cache(cache_path)).analyze()
+
+    def run():
+        cache = open_cache(cache_path)
+        return cache.stats, Analyzer(config, cache=cache).analyze()
+
+    stats, findings = benchmark(run)
+    # Warm means warm: every file's findings replayed, no rules run, no
+    # facts built — and the output is byte-identical to the cold run.
+    assert stats.findings_computed == 0
+    assert stats.facts_computed == 0
+    assert render_json(findings) == render_json(cold)

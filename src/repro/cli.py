@@ -279,17 +279,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
         LintError,
         default_config,
         load_baseline,
+        open_cache,
         render_json,
+        render_sarif,
         render_text,
         subtract_baseline,
         write_baseline,
     )
 
+    if args.explain is not None:
+        return _explain_rule(args.explain)
     config = default_config()
     if args.select:
         config = dataclasses.replace(config, select=tuple(args.select))
     try:
-        analyzer = Analyzer(config)
+        analyzer = Analyzer(config, cache=open_cache(args.cache))
         findings = analyzer.analyze(args.paths or None)
         if args.write_baseline is not None:
             path = write_baseline(args.write_baseline, findings)
@@ -300,9 +304,46 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except (LintError, ValueError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {"json": render_json, "sarif": render_sarif}.get(
+        args.format, render_text
+    )
     print(renderer(findings))
     return 1 if findings else 0
+
+
+def _explain_rule(rule_id: str) -> int:
+    """``repro lint --explain RPRxxx``: the rule's documentation, from
+    the docstring of the module that implements it."""
+    import inspect
+
+    from repro.quality import registered_rules
+
+    catalogue = registered_rules()
+    rule_id = rule_id.upper()
+    rule_class = catalogue.get(rule_id)
+    if rule_class is None:
+        print(
+            f"repro lint: unknown rule id {rule_id!r} "
+            f"(known: {', '.join(sorted(catalogue))})",
+            file=sys.stderr,
+        )
+        return 2
+    rule = rule_class()
+    lines = [
+        f"{rule_id}: {rule.description}",
+        f"severity: {rule.severity.value}",
+        f"invariant: {rule.invariant}",
+    ]
+    if rule.requires_justification:
+        # The directive text is spliced so this source line is not itself
+        # mistaken for a (malformed) suppression by the lexical parser.
+        directive = "# repro" + f": noqa[{rule_id}] -- reason"
+        lines.append(f"suppressing requires a written justification: {directive}")
+    doc = inspect.getdoc(inspect.getmodule(rule_class))
+    if doc:
+        lines.extend(["", doc])
+    print("\n".join(lines))
+    return 0
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
@@ -513,13 +554,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", type=Path,
                       help="files or directories (default: the repro package)")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
     lint.add_argument("--baseline", type=Path, default=None,
                       help="subtract findings recorded in this baseline file")
     lint.add_argument("--write-baseline", type=Path, default=None,
                       help="snapshot current findings to FILE and exit 0")
     lint.add_argument("--select", nargs="*", default=(), metavar="RULE",
                       help="restrict to the given rule ids (e.g. RPR004)")
+    lint.add_argument("--cache", type=Path, default=None, metavar="FILE",
+                      help="incremental cache: per-module facts and "
+                           "findings keyed by content hash; warm runs "
+                           "re-analyze only what changed")
+    lint.add_argument("--explain", default=None, metavar="RULE",
+                      help="print the rationale, example, and fix "
+                           "guidance for one rule id and exit")
     lint.set_defaults(func=cmd_lint)
     return parser
 

@@ -62,6 +62,7 @@ from repro.core.pool import (
     EVENT_DONE,
     EVENT_ERROR,
     SupervisedPool,
+    WorkerEnvironmentError,
     resolve_start_method,
 )
 from repro.core.study import LongitudinalStudy, StudyData
@@ -718,7 +719,7 @@ def _run_pooled(
                 else:
                     idle_crash_budget -= 1
                     if idle_crash_budget < 0:
-                        raise RuntimeError(
+                        raise WorkerEnvironmentError(
                             "workers keep dying before accepting work "
                             f"(last: pid {pid}, exit code {exitcode}); "
                             "the worker environment is broken"

@@ -50,6 +50,30 @@ EVENT_CRASH = "crash"  # (EVENT_CRASH, task_index_or_None, pid, exitcode)
 Event = Tuple[Any, ...]
 
 
+class PoolError(RuntimeError):
+    """Base of the pool's typed-error family (RPR009).
+
+    Everything the pool raises about its own lifecycle derives from this
+    class, so :func:`repro.core.parallel.execute_study` can contract to
+    surface only ``ChunkError`` / ``PoolError`` / argument-validation
+    ``ValueError`` and callers can route failures by type.
+    """
+
+
+class PoolStoppedError(PoolError):
+    """A task was submitted to a pool that has already been stopped."""
+
+
+class WorkerEnvironmentError(PoolError):
+    """Fresh workers keep dying before accepting any work.
+
+    Raised by the study runner when the crash budget for idle workers is
+    exhausted — the failure is environmental (broken interpreter, OOM at
+    import, a start method the platform cannot actually deliver), not a
+    property of any task.
+    """
+
+
 def resolve_start_method(preferred: Optional[str] = None) -> str:
     """Pick a start method at runtime instead of hard-coding one.
 
@@ -126,12 +150,20 @@ class SupervisedPool:
 
     def _spawn_worker(self) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(self._runner, self._tasks, child_conn),
-            daemon=True,
-        )
-        process.start()
+        try:
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(self._runner, self._tasks, child_conn),
+                daemon=True,
+            )
+            process.start()
+        except BaseException:
+            # Process construction or start can fail (fd exhaustion,
+            # fork refusal); without this cleanup both pipe ends leak
+            # on the exception edge (RPR010).
+            parent_conn.close()
+            child_conn.close()
+            raise
         # Close the parent's copy of the child end: the pipe must reach
         # EOF the moment the worker dies, or crashes go unnoticed.
         child_conn.close()
@@ -150,7 +182,7 @@ class SupervisedPool:
 
     def submit(self, task: Any) -> None:
         if self._stopped:
-            raise RuntimeError("pool is stopped")
+            raise PoolStoppedError("pool is stopped")
         telemetry.count("pool_tasks_submitted")
         self._tasks.put(task)
 
@@ -225,24 +257,29 @@ class SupervisedPool:
             return
         self._stopped = True
         procs = list(self._workers.values())
-        if graceful:
-            for _ in procs:
-                self._tasks.put(None)
+        try:
+            if graceful:
+                for _ in procs:
+                    self._tasks.put(None)
+                for process in procs:
+                    process.join(timeout=join_timeout)
+            for process in procs:
+                if process.is_alive():
+                    process.terminate()
             for process in procs:
                 process.join(timeout=join_timeout)
-        for process in procs:
-            if process.is_alive():
-                process.terminate()
-        for process in procs:
-            process.join(timeout=join_timeout)
-            if process.is_alive():  # pragma: no cover - last resort
-                process.kill()
-                process.join(timeout=join_timeout)
-        for conn in list(self._workers):
-            conn.close()
-        self._workers.clear()
-        self._running.clear()
-        # Unflushed task-queue buffers must not block interpreter exit
-        # after an interrupt.
-        self._tasks.close()
-        self._tasks.cancel_join_thread()
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=join_timeout)
+        finally:
+            # Even if a join/terminate raises (KeyboardInterrupt during
+            # shutdown), the parent's pipe ends and queue buffers must
+            # not leak (RPR010).
+            for conn in list(self._workers):
+                conn.close()
+            self._workers.clear()
+            self._running.clear()
+            # Unflushed task-queue buffers must not block interpreter
+            # exit after an interrupt.
+            self._tasks.close()
+            self._tasks.cancel_join_thread()

@@ -4,8 +4,14 @@
 the test suite can only spot-check: determinism of the seeded synthesis
 (RPR001/RPR002), anonymization before export (RPR003), fork-safety of the
 worker import closure (RPR004), and order-stable aggregation
-(RPR005/RPR006).  See DESIGN.md "Quality gates" for the rule ↔ invariant
-↔ paper-section mapping.
+(RPR005/RPR006).  On top of the per-file rules sits a whole-program
+layer — per-module symbol tables folded into a resolved call graph —
+powering the interprocedural rules: cross-process races (RPR008),
+typed-error contracts (RPR009), resource leaks (RPR010), and
+non-determinism taint through helper chains (RPR011).  Per-module facts
+are content-hash cached (:mod:`repro.quality.cache`), so warm runs skip
+parsing entirely.  See DESIGN.md "Quality gates" and "Whole-program
+analysis" for the rule ↔ invariant ↔ paper-section mapping.
 
 Programmatic use::
 
@@ -15,42 +21,61 @@ Programmatic use::
     assert not findings
 """
 
-from repro.quality.baseline import load_baseline, subtract_baseline, write_baseline
+from repro.quality.baseline import BaselineError, load_baseline, subtract_baseline, write_baseline
+from repro.quality.cache import CacheStats, LintCache, open_cache
+from repro.quality.callgraph import ProjectFacts, file_sha, project_digest
 from repro.quality.engine import (
     Analyzer,
     FileContext,
     LintConfig,
     LintContext,
-    LintError,
     default_config,
     render_json,
     render_text,
     run_lint,
 )
-from repro.quality.findings import Finding, Severity, sort_findings
+from repro.quality.findings import Finding, LintError, Severity, sort_findings
 from repro.quality.importgraph import ImportGraph, fork_closure
 from repro.quality.registry import Rule, make_rules, register, registered_rules
+from repro.quality.sarif import findings_from_sarif, render_sarif, sarif_document
+from repro.quality.suppressions import SuppressionError, parse_suppressions
+from repro.quality.symbols import ANALYSIS_VERSION, ModuleSummary, summarize_module
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "Analyzer",
+    "BaselineError",
+    "CacheStats",
     "FileContext",
     "Finding",
     "ImportGraph",
+    "LintCache",
     "LintConfig",
     "LintContext",
     "LintError",
+    "ModuleSummary",
+    "ProjectFacts",
     "Rule",
     "Severity",
+    "SuppressionError",
     "default_config",
+    "file_sha",
+    "findings_from_sarif",
     "fork_closure",
     "load_baseline",
     "make_rules",
+    "open_cache",
+    "parse_suppressions",
+    "project_digest",
     "register",
     "registered_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
+    "sarif_document",
     "sort_findings",
     "subtract_baseline",
+    "summarize_module",
     "write_baseline",
 ]

@@ -1,0 +1,508 @@
+"""The whole-program layer: module summaries → a resolved call graph.
+
+:class:`ProjectFacts` indexes every :class:`~repro.quality.symbols.
+ModuleSummary` under the analysis root and answers the questions the
+interprocedural rules ask:
+
+* **name resolution** — a dotted call name in one module resolved to the
+  function that actually runs, through the import map (module aliases,
+  ``from`` imports, relative imports), local classes (``self.method``
+  and locally-constructed instances arrive pre-rewritten to
+  ``Cls.method`` by the extractor), and base-class method lookup;
+* **reachability** — the set of functions transitively callable from a
+  set of roots (RPR008's worker side is everything reachable from the
+  fork entry; its import-time side is everything reachable from
+  module-level call sites);
+* **exception escape sets** — a fixpoint over the graph: a function's
+  escapes are its own uncaught explicit raises plus every callee escape
+  not subtracted by the ``except`` guards around the call site, with
+  subclass checks against the project + builtin exception hierarchy
+  (RPR009).  Dynamic raises the extractor could not type are dropped —
+  the contract rule reasons about *typed* escapes only;
+* **non-determinism taint** — which functions return wall-clock or
+  unseeded-RNG derived values, propagated through helper chains
+  (RPR011).
+
+Everything here is derived from cached per-module facts; building the
+index parses nothing when the cache is warm.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.quality.symbols import (
+    ANALYSIS_VERSION,
+    FunctionInfo,
+    ModuleSummary,
+    nondet_source,
+    summarize_module,
+)
+
+#: (module, qualname) — one function in the project.
+FuncId = Tuple[str, str]
+#: (module, class name) — one exception class; module "builtins" for stdlib.
+ClassId = Tuple[str, str]
+
+#: The builtin exception tree (child → parent), as far as the rules need.
+_BUILTIN_PARENT: Dict[str, str] = {
+    "Exception": "BaseException",
+    "ArithmeticError": "Exception",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "LookupError": "Exception",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "OSError": "Exception",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "SyntaxError": "Exception",
+    "SystemError": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "Warning": "Exception",
+    "FloatingPointError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "ZeroDivisionError": "ArithmeticError",
+    "ModuleNotFoundError": "ImportError",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "UnboundLocalError": "NameError",
+    "BlockingIOError": "OSError",
+    "ChildProcessError": "OSError",
+    "ConnectionError": "OSError",
+    "BrokenPipeError": "ConnectionError",
+    "ConnectionAbortedError": "ConnectionError",
+    "ConnectionRefusedError": "ConnectionError",
+    "ConnectionResetError": "ConnectionError",
+    "FileExistsError": "OSError",
+    "FileNotFoundError": "OSError",
+    "InterruptedError": "OSError",
+    "IsADirectoryError": "OSError",
+    "NotADirectoryError": "OSError",
+    "PermissionError": "OSError",
+    "ProcessLookupError": "OSError",
+    "TimeoutError": "OSError",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "UnicodeError": "ValueError",
+    "UnicodeDecodeError": "UnicodeError",
+    "UnicodeEncodeError": "UnicodeError",
+    "GeneratorExit": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+}
+
+
+def file_sha(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class ProjectFacts:
+    """Index over every module summary under one analysis root."""
+
+    def __init__(
+        self,
+        summaries: Dict[str, ModuleSummary],
+        packages: Set[str],
+        relpaths: Dict[str, str],
+    ) -> None:
+        self.modules = summaries
+        self._packages = packages
+        self._relpaths = relpaths
+        self._escapes: Optional[Dict[FuncId, Dict[ClassId, Tuple[str, int]]]] = None
+        self._subclass_memo: Dict[Tuple[ClassId, ClassId], bool] = {}
+        self._resolve_memo: Dict[Tuple[str, str], Optional[FuncId]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def build(cls, src_root: Path, package: str, cache=None) -> "ProjectFacts":
+        """Summarize every module under ``src_root/package`` (the whole
+        root when the package directory is absent), reusing per-file
+        facts from ``cache`` (a :class:`~repro.quality.cache.LintCache`)
+        keyed by content hash."""
+        src_root = Path(src_root)
+        base = src_root / package if package else src_root
+        if not base.is_dir():
+            base = src_root
+        summaries: Dict[str, ModuleSummary] = {}
+        packages: Set[str] = set()
+        relpaths: Dict[str, str] = {}
+        for path in sorted(base.rglob("*.py")):
+            relative = path.resolve().relative_to(src_root.resolve())
+            parts = list(relative.parts)
+            if parts[-1] == "__init__.py":
+                parts = parts[:-1]
+                is_package = True
+            else:
+                parts[-1] = parts[-1][: -len(".py")]
+                is_package = False
+            module = ".".join(parts)
+            if not module:
+                continue
+            relkey = relative.as_posix()
+            sha = file_sha(path)
+            summary: Optional[ModuleSummary] = None
+            if cache is not None:
+                data = cache.facts_for(relkey, sha)
+                if data is not None:
+                    summary = ModuleSummary.from_dict(data)
+            if summary is None:
+                tree = ast.parse(
+                    path.read_text(encoding="utf-8"), filename=str(path)
+                )
+                summary = summarize_module(module, tree)
+                if cache is not None:
+                    cache.store_facts(relkey, sha, summary.to_dict())
+            summaries[module] = summary
+            relpaths[module] = relkey
+            if is_package:
+                packages.add(module)
+        return cls(summaries, packages, relpaths)
+
+    def module_relpath(self, module: str) -> str:
+        return self._relpaths.get(module, "")
+
+    # ------------------------------------------------------------------
+    # name resolution
+
+    def _package_of(self, module: str) -> str:
+        return module if module in self._packages else module.rpartition(".")[0]
+
+    def _resolve_import(self, module: str, local: str):
+        """``("mod", target)`` / ``("sym", module, symbol)`` / ``None``."""
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        target = summary.imports.get(local)
+        if target is None:
+            return None
+        if ":" not in target:
+            return ("mod", target) if target in self.modules else None
+        source, _, symbol = target.partition(":")
+        if source.startswith("."):
+            level = len(source) - len(source.lstrip("."))
+            rest = source.lstrip(".")
+            base_parts = self._package_of(module).split(".")
+            if level - 1 > 0:
+                base_parts = base_parts[: len(base_parts) - (level - 1)]
+            if not base_parts or not base_parts[0]:
+                return None
+            source = ".".join(base_parts + ([rest] if rest else []))
+        submodule = f"{source}.{symbol}" if source else symbol
+        if submodule in self.modules:
+            return ("mod", submodule)
+        if source in self.modules:
+            return ("sym", source, symbol)
+        return None
+
+    def resolve_class(self, module: str, name: str) -> Optional[ClassId]:
+        """The class a type name refers to inside ``module``."""
+        parts = name.split(".")
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        if len(parts) == 1:
+            if name in summary.classes:
+                return (module, name)
+            imported = self._resolve_import(module, name)
+            if imported is not None and imported[0] == "sym":
+                _, source, symbol = imported
+                if symbol in self.modules[source].classes:
+                    return (source, symbol)
+            if name in _BUILTIN_PARENT or name == "BaseException":
+                return ("builtins", name)
+            return None
+        imported = self._resolve_import(module, parts[0])
+        if imported is not None and imported[0] == "mod" and len(parts) == 2:
+            target = imported[1]
+            if parts[1] in self.modules[target].classes:
+                return (target, parts[1])
+        # datetime.date-style externals fall through.
+        if parts[-1] in _BUILTIN_PARENT:
+            return ("builtins", parts[-1])
+        return None
+
+    def is_exception_subclass(self, cid: ClassId, base: ClassId) -> bool:
+        """True when ``cid`` is ``base`` or inherits from it."""
+        key = (cid, base)
+        memo = self._subclass_memo.get(key)
+        if memo is not None:
+            return memo
+        self._subclass_memo[key] = False  # cycle guard
+        result = self._is_subclass(cid, base)
+        self._subclass_memo[key] = result
+        return result
+
+    def _is_subclass(self, cid: ClassId, base: ClassId) -> bool:
+        if cid == base:
+            return True
+        module, name = cid
+        if module == "builtins":
+            parent = _BUILTIN_PARENT.get(name)
+            return parent is not None and self.is_exception_subclass(
+                ("builtins", parent), base
+            )
+        bases = self.modules.get(module, ModuleSummary(module)).classes.get(name, ())
+        for base_name in bases:
+            parent = self.resolve_class(module, base_name)
+            if parent is not None and self.is_exception_subclass(parent, base):
+                return True
+        return False
+
+    def resolve_call(self, module: str, name: str) -> Optional[FuncId]:
+        """The project function a call name in ``module`` lands on."""
+        key = (module, name)
+        if key in self._resolve_memo:
+            return self._resolve_memo[key]
+        self._resolve_memo[key] = None  # cycle guard for inherited lookups
+        result = self._resolve_call(module, name)
+        self._resolve_memo[key] = result
+        return result
+
+    def _resolve_call(self, module: str, name: str) -> Optional[FuncId]:
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        parts = name.split(".")
+        head = parts[0]
+        if len(parts) == 1:
+            if name in summary.functions:
+                return (module, name)
+            if name in summary.classes:
+                return self._constructor((module, name))
+            imported = self._resolve_import(module, name)
+            if imported is not None and imported[0] == "sym":
+                _, source, symbol = imported
+                return self._resolve_call_in(source, symbol)
+            return None
+        if head in summary.classes:
+            return self._method_on_class((module, head), parts[1:])
+        imported = self._resolve_import(module, head)
+        if imported is not None:
+            if imported[0] == "mod":
+                target = imported[1]
+                return self._resolve_call_in(target, ".".join(parts[1:]))
+            _, source, symbol = imported
+            if symbol in self.modules[source].classes:
+                return self._method_on_class((source, symbol), parts[1:])
+        return None
+
+    def _resolve_call_in(self, module: str, name: str) -> Optional[FuncId]:
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        parts = name.split(".")
+        if len(parts) == 1:
+            if name in summary.functions:
+                return (module, name)
+            if name in summary.classes:
+                return self._constructor((module, name))
+            return None
+        if parts[0] in summary.classes:
+            return self._method_on_class((module, parts[0]), parts[1:])
+        return None
+
+    def _constructor(self, cid: ClassId) -> Optional[FuncId]:
+        return self._method_on_class(cid, ["__init__"])
+
+    def _method_on_class(
+        self, cid: ClassId, method_parts: Sequence[str]
+    ) -> Optional[FuncId]:
+        module, cls = cid
+        summary = self.modules.get(module)
+        if summary is None or cls not in summary.classes:
+            return None
+        qualname = ".".join([cls, *method_parts])
+        if qualname in summary.functions:
+            return (module, qualname)
+        for base_name in summary.classes[cls]:
+            parent = self.resolve_class(module, base_name)
+            if parent is None or parent[0] == "builtins":
+                continue
+            found = self._method_on_class(parent, method_parts)
+            if found is not None:
+                return found
+        return None
+
+    # ------------------------------------------------------------------
+    # reachability
+
+    def reachable(self, roots: Iterable[FuncId]) -> Set[FuncId]:
+        """Functions transitively callable from ``roots``."""
+        seen: Set[FuncId] = set()
+        stack = [fid for fid in roots if self._function(fid) is not None]
+        while stack:
+            fid = stack.pop()
+            if fid in seen:
+                continue
+            seen.add(fid)
+            info = self._function(fid)
+            if info is None:
+                continue
+            for call in info.calls:
+                target = self.resolve_call(fid[0], call.name)
+                if target is not None and target not in seen:
+                    stack.append(target)
+        return seen
+
+    def entry_function(self, entry: str) -> Optional[FuncId]:
+        """``module:function`` → a FuncId, if the function exists."""
+        module, _, function = entry.partition(":")
+        info = self.modules.get(module)
+        if info is not None and function in info.functions:
+            return (module, function)
+        return None
+
+    def import_time_roots(self, modules: Iterable[str]) -> List[FuncId]:
+        """Functions invoked by module-level statements of ``modules``."""
+        roots: List[FuncId] = []
+        for module in modules:
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            for name in summary.module_calls:
+                target = self.resolve_call(module, name)
+                if target is not None:
+                    roots.append(target)
+        return roots
+
+    def _function(self, fid: FuncId) -> Optional[FunctionInfo]:
+        summary = self.modules.get(fid[0])
+        return summary.functions.get(fid[1]) if summary else None
+
+    # ------------------------------------------------------------------
+    # exception escape analysis
+
+    def escapes(self, fid: FuncId) -> Dict[ClassId, Tuple[str, int]]:
+        """Exception classes escaping ``fid`` → (origin module, line)."""
+        if self._escapes is None:
+            self._escapes = self._escape_fixpoint()
+        return self._escapes.get(fid, {})
+
+    def _escape_fixpoint(self) -> Dict[FuncId, Dict[ClassId, Tuple[str, int]]]:
+        escapes: Dict[FuncId, Dict[ClassId, Tuple[str, int]]] = {}
+        functions: List[Tuple[FuncId, FunctionInfo]] = [
+            ((module, qualname), info)
+            for module, summary in self.modules.items()
+            for qualname, info in summary.functions.items()
+        ]
+        for fid, info in functions:
+            escapes[fid] = self._direct_escapes(fid[0], info)
+        changed = True
+        while changed:
+            changed = False
+            for fid, info in functions:
+                current = escapes[fid]
+                for call in info.calls:
+                    target = self.resolve_call(fid[0], call.name)
+                    if target is None:
+                        continue
+                    for cid, witness in escapes.get(target, {}).items():
+                        if cid in current:
+                            continue
+                        if self._caught(cid, call.guards, fid[0]):
+                            continue
+                        current[cid] = witness
+                        changed = True
+        return escapes
+
+    def _direct_escapes(
+        self, module: str, info: FunctionInfo
+    ) -> Dict[ClassId, Tuple[str, int]]:
+        out: Dict[ClassId, Tuple[str, int]] = {}
+        for site in info.raises:
+            names = site.reraise_of if site.reraise_of else (site.type_name,)
+            for name in names:
+                if not name or name == "*":
+                    continue
+                if site.reraise_of and name in ("BaseException", "Exception"):
+                    # A bare ``raise`` in a catch-all handler passes
+                    # through whatever the protected block raised; the
+                    # typed escapes of those calls are already tracked
+                    # at their own sites, so the catch-all itself adds
+                    # no *typed* escape.
+                    continue
+                cid = self.resolve_class(module, name)
+                if cid is None:
+                    continue
+                if self._caught(cid, site.guards, module):
+                    continue
+                out.setdefault(cid, (module, site.line))
+        return out
+
+    def _caught(
+        self, cid: ClassId, guards: Tuple[str, ...], module: str
+    ) -> bool:
+        for guard in guards:
+            if guard == "*":
+                return True
+            gid = self.resolve_class(module, guard)
+            if gid is not None and self.is_exception_subclass(cid, gid):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # non-determinism taint
+
+    def nondet_functions(
+        self, allowlist: Tuple[str, ...] = ()
+    ) -> Dict[FuncId, str]:
+        """Functions whose return value derives from a wall-clock or
+        unseeded-RNG read, with the reason — helper chains included.
+        Files matching an ``allowlist`` suffix (the sanctioned telemetry
+        clock) are not sources."""
+        tainted: Dict[FuncId, str] = {}
+        for module, summary in self.modules.items():
+            relpath = self.module_relpath(module)
+            if any(relpath.endswith(entry) for entry in allowlist):
+                continue
+            for qualname, info in summary.functions.items():
+                if info.nondet_return:
+                    tainted[(module, qualname)] = info.nondet_reason
+        changed = True
+        while changed:
+            changed = False
+            for module, summary in self.modules.items():
+                for qualname, info in summary.functions.items():
+                    fid = (module, qualname)
+                    if fid in tainted:
+                        continue
+                    for callee in info.return_calls:
+                        target = self.resolve_call(module, callee)
+                        if target is not None and target in tainted:
+                            tainted[fid] = (
+                                f"returns the result of `{callee}()` — "
+                                + tainted[target]
+                            )
+                            changed = True
+                            break
+        return tainted
+
+
+def project_digest(
+    src_root: Path, package: str, fingerprint: str
+) -> str:
+    """A hash of every analyzed file's content plus the run fingerprint
+    (config + rule ids) — the cache key for whole-program findings."""
+    src_root = Path(src_root)
+    base = src_root / package if package else src_root
+    if not base.is_dir():
+        base = src_root
+    digest = hashlib.sha256()
+    digest.update(f"analysis:{ANALYSIS_VERSION}\n".encode())
+    digest.update(fingerprint.encode())
+    for path in sorted(base.rglob("*.py")):
+        relative = path.resolve().relative_to(src_root.resolve()).as_posix()
+        digest.update(f"{relative}:{file_sha(path)}\n".encode())
+    return digest.hexdigest()

@@ -19,14 +19,18 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.quality.baseline import load_baseline, subtract_baseline
-from repro.quality.findings import Finding, Severity, sort_findings
+from repro.quality.callgraph import ProjectFacts, file_sha, project_digest
+from repro.quality.findings import Finding, LintError, Severity, sort_findings
 from repro.quality.importgraph import ImportGraph, fork_closure
 from repro.quality.registry import Rule, make_rules
-from repro.quality.suppressions import Suppression, parse_suppressions
+from repro.quality.suppressions import (
+    Suppression,
+    SuppressionError,
+    parse_suppressions,
+)
 
-
-class LintError(ValueError):
-    """Raised for unusable configuration (bad entry point, bad paths)."""
+if False:  # pragma: no cover - import for type checkers only
+    from repro.quality.cache import LintCache
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,9 +63,60 @@ class LintConfig:
     #: Modules whose write APIs are anonymization sinks (RPR003).
     sink_modules: Tuple[str, ...] = ("repro.reporting.export", "repro.tstat.logs")
     #: Path fragments scoping the silent-exception-swallow rule (RPR007):
-    #: the data and compute planes, where a swallowed error means silently
-    #: corrupted StudyData rather than a cosmetic glitch.
-    swallow_scopes: Tuple[str, ...] = ("dataflow", "tstat", "core")
+    #: the data and compute planes — plus telemetry (a swallowed error
+    #: there silently zeroes an operator's metrics) and the linter itself
+    #: (dogfooding: the gatekeeper meets its own bar).
+    swallow_scopes: Tuple[str, ...] = (
+        "dataflow",
+        "tstat",
+        "core",
+        "telemetry",
+        "quality",
+    )
+    #: Typed-error contracts (RPR009): ``module:function`` entry points
+    #: mapped to the exception families allowed to escape them.  Decode
+    #: paths surface only :class:`~repro.dataflow.integrity.
+    #: RecordDecodeError` subclasses; the pool path surfaces only
+    #: :class:`~repro.core.parallel.ChunkError`, the typed
+    #: :class:`~repro.core.pool.PoolError` family, and argument
+    #: validation ``ValueError``.  Entries whose module is absent under
+    #: the analysis root are skipped (fixture trees).
+    error_contracts: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+        (
+            "repro.tstat.logs:parse_record",
+            ("repro.dataflow.integrity:RecordDecodeError",),
+        ),
+        (
+            "repro.tstat.logs:read_flow_log",
+            ("repro.dataflow.integrity:RecordDecodeError",),
+        ),
+        (
+            "repro.tstat.ipfix:parse_ipfix",
+            ("repro.dataflow.integrity:RecordDecodeError",),
+        ),
+        (
+            "repro.tstat.netflow:parse_netflow_v5",
+            ("repro.dataflow.integrity:RecordDecodeError",),
+        ),
+        (
+            "repro.core.parallel:execute_study",
+            (
+                "repro.core.parallel:ChunkError",
+                "repro.core.pool:PoolError",
+                "builtins:ValueError",
+            ),
+        ),
+    )
+    #: Resource factories (RPR010): a call whose last name component
+    #: matches must be settled — ``with``-managed, released by the named
+    #: method on every path, or handed off — before the function exits.
+    resource_factories: Tuple[Tuple[str, str], ...] = (
+        ("open", "close"),
+        ("Pipe", "close"),
+        ("TextIOWrapper", "close"),
+        ("GzipFile", "close"),
+        ("SupervisedPool", "stop"),
+    )
     select: Tuple[str, ...] = ()
 
 
@@ -74,10 +129,18 @@ def default_config() -> LintConfig:
 class LintContext:
     """Run-wide state shared by all files of one analysis."""
 
-    def __init__(self, config: LintConfig) -> None:
+    def __init__(
+        self, config: LintConfig, cache: Optional["LintCache"] = None
+    ) -> None:
         self.config = config
+        self.cache = cache
         self.graph = ImportGraph(config.src_root)
         self._fork_closure: Optional[Set[str]] = None
+        self._facts: Optional[ProjectFacts] = None
+        #: Scratch space for rules that precompute whole-program results
+        #: once and attribute findings per file (RPR008/RPR009), keyed by
+        #: rule id.
+        self.memo: Dict[str, object] = {}
 
     def fork_modules(self) -> Set[str]:
         """Modules a fork worker executes (lazy; raises LintError if the
@@ -90,6 +153,16 @@ class LintContext:
             except ValueError as exc:
                 raise LintError(str(exc)) from exc
         return self._fork_closure
+
+    def facts(self) -> ProjectFacts:
+        """The whole-program fact store (symbol tables + call graph),
+        built lazily and fed from the incremental cache when one is
+        attached — a warm run deserializes summaries instead of parsing."""
+        if self._facts is None:
+            self._facts = ProjectFacts.build(
+                self.config.src_root, self.config.package, cache=self.cache
+            )
+        return self._facts
 
 
 class FileContext:
@@ -132,12 +205,14 @@ class Analyzer:
         self,
         config: Optional[LintConfig] = None,
         rules: Optional[Sequence[Rule]] = None,
+        cache: Optional["LintCache"] = None,
     ) -> None:
         self.config = config or default_config()
         self.rules: List[Rule] = (
             list(rules) if rules is not None else make_rules(self.config.select)
         )
-        self.context = LintContext(self.config)
+        self.cache = cache
+        self.context = LintContext(self.config, cache=cache)
 
     # ------------------------------------------------------------------
 
@@ -163,11 +238,52 @@ class Analyzer:
     def analyze(
         self, paths: Optional[Iterable[Union[str, Path]]] = None
     ) -> List[Finding]:
-        """All non-suppressed findings over the target files, sorted."""
-        findings: List[Finding] = []
-        for path in self.target_files(paths):
-            findings.extend(self.analyze_file(path))
+        """All non-suppressed findings over the target files, sorted.
+
+        With a cache attached, each file's findings are reused when
+        neither the file nor the project digest (any analyzed file, the
+        configuration, the rule set) changed — a fully warm run hashes
+        files and renders, running zero rules.
+        """
+        files = self.target_files(paths)
+        if self.cache is None:
+            findings: List[Finding] = []
+            for path in files:
+                findings.extend(self.analyze_file(path))
+            return sort_findings(findings)
+        digest = project_digest(
+            self.config.src_root, self.config.package, self._fingerprint()
+        )
+        findings = []
+        for path in files:
+            relpath = self._relpath(path)
+            sha = file_sha(path)
+            cached = self.cache.findings_for(relpath, sha, digest)
+            if cached is not None:
+                findings.extend(Finding.from_dict(entry) for entry in cached)
+                continue
+            fresh = self.analyze_file(path)
+            self.cache.store_findings(
+                relpath, sha, digest, [finding.to_dict() for finding in fresh]
+            )
+            findings.extend(fresh)
+        self.cache.save()
         return sort_findings(findings)
+
+    def _fingerprint(self) -> str:
+        """Configuration + rule-set identity folded into the cache key."""
+        rule_ids = ",".join(sorted(rule.rule_id for rule in self.rules))
+        return f"{self.config!r}|{rule_ids}"
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return (
+                path.resolve()
+                .relative_to(self.config.src_root.resolve())
+                .as_posix()
+            )
+        except ValueError:
+            return path.as_posix()
 
     def analyze_file(self, path: Union[str, Path]) -> List[Finding]:
         path = Path(path)
@@ -191,7 +307,22 @@ class Analyzer:
             if not rule.applies_to(file_ctx):
                 continue
             raw.extend(rule.check(file_ctx))
-        return self._apply_suppressions(file_ctx, raw)
+        try:
+            return self._apply_suppressions(file_ctx, raw)
+        except SuppressionError as exc:
+            # A malformed directive is itself a finding: reporting it at
+            # the offending line beats silently not suppressing.
+            raw.append(
+                Finding(
+                    path=file_ctx.relpath,
+                    line=exc.line,
+                    column=0,
+                    rule_id="RPR000",
+                    severity=Severity.ERROR,
+                    message=f"malformed suppression: {exc}",
+                )
+            )
+            return raw
 
     def _apply_suppressions(
         self, file_ctx: FileContext, findings: List[Finding]
@@ -221,8 +352,11 @@ def run_lint(
     paths: Optional[Iterable[Union[str, Path]]] = None,
     config: Optional[LintConfig] = None,
     baseline: Optional[Union[str, Path]] = None,
+    cache: Optional[Union[str, Path]] = None,
 ) -> List[Finding]:
-    analyzer = Analyzer(config=config)
+    from repro.quality.cache import open_cache
+
+    analyzer = Analyzer(config=config, cache=open_cache(cache))
     findings = analyzer.analyze(paths)
     if baseline is not None:
         findings = subtract_baseline(findings, load_baseline(baseline))

@@ -14,6 +14,18 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 
+class LintError(ValueError):
+    """The linter's typed error family: unusable configuration, malformed
+    suppression directives, unreadable baselines.
+
+    Defined here (the leaf module of the quality package) so every layer —
+    engine, baseline, suppressions, cache — can subclass it without import
+    cycles.  Anything ``repro lint`` raises deliberately is a
+    :class:`LintError`; a bare ``TypeError``/``KeyError`` escaping the CLI
+    is a bug, not an input problem.
+    """
+
+
 class Severity(enum.Enum):
     """How bad a finding is; errors fail the build, warnings inform."""
 

@@ -1,0 +1,122 @@
+"""RPR008 — module-level state must not race across the fork boundary.
+
+Invariant (DESIGN.md §7/§13): a worker process observes exactly the
+module state that existed at import time.  Under ``fork`` a worker
+additionally inherits whatever the parent mutated before the pool
+spawned; under ``spawn`` it does not.  So a module-level name that is
+
+* **written by parent-side code after import time** (a function that is
+  *not* reachable from the fork-worker entry and *not* run while the
+  module imports), and
+* **read by worker-side code** (a function reachable from the entry),
+
+silently diverges between start methods: fork workers may see the
+parent's mutation, spawn workers never do.  The paper's determinism
+claim ("parallelism changes wall-clock, never results") cannot survive
+that.  RPR004 catches mutable *containers* at module scope; this rule
+catches the *flows* — who writes, who reads, on which side of the
+process boundary — using the whole-program call graph.
+
+Example violation::
+
+    _LIMIT = 10                     # module global
+
+    def configure(limit):           # parent-side (not in the worker graph)
+        global _LIMIT
+        _LIMIT = limit              # <- RPR008: worker never sees this
+
+    def _run_chunk(task):           # fork entry
+        return task.size > _LIMIT   # worker-side read
+
+Fix guidance: pass the value through the task payload (everything a
+worker needs arrives pickled), or confine the write to worker-side code
+(a per-process cache written and read on the same side is fine — that is
+why ``_STUDY_CACHE`` and the telemetry ``_ACTIVE`` slot pass).  A
+``# repro: noqa[RPR008]`` requires a written justification, exactly like
+RPR004.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.quality.findings import Finding
+from repro.quality.registry import Rule, register
+
+_MEMO_KEY = "RPR008"
+
+
+@register
+class CrossProcessRaceRule(Rule):
+    rule_id = "RPR008"
+    description = (
+        "no parent-side writes to module globals that fork workers read"
+    )
+    invariant = (
+        "worker processes observe only import-time module state; values "
+        "computed in the parent travel through task payloads, never "
+        "through module globals"
+    )
+    requires_justification = True
+
+    def check(self, file_ctx) -> Iterator[Finding]:
+        results = self._results(file_ctx.ctx)
+        for line, column, message in results.get(file_ctx.module or "", ()):
+            yield Finding(
+                path=file_ctx.relpath,
+                line=line,
+                column=column,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=message,
+            )
+
+    # ------------------------------------------------------------------
+
+    def _results(self, ctx) -> Dict[str, List[Tuple[int, int, str]]]:
+        """module → [(line, column, message)]; computed once per run."""
+        cached = ctx.memo.get(_MEMO_KEY)
+        if cached is not None:
+            return cached
+        facts = ctx.facts()
+        closure = ctx.fork_modules()
+        entry = facts.entry_function(ctx.config.fork_entry)
+        worker_side = facts.reachable([entry] if entry else [])
+        import_time = facts.reachable(facts.import_time_roots(facts.modules))
+        results: Dict[str, List[Tuple[int, int, str]]] = {}
+        for module in sorted(closure):
+            summary = facts.modules.get(module)
+            if summary is None:
+                continue
+            # Who reads each global from the worker side?
+            worker_readers: Dict[str, str] = {}
+            for qualname, info in sorted(summary.functions.items()):
+                if (module, qualname) not in worker_side:
+                    continue
+                for access in info.global_reads:
+                    worker_readers.setdefault(access.name, qualname)
+            if not worker_readers:
+                continue
+            for qualname, info in sorted(summary.functions.items()):
+                fid = (module, qualname)
+                if fid in worker_side or fid in import_time:
+                    continue  # worker-side or import-time writes are safe
+                for write in info.global_writes:
+                    reader = worker_readers.get(write.name)
+                    if reader is None:
+                        continue
+                    results.setdefault(module, []).append(
+                        (
+                            write.line,
+                            0,
+                            f"module-level `{write.name}` is written by "
+                            f"parent-side `{qualname}()` after import time "
+                            f"but read inside the fork-worker closure (by "
+                            f"`{reader}()`); under spawn the worker keeps "
+                            "the import-time value and results silently "
+                            "diverge — ship the value in the task payload "
+                            "or confine the write to worker-side code",
+                        )
+                    )
+        ctx.memo[_MEMO_KEY] = results
+        return results

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 export: ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; emitting it lets the CI upload lint results as a reviewable
+artifact instead of a log dump.  The document carries the required
+skeleton — ``version``, ``$schema``, one ``run`` with a ``tool.driver``
+(rule metadata from the registry) and one ``result`` per finding with a
+``physicalLocation`` — and nothing speculative.
+
+The export is lossless with respect to the JSON format:
+:func:`findings_from_sarif` recovers the exact :class:`~repro.quality.
+findings.Finding` list, which the round-trip test pins.  Note the
+column convention: findings store 0-based columns (AST ``col_offset``),
+SARIF requires 1-based ``startColumn``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.quality.findings import Finding, Severity
+from repro.quality.registry import registered_rules
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+_SEVERITY = {"error": Severity.ERROR, "warning": Severity.WARNING}
+
+
+def sarif_document(findings: Sequence[Finding]) -> Dict[str, object]:
+    """The SARIF log object for ``findings`` (one run, sorted rules)."""
+    catalogue = registered_rules()
+    used_ids = sorted({finding.rule_id for finding in findings})
+    rules = []
+    for rule_id in used_ids:
+        rule_class = catalogue.get(rule_id)
+        descriptor: Dict[str, object] = {"id": rule_id}
+        if rule_class is not None:
+            descriptor["shortDescription"] = {"text": rule_class.description}
+            if rule_class.invariant:
+                descriptor["fullDescription"] = {"text": rule_class.invariant}
+        else:
+            # RPR000 (syntax errors) and friends have no registered class.
+            descriptor["shortDescription"] = {"text": rule_id}
+        rules.append(descriptor)
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": _LEVEL[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    return json.dumps(sarif_document(findings), indent=2, sort_keys=True)
+
+
+def findings_from_sarif(document: Dict[str, object]) -> List[Finding]:
+    """Invert :func:`sarif_document` — used by the round-trip tests."""
+    findings: List[Finding] = []
+    for run in document.get("runs", ()):  # type: ignore[union-attr]
+        for result in run.get("results", ()):
+            location = result["locations"][0]["physicalLocation"]
+            region = location["region"]
+            findings.append(
+                Finding(
+                    path=str(location["artifactLocation"]["uri"]),
+                    line=int(region["startLine"]),
+                    column=int(region["startColumn"]) - 1,
+                    rule_id=str(result["ruleId"]),
+                    severity=_SEVERITY[str(result["level"])],
+                    message=str(result["message"]["text"]),
+                )
+            )
+    return findings

@@ -18,6 +18,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+from repro.dataflow.integrity import RecordDecodeError
 from repro.tstat.flow import (
     FlowRecord,
     NameSource,
@@ -88,8 +89,14 @@ _PROTO_NUMBER = {Transport.TCP: 6, Transport.UDP: 17}
 _PROTO_TRANSPORT = {number: transport for transport, number in _PROTO_NUMBER.items()}
 
 
-class IpfixError(ValueError):
-    """Raised for malformed IPFIX messages."""
+class IpfixError(RecordDecodeError):
+    """Raised for malformed IPFIX messages.
+
+    A :class:`~repro.dataflow.integrity.RecordDecodeError` subclass
+    (RPR009): decode failures surface as the contracted family so the
+    quarantine path catches them by type, and provenance (source file,
+    byte offset context) can be layered on via ``with_context``.
+    """
 
 
 def _encode_varlen(value: bytes) -> bytes:

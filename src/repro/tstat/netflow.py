@@ -22,6 +22,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.dataflow.integrity import RecordDecodeError
 from repro.nettypes.ip import Prefix
 from repro.tstat.flow import (
     FlowRecord,
@@ -40,8 +41,14 @@ _PROTO_NUMBER = {Transport.TCP: 6, Transport.UDP: 17}
 _PROTO_TRANSPORT = {number: transport for transport, number in _PROTO_NUMBER.items()}
 
 
-class NetflowError(ValueError):
-    """Raised for malformed NetFlow v5 datagrams."""
+class NetflowError(RecordDecodeError):
+    """Raised for malformed NetFlow v5 datagrams.
+
+    A :class:`~repro.dataflow.integrity.RecordDecodeError` subclass
+    (RPR009): decode failures surface as the contracted family so the
+    quarantine path catches them by type rather than by bare
+    ``ValueError``.
+    """
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,2 @@
+"""RPR009 fixture package: decoders with and without typed-error
+contracts, including interprocedural escapes through helpers."""

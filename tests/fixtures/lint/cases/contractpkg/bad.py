@@ -1,0 +1,15 @@
+"""Contract-violating decoder: untyped errors escape, one directly and
+one through a helper in another module."""
+
+from contractpkg.errors import BadFrame
+from contractpkg.helpers import unchecked_lookup
+
+
+def parse_bad(blob, table):
+    if not blob:
+        raise ValueError("empty blob")  # direct untyped escape
+    if blob[0] == 0xFF:
+        raise BadFrame("reserved kind")
+    # Interprocedural: unchecked_lookup raises RuntimeError, nothing
+    # here catches it.
+    return unchecked_lookup(table, blob[0])

@@ -1,0 +1,9 @@
+"""The contracted exception family for this fixture package."""
+
+
+class DecodeError(ValueError):
+    """Base of the decode-error family."""
+
+
+class BadFrame(DecodeError):
+    """A frame failed structural validation."""

@@ -1,0 +1,17 @@
+"""Contract-clean decoder: only DecodeError subclasses escape."""
+
+from contractpkg.errors import BadFrame, DecodeError
+from contractpkg.helpers import checked_length, unchecked_lookup
+
+
+def parse_good(blob, table):
+    length = checked_length(blob)  # raises BadFrame: inside the family
+    if length > 65535:
+        raise BadFrame("frame too long")
+    try:
+        kind = unchecked_lookup(table, blob[0])
+    except RuntimeError as exc:
+        # Catch-and-wrap at the boundary: the untyped helper error
+        # becomes a contracted one.
+        raise DecodeError(f"unknown frame kind: {exc}") from exc
+    return (kind, length)

@@ -1,0 +1,15 @@
+"""Helpers whose raises propagate (or not) into the decoders."""
+
+from contractpkg.errors import BadFrame
+
+
+def checked_length(blob):
+    if len(blob) < 4:
+        raise BadFrame("short frame")
+    return len(blob)
+
+
+def unchecked_lookup(table, key):
+    if key not in table:
+        raise RuntimeError(f"no entry for {key}")
+    return table[key]

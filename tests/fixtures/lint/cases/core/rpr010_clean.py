@@ -1,0 +1,49 @@
+"""RPR010 fixtures: every resource settled on every path."""
+
+
+def with_managed(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def assigned_then_with(path):
+    handle = open(path)
+    with handle:
+        return handle.read()
+
+
+def closed_in_finally(path, transform):
+    handle = open(path)
+    try:
+        return transform(handle.read())
+    finally:
+        handle.close()
+
+
+def handler_cleanup(ctx, runner, registry):
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    try:
+        process = ctx.Process(target=runner, args=(child_conn,))
+        process.start()
+    except BaseException:
+        parent_conn.close()
+        child_conn.close()
+        raise
+    child_conn.close()
+    registry[parent_conn] = process
+
+
+def handed_off(path):
+    handle = open(path)
+    return handle
+
+
+def immediate_close(path):
+    handle = open(path)
+    handle.close()
+    return path
+
+
+def stored_owner(self_like, path):
+    handle = open(path)
+    self_like.handle = handle

@@ -1,0 +1,22 @@
+"""RPR010 fixtures: resources leaked on some path."""
+
+
+def never_closed(path):
+    handle = open(path)
+    data = handle.read()
+    return data.upper()
+
+
+def exception_edge(ctx, runner, registry):
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=runner, args=(child_conn,))
+    process.start()
+    child_conn.close()
+    registry[parent_conn] = process
+
+
+def close_too_late(path, transform):
+    handle = open(path)
+    result = transform(handle.read())
+    handle.close()
+    return result

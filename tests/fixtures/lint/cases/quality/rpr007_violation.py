@@ -1,0 +1,9 @@
+"""RPR007 dogfood fixture: the linter's own scope — a gatekeeper that
+swallows its failures cannot be trusted."""
+
+
+def load_cache(path):
+    try:
+        return path.read_text()
+    except Exception:
+        return None

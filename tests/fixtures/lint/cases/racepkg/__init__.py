@@ -1,0 +1,1 @@
+"""RPR008 fixture package: fork entry ``racepkg.pool:_run_chunk``."""

@@ -1,0 +1,39 @@
+"""Module globals crossing the fork boundary — one violation, three
+sanctioned patterns (worker-side write, import-time write, payload)."""
+
+_LIMIT = 10
+_CACHE = {}
+_MODE = "strict"
+
+
+def configure(limit):
+    # VIOLATION: parent-side write after import time; fork workers may
+    # see it, spawn workers never do.
+    global _LIMIT
+    _LIMIT = limit
+
+
+def current_limit():
+    # Worker-side reader (called from _run_chunk).
+    return _LIMIT
+
+
+def warm_cache(day):
+    # Worker-side write: runs inside the worker, per-process state is
+    # consistent with its own reads.
+    _CACHE[day] = day * 2
+    return _CACHE[day]
+
+
+def _select_mode():
+    global _MODE
+    _MODE = "relaxed"
+
+
+def read_mode():
+    return _MODE
+
+
+# Import-time write: both parent and spawn workers execute this when the
+# module imports, so state cannot diverge.
+_select_mode()

@@ -1,0 +1,22 @@
+"""Fixture fork entry for RPR008."""
+
+from racepkg import config
+
+
+def _run_chunk(task):
+    config.warm_cache(task.day)
+    if task.size > config.current_limit():
+        return None
+    return config.read_mode()
+
+
+def run_study(tasks, limit):
+    # Parent-side driver: configure() writes a global the workers read —
+    # the payload version below is the sanctioned alternative.
+    config.configure(limit)
+    return [task for task in tasks]
+
+
+def run_study_payload(tasks, limit):
+    # Clean: the limit travels inside each task, not through a global.
+    return [(task, limit) for task in tasks]

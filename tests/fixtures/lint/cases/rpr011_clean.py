@@ -1,0 +1,21 @@
+"""RPR011 fixture: deterministic exports — clock values arrive as data."""
+
+import rpr011_helpers as helpers
+from repro.reporting.export import write_rows
+
+
+def export_with_config_time(path, rows, generated):
+    # The timestamp is an argument (from the study config/manifest),
+    # not an ambient read.
+    write_rows(path, ["day", "generated"], [(row, generated) for row in rows])
+
+
+def export_fixed_epoch(path, rows):
+    epoch = helpers.fixed_epoch()
+    write_rows(path, ["day", "epoch"], [(row, epoch) for row in rows])
+
+
+def compute_only(rows):
+    # Tainted value never reaches a sink: no finding.
+    started = helpers.stamp()
+    return [started + row for row in rows]

@@ -1,0 +1,16 @@
+"""RPR011 helper chain: non-determinism laundered through two hops."""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def observation_time():
+    # One hop deeper: still tainted via the fixpoint.
+    return stamp()
+
+
+def fixed_epoch():
+    return 1420070400.0

@@ -1,0 +1,13 @@
+"""RPR011 fixture: helper-laundered wall clock reaching an export sink."""
+
+import rpr011_helpers as helpers
+from repro.reporting.export import write_rows
+
+
+def export_with_timestamp(path, rows):
+    generated = helpers.observation_time()
+    write_rows(path, ["day", "generated"], [(row, generated) for row in rows])
+
+
+def export_direct_helper(path, rows):
+    write_rows(path, ["day", "ts"], [(rows[0], helpers.stamp())])

@@ -1,0 +1,9 @@
+"""RPR007 dogfood fixture: a swallowed error inside telemetry silently
+zeroes an operator's metrics."""
+
+
+def record_count(counters, name):
+    try:
+        counters[name] += 1
+    except Exception:
+        pass

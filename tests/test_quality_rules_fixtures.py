@@ -214,6 +214,19 @@ class TestRpr007Swallow:
         # planes (dataflow, tstat, core) are covered.
         assert run_rule("RPR007", "rpr007_out_of_scope.py") == []
 
+    def test_telemetry_scope_dogfood(self):
+        # RPR007's scope now covers telemetry/: an observability layer
+        # that swallows its own failures hides exactly the evidence it
+        # exists to record.
+        findings = run_rule("RPR007", "telemetry/rpr007_violation.py")
+        assert [f.line for f in findings] == [8]
+
+    def test_quality_scope_dogfood(self):
+        # ...and quality/ itself: the linter is a gate, and a gate that
+        # swallows errors waves violations through.
+        findings = run_rule("RPR007", "quality/rpr007_violation.py")
+        assert [f.line for f in findings] == [8]
+
 
 class TestSuppressions:
     def test_noqa_suppresses_only_named_rule_on_that_line(self):
