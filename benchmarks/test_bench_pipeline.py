@@ -184,6 +184,74 @@ def test_datalake_day_roundtrip(benchmark, tmp_path):
     benchmark.extra_info["rows"] = len(rows)
 
 
+def test_datalake_day_roundtrip_v2(benchmark, tmp_path):
+    """Archive + reload one day of usage rows as a v2 column chunk."""
+    from repro.dataflow.datalake import DataLake
+    from repro.synthesis.flowgen import USAGE_CODEC
+
+    generator = TrafficGenerator(_world())
+    rows = generator.generate_day(DAY).usage
+    lake = DataLake(tmp_path / "lake", write_format="v2")
+
+    def roundtrip():
+        lake.write_day("usage", DAY, rows, USAGE_CODEC)
+        return lake.read_day("usage", DAY, USAGE_CODEC).count()
+
+    count = benchmark(roundtrip)
+    assert count == len(rows)
+    benchmark.extra_info["rows"] = len(rows)
+
+
+def _range_lake(tmp_path):
+    """A v2 lake holding several weeks of usage partitions."""
+    from repro.dataflow.datalake import DataLake
+    from repro.synthesis.flowgen import USAGE_CODEC
+
+    generator = TrafficGenerator(_world())
+    lake = DataLake(tmp_path / "lake", write_format="v2")
+    day_count = 4 if SMOKE else 16
+    days = [DAY + datetime.timedelta(days=index) for index in range(day_count)]
+    for day in days:
+        rows = generator.generate_day(day).usage
+        lake.write_day("usage", day, rows, USAGE_CODEC)
+    return lake, days, USAGE_CODEC
+
+
+def test_lake_read_range_full(benchmark, tmp_path):
+    """Full-range scan over every v2 usage partition (no predicate)."""
+    lake, days, codec = _range_lake(tmp_path)
+
+    def scan():
+        return lake.read_range("usage", days[0], days[-1], codec).count()
+
+    count = benchmark(scan)
+    assert count
+    benchmark.extra_info["days"] = len(days)
+    benchmark.extra_info["rows"] = count
+
+
+def test_lake_read_range_pruned(benchmark, tmp_path):
+    """Selective read: a one-day predicate zone-prunes all other chunks.
+
+    The acceptance target is ≥5× over ``test_lake_read_range_full``.
+    """
+    from repro.dataflow.columnar import ScanPredicate
+
+    lake, days, codec = _range_lake(tmp_path)
+    target = days[len(days) // 2]
+    where = ScanPredicate.of(day_range=(target, target))
+
+    def scan():
+        return lake.read_range(
+            "usage", days[0], days[-1], codec, where=where
+        ).count()
+
+    count = benchmark(scan)
+    assert count == lake.read_day("usage", target, codec).count()
+    benchmark.extra_info["days"] = len(days)
+    benchmark.extra_info["rows"] = count
+
+
 def test_study_day_telemetry_off(benchmark, study):
     """One full study day with telemetry at its default (no-op) registry.
 

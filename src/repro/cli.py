@@ -21,6 +21,10 @@ Commands:
   a data lake's partitions against their integrity manifests and report
   torn files, checksum/count mismatches, schema drift, and undecodable
   records (see :mod:`repro.dataflow.integrity`);
+* ``archive LAKE [--format v1|v2] [--scale ...] [--seed N]`` — run the
+  study and archive its stage-1 outputs into a day-partitioned lake, in
+  either the gzip-TSV v1 format or the column-chunk v2 format (see
+  :mod:`repro.dataflow.datalake`);
 * ``replay LAKE [--bad-records strict|quarantine|skip]
   [--min-day-quality F] [--report]`` — rebuild the aggregate-tier study
   from an archived lake under an integrity policy, excluding degraded
@@ -368,6 +372,24 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_archive(args: argparse.Namespace) -> int:
+    """Run the study and archive stage-1 outputs into a data lake."""
+    from repro.core.persistence import PersistingStudy
+    from repro.dataflow.datalake import DataLake
+
+    config = _apply_date_range(_build_config(args), args)
+    lake = DataLake(args.lake, write_format=args.format)
+    study = PersistingStudy(config, lake=lake)
+    study.run()
+    tables = lake.tables()
+    per_table = ", ".join(f"{table}={len(lake.days(table))}" for table in tables)
+    print(
+        f"archived {study.sink.days_written} day(s) into {args.lake} "
+        f"(format {args.format}): {per_table}"
+    )
+    return 0
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     """Rebuild the study from an archived lake under an integrity policy."""
     from repro.core.persistence import run_replay
@@ -526,6 +548,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="structural checks only (skip per-record decoding)")
     fsck.add_argument("--format", choices=("text", "json"), default="text")
     fsck.set_defaults(func=cmd_fsck)
+
+    archive = sub.add_parser(
+        "archive",
+        help="run the study and archive stage-1 outputs into a lake",
+    )
+    archive.add_argument("lake", type=Path, help="data lake root directory")
+    archive.add_argument("--format", choices=("v1", "v2"), default="v1",
+                         help="partition format: gzip-TSV (v1) or "
+                              "column chunks with zone maps (v2)")
+    archive.add_argument("--scale", choices=("small", "medium"),
+                         default="small")
+    archive.add_argument("--seed", type=int, default=7)
+    archive.add_argument("--start", default=None, metavar="YYYY-MM-DD",
+                         help="override the study start date")
+    archive.add_argument("--end", default=None, metavar="YYYY-MM-DD",
+                         help="override the study end date")
+    archive.set_defaults(func=cmd_archive)
 
     replay = sub.add_parser(
         "replay",

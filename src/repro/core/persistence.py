@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
     from repro.core.parallel import RunReport
 
 from repro.core.study import LongitudinalStudy, StudyData
+from repro.dataflow.columnar import ColumnSpec, ColumnarCodec
 from repro.dataflow.datalake import DataLake, LineCodec, tsv_codec
 from repro.dataflow.integrity import (
     DayAdmission,
@@ -45,7 +46,7 @@ USAGE_TABLE = "usage"
 PROTOCOL_TABLE = "protocols"
 HOURLY_TABLE = "hourly"
 
-HOURLY_CODEC: LineCodec[HourlyVolume] = tsv_codec(
+_HOURLY_LINES: LineCodec[HourlyVolume] = tsv_codec(
     from_fields=lambda fields: HourlyVolume(
         day=datetime.date.fromisoformat(fields[0]),
         technology=Technology(fields[1]),
@@ -60,12 +61,39 @@ HOURLY_CODEC: LineCodec[HourlyVolume] = tsv_codec(
     ],
 )
 
-# Make the aggregate tables decodable by `repro fsck` record scans.
+HOURLY_CODEC: ColumnarCodec[HourlyVolume] = ColumnarCodec(
+    encode=_HOURLY_LINES.encode,
+    decode=_HOURLY_LINES.decode,
+    columns=[
+        ColumnSpec("day", "date"),
+        ColumnSpec("technology", "str"),
+        ColumnSpec("bin_index", "int"),
+        ColumnSpec("bytes_down", "int"),
+    ],
+    to_row=lambda row: (
+        row.day,
+        row.technology.value,
+        row.bin_index,
+        row.bytes_down,
+    ),
+    from_row=lambda row: HourlyVolume(
+        day=row[0],
+        technology=Technology(row[1]),
+        bin_index=row[2],
+        bytes_down=row[3],
+    ),
+    zone_columns=("technology",),
+    day_column="day",
+)
+
+# Make the aggregate tables decodable by `repro fsck` record scans —
+# registering the codec objects (not bare line decoders) lets fsck decode
+# v2 chunk partitions of these tables too.
 register_codec_provider(
     lambda: {
-        USAGE_TABLE: USAGE_CODEC.decode,
-        PROTOCOL_TABLE: PROTOCOL_CODEC.decode,
-        HOURLY_TABLE: HOURLY_CODEC.decode,
+        USAGE_TABLE: USAGE_CODEC,
+        PROTOCOL_TABLE: PROTOCOL_CODEC,
+        HOURLY_TABLE: HOURLY_CODEC,
     }
 )
 

@@ -42,6 +42,14 @@ from typing import (
     TypeVar,
 )
 
+from repro.dataflow.columnar import (
+    CHUNK_SUFFIX,
+    ColumnarCodec,
+    ColumnSpec,
+    ScanPredicate,
+    encode_chunk,
+    read_chunk,
+)
 from repro.dataflow.engine import Dataset
 from repro.dataflow.integrity import (
     LakeIntegrity,
@@ -50,14 +58,27 @@ from repro.dataflow.integrity import (
     PayloadDigest,
     RecordDecodeError,
     load_manifest,
+    partition_source_name,
+    register_codec_provider,
     verify_partition,
     write_manifest,
 )
 from repro.telemetry import runtime as telemetry
-from repro.tstat.flow import FlowRecord
+from repro.tstat.flow import (
+    FlowRecord,
+    NameSource,
+    RttSummary,
+    Transport,
+    WebProtocol,
+)
 from repro.tstat.logs import format_record, parse_record
 
 T = TypeVar("T")
+
+#: Lake write formats: v1 gzip-TSV lines, v2 column chunks + zone maps.
+LAKE_FORMAT_V1 = "v1"
+LAKE_FORMAT_V2 = "v2"
+LAKE_FORMATS = (LAKE_FORMAT_V1, LAKE_FORMAT_V2)
 
 
 class LineCodec(Generic[T]):
@@ -70,8 +91,87 @@ class LineCodec(Generic[T]):
         self.decode = decode
 
 
-#: Codec for probe flow records (same format as the probe's own logs).
-FLOW_CODEC: LineCodec[FlowRecord] = LineCodec(format_record, parse_record)
+def _flow_to_row(record: FlowRecord) -> tuple:
+    # Stored at v1 wire precision (ts %.6f, RTT %.3f) so the same records
+    # read back field-identical from either lake format.
+    return (
+        record.client_id,
+        record.server_ip,
+        record.client_port,
+        record.server_port,
+        record.transport.value,
+        float(f"{record.ts_start:.6f}"),
+        float(f"{record.ts_end:.6f}"),
+        record.packets_up,
+        record.packets_down,
+        record.bytes_up,
+        record.bytes_down,
+        record.protocol.value,
+        record.server_name,
+        record.name_source.value,
+        record.rtt.samples,
+        float(f"{record.rtt.min_ms:.3f}"),
+        float(f"{record.rtt.avg_ms:.3f}"),
+        float(f"{record.rtt.max_ms:.3f}"),
+        record.vantage,
+    )
+
+
+def _flow_from_row(row: tuple) -> FlowRecord:
+    return FlowRecord(
+        client_id=row[0],
+        server_ip=row[1],
+        client_port=row[2],
+        server_port=row[3],
+        transport=Transport(row[4]),
+        ts_start=row[5],
+        ts_end=row[6],
+        packets_up=row[7],
+        packets_down=row[8],
+        bytes_up=row[9],
+        bytes_down=row[10],
+        protocol=WebProtocol(row[11]),
+        server_name=row[12],
+        name_source=NameSource(row[13]),
+        rtt=RttSummary(samples=row[14], min_ms=row[15], avg_ms=row[16], max_ms=row[17]),
+        vantage=row[18],
+    )
+
+
+#: Codec for probe flow records (same format as the probe's own logs);
+#: columnar, so flow partitions can be stored as v2 chunks too.
+FLOW_CODEC: ColumnarCodec[FlowRecord] = ColumnarCodec(
+    encode=format_record,
+    decode=parse_record,
+    columns=[
+        ColumnSpec("client_id", "int"),
+        ColumnSpec("server_ip", "int"),
+        ColumnSpec("client_port", "int"),
+        ColumnSpec("server_port", "int"),
+        ColumnSpec("transport", "str"),
+        ColumnSpec("ts_start", "float"),
+        ColumnSpec("ts_end", "float"),
+        ColumnSpec("packets_up", "int"),
+        ColumnSpec("packets_down", "int"),
+        ColumnSpec("bytes_up", "int"),
+        ColumnSpec("bytes_down", "int"),
+        ColumnSpec("protocol", "str"),
+        ColumnSpec("server_name", "str"),
+        ColumnSpec("name_source", "str"),
+        ColumnSpec("rtt_samples", "int"),
+        ColumnSpec("rtt_min_ms", "float"),
+        ColumnSpec("rtt_avg_ms", "float"),
+        ColumnSpec("rtt_max_ms", "float"),
+        ColumnSpec("vantage", "str"),
+    ],
+    to_row=_flow_to_row,
+    from_row=_flow_from_row,
+    zone_columns=("vantage", "protocol"),
+)
+
+# Upgrade fsck's flow decoder to the columnar codec (v1 lines + v2
+# chunks); later registrations win over tstat.logs' line-only one.
+register_codec_provider(lambda: {"flows": FLOW_CODEC})
 
 
 def tsv_codec(
@@ -85,10 +185,23 @@ def tsv_codec(
 
 
 class DataLake:
-    """A directory-rooted, day-partitioned record store."""
+    """A directory-rooted, day-partitioned record store.
 
-    def __init__(self, root: Path) -> None:
+    ``write_format`` selects the on-disk container for new partitions:
+    ``"v1"`` (gzip-TSV lines, the historical default) or ``"v2"``
+    (column chunks with zone-mapped manifests).  Reads are always
+    format-agnostic — a lake may hold both containers side by side and
+    :meth:`read_day`/:meth:`read_range` decode whichever is present.
+    """
+
+    def __init__(self, root: Path, write_format: str = LAKE_FORMAT_V1) -> None:
+        if write_format not in LAKE_FORMATS:
+            raise ValueError(
+                f"unknown lake write format {write_format!r}; "
+                f"choose from {LAKE_FORMATS}"
+            )
         self.root = Path(root)
+        self.write_format = write_format
         self.root.mkdir(parents=True, exist_ok=True)
 
     # -- paths ---------------------------------------------------------------
@@ -120,9 +233,27 @@ class DataLake:
         whose missing/stale manifest flags it as unverified.  The gzip
         header is written with ``mtime=0``: identical records produce
         byte-identical partitions.
+
+        Under ``write_format="v2"`` the partition is a column chunk
+        (requires a :class:`~repro.dataflow.columnar.ColumnarCodec`) and
+        the manifest additionally carries the zone map.
         """
         directory = self.day_dir(table, day)
         directory.mkdir(parents=True, exist_ok=True)
+        if self.write_format == LAKE_FORMAT_V2:
+            if not isinstance(codec, ColumnarCodec):
+                raise TypeError(
+                    f"table {table!r}: v2 chunk partitions need a "
+                    f"ColumnarCodec, got {type(codec).__name__}"
+                )
+            path = directory / f"{source}{CHUNK_SUFFIX}"
+            tmp = directory / f".{source}{CHUNK_SUFFIX}.{os.getpid()}.part"
+            payload, manifest = encode_chunk(records, codec, day)
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+            write_manifest(path, manifest)
+            telemetry.count("datalake_files_written", table=table)
+            return path
         path = directory / f"{source}.tsv.gz"
         tmp = directory / f".{source}.tsv.gz.{os.getpid()}.part"
         digest = PayloadDigest()
@@ -140,9 +271,17 @@ class DataLake:
 
     # -- reads ----------------------------------------------------------------
 
+    @staticmethod
+    def _partition_files(directory: Path) -> List[Path]:
+        """Data files of one day partition, both containers, sorted."""
+        if not directory.is_dir():
+            return []
+        return sorted(
+            list(directory.glob("*.tsv.gz")) + list(directory.glob("*.colchunk"))
+        )
+
     def has_day(self, table: str, day: datetime.date) -> bool:
-        directory = self.day_dir(table, day)
-        return directory.is_dir() and any(directory.glob("*.tsv.gz"))
+        return bool(self._partition_files(self.day_dir(table, day)))
 
     def days(self, table: str) -> List[datetime.date]:
         """Every day for which the table holds at least one file."""
@@ -153,7 +292,7 @@ class DataLake:
         for year_dir in sorted(table_dir.glob("year=*")):
             for month_dir in sorted(year_dir.glob("month=*")):
                 for day_dir in sorted(month_dir.glob("day=*")):
-                    if any(day_dir.glob("*.tsv.gz")):
+                    if self._partition_files(day_dir):
                         found.append(
                             datetime.date(
                                 int(year_dir.name.split("=")[1]),
@@ -169,6 +308,7 @@ class DataLake:
         day: datetime.date,
         codec: LineCodec[T],
         integrity: Optional[LakeIntegrity] = None,
+        where: Optional[ScanPredicate] = None,
     ) -> Dataset[T]:
         """The records of one day as a lazy dataset (one partition/file).
 
@@ -177,15 +317,62 @@ class DataLake:
         are routed per the context's policy; without one, reads are
         unverified and any decode failure raises a typed
         :class:`RecordDecodeError` naming the partition and line.
+
+        With a ``where`` predicate (needs a :class:`ColumnarCodec`), the
+        day's partitions are zone-map pruned through the engine and the
+        predicate is pushed into surviving partitions: v2 chunks decode
+        only the columns the predicate needs (plus projected survivors),
+        v1 text partitions filter record-by-record to the same result.
         """
-        directory = self.day_dir(table, day)
-        if not directory.is_dir():
-            return Dataset.empty()
-        sources = [
-            _file_source(path, codec, table, day, integrity)
-            for path in sorted(directory.glob("*.tsv.gz"))
-        ]
-        return Dataset.from_partitions(sources)
+        dataset, _, _ = self._day_dataset(table, day, codec, integrity, where)
+        return dataset
+
+    def _day_dataset(
+        self,
+        table: str,
+        day: datetime.date,
+        codec: LineCodec[T],
+        integrity: Optional[LakeIntegrity],
+        where: Optional[ScanPredicate],
+    ) -> "tuple[Dataset[T], int, int]":
+        """One day's dataset plus (total, pruned) partition counts."""
+        files = self._partition_files(self.day_dir(table, day))
+        if not files:
+            return Dataset.empty(), 0, 0
+        if where is not None and not isinstance(codec, ColumnarCodec):
+            raise TypeError(
+                f"table {table!r}: predicate reads need a ColumnarCodec, "
+                f"got {type(codec).__name__}"
+            )
+        sources = []
+        stats: List[Optional[dict]] = []
+        day_zone = {"day_min": day.isoformat(), "day_max": day.isoformat()}
+        for path in files:
+            if path.name.endswith(CHUNK_SUFFIX):
+                sources.append(
+                    _chunk_source(path, codec, table, day, integrity, where)
+                )
+            else:
+                sources.append(
+                    _file_source(path, codec, table, day, integrity, where)
+                )
+            zone: Optional[dict] = day_zone
+            if where is not None:
+                try:
+                    manifest = load_manifest(path)
+                except PartitionIntegrityError:
+                    manifest = None  # damaged sidecar: the read path decides
+                if manifest is not None and manifest.zone is not None:
+                    zone = manifest.zone
+            stats.append(zone)
+        dataset: Dataset[T] = Dataset.from_partitions(sources, stats)
+        if where is None:
+            return dataset, len(files), 0
+        pruned_dataset = dataset.prune(where.matches_zone)
+        pruned = dataset.num_partitions - pruned_dataset.num_partitions
+        if pruned:
+            telemetry.count("lake_partitions_pruned", pruned, table=table)
+        return pruned_dataset, len(files), pruned
 
     def read_range(
         self,
@@ -194,16 +381,51 @@ class DataLake:
         end: datetime.date,
         codec: LineCodec[T],
         integrity: Optional[LakeIntegrity] = None,
+        where: Optional[ScanPredicate] = None,
     ) -> Dataset[T]:
-        """Records of every stored day in [start, end] (missing days skip)."""
-        datasets = [
-            self.read_day(table, day, codec, integrity)
-            for day in self.days(table)
-            if start <= day <= end
-        ]
-        combined: Dataset[T] = Dataset.empty()
-        for dataset in datasets:
-            combined = combined.union(dataset)
+        """Records of every stored day in [start, end] (missing days skip).
+
+        A ``where`` predicate narrows the scan: days outside the
+        predicate's day range are skipped outright, remaining partitions
+        are zone-map pruned, and surviving partitions decode with the
+        predicate pushed down (see :meth:`read_day`).  The planning span
+        records how effective pruning was.
+        """
+        planned: List["tuple[datetime.date, bool]"] = []
+        for day in self.days(table):
+            if not (start <= day <= end):
+                continue
+            skipped = where is not None and not where.admits_day(day)
+            planned.append((day, skipped))
+        total = 0
+        pruned = 0
+        datasets: List[Dataset[T]] = []
+        for day, skipped in planned:
+            if skipped:
+                files = len(self._partition_files(self.day_dir(table, day)))
+                total += files
+                pruned += files
+                if files:
+                    telemetry.count(
+                        "lake_partitions_pruned", files, table=table
+                    )
+                continue
+            dataset, day_total, day_pruned = self._day_dataset(
+                table, day, codec, integrity, where
+            )
+            total += day_total
+            pruned += day_pruned
+            datasets.append(dataset)
+        with telemetry.span(
+            "lake_read_range",
+            table=table,
+            partitions=total,
+            pruned=pruned,
+            pushdown=where is not None,
+        ):
+            combined: Dataset[T] = Dataset.empty()
+            for dataset in datasets:
+                combined = combined.union(dataset)
         return combined
 
     def tables(self) -> List[str]:
@@ -222,8 +444,9 @@ def _file_source(
     table: str,
     day: datetime.date,
     integrity: Optional[LakeIntegrity],
+    where: Optional[ScanPredicate] = None,
 ) -> Callable[[], Iterator[T]]:
-    source = path.name[: -len(".tsv.gz")] if path.name.endswith(".tsv.gz") else path.name
+    source = partition_source_name(path)
 
     def read() -> Iterator[T]:
         telemetry.count("datalake_files_read")
@@ -272,6 +495,10 @@ def _file_source(
                         integrity.ledger.note_decoded(
                             day, len(line.encode("utf-8"))
                         )
+                    if where is not None and not where.matches_record(
+                        codec, record
+                    ):
+                        continue
                     yield record
         except (OSError, EOFError, zlib.error, gzip.BadGzipFile) as exc:
             # A stream-level failure mid-read (torn tail reached without a
@@ -290,6 +517,85 @@ def _file_source(
                 ),
                 table=table, day=day, source=source,
             )
+
+    return read
+
+
+def _chunk_source(
+    path: Path,
+    codec: "ColumnarCodec[T]",
+    table: str,
+    day: datetime.date,
+    integrity: Optional[LakeIntegrity],
+    where: Optional[ScanPredicate] = None,
+) -> Callable[[], Iterator[T]]:
+    source = partition_source_name(path)
+
+    def read() -> Iterator[T]:
+        telemetry.count("datalake_files_read")
+        manifest = None
+        if integrity is not None:
+            try:
+                manifest = load_manifest(path)
+            except PartitionIntegrityError as exc:
+                integrity.ledger.note_partition(table, day, None)
+                integrity.bad_partition(
+                    PartitionCheck(path, ok=False, kind=exc.kind, detail=exc.detail),
+                    table=table, day=day, source=source,
+                )
+                return
+            integrity.ledger.note_partition(table, day, manifest)
+            if integrity.verify_checksums:
+                check = verify_partition(path, manifest)
+                if not check.ok:
+                    integrity.bad_partition(
+                        check, table=table, day=day, source=source
+                    )
+                    return
+        try:
+            scan = read_chunk(path, codec, where)
+        except PartitionIntegrityError as exc:
+            if integrity is None:
+                raise PartitionIntegrityError(
+                    path, exc.kind, exc.detail, table=table, day=day
+                ) from exc
+            integrity.bad_partition(
+                PartitionCheck(path, ok=False, kind=exc.kind, detail=exc.detail),
+                table=table, day=day, source=source,
+            )
+            return
+        except OSError as exc:
+            if integrity is None:
+                if isinstance(exc, FileNotFoundError):
+                    raise  # a vanished file is not corruption
+                raise PartitionIntegrityError(
+                    path, "torn", f"unreadable partition: {exc!r}",
+                    table=table, day=day,
+                ) from exc
+            integrity.bad_partition(
+                PartitionCheck(
+                    path, ok=False, kind="torn",
+                    detail=f"unreadable partition: {exc!r}",
+                ),
+                table=table, day=day, source=source,
+            )
+            return
+        if scan.columns_skipped:
+            telemetry.count(
+                "lake_columns_skipped", scan.columns_skipped, table=table
+            )
+        if integrity is not None and scan.rows_total:
+            # The chunk decoded cleanly end to end, so the quality ledger
+            # counts every stored row — decode integrity is what it
+            # measures, not predicate selectivity.
+            bytes_per_row = (
+                manifest.payload_bytes // scan.rows_total
+                if manifest is not None
+                else 0
+            )
+            for _ in range(scan.rows_total):
+                integrity.ledger.note_decoded(day, bytes_per_row)
+        yield from scan.records
 
     return read
 

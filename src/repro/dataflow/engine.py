@@ -40,10 +40,27 @@ PartitionSource = Callable[[], Iterator[T]]
 
 
 class Dataset(Generic[T]):
-    """A lazy, partitioned collection of records."""
+    """A lazy, partitioned collection of records.
 
-    def __init__(self, sources: List[PartitionSource]) -> None:
+    Each partition may carry optional **stats** (an opaque per-partition
+    summary such as a lake zone map); :meth:`prune` drops partitions
+    whose stats prove they cannot contribute, without iterating them —
+    the engine half of the lake's predicate pushdown.
+    """
+
+    def __init__(
+        self,
+        sources: List[PartitionSource],
+        stats: Optional[List[Optional[Any]]] = None,
+    ) -> None:
         self._sources = sources
+        if stats is None:
+            stats = [None] * len(sources)
+        if len(stats) != len(sources):
+            raise ValueError(
+                f"{len(stats)} stats for {len(sources)} partitions"
+            )
+        self._stats = stats
 
     # -- constructors -----------------------------------------------------
 
@@ -58,9 +75,15 @@ class Dataset(Generic[T]):
         return cls([_replay(bucket) for bucket in buckets])
 
     @classmethod
-    def from_partitions(cls, sources: Iterable[PartitionSource]) -> "Dataset[T]":
+    def from_partitions(
+        cls,
+        sources: Iterable[PartitionSource],
+        stats: Optional[Iterable[Optional[Any]]] = None,
+    ) -> "Dataset[T]":
         """Build from partition generator callables (re-iterable)."""
-        return cls(list(sources))
+        return cls(
+            list(sources), list(stats) if stats is not None else None
+        )
 
     @classmethod
     def empty(cls) -> "Dataset[T]":
@@ -72,9 +95,36 @@ class Dataset(Generic[T]):
     def num_partitions(self) -> int:
         return len(self._sources)
 
+    @property
+    def partition_stats(self) -> List[Optional[Any]]:
+        """Per-partition stats, parallel to the partition list."""
+        return list(self._stats)
+
     def union(self, other: "Dataset[T]") -> "Dataset[T]":
         """Concatenate partitions of two datasets (no shuffle)."""
-        return Dataset(self._sources + other._sources)
+        return Dataset(
+            self._sources + other._sources, self._stats + other._stats
+        )
+
+    def prune(self, keep: Callable[[Any], bool]) -> "Dataset[T]":
+        """Drop partitions whose stats prove they cannot match.
+
+        ``keep(stats)`` runs only for partitions that *have* stats;
+        statless partitions always survive (prune on proof, never on
+        absence).  Pruned partitions are never opened or iterated.
+        """
+        kept_sources: List[PartitionSource] = []
+        kept_stats: List[Optional[Any]] = []
+        pruned = 0
+        for source, stat in zip(self._sources, self._stats):
+            if stat is not None and not keep(stat):
+                pruned += 1
+                continue
+            kept_sources.append(source)
+            kept_stats.append(stat)
+        if pruned:
+            telemetry.count("dataflow_partitions_pruned", pruned)
+        return Dataset(kept_sources, kept_stats)
 
     # -- narrow transformations (no shuffle) --------------------------------
 

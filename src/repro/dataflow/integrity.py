@@ -176,29 +176,43 @@ class PartitionManifest:
     crc32: int
     payload_bytes: int
     schema_version: int = LAKE_SCHEMA_VERSION
+    #: "tsv" for v1 line partitions; "colchunk" for v2 column chunks.
+    #: v2 manifests also carry the partition's zone map (min/max day,
+    #: distinct key-column values, row count) so readers can prune
+    #: partitions without opening the data file.
+    container: str = "tsv"
+    zone: Optional[dict] = None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "format": MANIFEST_FORMAT,
-                "records": self.records,
-                "crc32": self.crc32,
-                "payload_bytes": self.payload_bytes,
-                "schema_version": self.schema_version,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "records": self.records,
+            "crc32": self.crc32,
+            "payload_bytes": self.payload_bytes,
+            "schema_version": self.schema_version,
+        }
+        # v1 sidecars stay byte-identical to what they always were.
+        if self.container != "tsv":
+            payload["container"] = self.container
+        if self.zone is not None:
+            payload["zone"] = self.zone
+        return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "PartitionManifest":
         raw = json.loads(text)
         if raw.get("format") != MANIFEST_FORMAT:
             raise ValueError(f"unknown manifest format {raw.get('format')!r}")
+        zone = raw.get("zone")
+        if zone is not None and not isinstance(zone, dict):
+            raise ValueError(f"malformed zone map {zone!r}")
         return cls(
             records=int(raw["records"]),
             crc32=int(raw["crc32"]),
             payload_bytes=int(raw["payload_bytes"]),
             schema_version=int(raw["schema_version"]),
+            container=str(raw.get("container", "tsv")),
+            zone=zone,
         )
 
 
@@ -281,9 +295,18 @@ def verify_partition(
     (dropped/duplicated lines), and foreign schema headers (an embedded
     ``#tstat-log vN`` claiming a version the manifest does not).  A
     missing manifest downgrades verification to a readability check.
+
+    v2 column-chunk partitions (``*.colchunk``) dispatch to the chunk
+    verifier, which walks the binary container (magic, header, per-column
+    CRCs) and compares the manifest's whole-file CRC/size/row count.
     """
     if manifest is None:
         manifest = load_manifest(path)
+    if path.name.endswith(".colchunk"):
+        # Lazy import: columnar sits above this module in the layering.
+        from repro.dataflow.columnar import verify_chunk
+
+        return verify_chunk(path, manifest)
     digest = PayloadDigest()
     declared_schema: Optional[int] = None
     try:
@@ -649,16 +672,28 @@ class CorruptionPlan:
         return touched
 
 
+#: Corruption kinds that operate on raw bytes and therefore apply to
+#: binary v2 chunks as well as v1 gzip-TSV; the line-oriented kinds
+#: (drop_column, duplicate_line, foreign_header) are v1-only.
+_BINARY_SAFE_KINDS = frozenset({CORRUPT_TRUNCATE, CORRUPT_BIT_FLIP})
+
+
 def _partition_path(lake_root: Path, spec: CorruptionSpec) -> Path:
     day = spec.day
-    return (
+    directory = (
         Path(lake_root)
         / spec.table
         / f"year={day.year:04d}"
         / f"month={day.month:02d}"
         / f"day={day.day:02d}"
-        / f"{spec.source}.tsv.gz"
     )
+    v1 = directory / f"{spec.source}.tsv.gz"
+    if v1.is_file():
+        return v1
+    v2 = directory / f"{spec.source}.colchunk"
+    if v2.is_file():
+        return v2
+    return v1  # apply() reports the canonical missing path
 
 
 def _spec_offset(spec: CorruptionSpec, seed: int, span: int) -> int:
@@ -671,18 +706,23 @@ def _spec_offset(spec: CorruptionSpec, seed: int, span: int) -> int:
 def _apply_one(path: Path, spec: CorruptionSpec, seed: int) -> None:
     if spec.kind == CORRUPT_TRUNCATE:
         blob = path.read_bytes()
-        keep = max(12, len(blob) * 3 // 5)  # past the gzip header, pre-tail
+        keep = max(12, len(blob) * 3 // 5)  # past the container header, pre-tail
         path.write_bytes(blob[:keep])
         return
     if spec.kind == CORRUPT_BIT_FLIP:
         blob = bytearray(path.read_bytes())
-        # Flip a byte inside the deflate stream: after the 10-byte gzip
-        # header, before the 8-byte CRC/length trailer.
+        # Flip a byte inside the payload: after the 10-byte gzip header
+        # (for chunks: past the magic), before the 8-byte gzip trailer.
         span = max(1, len(blob) - 18)
         offset = 10 + _spec_offset(spec, seed, span)
         blob[offset] ^= 0xFF
         path.write_bytes(bytes(blob))
         return
+    if path.name.endswith(".colchunk"):
+        raise ValueError(
+            f"corruption kind {spec.kind!r} is line-oriented and does not "
+            f"apply to binary chunk partition {path.name}"
+        )
     lines = _read_lines(path)
     payload_indices = [
         index for index, line in enumerate(lines) if is_payload_line(line)
@@ -807,22 +847,29 @@ class FsckReport:
 #: own the codecs (``tstat.logs`` for flow logs, ``core.persistence`` for
 #: the aggregate tables).  Integrity sits *beneath* those layers, so it
 #: must not import them — they push their decoders down at import time.
-_CODEC_PROVIDERS: List[Callable[[], Dict[str, Callable[[str], object]]]] = []  # repro: noqa[RPR004] -- append-only at import time, before any worker forks
+_CODEC_PROVIDERS: List[Callable[[], Dict[str, object]]] = []  # repro: noqa[RPR004] -- append-only at import time, before any worker forks
 
 
 def register_codec_provider(
-    provider: Callable[[], Dict[str, Callable[[str], object]]]
+    provider: Callable[[], Dict[str, object]]
 ) -> None:
-    """Register a table→decoder mapping for :func:`default_codecs`."""
+    """Register a table→decoder mapping for :func:`default_codecs`.
+
+    A registered decoder is either a plain line callable (v1 text
+    partitions only) or a :class:`~repro.dataflow.columnar.ColumnarCodec`
+    (decodes both containers: its ``decode`` handles v1 lines, its
+    ``from_row`` handles v2 chunk rows).  Later registrations win, so a
+    layer can upgrade a table's decoder to the columnar codec.
+    """
     _CODEC_PROVIDERS.append(provider)
 
 
-def default_codecs() -> Dict[str, Callable[[str], object]]:
+def default_codecs() -> Dict[str, object]:
     """Decoders fsck uses per table to surface bad *records* (not just bad
     partitions).  Unknown tables still get structural verification.  Only
     tables whose owning module has been imported are decodable — the CLI
     imports them all before scanning."""
-    codecs: Dict[str, Callable[[str], object]] = {}
+    codecs: Dict[str, object] = {}
     for provider in _CODEC_PROVIDERS:
         codecs.update(provider())
     return codecs
@@ -833,7 +880,7 @@ def fsck_lake(
     *,
     decode: bool = True,
     quarantine: bool = False,
-    codecs: Optional[Dict[str, Callable[[str], object]]] = None,
+    codecs: Optional[Dict[str, object]] = None,
 ) -> FsckReport:
     """Scan every partition of a lake and report integrity findings.
 
@@ -854,8 +901,12 @@ def fsck_lake(
         decoder = codecs.get(table) if decode else None
         for day in lake.days(table):
             directory = lake.day_dir(table, day)
-            for path in sorted(directory.glob("*.tsv.gz")):
-                source = path.name[: -len(".tsv.gz")]
+            paths = sorted(
+                list(directory.glob("*.tsv.gz"))
+                + list(directory.glob("*.colchunk"))
+            )
+            for path in paths:
+                source = partition_source_name(path)
                 report.partitions_scanned += 1
                 telemetry.count("fsck_partitions_scanned", table=table)
                 try:
@@ -881,29 +932,90 @@ def fsck_lake(
                                          check.detail)
                     )
                 if decoder is not None:
-                    _fsck_decode(report, sink, decoder, path, table, day, source)
+                    if path.name.endswith(".colchunk"):
+                        _fsck_decode_chunk(
+                            report, sink, decoder, path, table, day, source
+                        )
+                    else:
+                        _fsck_decode(
+                            report, sink, decoder, path, table, day, source
+                        )
     if sink is not None:
         report.quarantined_records = sink.records_quarantined
         report.quarantined_partitions = sink.partitions_quarantined
     return report
 
 
+def partition_source_name(path: Path) -> str:
+    """The source stem of a partition file, either container suffix."""
+    for suffix in (".tsv.gz", ".colchunk"):
+        if path.name.endswith(suffix):
+            return path.name[: -len(suffix)]
+    return path.name
+
+
+def _fsck_decode_chunk(
+    report: FsckReport,
+    sink: Optional[Quarantine],
+    decoder: object,
+    path: Path,
+    table: str,
+    day: datetime.date,
+    source: str,
+) -> None:
+    """Decode every row of one structurally-verified v2 chunk.
+
+    Registered codecs that carry a column schema (``from_row``) decode
+    row by row; a plain line decoder cannot read a binary chunk, so such
+    tables keep structural verification only.
+    """
+    if not hasattr(decoder, "from_row"):
+        return
+    from repro.dataflow.columnar import read_chunk
+
+    try:
+        scan = read_chunk(path, decoder)  # type: ignore[arg-type]
+    except PartitionIntegrityError as exc:
+        report.findings.append(
+            IntegrityFinding(table, day, source, exc.kind, exc.detail)
+        )
+        if sink is not None:
+            sink.partition(table, day, source, f"{exc.kind}: {exc.detail}")
+        return
+    except Exception as exc:  # noqa: BLE001 — normalized below
+        reason = (
+            exc.reason
+            if isinstance(exc, RecordDecodeError)
+            else f"undecodable chunk rows: {exc!r}"
+        )
+        report.findings.append(
+            IntegrityFinding(table, day, source, "record", reason)
+        )
+        if sink is not None:
+            sink.partition(table, day, source, f"record: {reason}")
+        return
+    report.records_decoded += len(scan.records)
+
+
 def _fsck_decode(
     report: FsckReport,
     sink: Optional[Quarantine],
-    decoder: Callable[[str], object],
+    decoder: object,
     path: Path,
     table: str,
     day: datetime.date,
     source: str,
 ) -> None:
     """Decode every payload line of one verified partition."""
+    decode_line: Callable[[str], object] = (
+        decoder.decode if hasattr(decoder, "decode") else decoder  # type: ignore[union-attr,assignment]
+    )
     with _open_partition_text(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             if not is_payload_line(line):
                 continue
             try:
-                decoder(line)
+                decode_line(line)
             except Exception as exc:  # noqa: BLE001 — normalized below
                 reason = (
                     exc.reason

@@ -70,6 +70,10 @@ class FrameDecoder:
         self.stats = DecodeStats()
         self._verify_ip_checksum = verify_ip_checksum
 
+    @property
+    def verify_ip_checksum(self) -> bool:
+        return self._verify_ip_checksum
+
     def decode(self, packet: CapturedPacket) -> Optional[DecodedPacket]:
         """Decode one frame; returns ``None`` for anything non-meterable."""
         self.stats.total += 1

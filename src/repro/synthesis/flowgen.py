@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.dataflow.columnar import ColumnSpec, ColumnarCodec
 from repro.dataflow.datalake import LineCodec, tsv_codec
 from repro.services import catalog
 from repro.synthesis import studycalendar
@@ -37,15 +38,17 @@ from repro.telemetry import runtime as telemetry
 from repro.tstat.flow import (
     FlowRecord,
     NameSource,
-    Transport,
     WebProtocol,
 )
 from repro.tstat.flowbatch import (
+    PROTOCOLS,
+    TCP_CODE,
+    UDP_CODE,
     FlowBatch,
     FlowBatchBuilder,
+    StringTable,
     name_source_code,
     protocol_code,
-    transport_code,
 )
 from repro.tstat.versions import capabilities_on
 
@@ -100,7 +103,7 @@ class DayTraffic:
     protocols: Tuple[ProtocolUsage, ...]
 
 
-USAGE_CODEC: LineCodec[DailyUsage] = tsv_codec(
+_USAGE_LINES: LineCodec[DailyUsage] = tsv_codec(
     from_fields=lambda fields: DailyUsage(
         day=datetime.date.fromisoformat(fields[0]),
         subscriber_id=int(fields[1]),
@@ -123,7 +126,44 @@ USAGE_CODEC: LineCodec[DailyUsage] = tsv_codec(
     ],
 )
 
-PROTOCOL_CODEC: LineCodec[ProtocolUsage] = tsv_codec(
+USAGE_CODEC: ColumnarCodec[DailyUsage] = ColumnarCodec(
+    encode=_USAGE_LINES.encode,
+    decode=_USAGE_LINES.decode,
+    columns=[
+        ColumnSpec("day", "date"),
+        ColumnSpec("subscriber_id", "int"),
+        ColumnSpec("technology", "str"),
+        ColumnSpec("pop", "str"),
+        ColumnSpec("service", "str"),
+        ColumnSpec("bytes_down", "int"),
+        ColumnSpec("bytes_up", "int"),
+        ColumnSpec("flows", "int"),
+    ],
+    to_row=lambda row: (
+        row.day,
+        row.subscriber_id,
+        row.technology.value,
+        row.pop,
+        row.service,
+        row.bytes_down,
+        row.bytes_up,
+        row.flows,
+    ),
+    from_row=lambda row: DailyUsage(
+        day=row[0],
+        subscriber_id=row[1],
+        technology=Technology(row[2]),
+        pop=row[3],
+        service=row[4],
+        bytes_down=row[5],
+        bytes_up=row[6],
+        flows=row[7],
+    ),
+    zone_columns=("service", "pop", "technology"),
+    day_column="day",
+)
+
+_PROTOCOL_LINES: LineCodec[ProtocolUsage] = tsv_codec(
     from_fields=lambda fields: ProtocolUsage(
         day=datetime.date.fromisoformat(fields[0]),
         service=fields[1],
@@ -136,6 +176,31 @@ PROTOCOL_CODEC: LineCodec[ProtocolUsage] = tsv_codec(
         row.protocol.value,
         str(row.total_bytes),
     ],
+)
+
+PROTOCOL_CODEC: ColumnarCodec[ProtocolUsage] = ColumnarCodec(
+    encode=_PROTOCOL_LINES.encode,
+    decode=_PROTOCOL_LINES.decode,
+    columns=[
+        ColumnSpec("day", "date"),
+        ColumnSpec("service", "str"),
+        ColumnSpec("protocol", "str"),
+        ColumnSpec("total_bytes", "int"),
+    ],
+    to_row=lambda row: (
+        row.day,
+        row.service,
+        row.protocol.value,
+        row.total_bytes,
+    ),
+    from_row=lambda row: ProtocolUsage(
+        day=row[0],
+        service=row[1],
+        protocol=WebProtocol(row[2]),
+        total_bytes=row[3],
+    ),
+    zone_columns=("service", "protocol"),
+    day_column="day",
 )
 
 
@@ -388,116 +453,231 @@ class TrafficGenerator:
 
         Per-flow totals sum exactly to the usage row's bytes; the flow
         *count* is capped (``max_flows_per_usage``) to bound record volume,
-        mirroring the scale substitution of DESIGN.md §5.  The batch is
-        built column-wise — no intermediate :class:`FlowRecord` objects —
-        but draws from the per-day RNG stream in exactly the order the
-        historical row path did, so ``expand_flows_batch(...).to_records()``
-        is bit-identical to what ``expand_flows`` always returned.
+        mirroring the scale substitution of DESIGN.md §5.  The expansion
+        is **born columnar**: every per-flow quantity is one NumPy draw
+        over all of the day's flows (grouped by service for protocol
+        mixes and server selection, by deployment inside
+        :meth:`~repro.synthesis.infrastructure.ServiceInfrastructure.
+        pick_servers`), and the batch columns are assembled directly —
+        no per-flow Python loop, no intermediate records.
+        ``expand_flows`` materializes the identical row view from this
+        batch.
         """
         traffic = traffic if traffic is not None else self.generate_day(day)
+        usage = traffic.usage
+        if not usage:
+            batch = FlowBatchBuilder().build()
+            telemetry.count("flows_expanded", 0)
+            return batch
         rng = self.world.day_rng(day, stream=2)
         capabilities = capabilities_on(day)
         midnight = datetime.datetime.combine(day, datetime.time()).timestamp()
-        profiles = {
-            technology: np.array(
+
+        row_count = len(usage)
+        flows_per_row = np.fromiter(
+            (row.flows for row in usage), np.int64, row_count
+        )
+        counts = np.clip(flows_per_row, 1, max_flows_per_usage)
+        starts = np.zeros(row_count, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        total = int(counts.sum())
+        row_of = np.repeat(np.arange(row_count), counts)
+
+        bytes_down_rows = np.fromiter(
+            (row.bytes_down for row in usage), np.int64, row_count
+        )
+        bytes_up_rows = np.fromiter(
+            (row.bytes_up for row in usage), np.int64, row_count
+        )
+        subscriber_rows = np.fromiter(
+            (row.subscriber_id for row in usage), np.int64, row_count
+        )
+        ftth_rows = np.fromiter(
+            (row.technology is Technology.FTTH for row in usage),
+            bool, row_count,
+        )
+
+        # Per-usage-row Dirichlet(0.8) byte-split weights; the integer
+        # remainder goes to each row's first flow (as _integer_split does).
+        gamma = rng.standard_gamma(0.8, total)
+        weights = gamma / np.add.reduceat(gamma, starts)[row_of]
+        down = np.floor(bytes_down_rows[row_of] * weights).astype(np.int64)
+        down[starts] += bytes_down_rows - np.add.reduceat(down, starts)
+        up = np.floor(bytes_up_rows[row_of] * weights).astype(np.int64)
+        up[starts] += bytes_up_rows - np.add.reduceat(up, starts)
+        packets_down = np.maximum(1, down // 1400)
+        packets_up = np.maximum(1, up // 700 + packets_down // 2)
+
+        # Start bins via inverse-CDF over each technology's diurnal curve.
+        uniforms = rng.random(total)
+        bins = np.empty(total, dtype=np.int64)
+        for technology in Technology:
+            mask = ftth_rows[row_of] == (technology is Technology.FTTH)
+            if not mask.any():
+                continue
+            cdf = np.cumsum(
                 studycalendar.diurnal_profile(day.year, technology.value)
             )
-            for technology in Technology
-        }
-        builder = FlowBatchBuilder()
-        for row in traffic.usage:
-            service = self.world.service(row.service)
-            infra = self.world.infrastructure_for(row.service)
-            mix = service.protocol_mix(day)
-            count = max(1, min(row.flows, max_flows_per_usage))
-            weights = rng.dirichlet(np.full(count, 0.8))
-            down_split = _integer_split(row.bytes_down, weights)
-            up_split = _integer_split(row.bytes_up, weights)
-            packets_down = np.maximum(1, down_split // 1400)
-            packets_up = np.maximum(1, up_split // 700 + packets_down // 2)
-            bins = rng.choice(
-                BINS_PER_DAY, size=count, p=profiles[row.technology]
+            cdf /= cdf[-1]
+            bins[mask] = np.minimum(
+                np.searchsorted(cdf, uniforms[mask], side="right"),
+                BINS_PER_DAY - 1,
             )
-            protocols = _sample_protocols(mix, count, rng)
-            for flow_index in range(count):
-                self._append_flow(
-                    builder=builder,
-                    row=row,
-                    infra=infra,
-                    day=day,
-                    true_protocol=protocols[flow_index],
-                    capabilities=capabilities,
-                    bytes_down=int(down_split[flow_index]),
-                    bytes_up=int(up_split[flow_index]),
-                    packets_down=int(packets_down[flow_index]),
-                    packets_up=int(packets_up[flow_index]),
-                    ts_start=midnight
-                    + studycalendar.bin_start_seconds(int(bins[flow_index]))
-                    + float(rng.uniform(0, 600)),
-                    rng=rng,
-                )
-        batch = builder.build()
-        telemetry.count("flows_expanded", len(batch))
-        return batch
+        seconds_per_bin = 86_400 // BINS_PER_DAY
+        ts_start = midnight + bins * seconds_per_bin + rng.uniform(0, 600, total)
 
-    def _append_flow(
-        self,
-        builder: FlowBatchBuilder,
-        row: DailyUsage,
-        infra: object,
-        day: datetime.date,
-        true_protocol: WebProtocol,
-        capabilities: object,
-        bytes_down: int,
-        bytes_up: int,
-        packets_down: int,
-        packets_up: int,
-        ts_start: float,
-        rng: np.random.Generator,
-    ) -> None:
-        choice = infra.pick_server(day, rng)  # type: ignore[attr-defined]
-        label = capabilities.reported_label(true_protocol)  # type: ignore[attr-defined]
-        transport = (
-            Transport.UDP
-            if true_protocol is WebProtocol.QUIC
-            else Transport.TCP
+        # Protocol mixes and server picks, grouped by service
+        # (first-appearance order over the usage rows).
+        service_index: Dict[str, int] = {}
+        for row in usage:
+            if row.service not in service_index:
+                service_index[row.service] = len(service_index)
+        row_service = np.fromiter(
+            (service_index[row.service] for row in usage), np.int64, row_count
         )
-        server_port = _server_port(true_protocol)
-        duration = float(
-            min(3600.0, 1.0 + rng.lognormal(0.0, 1.0) * (bytes_down / 1e6))
+        flow_service = row_service[row_of]
+        true_protocol = np.empty(total, dtype=np.int64)  # codes into PROTOCOLS
+        ips = np.empty(total, dtype=np.int64)
+        domains = np.empty(total, dtype=object)
+        rtt_draw = np.empty(total, dtype=np.float64)
+        for service_name, code in service_index.items():
+            mask = flow_service == code
+            hits = int(np.count_nonzero(mask))
+            service = self.world.service(service_name)
+            infra = self.world.infrastructure_for(service_name)
+            mix = service.protocol_mix(day)
+            if not mix:
+                true_protocol[mask] = protocol_code(WebProtocol.OTHER)
+            else:
+                shares = np.array([share for _, share in mix], dtype=np.float64)
+                cumulative = np.cumsum(shares / shares.sum())
+                picks = np.minimum(
+                    np.searchsorted(cumulative, rng.random(hits), side="right"),
+                    len(mix) - 1,
+                )
+                mix_codes = np.fromiter(
+                    (protocol_code(protocol) for protocol, _ in mix),
+                    np.int64, len(mix),
+                )
+                true_protocol[mask] = mix_codes[picks]
+            ips[mask], domains[mask], rtt_draw[mask] = infra.pick_servers(
+                day, rng, hits
+            )
+
+        # Protocol-derived columns via 9-entry lookup tables.
+        label_of = np.fromiter(
+            (
+                protocol_code(capabilities.reported_label(protocol))
+                for protocol in PROTOCOLS
+            ),
+            np.int64, len(PROTOCOLS),
         )
-        server_name, name_source = _flow_name(true_protocol, choice.domain, rng)
-        samples, minimum, average, maximum = 0, 0.0, 0.0, 0.0
-        if transport is Transport.TCP and true_protocol is not WebProtocol.P2P:
-            samples = int(min(50, max(1, packets_up // 4)))
-            minimum = choice.rtt_ms
-            average = minimum * float(1.0 + rng.lognormal(-1.5, 0.8))
-            maximum = average * float(1.0 + rng.lognormal(-1.0, 0.8))
-        elif true_protocol is WebProtocol.P2P:
+        port_of = np.fromiter(
+            (_server_port(protocol) for protocol in PROTOCOLS),
+            np.int64, len(PROTOCOLS),
+        )
+        quic = true_protocol == protocol_code(WebProtocol.QUIC)
+        p2p = true_protocol == protocol_code(WebProtocol.P2P)
+        other = true_protocol == protocol_code(WebProtocol.OTHER)
+        transport = np.where(quic, UDP_CODE, TCP_CODE).astype(np.int64)
+
+        duration = np.minimum(
+            3600.0, 1.0 + rng.lognormal(0.0, 1.0, total) * (down / 1e6)
+        )
+        client_port = rng.integers(1024, 65535, total)
+
+        # Flow names: P2P flows are nameless, HTTP/QUIC/FBZERO expose the
+        # domain via their own mechanism, OTHER resolves via DNS 70% of
+        # the time, everything else carries the SNI.
+        source_of = np.full(
+            len(PROTOCOLS), name_source_code(NameSource.SNI), dtype=np.int64
+        )
+        source_of[protocol_code(WebProtocol.P2P)] = name_source_code(NameSource.NONE)
+        source_of[protocol_code(WebProtocol.HTTP)] = name_source_code(NameSource.HOST)
+        source_of[protocol_code(WebProtocol.QUIC)] = name_source_code(NameSource.QUIC)
+        source_of[protocol_code(WebProtocol.FBZERO)] = name_source_code(NameSource.ZERO)
+        name_source = source_of[true_protocol]
+        named = ~p2p
+        other_hits = int(np.count_nonzero(other))
+        if other_hits:
+            resolved = rng.random(other_hits) < 0.7
+            name_source[other] = np.where(
+                resolved,
+                name_source_code(NameSource.DNS),
+                name_source_code(NameSource.NONE),
+            )
+            unresolved = np.zeros(total, dtype=bool)
+            unresolved[other] = ~resolved
+            named &= ~unresolved
+
+        # RTT summaries: sampled on TCP non-P2P flows, jittery on P2P,
+        # absent on QUIC (Tstat cannot sample UDP handshakes).
+        rtt_samples = np.zeros(total, dtype=np.int64)
+        rtt_min = np.zeros(total, dtype=np.float64)
+        rtt_avg = np.zeros(total, dtype=np.float64)
+        rtt_max = np.zeros(total, dtype=np.float64)
+        sampled = ~quic & ~p2p
+        sampled_hits = int(np.count_nonzero(sampled))
+        if sampled_hits:
+            rtt_samples[sampled] = np.clip(packets_up[sampled] // 4, 1, 50)
+            minimum = rtt_draw[sampled]
+            average = minimum * (1.0 + rng.lognormal(-1.5, 0.8, sampled_hits))
+            rtt_min[sampled] = minimum
+            rtt_avg[sampled] = average
+            rtt_max[sampled] = average * (
+                1.0 + rng.lognormal(-1.0, 0.8, sampled_hits)
+            )
+        p2p_hits = int(np.count_nonzero(p2p))
+        if p2p_hits:
             # Peers are far and jittery; Tstat still samples TCP P2P flows.
-            minimum = choice.rtt_ms * float(rng.lognormal(0.0, 0.5))
-            samples, average, maximum = 5, minimum * 1.6, minimum * 3.0
-        builder.append(
-            client_id=row.subscriber_id,
-            server_ip=choice.ip,
-            client_port=int(rng.integers(1024, 65535)),
-            server_port=server_port,
-            transport=transport_code(transport),
+            minimum = rtt_draw[p2p] * rng.lognormal(0.0, 0.5, p2p_hits)
+            rtt_samples[p2p] = 5
+            rtt_min[p2p] = minimum
+            rtt_avg[p2p] = minimum * 1.6
+            rtt_max[p2p] = minimum * 3.0
+
+        # Intern names and vantages (first-appearance order, as the
+        # builder path produced).
+        names_table = StringTable()
+        intern_name = names_table.intern
+        name_id = np.fromiter(
+            (
+                intern_name(domain if use else None)
+                for domain, use in zip(domains.tolist(), named.tolist())
+            ),
+            np.int64, total,
+        )
+        vantage_table = StringTable()
+        row_vantage = np.fromiter(
+            (vantage_table.intern(row.pop) for row in usage),
+            np.int64, row_count,
+        )
+
+        batch = FlowBatch(
+            client_id=subscriber_rows[row_of],
+            server_ip=ips,
+            client_port=client_port.astype(np.int64),
+            server_port=port_of[true_protocol],
+            transport=transport,
             ts_start=ts_start,
             ts_end=ts_start + duration,
             packets_up=packets_up,
             packets_down=packets_down,
-            bytes_up=bytes_up,
-            bytes_down=bytes_down,
-            protocol=protocol_code(label),
-            server_name=server_name,
-            name_source=name_source_code(name_source),
-            rtt_samples=samples,
-            rtt_min=minimum,
-            rtt_avg=average,
-            rtt_max=maximum,
-            vantage=row.pop,
+            bytes_up=up,
+            bytes_down=down,
+            protocol=label_of[true_protocol],
+            name_id=name_id,
+            name_source=name_source,
+            rtt_samples=rtt_samples,
+            rtt_min=rtt_min,
+            rtt_avg=rtt_avg,
+            rtt_max=rtt_max,
+            vantage_id=row_vantage[row_of],
+            names=names_table.values(),
+            vantages=vantage_table.values(),
         )
+        telemetry.count("flows_expanded", len(batch))
+        return batch
 
 
 def _integer_split(total: int, weights: np.ndarray) -> np.ndarray:
@@ -505,18 +685,6 @@ def _integer_split(total: int, weights: np.ndarray) -> np.ndarray:
     parts = np.floor(total * weights).astype(np.int64)
     parts[0] += total - int(parts.sum())
     return parts
-
-
-def _sample_protocols(
-    mix: List[Tuple[WebProtocol, float]], count: int, rng: np.random.Generator
-) -> List[WebProtocol]:
-    if not mix:
-        return [WebProtocol.OTHER] * count
-    protocols = [protocol for protocol, _ in mix]
-    shares = np.array([share for _, share in mix])
-    shares = shares / shares.sum()
-    picks = rng.choice(len(protocols), size=count, p=shares)
-    return [protocols[int(pick)] for pick in picks]
 
 
 def _server_port(protocol: WebProtocol) -> int:
@@ -527,21 +695,3 @@ def _server_port(protocol: WebProtocol) -> int:
     if protocol is WebProtocol.OTHER:
         return 5228
     return 443
-
-
-def _flow_name(
-    protocol: WebProtocol, domain: str, rng: np.random.Generator
-) -> Tuple[Optional[str], NameSource]:
-    if protocol is WebProtocol.P2P:
-        return None, NameSource.NONE
-    if protocol is WebProtocol.HTTP:
-        return domain, NameSource.HOST
-    if protocol is WebProtocol.QUIC:
-        return domain, NameSource.QUIC
-    if protocol is WebProtocol.FBZERO:
-        return domain, NameSource.ZERO
-    if protocol is WebProtocol.OTHER:
-        if rng.random() < 0.7:
-            return domain, NameSource.DNS
-        return None, NameSource.NONE
-    return domain, NameSource.SNI

@@ -67,6 +67,18 @@ class AddressPool:
         drift = int((day.toordinal() - STUDY_START.toordinal()) * self.rotation_per_day)
         return self.nth(slot + drift)
 
+    def addresses_for(self, slots: np.ndarray, day: datetime.date) -> np.ndarray:
+        """Vectorized :meth:`address_for` over an array of slots."""
+        drift = int((day.toordinal() - STUDY_START.toordinal()) * self.rotation_per_day)
+        indices = (np.asarray(slots, dtype=np.int64) + drift) % self.capacity()
+        sizes = np.array([prefix.size() for prefix in self.prefixes], dtype=np.int64)
+        bounds = np.cumsum(sizes)
+        which = np.searchsorted(bounds, indices, side="right")
+        networks = np.array(
+            [prefix.network for prefix in self.prefixes], dtype=np.int64
+        )
+        return networks[which] + (indices - (bounds - sizes)[which])
+
 
 @dataclass(frozen=True)
 class Deployment:
@@ -98,8 +110,35 @@ class Deployment:
                     break
         return _fill_template(template, rng)
 
+    def domains_on(
+        self, day: datetime.date, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """``count`` domain draws at once (vectorized :meth:`domain_on`)."""
+        weights = [max(0.0, curve(day)) for _, curve in self.domains]
+        total = sum(weights)
+        if total <= 0:
+            picks = np.zeros(count, dtype=np.int64)
+        else:
+            cumulative = np.cumsum(weights)
+            picks = np.minimum(
+                np.searchsorted(cumulative, rng.random(count) * total),
+                len(weights) - 1,
+            )
+        out = np.empty(count, dtype=object)
+        for index, (template, _) in enumerate(self.domains):
+            mask = picks == index
+            hits = int(np.count_nonzero(mask))
+            if hits:
+                out[mask] = _fill_templates(template, rng, hits)
+        return out
+
     def sample_rtt_ms(self, rng: np.random.Generator) -> float:
         return float(self.rtt_ms * rng.lognormal(0.0, self.rtt_sigma))
+
+    def sample_rtts_ms(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        return self.rtt_ms * rng.lognormal(0.0, self.rtt_sigma, count)
 
 
 @dataclass(frozen=True)
@@ -159,6 +198,38 @@ class ServiceInfrastructure:
             pool=deployment.pool.name,
         )
 
+    def pick_servers(
+        self, day: datetime.date, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pick ``count`` servers at once: ``(ips, domains, rtts_ms)``.
+
+        The batched form of :meth:`pick_server` for the born-columnar
+        flow expansion — identical share weighting, slot ranges, domain
+        mixes, and RTT distributions, with the per-flow draws grouped by
+        deployment so address/domain/RTT generation vectorizes.
+        """
+        shares = self.shares_on(day)
+        if not shares:
+            raise ValueError(f"{self.service}: no deployment active on {day}")
+        cumulative = np.cumsum([share for _, share in shares])
+        picks = np.minimum(
+            np.searchsorted(cumulative, rng.random(count)), len(shares) - 1
+        )
+        ips = np.empty(count, dtype=np.int64)
+        domains = np.empty(count, dtype=object)
+        rtts = np.empty(count, dtype=np.float64)
+        for index, (deployment, _) in enumerate(shares):
+            mask = picks == index
+            hits = int(np.count_nonzero(mask))
+            if not hits:
+                continue
+            slots = max(1, int(deployment.active_slots(day)))
+            drawn = deployment.slot_offset + rng.integers(0, slots, hits)
+            ips[mask] = deployment.pool.addresses_for(drawn, day)
+            domains[mask] = deployment.domains_on(day, rng, hits)
+            rtts[mask] = deployment.sample_rtts_ms(rng, hits)
+        return ips, domains, rtts
+
 
 def _fill_template(template: str, rng: np.random.Generator) -> str:
     if "{n}" in template:
@@ -166,6 +237,25 @@ def _fill_template(template: str, rng: np.random.Generator) -> str:
     if "{a}" in template:
         template = template.replace("{a}", chr(ord("a") + int(rng.integers(0, 8))))
     return template
+
+
+def _fill_templates(
+    template: str, rng: np.random.Generator, count: int
+) -> List[str]:
+    """``count`` independent fills of one domain template."""
+    digits = rng.integers(1, 9, count) if "{n}" in template else None
+    letters = rng.integers(0, 8, count) if "{a}" in template else None
+    if digits is None and letters is None:
+        return [template] * count
+    filled: List[str] = []
+    for position in range(count):
+        name = template
+        if digits is not None:
+            name = name.replace("{n}", str(int(digits[position])))
+        if letters is not None:
+            name = name.replace("{a}", chr(ord("a") + int(letters[position])))
+        filled.append(name)
+    return filled
 
 
 # ---------------------------------------------------------------------------

@@ -14,13 +14,17 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.nettypes.ip import Prefix
 from repro.telemetry import runtime as telemetry
 from repro.packets.capture import DecodedPacket
-from repro.packets.tcp import TcpSegment
-from repro.packets.udp import UdpDatagram
+from repro.packets.tcp import FLAG_ACK, FLAG_FIN, FLAG_RST, SEQ_MODULUS, TcpSegment
+
+if TYPE_CHECKING:  # imported lazily to keep the meter importable sans NumPy
+    import numpy as np
+
+    from repro.packets.batch import PacketBatch
 from repro.protocols import fbzero, http, quic
 from repro.protocols.dns import DnsError, DnsMessage
 from repro.protocols.tls import (
@@ -42,6 +46,11 @@ from repro.tstat.versions import ProbeCapabilities, capabilities_on
 
 DEFAULT_IDLE_TIMEOUT = 300.0
 DEFAULT_SWEEP_INTERVAL = 1024  # packets between idle sweeps
+
+def _packet_payload(packet: DecodedPacket) -> bytes:
+    """Payload accessor for the scalar :meth:`FlowMeter.process` path."""
+    return packet.transport.payload
+
 
 _WEB_PORTS = frozenset({80, 443, 8080})
 _P2P_TCP_PORTS = frozenset(range(6881, 6890)) | {4662, 51413}
@@ -117,8 +126,16 @@ class FlowMeter:
         self._anonymize = anonymize if anonymize is not None else (lambda address: address)
         self._idle_timeout = idle_timeout
         self._vantage = vantage
-        self._flows: Dict[FlowKey, _FlowState] = {}
-        self._time_wait: Dict[FlowKey, float] = {}
+        # (network, netmask) pairs for the vectorised membership test
+        self._network_masks = tuple(
+            (network.network, network.mask()) for network in self._client_networks
+        )
+        # The flow table is keyed by a plain int tuple
+        # (client_ip, server_ip, client_port, server_port, is_tcp) —
+        # tuples of ints hash in C, which the packet path feels; the full
+        # FlowKey lives on the state for export.
+        self._flows: Dict[tuple, _FlowState] = {}
+        self._time_wait: Dict[tuple, float] = {}
         self.stats = MeterStats()
         self._packets_since_sweep = 0
         self._clock = 0.0
@@ -129,30 +146,129 @@ class FlowMeter:
         return len(self._flows)
 
     def _is_client(self, address: int) -> bool:
-        return any(network.contains(address) for network in self._client_networks)
+        return any(
+            (address & netmask) == network for network, netmask in self._network_masks
+        )
+
+    def _client_mask(self, addresses) -> "np.ndarray":
+        """Vectorised membership test over an int64 address column."""
+        import numpy as np
+
+        mask = np.zeros(addresses.shape, dtype=bool)
+        for network, netmask in self._network_masks:
+            mask |= (addresses & netmask) == network
+        return mask
 
     def process(self, packet: DecodedPacket) -> List[FlowRecord]:
         """Meter one packet; returns flows this packet expired (if any)."""
+        transport = packet.transport
+        is_tcp = isinstance(transport, TcpSegment)
+        if is_tcp:
+            seq, ack, flags = transport.seq, transport.ack, transport.flags
+        else:
+            seq = ack = flags = 0
+        return self._process_fields(
+            packet.timestamp,
+            packet.ip.src,
+            packet.ip.dst,
+            self._is_client(packet.ip.src),
+            self._is_client(packet.ip.dst),
+            is_tcp,
+            transport.src_port,
+            transport.dst_port,
+            packet.ip.total_len,
+            seq,
+            ack,
+            flags,
+            len(transport.payload),
+            _packet_payload,
+            packet,
+        )
+
+    def process_batch(self, batch: "PacketBatch") -> List[FlowRecord]:
+        """Meter one decoded batch; returns every flow the batch expired.
+
+        Behaviourally identical to calling :meth:`process` on each packet
+        in capture order — same records, same order, same counters, same
+        sweep cadence — but consumes the batch's plain-integer columns,
+        slicing payload bytes out of the shared buffer only when the
+        DPI/DNS stages need them.
+        """
+        records: List[FlowRecord] = []
+        process_fields = self._process_fields
+        payload_of = batch.payload
+        src_client = self._client_mask(batch.ip_src).tolist()
+        dst_client = self._client_mask(batch.ip_dst).tolist()
+        timestamps = batch.timestamps.tolist()
+        ip_src = batch.ip_src.tolist()
+        ip_dst = batch.ip_dst.tolist()
+        is_tcp = batch.is_tcp.tolist()
+        src_port = batch.src_port.tolist()
+        dst_port = batch.dst_port.tolist()
+        size = batch.ip_total_len.tolist()
+        seq = batch.seq.tolist()
+        ack = batch.ack.tolist()
+        flags = batch.flags.tolist()
+        payload_len = batch.payload_len.tolist()
+        for row in range(batch.count):
+            expired = process_fields(
+                timestamps[row],
+                ip_src[row],
+                ip_dst[row],
+                src_client[row],
+                dst_client[row],
+                is_tcp[row],
+                src_port[row],
+                dst_port[row],
+                size[row],
+                seq[row],
+                ack[row],
+                flags[row],
+                payload_len[row],
+                payload_of,
+                row,
+            )
+            if expired:
+                records.extend(expired)
+        return records
+
+    def _process_fields(
+        self,
+        timestamp: float,
+        ip_src: int,
+        ip_dst: int,
+        src_is_client: bool,
+        dst_is_client: bool,
+        is_tcp: bool,
+        t_src_port: int,
+        t_dst_port: int,
+        size: int,
+        seq: int,
+        ack: int,
+        flags: int,
+        payload_len: int,
+        payload_of: Callable,
+        token,
+    ) -> List[FlowRecord]:
+        """Shared metering core on plain fields (scalar and batch paths).
+
+        ``payload_of(token)`` materialises the transport payload bytes; it
+        is only invoked when the DPI or DNS stages actually need them.
+        """
         self.stats.packets += 1
-        self._clock = max(self._clock, packet.timestamp)
-        src_is_client = self._is_client(packet.ip.src)
-        dst_is_client = self._is_client(packet.ip.dst)
+        if timestamp > self._clock:
+            self._clock = timestamp
         if src_is_client == dst_is_client:
             self.stats.skipped_direction += 1
             return []
         upstream = src_is_client
         if upstream:
-            client_ip, server_ip = packet.ip.src, packet.ip.dst
+            client_ip, server_ip = ip_src, ip_dst
+            client_port, server_port = t_src_port, t_dst_port
         else:
-            client_ip, server_ip = packet.ip.dst, packet.ip.src
-        transport = Transport.TCP if packet.is_tcp else Transport.UDP
-        if upstream:
-            client_port = packet.transport.src_port
-            server_port = packet.transport.dst_port
-        else:
-            client_port = packet.transport.dst_port
-            server_port = packet.transport.src_port
-        key = FlowKey(client_ip, server_ip, client_port, server_port, transport)
+            client_ip, server_ip = ip_dst, ip_src
+            client_port, server_port = t_dst_port, t_src_port
+        key = (client_ip, server_ip, client_port, server_port, is_tcp)
 
         state = self._flows.get(key)
         if state is None:
@@ -161,17 +277,24 @@ class FlowMeter:
             # open a new one-packet flow.
             wait_until = self._time_wait.get(key)
             if wait_until is not None:
-                if packet.timestamp <= wait_until:
+                if timestamp <= wait_until:
                     self.stats.late_packets += 1
                     return []
                 del self._time_wait[key]
-            state = _FlowState(key=key, ts_start=packet.timestamp, ts_end=packet.timestamp)
-            state.true_protocol = self._initial_protocol(key)
+            flow_key = FlowKey(
+                client_ip,
+                server_ip,
+                client_port,
+                server_port,
+                Transport.TCP if is_tcp else Transport.UDP,
+            )
+            state = _FlowState(key=flow_key, ts_start=timestamp, ts_end=timestamp)
+            state.true_protocol = self._initial_protocol(flow_key)
             self._flows[key] = state
             self.stats.flows_created += 1
-        state.ts_end = max(state.ts_end, packet.timestamp)
+        if timestamp > state.ts_end:
+            state.ts_end = timestamp
 
-        size = packet.ip.total_len
         if upstream:
             state.packets_up += 1
             state.bytes_up += size
@@ -180,60 +303,45 @@ class FlowMeter:
             state.bytes_down += size
 
         expired: List[FlowRecord] = []
-        if packet.is_tcp:
-            assert isinstance(packet.transport, TcpSegment)
-            self._handle_tcp(state, packet.transport, packet.timestamp, upstream)
+        if is_tcp:
+            rtt = state.rtt
+            if upstream:
+                # sequence space = payload + SYN + FIN (see TcpSegment)
+                space = payload_len + ((flags >> 1) & 1) + (flags & 1)
+                if space:
+                    rtt.note_sent((seq + space) % SEQ_MODULUS, timestamp)
+            elif flags & FLAG_ACK:
+                rtt.note_ack(ack, timestamp)
+            if flags & FLAG_RST:
+                state.saw_rst = True
+            if flags & FLAG_FIN:
+                if upstream:
+                    state.fin_up = True
+                else:
+                    state.fin_down = True
+            if upstream and payload_len and not state.dpi_done:
+                self._dpi_tcp(state, payload_of(token))
             if state.saw_rst:
                 expired.append(self._export(state))
                 del self._flows[key]
-                self._enter_time_wait(key, packet.timestamp)
+                self._enter_time_wait(key, timestamp)
                 self.stats.flows_expired_rst += 1
             elif state.fin_up and state.fin_down:
                 expired.append(self._export(state))
                 del self._flows[key]
-                self._enter_time_wait(key, packet.timestamp)
+                self._enter_time_wait(key, timestamp)
                 self.stats.flows_expired_fin += 1
-        else:
-            assert isinstance(packet.transport, UdpDatagram)
-            self._handle_udp(state, packet.transport, packet.timestamp, upstream, client_ip)
+        elif server_port == _DNS_PORT:
+            state.true_protocol = WebProtocol.DNS
+            if not upstream and payload_len:
+                self._feed_dns(client_ip, payload_of(token), timestamp)
+        elif upstream and payload_len and not state.dpi_done:
+            self._dpi_udp(state, payload_of(token))
 
         self._packets_since_sweep += 1
         if self._packets_since_sweep >= DEFAULT_SWEEP_INTERVAL:
             expired.extend(self.expire_idle(self._clock))
         return expired
-
-    def _handle_tcp(
-        self, state: _FlowState, segment: TcpSegment, timestamp: float, upstream: bool
-    ) -> None:
-        if upstream:
-            state.rtt.on_client_segment(segment, timestamp)
-        else:
-            state.rtt.on_server_ack(segment, timestamp)
-        if segment.rst:
-            state.saw_rst = True
-        if segment.fin:
-            if upstream:
-                state.fin_up = True
-            else:
-                state.fin_down = True
-        if upstream and segment.payload and not state.dpi_done:
-            self._dpi_tcp(state, segment.payload)
-
-    def _handle_udp(
-        self,
-        state: _FlowState,
-        datagram: UdpDatagram,
-        timestamp: float,
-        upstream: bool,
-        client_ip: int,
-    ) -> None:
-        if state.key.server_port == _DNS_PORT:
-            state.true_protocol = WebProtocol.DNS
-            if not upstream and datagram.payload:
-                self._feed_dns(client_ip, datagram.payload, timestamp)
-            return
-        if upstream and datagram.payload and not state.dpi_done:
-            self._dpi_udp(state, datagram.payload)
 
     def _feed_dns(self, client_ip: int, payload: bytes, timestamp: float) -> None:
         try:
@@ -333,7 +441,7 @@ class FlowMeter:
             vantage=self._vantage,
         )
 
-    def _enter_time_wait(self, key: FlowKey, now: float) -> None:
+    def _enter_time_wait(self, key: tuple, now: float) -> None:
         if len(self._time_wait) > 65536:
             self._time_wait.clear()
         self._time_wait[key] = now + 2.0

@@ -41,7 +41,15 @@ class RttEstimator:
         """Register a client → server segment that consumes sequence space."""
         if segment.sequence_space() == 0:
             return
-        end_seq = segment.end_seq()
+        self.note_sent(segment.end_seq(), timestamp)
+
+    def note_sent(self, end_seq: int, timestamp: float) -> None:
+        """Register an upstream segment by its end sequence number.
+
+        Integer-argument core of :meth:`on_client_segment`, used by the
+        batched meter path which never materialises ``TcpSegment`` objects.
+        Callers must only pass segments that consume sequence space.
+        """
         previous = self._outstanding.get(end_seq)
         if previous is not None:
             # Retransmission: Karn's rule — the eventual ACK is ambiguous.
@@ -58,7 +66,10 @@ class RttEstimator:
         """Match a server → client ACK against outstanding segments."""
         if not segment.has_ack:
             return
-        ack = segment.ack
+        self.note_ack(segment.ack, timestamp)
+
+    def note_ack(self, ack: int, timestamp: float) -> None:
+        """Match a downstream acknowledgment number (integer-argument core)."""
         matched: List[int] = [
             end_seq
             for end_seq in self._outstanding

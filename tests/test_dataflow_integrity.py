@@ -578,3 +578,101 @@ class TestQualityGatedReplay:
         }
         assert expected <= found, report.findings
         assert len(report.findings) == len(touched)  # zero false positives
+
+
+@pytest.fixture(scope="module")
+def pristine_v2_lake(tmp_path_factory):
+    """The same study archived as v2 column chunks, kept pristine."""
+    root = tmp_path_factory.mktemp("pristine_v2") / "lake"
+    lake = DataLake(root, write_format="v2")
+    PersistingStudy(replay_config(), lake=lake).run()
+    return lake
+
+
+class TestChunkCorruption:
+    """Binary corruption of v2 column-chunk partitions: fsck must detect
+    every injected fault, line-oriented kinds must refuse to apply."""
+
+    def test_binary_kinds_detected_with_zero_false_positives(
+        self, pristine_v2_lake, tmp_path
+    ):
+        lake = copy_lake(pristine_v2_lake, tmp_path / "lake")
+        days = lake.days(USAGE_TABLE)
+        plan = CorruptionPlan.of(
+            CorruptionSpec(USAGE_TABLE, days[0], CORRUPT_TRUNCATE),
+            CorruptionSpec(USAGE_TABLE, days[1], CORRUPT_BIT_FLIP),
+            CorruptionSpec(PROTOCOL_TABLE, days[2], CORRUPT_TRUNCATE),
+            CorruptionSpec(PROTOCOL_TABLE, days[3], CORRUPT_BIT_FLIP),
+            seed=7,
+        )
+        touched = plan.apply(lake.root)
+        assert all(path.name.endswith(".colchunk") for path in touched)
+        report = fsck_lake(lake)
+        found = {(f.table, f.day, f.source) for f in report.findings}
+        expected = {
+            (spec.table, spec.day, spec.source) for spec in plan.specs
+        }
+        assert expected <= found, report.findings
+        assert len(report.findings) == len(touched)  # zero false positives
+
+    def test_line_oriented_kinds_refuse_binary_chunks(
+        self, pristine_v2_lake, tmp_path
+    ):
+        lake = copy_lake(pristine_v2_lake, tmp_path / "lake")
+        day = lake.days(USAGE_TABLE)[0]
+        for kind in (
+            CORRUPT_DUPLICATE_LINE,
+            CORRUPT_DROP_COLUMN,
+            CORRUPT_FOREIGN_HEADER,
+        ):
+            plan = CorruptionPlan.of(CorruptionSpec(USAGE_TABLE, day, kind))
+            with pytest.raises(ValueError, match="line-oriented"):
+                plan.apply(lake.root)
+        assert fsck_lake(lake).clean  # refused plans left the lake intact
+
+    def test_corruption_is_deterministic_on_chunks(
+        self, pristine_v2_lake, tmp_path
+    ):
+        day = pristine_v2_lake.days(USAGE_TABLE)[0]
+        plan = CorruptionPlan.of(
+            CorruptionSpec(USAGE_TABLE, day, CORRUPT_BIT_FLIP), seed=5
+        )
+        blobs = []
+        for name in ("one", "two"):
+            lake = copy_lake(pristine_v2_lake, tmp_path / name)
+            touched = plan.apply(lake.root)
+            blobs.append(touched[0].read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_quarantine_replay_gates_corrupt_v2_day(
+        self, pristine_v2_lake, tmp_path
+    ):
+        lake = copy_lake(pristine_v2_lake, tmp_path / "lake")
+        days = lake.days(USAGE_TABLE)
+        bad = days[1]
+        specs = [
+            CorruptionSpec(table, bad, CORRUPT_BIT_FLIP)
+            for table in lake.tables()
+            if bad in lake.days(table)
+        ]
+        CorruptionPlan.of(*specs, seed=3).apply(lake.root)
+        result = run_replay(
+            lake, [], policy="quarantine", min_day_quality=0.999
+        )
+        by_day = {r.day: r for r in result.report.records}
+        assert by_day[bad].status == "excluded"
+        assert bad not in result.data.subscriber_days
+        assert by_day[days[0]].status == "completed"
+
+    def test_strict_replay_names_chunk_partition(
+        self, pristine_v2_lake, tmp_path
+    ):
+        lake = copy_lake(pristine_v2_lake, tmp_path / "lake")
+        day = lake.days(USAGE_TABLE)[0]
+        CorruptionPlan.of(
+            CorruptionSpec(USAGE_TABLE, day, CORRUPT_TRUNCATE)
+        ).apply(lake.root)
+        with pytest.raises(PartitionIntegrityError) as excinfo:
+            run_replay(lake, [], policy="strict")
+        assert USAGE_TABLE in str(excinfo.value)
+        assert "part-0" in str(excinfo.value)

@@ -1,0 +1,234 @@
+"""Lake format v2 (column chunks + zone maps): v1 equivalence, pruning,
+predicate pushdown, and the telemetry counters of the pruned read path.
+
+The contract under test: the lake's partition format is an
+implementation detail.  Whatever execution style produced the archive
+(serial, pooled, resumed) and whatever mix of v1/v2 partitions a lake
+holds, the replayed StudyData is field-identical.
+"""
+
+import dataclasses
+import datetime
+
+import pytest
+
+import repro.core.persistence  # noqa: F401 — registers fsck table codecs
+from repro.core.config import StudyConfig
+from repro.core.parallel import execute_study
+from repro.core.persistence import (
+    PROTOCOL_TABLE,
+    USAGE_TABLE,
+    PersistingStudy,
+    replay_study,
+)
+from repro.dataflow.columnar import ScanPredicate, read_chunk, zone_map
+from repro.dataflow.datalake import DataLake
+from repro.dataflow.integrity import fsck_lake, load_manifest
+from repro.synthesis.flowgen import PROTOCOL_CODEC, USAGE_CODEC
+from repro.synthesis.world import WorldConfig
+from repro.telemetry import Telemetry, VirtualClock
+from repro.telemetry.runtime import activate
+
+D = datetime.date
+
+
+def small_config(seed):
+    return StudyConfig(
+        world=WorldConfig(
+            seed=seed,
+            adsl_count=30,
+            ftth_count=15,
+            start=D(2014, 2, 1),
+            end=D(2014, 3, 31),
+        ),
+        day_stride=7,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=1,
+    )
+
+
+def assert_identical(expected, actual):
+    for field in dataclasses.fields(expected):
+        assert getattr(expected, field.name) == getattr(actual, field.name), (
+            f"StudyData.{field.name} differs"
+        )
+
+
+def archive(root, seed, write_format):
+    lake = DataLake(root, write_format=write_format)
+    data = PersistingStudy(small_config(seed), lake=lake).run()
+    return lake, data
+
+
+def counter_total(run_telemetry, name):
+    counters = run_telemetry.snapshot().metrics.counters
+    return sum(value for key, value in counters.items() if key[0] == name)
+
+
+@pytest.mark.parametrize("seed", [31, 32])
+class TestFormatEquivalence:
+    def test_serial_replay_identical_across_formats(self, tmp_path, seed):
+        lake_v1, data_v1 = archive(tmp_path / "v1", seed, "v1")
+        lake_v2, data_v2 = archive(tmp_path / "v2", seed, "v2")
+        assert_identical(data_v1, data_v2)  # the study itself is unaffected
+        replay_v1 = replay_study(lake_v1, data_v1.months)
+        replay_v2 = replay_study(lake_v2, data_v2.months)
+        assert_identical(replay_v1, replay_v2)
+
+    def test_cross_format_lake_reads_identically(self, tmp_path, seed):
+        """A half-migrated lake (v1 and v2 partitions side by side) replays
+        exactly like a pure-v1 archive of the same run."""
+        lake_v1, data = archive(tmp_path / "v1", seed, "v1")
+        mixed_root = tmp_path / "mixed"
+        mixed_writer_v1 = DataLake(mixed_root, write_format="v1")
+        mixed_writer_v2 = DataLake(mixed_root, write_format="v2")
+        for table, codec in (
+            (USAGE_TABLE, USAGE_CODEC),
+            (PROTOCOL_TABLE, PROTOCOL_CODEC),
+        ):
+            for index, day in enumerate(lake_v1.days(table)):
+                records = lake_v1.read_day(table, day, codec).collect()
+                writer = mixed_writer_v2 if index % 2 else mixed_writer_v1
+                writer.write_day(table, day, records, codec)
+        mixed = DataLake(mixed_root)
+        assert_identical(replay_study(lake_v1, data.months),
+                         replay_study(mixed, data.months))
+        assert fsck_lake(mixed).clean
+
+
+class TestExecutionStyles:
+    """Pooled and resumed runs against a v2 archive of the same seed."""
+
+    @pytest.fixture(scope="class")
+    def v2_replay(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("exec") / "v2"
+        lake, data = archive(root, 31, "v2")
+        return replay_study(lake, data.months), data
+
+    def aggregate_fields_match(self, replayed, data):
+        assert set(replayed.subscriber_days) == set(data.subscriber_days)
+        assert replayed.protocol_rows == data.protocol_rows
+        assert replayed.hourly == data.hourly
+        assert replayed.service_stats == data.service_stats
+
+    def test_pooled_run_matches_v2_replay(self, v2_replay):
+        replayed, _ = v2_replay
+        pooled = execute_study(small_config(31), workers=2).data
+        self.aggregate_fields_match(replayed, pooled)
+
+    def test_resumed_run_matches_v2_replay(self, v2_replay, tmp_path):
+        replayed, _ = v2_replay
+        checkpoints = tmp_path / "ckpt"
+        execute_study(small_config(31), workers=1, checkpoint_root=checkpoints)
+        resumed = execute_study(
+            small_config(31), workers=1,
+            checkpoint_root=checkpoints, resume=True,
+        )
+        assert all(
+            record.source == "checkpoint" for record in resumed.report.records
+        )
+        self.aggregate_fields_match(replayed, resumed.data)
+
+
+class TestZoneMapPruning:
+    @pytest.fixture(scope="class")
+    def v2_lake(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("prune") / "v2"
+        lake, data = archive(root, 31, "v2")
+        return lake, data
+
+    def test_manifest_carries_zone_map(self, v2_lake):
+        lake, _ = v2_lake
+        day = lake.days(USAGE_TABLE)[0]
+        path = lake.day_dir(USAGE_TABLE, day) / "part-0.colchunk"
+        manifest = load_manifest(path)
+        assert manifest.container == "colchunk"
+        assert manifest.zone["day_min"] == day.isoformat()
+        assert manifest.zone["day_max"] == day.isoformat()
+        assert manifest.zone["rows"] == manifest.records
+        assert manifest.zone["columns"]["service"]  # distinct services
+
+    def test_pushdown_matches_full_scan_filter(self, v2_lake):
+        lake, _ = v2_lake
+        days = lake.days(USAGE_TABLE)
+        start, end = days[0], days[-1]
+        everything = lake.read_range(
+            USAGE_TABLE, start, end, USAGE_CODEC
+        ).collect()
+        service = everything[0].service
+        where = ScanPredicate.of(service=service)
+        pushed = lake.read_range(
+            USAGE_TABLE, start, end, USAGE_CODEC, where=where
+        ).collect()
+        assert pushed == [row for row in everything if row.service == service]
+
+    def test_day_range_prunes_partitions_without_opening(self, v2_lake):
+        lake, _ = v2_lake
+        days = lake.days(USAGE_TABLE)
+        target = days[2]
+        where = ScanPredicate.of(day_range=(target, target))
+        with activate(Telemetry(VirtualClock())) as telemetry:
+            narrowed = lake.read_range(
+                USAGE_TABLE, days[0], days[-1], USAGE_CODEC, where=where
+            ).collect()
+        full_day = lake.read_day(USAGE_TABLE, target, USAGE_CODEC).collect()
+        assert narrowed == full_day
+        pruned = counter_total(telemetry, "lake_partitions_pruned")
+        assert pruned == len(days) - 1
+
+    def test_non_matching_zone_prunes_every_partition(self, v2_lake):
+        lake, _ = v2_lake
+        days = lake.days(USAGE_TABLE)
+        where = ScanPredicate.of(service="no-such-service")
+        with activate(Telemetry(VirtualClock())) as telemetry:
+            rows = lake.read_range(
+                USAGE_TABLE, days[0], days[-1], USAGE_CODEC, where=where
+            ).collect()
+        assert rows == []
+        assert counter_total(telemetry, "lake_partitions_pruned") == len(days)
+
+    def test_columns_skipped_counter_on_empty_match(self, v2_lake):
+        lake, _ = v2_lake
+        day = lake.days(PROTOCOL_TABLE)[0]
+        where = ScanPredicate.of(day_range=(day, day))
+        path = lake.day_dir(PROTOCOL_TABLE, day) / "part-0.colchunk"
+        # predicate matches the zone but no row once decoded: the chunk
+        # reader decodes the predicate columns, finds nothing, and skips
+        # the rest
+        miss = ScanPredicate.of(protocol="no-such-protocol")
+        scan = read_chunk(path, PROTOCOL_CODEC, miss)
+        assert scan.rows_matched == 0
+        assert scan.columns_skipped > 0
+        with activate(Telemetry(VirtualClock())) as telemetry:
+            rows = lake.read_day(
+                PROTOCOL_TABLE, day, PROTOCOL_CODEC, where=where
+            ).collect()
+        assert rows  # sanity: predicate admits the day
+        assert counter_total(telemetry, "lake_columns_skipped") >= 0
+
+    def test_zone_map_is_conservative(self, v2_lake):
+        """A predicate the zone admits may still match zero rows, but a
+        predicate the zone rejects must match zero rows."""
+        lake, _ = v2_lake
+        day = lake.days(USAGE_TABLE)[0]
+        path = lake.day_dir(USAGE_TABLE, day) / "part-0.colchunk"
+        records = lake.read_day(USAGE_TABLE, day, USAGE_CODEC).collect()
+        zone = load_manifest(path).zone
+        for service in {row.service for row in records}:
+            assert ScanPredicate.of(service=service).matches_zone(zone)
+        rejected = ScanPredicate.of(service="definitely-absent")
+        if not rejected.matches_zone(zone):
+            assert not [r for r in records if r.service == "definitely-absent"]
+
+
+class TestChunkRoundTrip:
+    def test_zone_map_of_written_chunk(self, tmp_path):
+        lake, _ = archive(tmp_path / "v2", 32, "v2")
+        day = lake.days(USAGE_TABLE)[0]
+        records = lake.read_day(USAGE_TABLE, day, USAGE_CODEC).collect()
+        rows = [USAGE_CODEC.to_row(record) for record in records]
+        zone = zone_map(USAGE_CODEC, rows, day)
+        manifest = load_manifest(
+            lake.day_dir(USAGE_TABLE, day) / "part-0.colchunk"
+        )
+        assert manifest.zone == zone

@@ -1,0 +1,260 @@
+"""Equivalence tests for the vectorised packet batch decoder.
+
+The contract of :mod:`repro.packets.batch` is exact behavioural parity
+with per-packet :meth:`FrameDecoder.decode` — same accepted packets,
+same field values, same counters, same error strings — while the fast
+path never constructs a dataclass per packet.
+"""
+
+import datetime
+
+import pytest
+
+from repro.nettypes.ip import ip_to_int
+from repro.packets.batch import (
+    DEFAULT_BATCH_SIZE,
+    PacketBatch,
+    decode_batch,
+    iter_decoded_batches,
+)
+from repro.packets.capture import CapturedPacket, FrameDecoder, build_frame
+from repro.packets.ethernet import ETHERTYPE_ARP, EthernetFrame
+from repro.packets.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.packets.tcp import FLAG_ACK, FLAG_PSH, FLAG_SYN, TcpSegment
+from repro.packets.udp import UdpDatagram
+from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
+from repro.tstat.flow import WebProtocol
+from repro.tstat.probe import Probe, ProbeConfig
+
+CLIENT = ip_to_int("10.1.0.9")
+SERVER = ip_to_int("93.184.216.34")
+
+
+def tcp_packet(ts=1.0, payload=b"", flags=FLAG_ACK, seq=100, ack=200,
+               src=CLIENT, dst=SERVER, sport=40000, dport=443):
+    segment = TcpSegment(
+        src_port=sport, dst_port=dport, seq=seq, ack=ack,
+        flags=flags, payload=payload,
+    )
+    ip = IPv4Packet(
+        src=src, dst=dst, protocol=PROTO_TCP,
+        payload=segment.encode(src, dst),
+    )
+    return build_frame(ts, ip)
+
+
+def udp_packet(ts=1.0, payload=b"x" * 12, src=CLIENT, dst=SERVER,
+               sport=50000, dport=443):
+    datagram = UdpDatagram(src_port=sport, dst_port=dport, payload=payload)
+    ip = IPv4Packet(
+        src=src, dst=dst, protocol=PROTO_UDP,
+        payload=datagram.encode(src, dst),
+    )
+    return build_frame(ts, ip)
+
+
+def scalar_reference(packets):
+    """Decode packets one at a time: the behavioural reference."""
+    decoder = FrameDecoder()
+    decoded = [d for d in (decoder.decode(p) for p in packets) if d is not None]
+    return decoder, decoded
+
+
+def assert_rows_match(batch: PacketBatch, decoded):
+    assert batch.count == len(decoded)
+    for row, reference in enumerate(decoded):
+        assert batch.timestamps[row] == reference.timestamp
+        assert batch.ip_src[row] == reference.ip.src
+        assert batch.ip_dst[row] == reference.ip.dst
+        assert batch.ip_total_len[row] == reference.ip.total_len
+        assert bool(batch.is_tcp[row]) == reference.is_tcp
+        assert batch.src_port[row] == reference.transport.src_port
+        assert batch.dst_port[row] == reference.transport.dst_port
+        if reference.is_tcp:
+            assert batch.seq[row] == reference.transport.seq
+            assert batch.ack[row] == reference.transport.ack
+            assert batch.flags[row] == reference.transport.flags
+        assert batch.payload(row) == reference.payload
+
+
+class TestFastPath:
+    def test_mixed_valid_packets_match_scalar(self):
+        packets = [
+            tcp_packet(ts=0.1, flags=FLAG_SYN, seq=1, ack=0),
+            tcp_packet(ts=0.2, payload=b"GET / HTTP/1.1\r\n\r\n",
+                       flags=FLAG_ACK | FLAG_PSH),
+            udp_packet(ts=0.3),
+            tcp_packet(ts=0.4, src=SERVER, dst=CLIENT, sport=443, dport=40000),
+            udp_packet(ts=0.5, dport=53, payload=b"q" * 20),
+        ]
+        reference_decoder, decoded = scalar_reference(packets)
+        batch_decoder = FrameDecoder()
+        batch = decode_batch(batch_decoder, packets)
+        assert_rows_match(batch, decoded)
+        assert vars(batch_decoder.stats) == vars(reference_decoder.stats)
+        # the fast path should not have taken the scalar fallback
+        assert batch.payload_overrides == {}
+
+    def test_empty_input(self):
+        decoder = FrameDecoder()
+        batch = decode_batch(decoder, [])
+        assert batch.count == 0
+        assert decoder.stats.total == 0
+
+    def test_payload_sliced_from_shared_buffer(self):
+        payload = b"\x16\x03\x01payload-bytes"
+        packets = [tcp_packet(payload=payload)]
+        batch = decode_batch(FrameDecoder(), packets)
+        assert batch.payload(0) == payload
+
+
+class TestFallbackParity:
+    def test_malformed_variants_keep_exact_stats(self):
+        checksum_bad = bytearray(tcp_packet().data)
+        checksum_bad[18] ^= 0xFF  # identification byte: checksum mismatch
+        version6 = bytearray(tcp_packet().data)
+        version6[14] = 0x65  # version 6, IHL 20
+        bad_ihl = bytearray(tcp_packet().data)
+        bad_ihl[14] = 0x44  # IHL 16 < minimum 20
+        bad_total = bytearray(tcp_packet().data)
+        bad_total[16:18] = (2000).to_bytes(2, "big")  # longer than the frame
+        bad_tcp_offset = bytearray(tcp_packet().data)
+        bad_tcp_offset[46] = 0xF0  # data offset 60 > segment
+        icmp = build_frame(
+            1.0,
+            IPv4Packet(src=CLIENT, dst=SERVER, protocol=PROTO_ICMP,
+                       payload=b"\x08\x00\x00\x00"),
+        )
+        arp = CapturedPacket(
+            1.0,
+            EthernetFrame(
+                dst_mac=b"\x02" * 6, src_mac=b"\x04" * 6,
+                ethertype=ETHERTYPE_ARP, payload=b"\x00" * 28,
+            ).encode(),
+        )
+        short_tcp = build_frame(
+            1.0,
+            IPv4Packet(src=CLIENT, dst=SERVER, protocol=PROTO_TCP,
+                       payload=b"\x00" * 10),
+        )
+        short_udp = build_frame(
+            1.0,
+            IPv4Packet(src=CLIENT, dst=SERVER, protocol=PROTO_UDP,
+                       payload=b"\x00" * 4),
+        )
+        packets = [
+            tcp_packet(ts=0.0),  # valid, interleaved between bad ones
+            CapturedPacket(0.1, b"\x00" * 8),  # frame too short
+            arp,
+            CapturedPacket(0.2, bytes(version6)),
+            CapturedPacket(0.3, bytes(bad_ihl)),
+            CapturedPacket(0.4, bytes(bad_total)),
+            CapturedPacket(0.5, bytes(checksum_bad)),
+            icmp,
+            short_tcp,
+            CapturedPacket(0.6, bytes(bad_tcp_offset)),
+            short_udp,
+            udp_packet(ts=0.7),  # valid tail
+        ]
+        reference_decoder, decoded = scalar_reference(packets)
+        batch_decoder = FrameDecoder()
+        batch = decode_batch(batch_decoder, packets)
+        assert_rows_match(batch, decoded)
+        assert vars(batch_decoder.stats) == vars(reference_decoder.stats)
+        # the reference must actually have exercised every error family
+        assert reference_decoder.stats.non_ipv4 == 1
+        assert reference_decoder.stats.non_tcp_udp == 1
+        assert len(reference_decoder.stats.by_error) >= 7
+
+    def test_ip_options_packet_decodes_via_fallback(self):
+        segment = TcpSegment(src_port=40000, dst_port=443, seq=7, ack=9,
+                             flags=FLAG_ACK, payload=b"options-payload")
+        ip = IPv4Packet(
+            src=CLIENT, dst=SERVER, protocol=PROTO_TCP,
+            payload=segment.encode(CLIENT, SERVER),
+            options=b"\x01\x01\x01\x01",  # four NOPs: IHL 24
+        )
+        packets = [tcp_packet(ts=0.0), build_frame(1.0, ip)]
+        _, decoded = scalar_reference(packets)
+        batch = decode_batch(FrameDecoder(), packets)
+        assert_rows_match(batch, decoded)
+        # options row must have gone through the override map
+        assert 1 in batch.payload_overrides
+
+    def test_all_empty_frames(self):
+        packets = [CapturedPacket(float(i), b"") for i in range(3)]
+        reference_decoder, _ = scalar_reference(packets)
+        batch_decoder = FrameDecoder()
+        batch = decode_batch(batch_decoder, packets)
+        assert batch.count == 0
+        assert vars(batch_decoder.stats) == vars(reference_decoder.stats)
+
+    def test_unverified_checksum_decoder_accepts_corrupt_header(self):
+        corrupt = bytearray(tcp_packet().data)
+        corrupt[18] ^= 0xFF
+        packets = [CapturedPacket(1.0, bytes(corrupt))]
+        reference = FrameDecoder(verify_ip_checksum=False)
+        decoded = [reference.decode(p) for p in packets]
+        batch_decoder = FrameDecoder(verify_ip_checksum=False)
+        batch = decode_batch(batch_decoder, packets)
+        assert_rows_match(batch, [d for d in decoded if d is not None])
+        assert vars(batch_decoder.stats) == vars(reference.stats)
+
+
+def synth_packets():
+    specs = [
+        FlowSpec(CLIENT, SERVER + index, 40000 + index, 443,
+                 WebProtocol.TLS, f"host-{index}.example.net",
+                 rtt_ms=8.0, bytes_down=20_000, bytes_up=1_500,
+                 start_ts=index * 0.01, with_dns=index % 3 == 0,
+                 teardown=("fin", "rst", "none")[index % 3])
+        for index in range(24)
+    ] + [
+        FlowSpec(CLIENT, SERVER + 100 + index, 41000 + index, 443,
+                 WebProtocol.QUIC, f"quic-{index}.example.net",
+                 rtt_ms=5.0, bytes_down=9_000, bytes_up=900,
+                 start_ts=0.5 + index * 0.01)
+        for index in range(8)
+    ]
+    return PacketSynthesizer(seed=9).synthesize(specs)
+
+
+class TestProbeBatchedRun:
+    @pytest.fixture(scope="class")
+    def packets(self):
+        return synth_packets()
+
+    def probe(self):
+        return Probe(
+            ProbeConfig.for_pop(
+                "pop1", ["10.1.0.0/16"],
+                software_date=datetime.date(2017, 12, 31),
+            )
+        )
+
+    def test_run_matches_per_packet_feed(self, packets):
+        reference = self.probe()
+        expected = []
+        for packet in packets:
+            expected.extend(reference.feed(packet))
+        expected.extend(reference.meter.flush())
+        reference.meter.publish_telemetry()
+
+        batched = self.probe()
+        actual = batched.run(packets)
+        assert actual == expected
+        assert vars(batched.decode_stats) == vars(reference.decode_stats)
+        assert vars(batched.meter_stats) == vars(reference.meter_stats)
+
+    def test_batch_boundaries_are_invisible(self, packets):
+        baseline = self.probe().run(packets)
+        for batch_size in (1, 7, 64, DEFAULT_BATCH_SIZE):
+            assert self.probe().run(packets, batch_size=batch_size) == baseline
+
+    def test_iter_decoded_batches_chunking(self, packets):
+        decoder = FrameDecoder()
+        batches = list(iter_decoded_batches(decoder, iter(packets), 50))
+        assert sum(batch.count for batch in batches) <= len(packets)
+        assert decoder.stats.total == len(packets)
+        with pytest.raises(ValueError):
+            list(iter_decoded_batches(FrameDecoder(), packets, 0))
