@@ -278,6 +278,86 @@ def test_study_day_telemetry_on(benchmark, study):
     benchmark.extra_info["spans"] = len(snapshot.spans)
 
 
+def test_shard_scaling_day(benchmark):
+    """Near-linear shard scaling over one heavy study day (DESIGN.md §15).
+
+    A 100k-subscriber day (SMOKE: toy scale) runs once unsharded and
+    once as 4 subscriber-range shard tasks plus the fan-in merge.  On a
+    single CPU the honest figure is the *critical path*: the slowest
+    shard plus ``merge_day_shards``, which is what a 4-worker pool would
+    wait on.  ``extra_info`` carries the measured speedup; the §15
+    acceptance bar is ≥3x at 4 shards over 1 shard at full scale.  The
+    benchmark's own timing covers one shard task (the steady-state unit
+    of sharded dispatch).
+
+    Timed with the session heap frozen out of GC: by this point the
+    bench session carries every earlier fixture's objects, and gen-2
+    collections over that heap during the minutes-long timed regions
+    would skew the shard/unsharded ratio run-order-dependently.
+    """
+    import gc
+    from time import perf_counter
+
+    from repro.core.config import StudyConfig
+    from repro.core.shards import plan_shards
+    from repro.core.study import LongitudinalStudy, merge_day_shards
+
+    if SMOKE:
+        world = WorldConfig(seed=1, adsl_count=40, ftth_count=20)
+    else:
+        world = WorldConfig(seed=1, adsl_count=66_000, ftth_count=34_000)
+    config = StudyConfig(world=world, max_flows_per_usage=8)
+    study = LongitudinalStudy(config)
+    _ = study.world.population  # build the world outside the timings
+    shards = 4
+
+    gc.collect()
+    gc.freeze()
+    try:
+        start = perf_counter()
+        whole = study.day_partial(DAY, ALL_ROLES)
+        t_unsharded = perf_counter() - start
+
+        specs = plan_shards(len(study.world.population), shards)
+        parts = []
+        shard_times = []
+        for spec in specs:
+            gc.collect()
+            gc.freeze()  # prior results (whole, earlier shards) too
+            start = perf_counter()
+            parts.append(study.day_shard_partial(DAY, ALL_ROLES, spec))
+            shard_times.append(perf_counter() - start)
+        start = perf_counter()
+        merged = merge_day_shards(DAY, parts, study.world.rib)
+        t_merge = perf_counter() - start
+    finally:
+        gc.unfreeze()
+    assert merged == whole  # bit-identical fan-in at full scale
+
+    critical_path = max(shard_times) + t_merge
+    speedup = t_unsharded / critical_path
+    benchmark.extra_info["subscribers"] = len(study.world.population)
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["unsharded_s"] = round(t_unsharded, 4)
+    benchmark.extra_info["critical_path_s"] = round(critical_path, 4)
+    benchmark.extra_info["merge_s"] = round(t_merge, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+    slowest = specs[shard_times.index(max(shard_times))]
+    data, _ = benchmark.pedantic(
+        study.day_shard_partial,
+        args=(DAY, ALL_ROLES, slowest),
+        rounds=1,
+        iterations=1,
+    )
+    assert data.subscriber_days
+    if not SMOKE:
+        assert speedup >= 3.0, (
+            f"shard scaling regressed: {speedup:.2f}x < 3x "
+            f"(unsharded {t_unsharded:.2f}s, critical {critical_path:.2f}s)"
+        )
+
+
 def test_lpm_trie_lookups(benchmark):
     """IP→ASN joins: the Fig. 11d-f hot loop."""
     trie = PrefixTrie()

@@ -61,6 +61,23 @@ def _ip_service_pairs(
     return ips, service_codes, counts[inverse] > 1
 
 
+def ip_service_pairs(
+    batch: FlowBatch,
+    rules: RuleSet,
+    codes: Optional[BatchServiceView] = None,
+) -> Tuple[np.ndarray, np.ndarray, Tuple[str, ...]]:
+    """Distinct (ip, service-code) pairs plus the code→name table.
+
+    The shard-portable form of the census raw material: pairs from
+    disjoint flow subsets union into the full day's pairs, and the
+    shared flag is recomputed over the union (an address dedicated
+    within one shard may be shared across shards).
+    """
+    view = _batch_view(batch, rules, codes)
+    ips, service_codes, _ = _ip_service_pairs(batch, view)
+    return ips, service_codes, view.services
+
+
 @dataclass(frozen=True)
 class DailyServerStats:
     """Fig. 11 top row: one service's server-address census for one day."""
@@ -200,17 +217,18 @@ def domain_shares(
     return {domain: volume / total for domain, volume in volumes.items()}
 
 
-def _domain_shares_batch(
+def domain_byte_totals(
     batch: FlowBatch,
     rules: RuleSet,
     service: str,
-    codes: Optional[BatchServiceView],
-) -> Dict[str, float]:
-    """Vectorized domain shares: group int64 byte totals by interned SLD.
+    codes: Optional[BatchServiceView] = None,
+) -> Dict[str, int]:
+    """Integer byte totals per second-level domain for one service.
 
-    Byte sums stay integral (``np.add.at`` on an int64 accumulator), so the
-    final share divisions are the same exact int/int divisions the row path
-    performs — identical floats, any input order.
+    The additive core of :func:`domain_shares`: totals sum exactly across
+    disjoint flow subsets, so shard partials carry these and the fan-in
+    divides once over the merged day (shares themselves do not compose).
+    Zero-byte flows still claim their SLD, matching the row path's dict.
     """
     view = _batch_view(batch, rules, codes)
     mask = view.flow_mask(service)
@@ -225,14 +243,33 @@ def _domain_shares_batch(
     volumes = batch.total_bytes[mask][named]
     totals = np.zeros(len(slds), dtype=np.int64)
     np.add.at(totals, sld_ids, volumes)
-    total = int(totals.sum())
-    if total == 0:
-        return {}
-    # Zero-byte flows still name their SLD in the row path's dict.
     return {
-        slds[sld_id]: int(totals[sld_id]) / total
+        slds[sld_id]: int(totals[sld_id])
         for sld_id in np.unique(sld_ids).tolist()
     }
+
+
+def shares_from_totals(totals: Dict[str, int]) -> Dict[str, float]:
+    """Divide SLD byte totals into shares (int/int division, exact)."""
+    total = sum(totals.values())
+    if total == 0:
+        return {}
+    return {domain: volume / total for domain, volume in totals.items()}
+
+
+def _domain_shares_batch(
+    batch: FlowBatch,
+    rules: RuleSet,
+    service: str,
+    codes: Optional[BatchServiceView],
+) -> Dict[str, float]:
+    """Vectorized domain shares: group int64 byte totals by interned SLD.
+
+    Byte sums stay integral (``np.add.at`` on an int64 accumulator), so the
+    final share divisions are the same exact int/int divisions the row path
+    performs — identical floats, any input order.
+    """
+    return shares_from_totals(domain_byte_totals(batch, rules, service, codes))
 
 
 @dataclass(frozen=True)

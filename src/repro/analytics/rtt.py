@@ -19,6 +19,25 @@ from repro.tstat.flowbatch import TCP_CODE, BatchServiceView, FlowBatch
 Flows = Union[FlowBatch, Iterable[FlowRecord]]
 
 
+def min_rtt_mask(
+    flows: FlowBatch,
+    rules: RuleSet,
+    service: str,
+    min_samples: int = 1,
+    codes: Optional[BatchServiceView] = None,
+):
+    """Boolean mask of the batch flows :func:`min_rtt_samples` selects.
+
+    Exposed separately so shard partials can tag each sample with its
+    flow position (the merged sample list is order-sensitive)."""
+    view = codes if codes is not None else flows.service_view(rules)
+    return (
+        (flows.transport == TCP_CODE)
+        & (flows.rtt_samples >= min_samples)
+        & view.name_mask(service)
+    )
+
+
 def min_rtt_samples(
     flows: Flows,
     rules: RuleSet,
@@ -34,12 +53,7 @@ def min_rtt_samples(
     caller's shared classification when ``codes`` is given.
     """
     if isinstance(flows, FlowBatch):
-        view = codes if codes is not None else flows.service_view(rules)
-        mask = (
-            (flows.transport == TCP_CODE)
-            & (flows.rtt_samples >= min_samples)
-            & view.name_mask(service)
-        )
+        mask = min_rtt_mask(flows, rules, service, min_samples, codes)
         return flows.rtt_min[mask].tolist()
     samples = []
     for record in flows:

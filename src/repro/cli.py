@@ -7,10 +7,11 @@ Commands:
   name sources, RTT by service);
 * ``study [--scale ...] [--figure N|all] [--out DIR]`` — run the
   longitudinal study and print figure reports (optionally exporting CSVs);
-* ``run [--checkpoint-dir DIR] [--resume] [--report] [--telemetry DIR]``
-  — fault-tolerant study execution: per-day checkpoints, crash-safe
-  parallel workers, a run manifest, and optional telemetry exports
-  (see :mod:`repro.core.parallel`);
+* ``run [--shards N] [--shard-spill-dir DIR] [--checkpoint-dir DIR]
+  [--resume] [--report] [--telemetry DIR]`` — fault-tolerant study
+  execution: per-day (or per-shard) checkpoints, crash-safe parallel
+  workers, spill-to-disk partials, a run manifest, and optional
+  telemetry exports (see :mod:`repro.core.parallel`);
 * ``profile [--clock virtual] [--out DIR]`` — run a telemetry-enabled
   study and print per-stage counters, histograms, and the span tree
   (see :mod:`repro.telemetry`);
@@ -206,6 +207,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint_dir is None:
         print("repro run: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(
+            f"repro run: --shards must be a positive integer "
+            f"(got {args.shards}); use --shards 1 for whole-day tasks",
+            file=sys.stderr,
+        )
+        return 2
     config = _apply_date_range(_build_config(args), args)
     method = None if args.start_method == "auto" else args.start_method
     telemetry = None
@@ -222,6 +230,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             resume=args.resume,
             retry=RetryPolicy(retries=args.retries),
             telemetry=telemetry,
+            shards=args.shards,
+            shard_spill_dir=args.shard_spill_dir,
+            spill_watermark_bytes=args.spill_watermark_bytes,
         )
     except ChunkError as exc:
         print(f"repro run: {exc}", file=sys.stderr)
@@ -501,6 +512,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reuse checkpointed days from --checkpoint-dir")
     run.add_argument("--report", action="store_true",
                      help="print the per-day run manifest after the summary")
+    run.add_argument("--shards", type=int, default=1,
+                     help="fan each day out into N subscriber-range shard "
+                          "tasks (results identical for any N)")
+    run.add_argument("--shard-spill-dir", type=Path, default=None,
+                     metavar="DIR", dest="shard_spill_dir",
+                     help="spill completed partials above the memory "
+                          "watermark to this directory")
+    run.add_argument("--spill-watermark-bytes", type=int, default=None,
+                     metavar="N", dest="spill_watermark_bytes",
+                     help="resident-partial watermark before spilling "
+                          "(default 256 MiB)")
     run.add_argument("--retries", type=int, default=2,
                      help="max retries per day for transient worker failures")
     run.add_argument("--start", default=None, metavar="YYYY-MM-DD",

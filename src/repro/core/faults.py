@@ -68,6 +68,9 @@ class FaultSpec:
     times: int = 1
     exit_code: int = 19
     sleep_seconds: float = 0.0
+    #: Restrict the fault to one shard of the day; ``None`` hits every
+    #: task of the day (sharded or not).
+    shard: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -75,6 +78,11 @@ class FaultSpec:
 
     def triggers(self, attempt: int) -> bool:
         return self.times < 0 or attempt < self.times
+
+    def matches(self, day: datetime.date, shard: Optional[int]) -> bool:
+        if self.day != day:
+            return False
+        return self.shard is None or self.shard == shard
 
 
 @dataclass(frozen=True)
@@ -87,14 +95,18 @@ class FaultPlan:
     def of(cls, *specs: FaultSpec) -> "FaultPlan":
         return cls(specs=tuple(specs))
 
-    def for_day(self, day: datetime.date) -> Optional[FaultSpec]:
+    def for_day(
+        self, day: datetime.date, shard: Optional[int] = None
+    ) -> Optional[FaultSpec]:
         for spec in self.specs:
-            if spec.day == day:
+            if spec.matches(day, shard):
                 return spec
         return None
 
-    def fire(self, day: datetime.date, attempt: int) -> None:
-        """Inject the planned fault for ``(day, attempt)``, if any.
+    def fire(
+        self, day: datetime.date, attempt: int, shard: Optional[int] = None
+    ) -> None:
+        """Inject the planned fault for ``(day, shard, attempt)``, if any.
 
         Called by the worker entry point before real work starts.  A
         ``kill`` fault terminates the worker process without unwinding —
@@ -102,7 +114,7 @@ class FaultPlan:
         parent.  A ``sleep`` fault stalls, then returns so the attempt
         proceeds (used to hold workers busy for interrupt tests).
         """
-        spec = self.for_day(day)
+        spec = self.for_day(day, shard)
         if spec is None or not spec.triggers(attempt):
             return
         if spec.kind == KIND_SLEEP:

@@ -26,10 +26,23 @@ treats partial failure as the normal case:
   wall time, attempts, worker id, checkpoint hits) that ``repro run
   --report`` prints and checkpointed runs persist as ``manifest.json``.
 
-Partials are merged strictly in calendar order, so the merged
-:class:`StudyData` is *exactly* equal to :meth:`LongitudinalStudy.run`
-— parallelism, retries, crashes, and resumes change wall-clock, never
-results (asserted in tests).
+Partials are merged strictly in calendar order — hierarchically, as a
+pairwise binary-counter tree over adjacent calendar ranges, which is
+exactly equal to the sequential fold because :meth:`StudyData.merge` is
+disjoint-insert/concatenate — so the merged :class:`StudyData` is
+*exactly* equal to :meth:`LongitudinalStudy.run`: parallelism, retries,
+crashes, resumes, and sharding change wall-clock, never results
+(asserted in tests).
+
+A study day can additionally fan out into N shard-tasks (DESIGN.md §15):
+``execute_study(..., shards=N)`` plans one :class:`DayTask` per
+``(day, shard)``, workers run :meth:`LongitudinalStudy.day_shard_partial`
+over their disjoint subscriber range, and the parent fans each day back
+in with :func:`~repro.core.study.merge_day_shards` before the calendar
+tree merge.  Checkpoints and the manifest become shard-granular, so a
+killed 100k-subscriber run resumes mid-day.  Completed partials above a
+memory watermark spill to disk as v2 column chunks
+(``shard_spill_dir``) and stream back in during fan-in.
 
 Workers ship their partials back as :class:`ColumnarPartial`\\ s: the
 bulky flow-tier payloads — per-(service, year) RTT sample lists, per-day
@@ -51,7 +64,8 @@ import time
 import traceback
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -65,7 +79,15 @@ from repro.core.pool import (
     WorkerEnvironmentError,
     resolve_start_method,
 )
-from repro.core.study import LongitudinalStudy, StudyData
+from repro.core.shards import (
+    DEFAULT_SPILL_WATERMARK_BYTES,
+    ShardSpec,
+    load_spilled,
+    plan_shards,
+    spill_file_name,
+    spill_partial,
+)
+from repro.core.study import LongitudinalStudy, StudyData, merge_day_shards
 from repro.dataflow.datalake import CheckpointError, CheckpointStore
 from repro.telemetry import runtime as telemetry_runtime
 from repro.telemetry.clock import Clock, MonotonicClock, VirtualClock, clock_for
@@ -75,6 +97,9 @@ from repro.telemetry.runtime import Telemetry, TelemetrySnapshot
 from repro.telemetry.spans import SpanRecord, reparent
 
 _Chunk = List[Tuple[datetime.date, Set[str]]]
+
+#: Dispatch/settlement key: (day, shard index); shard 0 when unsharded.
+_Key = Tuple[datetime.date, int]
 
 #: Per-process memo of studies rebuilt from their (hashed) config, so a
 #: worker handling many single-day tasks builds its world once.
@@ -89,9 +114,13 @@ class ColumnarPartial:
     rtt: List[Tuple[Tuple[str, int], np.ndarray]]
     ip_sets: List[Tuple[str, datetime.date, np.ndarray]]
     ip_roles: List[Tuple[str, datetime.date, np.ndarray, np.ndarray]]
+    #: Shard fan-in sidecar (:class:`~repro.core.shards.ShardExtra`);
+    #: ``None`` for unsharded partials.  Read via ``getattr`` when the
+    #: partial may come from a pre-shard checkpoint pickle.
+    extra: Optional[object] = None
 
     @classmethod
-    def pack(cls, data: StudyData) -> "ColumnarPartial":
+    def pack(cls, data: StudyData, extra: Optional[object] = None) -> "ColumnarPartial":
         """Flatten the object-graph fields into compact arrays.
 
         ``data`` is left untouched: the returned partial wraps a shallow
@@ -122,7 +151,30 @@ class ColumnarPartial:
         shell = dataclasses.replace(
             data, rtt_samples={}, daily_ip_sets={}, daily_ip_roles={}
         )
-        return cls(data=shell, rtt=rtt, ip_sets=ip_sets, ip_roles=ip_roles)
+        return cls(
+            data=shell, rtt=rtt, ip_sets=ip_sets, ip_roles=ip_roles, extra=extra
+        )
+
+    def approx_nbytes(self) -> int:
+        """Cheap resident-size estimate used by the spill watermark.
+
+        Exact for the columnarized arrays; the boxed aggregate rows are
+        charged a flat per-row estimate (a pickle round-trip per ``put``
+        would cost more than the spill it gates).
+        """
+        total = 0
+        for _, samples in self.rtt:
+            total += samples.nbytes
+        for _, _, addresses in self.ip_sets:
+            total += addresses.nbytes
+        for _, _, addresses, shared in self.ip_roles:
+            total += addresses.nbytes + shared.nbytes
+        data = self.data
+        total += 96 * sum(len(rows) for rows in data.subscriber_days.values())
+        total += 112 * len(data.service_stats)
+        total += 64 * (len(data.protocol_rows) + len(data.hourly))
+        total += 96 * len(data.census)
+        return total
 
     def unpack(self) -> StudyData:
         """Rebuild the exact StudyData the worker reduced."""
@@ -161,6 +213,17 @@ class DayTask:
     #: Clock spec for the worker's bundle; matches the parent's clock so
     #: virtual-clock runs stay deterministic end to end.
     clock_spec: str = "monotonic"
+    #: Subscriber range this task covers; ``None`` runs the whole day.
+    shard: Optional[ShardSpec] = None
+
+    @property
+    def shard_index(self) -> int:
+        return self.shard.index if self.shard is not None else 0
+
+    @property
+    def label(self) -> str:
+        suffix = f"/{self.shard.label}" if self.shard is not None else ""
+        return f"{self.day.isoformat()}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -172,6 +235,7 @@ class DaySuccess:
     wall_time: float
     worker: int
     telemetry: Optional[TelemetrySnapshot] = None
+    shard: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -185,6 +249,15 @@ class DayFailure:
     error: str
     traceback_text: str
     worker: Optional[int]
+    #: Elapsed seconds the failed attempt actually burned (the manifest
+    #: used to record a flat 0.0 for failed days).
+    wall_time: float = 0.0
+    shard: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        suffix = f"/shard{self.shard}" if self.shard is not None else ""
+        return f"{self.day.isoformat()}{suffix}"
 
 
 def _cached_study(config: StudyConfig) -> LongitudinalStudy:
@@ -209,17 +282,18 @@ def _run_chunk(task: DayTask) -> object:
     clock = clock_for(task.clock_spec)
     started = clock.now()
     bundle: Optional[Telemetry] = None
+    shard = task.shard.index if task.shard is not None else None
     try:
         if task.fault_plan is not None:
-            task.fault_plan.fire(task.day, task.attempt)
+            task.fault_plan.fire(task.day, task.attempt, shard=shard)
         study = _cached_study(task.config)
         if task.telemetry_enabled:
             bundle = Telemetry.for_spec(task.clock_spec)
             with telemetry_runtime.activate(bundle):
-                data = study.day_partial(task.day, set(task.roles))
+                data, extra = _day_payload(study, task)
         else:
-            data = study.day_partial(task.day, set(task.roles))
-        partial = ColumnarPartial.pack(data)
+            data, extra = _day_payload(study, task)
+        partial = ColumnarPartial.pack(data, extra=extra)
     except Exception as exc:
         return DayFailure(
             index=task.index,
@@ -229,6 +303,8 @@ def _run_chunk(task: DayTask) -> object:
             error=repr(exc),
             traceback_text=traceback.format_exc(),
             worker=os.getpid(),
+            wall_time=clock.now() - started,
+            shard=shard,
         )
     return DaySuccess(
         index=task.index,
@@ -238,7 +314,15 @@ def _run_chunk(task: DayTask) -> object:
         wall_time=clock.now() - started,
         worker=os.getpid(),
         telemetry=bundle.snapshot() if bundle is not None else None,
+        shard=shard,
     )
+
+
+def _day_payload(study: LongitudinalStudy, task: DayTask):
+    """The worker's StudyData plus shard sidecar (``None`` unsharded)."""
+    if task.shard is None:
+        return study.day_partial(task.day, set(task.roles)), None
+    return study.day_shard_partial(task.day, set(task.roles), task.shard)
 
 
 # ----------------------------------------------------------------------
@@ -274,10 +358,20 @@ class DayRecord:
     worker: Optional[int]
     source: str  # "worker" | "serial" | "checkpoint"
     error: str = ""
+    #: Which shard of the day this row covers (0 of 1 when unsharded).
+    shard: int = 0
+    shards: int = 1
 
     @property
     def retries(self) -> int:
         return max(0, self.attempts - 1)
+
+    @property
+    def label(self) -> str:
+        """Manifest key: the ISO day, suffixed ``/k`` when sharded."""
+        return self.day.isoformat() + (
+            f"/{self.shard}" if self.shards > 1 else ""
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -289,6 +383,8 @@ class DayRecord:
             "worker": self.worker,
             "source": self.source,
             "error": self.error,
+            "shard": self.shard,
+            "shards": self.shards,
         }
 
 
@@ -313,9 +409,17 @@ class RunReport:
     #: DayQualityReport.to_dict`) for runs that read from the lake under
     #: an integrity policy; empty for world-model runs.
     data_quality: List[dict] = field(default_factory=list)
+    #: Shard fan-out per day (1 = unsharded; records are per shard-task).
+    shards: int = 1
+    #: Completed partials spilled to disk under the memory watermark.
+    spills: int = 0
 
     @property
     def planned_days(self) -> int:
+        return len({record.day for record in self.records})
+
+    @property
+    def planned_tasks(self) -> int:
         return len(self.records)
 
     @property
@@ -345,7 +449,7 @@ class RunReport:
             "retries": self.retries,
             "checkpoint_hits": self.checkpoint_hits,
             "days": {
-                record.day.isoformat(): {
+                record.label: {
                     "wall_time": round(record.wall_time, 6),
                     "retries": record.retries,
                     "source": record.source,
@@ -362,7 +466,10 @@ class RunReport:
             "start_method": self.start_method,
             "execution": self.execution,
             "workers": self.workers,
+            "shards": self.shards,
+            "spills": self.spills,
             "planned_days": self.planned_days,
+            "planned_tasks": self.planned_tasks,
             "completed": self.completed,
             "failed": self.failed,
             "checkpoint_hits": self.checkpoint_hits,
@@ -387,18 +494,33 @@ class RunReport:
         ]
         for record in self.records:
             lines.append(
-                f"{record.day.isoformat()}  {record.wall_time:7.3f}  "
+                f"{record.label}  {record.wall_time:7.3f}  "
                 f"{record.retries:>7}  {record.source}"
             )
         return lines
 
     def summary_lines(self) -> List[str]:
+        if self.shards > 1:
+            tasks = (
+                f"days: {self.planned_days} planned x {self.shards} shards "
+                f"= {self.planned_tasks} tasks, {self.completed} completed "
+                f"({self.checkpoint_hits} from checkpoints), "
+                f"{self.failed} failed"
+            )
+            if self.spills:
+                tasks += f", {self.spills} partial(s) spilled"
+        else:
+            tasks = (
+                f"days: {self.planned_days} planned, "
+                f"{self.completed} completed "
+                f"({self.checkpoint_hits} from checkpoints), "
+                f"{self.failed} failed"
+            )
         return [
             f"run {self.config_hash} seed={self.seed} "
             f"method={self.start_method} ({self.execution}) "
             f"workers={self.workers}",
-            f"days: {self.planned_days} planned, {self.completed} completed "
-            f"({self.checkpoint_hits} from checkpoints), {self.failed} failed",
+            tasks,
             f"faults: {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
             f"{self.crashes} worker crash(es)",
             f"wall: {self.wall_time:.2f}s elapsed, "
@@ -409,7 +531,7 @@ class RunReport:
         lines = ["day         status     att  wall(s)  worker  source"]
         for record in self.records:
             lines.append(
-                f"{record.day.isoformat()}  {record.status:<9}  "
+                f"{record.label}  {record.status:<9}  "
                 f"{record.attempts:>3}  {record.wall_time:7.3f}  "
                 f"{record.worker or '-':>6}  {record.source}"
                 + (f"  {record.error}" if record.error else "")
@@ -435,11 +557,11 @@ class ChunkError(RuntimeError):
         self.seed = seed
         self.report = report
         first = self.failures[0]
-        days = ", ".join(f.day.isoformat() for f in self.failures)
+        days = ", ".join(f.label for f in self.failures)
         message = (
             f"{len(self.failures)} day(s) failed permanently "
             f"(seed {seed}): {days}\n"
-            f"first failure: day {first.day.isoformat()} after "
+            f"first failure: day {first.label} after "
             f"{first.attempt + 1} attempt(s): {first.error}"
         )
         if first.traceback_text:
@@ -487,6 +609,67 @@ def partition_plan(
 # Execution
 
 
+class _PartialStore:
+    """Completed partials, spilling the largest past a memory watermark.
+
+    With no spill directory this is a plain keyed dict.  With one, every
+    ``put`` re-checks the resident-size estimate and spills the largest
+    partials (as v2 column chunks, :mod:`repro.core.shards`) until the
+    estimate is back under the watermark; :meth:`pop` streams spilled
+    partials back in during fan-in and deletes the file.
+    """
+
+    def __init__(
+        self,
+        spill_dir: Optional[object],
+        watermark_bytes: Optional[int],
+    ) -> None:
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None  # type: ignore[arg-type]
+        self.watermark = (
+            watermark_bytes
+            if watermark_bytes is not None
+            else DEFAULT_SPILL_WATERMARK_BYTES
+        )
+        self._resident: Dict[_Key, ColumnarPartial] = {}
+        self._sizes: Dict[_Key, int] = {}
+        self._spilled: Dict[_Key, Path] = {}
+        self.spills = 0
+
+    def __contains__(self, key: _Key) -> bool:
+        return key in self._resident or key in self._spilled
+
+    def __len__(self) -> int:
+        return len(self._resident) + len(self._spilled)
+
+    def put(self, key: _Key, partial: ColumnarPartial) -> None:
+        self._resident[key] = partial
+        self._sizes[key] = partial.approx_nbytes()
+        if self.spill_dir is None:
+            return
+        total = sum(self._sizes.values())
+        while total > self.watermark and self._resident:
+            victim = max(self._sizes, key=self._sizes.__getitem__)
+            total -= self._sizes.pop(victim)
+            day, shard = victim
+            path = self.spill_dir / spill_file_name(day, shard)
+            spill_partial(path, day, shard, self._resident.pop(victim))
+            self._spilled[victim] = path
+            self.spills += 1
+            telemetry_runtime.count("shard_partials_spilled")
+
+    def pop(self, key: _Key) -> ColumnarPartial:
+        """Remove and return a partial, restoring it from disk if spilled."""
+        if key in self._resident:
+            self._sizes.pop(key, None)
+            return self._resident.pop(key)
+        path = self._spilled.pop(key)
+        partial = load_spilled(path)
+        path.unlink(missing_ok=True)
+        telemetry_runtime.count("shard_partials_restored")
+        assert isinstance(partial, ColumnarPartial)
+        return partial
+
+
 class _Dispatch:
     """Shared bookkeeping for the serial and pooled execution paths."""
 
@@ -495,66 +678,97 @@ class _Dispatch:
         policy: RetryPolicy,
         store: Optional[CheckpointStore],
         progress: Optional[Callable[[datetime.date], None]],
+        partials: Optional[_PartialStore] = None,
+        shard_count: int = 1,
     ) -> None:
         self.policy = policy
         self.store = store
         self.progress = progress
-        self.partials: Dict[datetime.date, ColumnarPartial] = {}
-        self.records: Dict[datetime.date, DayRecord] = {}
+        self.shard_count = shard_count
+        self.partials = partials if partials is not None else _PartialStore(None, None)
+        self.records: Dict[_Key, DayRecord] = {}
         self.failures: List[DayFailure] = []
         self.crashes = 0
-        self.day_telemetry: Dict[datetime.date, TelemetrySnapshot] = {}
+        self.day_telemetry: Dict[_Key, TelemetrySnapshot] = {}
         self.events: List[RunEvent] = []
+        self._day_done: Dict[datetime.date, int] = {}
+
+    def _checkpoint_shard(self, shard: int) -> Optional[Tuple[int, int]]:
+        return (shard, self.shard_count) if self.shard_count > 1 else None
+
+    def _note_done(self, day: datetime.date) -> None:
+        """Fire progress once every shard of ``day`` has settled."""
+        done = self._day_done.get(day, 0) + 1
+        self._day_done[day] = done
+        if done == self.shard_count and self.progress is not None:
+            self.progress(day)
 
     def succeed(self, outcome: DaySuccess, source: str) -> None:
-        self.partials[outcome.day] = outcome.partial
-        self.records[outcome.day] = DayRecord(
+        shard = outcome.shard or 0
+        key = (outcome.day, shard)
+        self.partials.put(key, outcome.partial)
+        self.records[key] = DayRecord(
             day=outcome.day,
             status="completed",
             attempts=outcome.attempt + 1,
             wall_time=outcome.wall_time,
             worker=outcome.worker,
             source=source,
+            shard=shard,
+            shards=self.shard_count,
         )
+        # Completion accounting moves regardless of whether a telemetry
+        # snapshot rode back: these counters used to sit inside the
+        # snapshot guard and silently undercounted.
+        telemetry_runtime.count("pool_days_completed")
+        telemetry_runtime.observe("pool_day_wall_seconds", outcome.wall_time)
         if outcome.telemetry is not None:
-            self.day_telemetry[outcome.day] = outcome.telemetry
-            telemetry_runtime.count("pool_days_completed")
-            telemetry_runtime.observe("pool_day_wall_seconds", outcome.wall_time)
+            self.day_telemetry[key] = outcome.telemetry
         if self.store is not None:
-            self.store.save(outcome.day, outcome.partial)
-        if self.progress is not None:
-            self.progress(outcome.day)
+            self.store.save(
+                outcome.day, outcome.partial, shard=self._checkpoint_shard(shard)
+            )
+        self._note_done(outcome.day)
 
     def fail(self, failure: DayFailure) -> None:
         self.failures.append(failure)
-        self.records[failure.day] = DayRecord(
+        shard = failure.shard or 0
+        self.records[(failure.day, shard)] = DayRecord(
             day=failure.day,
             status="failed",
             attempts=failure.attempt + 1,
-            wall_time=0.0,
+            wall_time=failure.wall_time,
             worker=failure.worker,
             source="worker",
             error=failure.error,
+            shard=shard,
+            shards=self.shard_count,
         )
+        attrs: Tuple[Tuple[str, str], ...] = (("error", failure.error),)
+        if failure.shard is not None:
+            attrs += (("shard", str(failure.shard)),)
         self.events.append(
             RunEvent(
                 "day_failed",
                 day=failure.day.isoformat(),
-                attrs=(("error", failure.error),),
+                attrs=attrs,
             )
         )
 
     def note_retry(self, task: DayTask, failure: DayFailure) -> None:
         """Record a scheduled retry of a transient failure."""
         telemetry_runtime.count("pool_retries")
+        attrs: Tuple[Tuple[str, str], ...] = (
+            ("attempt", str(task.attempt + 1)),
+            ("error", failure.error),
+        )
+        if task.shard is not None:
+            attrs += (("shard", str(task.shard.index)),)
         self.events.append(
             RunEvent(
                 "retry",
                 day=task.day.isoformat(),
-                attrs=(
-                    ("attempt", str(task.attempt + 1)),
-                    ("error", failure.error),
-                ),
+                attrs=attrs,
             )
         )
 
@@ -566,43 +780,36 @@ class _Dispatch:
             RunEvent("worker_crash", attrs=(("exit_code", str(exitcode)),))
         )
 
-    def hit_checkpoint(self, day: datetime.date, partial: ColumnarPartial) -> None:
-        self.partials[day] = partial
-        self.records[day] = DayRecord(
+    def hit_checkpoint(
+        self, day: datetime.date, partial: ColumnarPartial, shard: int = 0
+    ) -> None:
+        key = (day, shard)
+        self.partials.put(key, partial)
+        self.records[key] = DayRecord(
             day=day,
             status="completed",
             attempts=0,
             wall_time=0.0,
             worker=None,
             source="checkpoint",
+            shard=shard,
+            shards=self.shard_count,
         )
-        self.events.append(RunEvent("checkpoint_hit", day=day.isoformat()))
-        if self.progress is not None:
-            self.progress(day)
+        attrs: Tuple[Tuple[str, str], ...] = ()
+        if self.shard_count > 1:
+            attrs = (("shard", str(shard)),)
+        self.events.append(
+            RunEvent("checkpoint_hit", day=day.isoformat(), attrs=attrs)
+        )
+        self._note_done(day)
 
 
-def _run_serial(
-    dispatch: _Dispatch,
-    config: StudyConfig,
-    remaining: List[Tuple[int, datetime.date, Tuple[str, ...]]],
-    fault_plan: Optional[FaultPlan],
-    telemetry_enabled: bool = False,
-    clock_spec: str = "monotonic",
-) -> None:
+def _run_serial(dispatch: _Dispatch, remaining: List[DayTask]) -> None:
     """In-process execution with the same retry semantics as the pool."""
-    for index, day, roles in remaining:
+    for proto in remaining:
         attempt = 0
         while True:
-            task = DayTask(
-                index,
-                day,
-                roles,
-                attempt,
-                config,
-                fault_plan,
-                telemetry_enabled=telemetry_enabled,
-                clock_spec=clock_spec,
-            )
+            task = replace(proto, attempt=attempt)
             outcome = _run_chunk(task)
             if isinstance(outcome, DaySuccess):
                 dispatch.succeed(outcome, source="serial")
@@ -619,17 +826,13 @@ def _run_serial(
 
 def _run_pooled(
     dispatch: _Dispatch,
-    config: StudyConfig,
-    remaining: List[Tuple[int, datetime.date, Tuple[str, ...]]],
-    fault_plan: Optional[FaultPlan],
+    remaining: List[DayTask],
     workers: int,
     start_method: Optional[str],
     pool_observer: Optional[Callable[[SupervisedPool], None]] = None,
-    telemetry_enabled: bool = False,
-    clock_spec: str = "monotonic",
 ) -> str:
-    """Dispatch one task per day to a supervised pool; returns the start
-    method actually used."""
+    """Dispatch one task per (day, shard) to a supervised pool; returns
+    the start method actually used."""
     policy = dispatch.policy
     worker_count = min(workers, len(remaining))
     pool = SupervisedPool(
@@ -648,17 +851,7 @@ def _run_pooled(
             pool_observer(pool)
         outstanding: Dict[int, DayTask] = {}
         deferred: List[Tuple[float, DayTask]] = []
-        for index, day, roles in remaining:
-            task = DayTask(
-                index,
-                day,
-                roles,
-                0,
-                config,
-                fault_plan,
-                telemetry_enabled=telemetry_enabled,
-                clock_spec=clock_spec,
-            )
+        for task in remaining:
             outstanding[task.index] = task
             pool.submit(task)
         while outstanding or deferred:
@@ -699,6 +892,7 @@ def _run_pooled(
                         error="unhandled worker exception",
                         traceback_text=traceback_text,
                         worker=None,
+                        shard=task.shard.index if task.shard else None,
                     )
                 )
             elif kind == EVENT_CRASH:
@@ -714,6 +908,7 @@ def _run_pooled(
                         error=f"worker {pid} died (exit code {exitcode})",
                         traceback_text="",
                         worker=pid,
+                        shard=task.shard.index if task.shard else None,
                     )
                     _settle_failure(dispatch, task, crash, deferred, sched)
                 else:
@@ -769,15 +964,15 @@ def _assemble_run_telemetry(
     forest depends only on (config, seed, calendar, clock spec).
     """
     parent = bundle.snapshot()
-    ordered = sorted(dispatch.day_telemetry)
+    ordered = sorted(dispatch.day_telemetry)  # (day, shard) keys
     metrics = merge_snapshots(
-        [dispatch.day_telemetry[day].metrics for day in ordered]
+        [dispatch.day_telemetry[key].metrics for key in ordered]
         + [parent.metrics]
     )
     spans: List[SpanRecord] = []
     offset = 0
-    for day in ordered:
-        day_spans = list(dispatch.day_telemetry[day].spans)
+    for key in ordered:
+        day_spans = list(dispatch.day_telemetry[key].spans)
         spans.extend(reparent(day_spans, id_offset=offset, root_parent=None))
         offset += max((r.span_id for r in day_spans), default=-1) + 1
     spans.extend(reparent(list(parent.spans), id_offset=offset, root_parent=None))
@@ -794,6 +989,56 @@ def _assemble_run_telemetry(
     )
 
 
+def _merge_calendar(parts: Iterable[StudyData]) -> Optional[StudyData]:
+    """Hierarchical pairwise merge of calendar-ordered day partials.
+
+    A binary-counter fold: each :meth:`StudyData.merge` joins two
+    *adjacent* calendar ranges, so at most ``log2(N)`` partials are live
+    at once (the point when spilled partials stream back lazily) while
+    the result stays exactly equal to the sequential left fold — merge
+    is disjoint-insert/concatenate, hence associative over ordered,
+    non-overlapping ranges.
+    """
+    stack: List[Tuple[int, StudyData]] = []  # (tree level, merged range)
+    for data in parts:
+        level = 0
+        while stack and stack[-1][0] == level:
+            _, earlier = stack.pop()
+            earlier.merge(data)
+            data = earlier
+            level += 1
+        stack.append((level, data))
+    merged: Optional[StudyData] = None
+    for _, data in stack:  # oldest (largest) range first
+        if merged is None:
+            merged = data
+        else:
+            merged.merge(data)
+    return merged
+
+
+def _fan_in_day(
+    planner: LongitudinalStudy,
+    dispatch: _Dispatch,
+    day: datetime.date,
+    specs: Tuple[ShardSpec, ...],
+) -> StudyData:
+    """Merge one day's shard partials back into the unsharded partial."""
+    parts = []
+    for spec in specs:
+        partial = dispatch.partials.pop((day, spec.index))
+        extra = getattr(partial, "extra", None)
+        if extra is None:
+            # ValueError keeps execute_study's typed-error contract
+            # (RPR009): this is corrupted input state, not an I/O fault.
+            raise ValueError(
+                f"shard partial {day.isoformat()}/{spec.label} carries no "
+                "fan-in sidecar (checkpoint from an incompatible run?)"
+            )
+        parts.append((partial.unpack(), extra))
+    return merge_day_shards(day, parts, planner.world.rib)
+
+
 def execute_study(
     config: StudyConfig,
     workers: Optional[int] = None,
@@ -806,6 +1051,9 @@ def execute_study(
     progress: Optional[Callable[[datetime.date], None]] = None,
     pool_observer: Optional[Callable[[SupervisedPool], None]] = None,
     telemetry: Optional[Telemetry] = None,
+    shards: int = 1,
+    shard_spill_dir: Optional[object] = None,
+    spill_watermark_bytes: Optional[int] = None,
 ) -> RunResult:
     """Run the study fault-tolerantly; returns the data and its manifest.
 
@@ -815,6 +1063,14 @@ def execute_study(
     bit-identical either way.  Permanent failures raise
     :class:`ChunkError` after all other days have been drained and
     checkpointed; the manifest is written even then.
+
+    ``shards`` fans each day out into that many subscriber-range tasks
+    (DESIGN.md §15).  Sharding is an execution parameter: the merged
+    result, ``config_hash``, and checkpoint compatibility at ``shards=1``
+    are all unchanged, and any shard count yields the identical
+    :class:`StudyData`.  ``shard_spill_dir`` (with an optional
+    ``spill_watermark_bytes``, default 256 MiB) lets completed partials
+    above the watermark spill to disk until fan-in.
 
     ``telemetry`` opts the run into measurement: the parent bundle is
     activated around planning, dispatch, and merge; workers collect into
@@ -828,10 +1084,17 @@ def execute_study(
         workers = max(1, (multiprocessing.cpu_count() or 2) - 1)
     if workers < 1:
         raise ValueError("workers must be positive")
+    if shards < 1:
+        raise ValueError("shards must be positive")
     planner = LongitudinalStudy(config)
     plan = planner.planned_days()
     days = sorted(plan)
     digest = config_hash(config)
+    specs: Tuple[Optional[ShardSpec], ...] = (
+        plan_shards(len(planner.world.population), shards)
+        if shards > 1
+        else (None,)
+    )
     store = (
         CheckpointStore(checkpoint_root, digest)  # type: ignore[arg-type]
         if checkpoint_root is not None
@@ -854,7 +1117,10 @@ def execute_study(
         )
 
     started = run_clock.now()
-    dispatch = _Dispatch(policy, store, progress)
+    partial_store = _PartialStore(shard_spill_dir, spill_watermark_bytes)
+    dispatch = _Dispatch(
+        policy, store, progress, partials=partial_store, shard_count=shards
+    )
     execution = "none"
     method = resolve_start_method(start_method)
 
@@ -863,44 +1129,59 @@ def execute_study(
             if store is not None and resume:
                 with telemetry_runtime.span("resume"):
                     for day in days:
-                        if not store.has(day):
-                            continue
-                        try:
-                            partial = store.load(day)
-                        except CheckpointError:
-                            continue  # unreadable or foreign: recompute
-                        dispatch.hit_checkpoint(day, partial)
+                        for spec in specs:
+                            shard_key = (
+                                (spec.index, spec.count)
+                                if spec is not None
+                                else None
+                            )
+                            if not store.has(day, shard=shard_key):
+                                continue
+                            try:
+                                partial = store.load(day, shard=shard_key)
+                            except CheckpointError:
+                                continue  # unreadable or foreign: recompute
+                            dispatch.hit_checkpoint(
+                                day,
+                                partial,
+                                shard=spec.index if spec is not None else 0,
+                            )
 
-            remaining = [
-                (index, day, tuple(sorted(plan[day])))
-                for index, day in enumerate(days)
-                if day not in dispatch.partials
-            ]
+            remaining: List[DayTask] = []
+            index = 0
+            for day in days:
+                roles = tuple(sorted(plan[day]))
+                for spec in specs:
+                    shard_index = spec.index if spec is not None else 0
+                    if (day, shard_index) not in dispatch.partials:
+                        remaining.append(
+                            DayTask(
+                                index,
+                                day,
+                                roles,
+                                0,
+                                config,
+                                fault_plan,
+                                telemetry_enabled=telemetry is not None,
+                                clock_spec=clock_spec,
+                                shard=spec,
+                            )
+                        )
+                    index += 1
             if remaining:
                 if workers == 1 or len(remaining) == 1:
                     execution = "serial"
                     with telemetry_runtime.span("dispatch", mode="serial"):
-                        _run_serial(
-                            dispatch,
-                            config,
-                            remaining,
-                            fault_plan,
-                            telemetry_enabled=telemetry is not None,
-                            clock_spec=clock_spec,
-                        )
+                        _run_serial(dispatch, remaining)
                 else:
                     execution = "pool"
                     with telemetry_runtime.span("dispatch", mode="pool"):
                         method = _run_pooled(
                             dispatch,
-                            config,
                             remaining,
-                            fault_plan,
                             workers,
                             start_method,
                             pool_observer,
-                            telemetry_enabled=telemetry is not None,
-                            clock_spec=clock_spec,
                         )
 
     report = RunReport(
@@ -908,20 +1189,34 @@ def execute_study(
         seed=config.world.seed,
         start_method=method,
         workers=workers,
-        records=[dispatch.records[day] for day in sorted(dispatch.records)],
+        records=[dispatch.records[key] for key in sorted(dispatch.records)],
         crashes=dispatch.crashes,
         wall_time=run_clock.now() - started,
         execution=execution,
+        shards=shards,
+        spills=partial_store.spills,
     )
     if store is not None:
         store.manifest_path.write_text(report.to_json())
     if dispatch.failures:
         raise ChunkError(dispatch.failures, seed=config.world.seed, report=report)
-    merged = planner.empty_data()
     with scope():
-        with telemetry_runtime.span("merge", days=len(days)):
-            for day in days:
-                merged.merge(dispatch.partials[day].unpack())
+        with telemetry_runtime.span("merge", days=len(days), shards=shards):
+            if shards == 1:
+                day_datas = (
+                    dispatch.partials.pop((day, 0)).unpack() for day in days
+                )
+            else:
+                shard_specs = tuple(
+                    spec for spec in specs if spec is not None
+                )
+                day_datas = (
+                    _fan_in_day(planner, dispatch, day, shard_specs)
+                    for day in days
+                )
+            merged = _merge_calendar(day_datas)
+    if merged is None:
+        merged = planner.empty_data()
     run_telemetry = (
         _assemble_run_telemetry(telemetry, dispatch, digest, config.world.seed)
         if telemetry is not None
@@ -939,6 +1234,8 @@ def run_parallel(
     resume: bool = False,
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    shards: int = 1,
+    shard_spill_dir: Optional[object] = None,
 ) -> StudyData:
     """Run the study across worker processes; results match a serial run."""
     return execute_study(
@@ -949,4 +1246,6 @@ def run_parallel(
         resume=resume,
         retry=retry,
         fault_plan=fault_plan,
+        shards=shards,
+        shard_spill_dir=shard_spill_dir,
     ).data

@@ -14,8 +14,10 @@ from __future__ import annotations
 import bisect
 import datetime
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.analytics import rtt as rtt_analytics
 from repro.analytics.activity import SubscriberDay, subscriber_days
@@ -25,13 +27,18 @@ from repro.analytics.infrastructure import (
     asn_breakdown,
     daily_ip_roles,
     daily_server_census,
+    domain_byte_totals,
     domain_shares,
+    ip_service_pairs,
     service_ip_set,
+    shares_from_totals,
 )
 from repro.analytics.popularity import DailyServiceStats, daily_service_stats
 from repro.analytics.timeseries import Month
 from repro.core.config import COMPARISON_MONTHS, StudyConfig
+from repro.core.shards import ShardExtra, ShardSpec
 from repro.dataflow.datalake import month_days
+from repro.routing.rib import RibArchive
 from repro.services import catalog
 from repro.services.rules import RuleSet
 from repro.services.thresholds import ActiveSubscriberCriterion, VisitClassifier
@@ -58,6 +65,23 @@ RTT_SERVICES = (
     catalog.GOOGLE,
     catalog.WHATSAPP,
 )
+
+
+class MergeOverlapError(ValueError):
+    """Two partials claim a key that merge requires to be disjoint.
+
+    ``dict.update`` would silently drop one side's rows; with shard
+    fan-ins feeding :meth:`StudyData.merge` that would discard whole
+    shards of data, so the overlap is now a hard error naming the
+    colliding key.
+    """
+
+    def __init__(self, field_name: str, key: object) -> None:
+        self.field_name = field_name
+        self.key = key
+        super().__init__(
+            f"merge overlap in {field_name}: key {key!r} present in both partials"
+        )
 
 
 @dataclass
@@ -134,11 +158,20 @@ class StudyData:
         return rows
 
     def merge(self, other: "StudyData") -> None:
-        """Fold another partial result in (disjoint day sets expected)."""
+        """Fold another partial result in (disjoint day sets enforced).
+
+        ``weekly_visitors`` / ``weekly_active`` keys legitimately repeat
+        across partials (one ISO week spans several days) and are
+        unioned; ``subscriber_days`` keys must be disjoint and raise
+        :class:`MergeOverlapError` when they collide.
+        """
         if self.months and other.months and self.months != other.months:
             raise ValueError("cannot merge studies with different spans")
         if not self.months:
             self.months = list(other.months)
+        overlap = self.subscriber_days.keys() & other.subscriber_days.keys()
+        if overlap:
+            raise MergeOverlapError("subscriber_days", min(overlap).isoformat())
         self.subscriber_days.update(other.subscriber_days)
         self.service_stats.extend(other.service_stats)
         self.protocol_rows.extend(other.protocol_rows)
@@ -279,6 +312,47 @@ class LongitudinalStudy:
         self.process_day(data, day, roles)
         return data
 
+    def day_shard_partial(
+        self, day: datetime.date, roles: Set[str], shard: ShardSpec
+    ) -> Tuple[StudyData, ShardExtra]:
+        """One shard of one planned day (DESIGN.md §15).
+
+        Generation replays the full-population RNG streams and emits
+        only the shard's subscriber range; stage-1 runs over the shard's
+        rows alone.  The returned :class:`ShardExtra` carries what the
+        fan-in (:func:`merge_day_shards`) needs to reassemble the exact
+        unsharded day partial.
+        """
+        data = self.empty_data()
+        extra = ShardExtra(day=day, shard=shard)
+        with telemetry.span(
+            "day",
+            day=day.isoformat(),
+            roles=",".join(sorted(roles)),
+            shard=shard.label,
+        ):
+            with telemetry.span("generate"):
+                traffic = self.generator.generate_day(day, shard=shard.bounds)
+            ctx = traffic.shard_ctx
+            if ctx is None or ctx.row_count == 0:
+                return data, extra
+            extra.processed = True
+            if shard.is_lead:
+                telemetry.count("study_days_processed")
+            with telemetry.span("aggregate"):
+                self._consume_aggregate_shard(data, extra, day, traffic)
+            if "hourly" in roles and shard.is_lead:
+                with telemetry.span("hourly"):
+                    data.hourly.extend(
+                        self.generator.generate_hourly(day, traffic)
+                    )
+            if "flows" in roles:
+                with telemetry.span("flows"):
+                    self._consume_flows_shard(
+                        data, extra, day, traffic, with_rtt="rtt" in roles
+                    )
+        return data, extra
+
     def run(self, progress: Optional[object] = None) -> StudyData:
         """Execute the study; returns the reduced per-day data."""
         data = self.empty_data()
@@ -304,6 +378,54 @@ class LongitudinalStudy:
                 )
             )
         data.protocol_rows.extend(traffic.protocols)
+        if (day.year, day.month) in COMPARISON_MONTHS:
+            self._consume_weekly(data, day, traffic, day_rows)
+
+    def _consume_aggregate_shard(
+        self,
+        data: StudyData,
+        extra: ShardExtra,
+        day: datetime.date,
+        traffic: DayTraffic,
+    ) -> None:
+        """Shard view of :meth:`_consume_aggregate`.
+
+        Differences from the unsharded path: the subscriber-day list is
+        tagged with full-day first-appearance positions (merge restores
+        the unsharded ordering), per-technology active counts ride in
+        the sidecar (the popularity denominator must count the *whole*
+        day's actives, not the shard's), and protocol rows — identical
+        in every shard because they derive from full-width sums — are
+        contributed by the lead shard only.
+        """
+        ctx = traffic.shard_ctx
+        assert ctx is not None
+        day_rows = subscriber_days(traffic.usage, self.criterion)
+        data.subscriber_days[day] = day_rows
+        first_position: Dict[int, int] = {}
+        for position, row in zip(ctx.emit_positions.tolist(), traffic.usage):
+            if row.subscriber_id not in first_position:
+                first_position[row.subscriber_id] = position
+        extra.first_positions = np.fromiter(
+            (first_position[entry.subscriber_id] for entry in day_rows),
+            np.int64,
+            len(day_rows),
+        )
+        for technology in Technology:
+            data.service_stats.extend(
+                daily_service_stats(
+                    traffic.usage,
+                    day_rows,
+                    classifier=self.visit_classifier,
+                    technology=technology,
+                )
+            )
+        extra.active_counts = {technology: 0 for technology in Technology}
+        for entry in day_rows:
+            if entry.active:
+                extra.active_counts[entry.technology] += 1
+        if extra.shard.is_lead:
+            data.protocol_rows.extend(traffic.protocols)
         if (day.year, day.month) in COMPARISON_MONTHS:
             self._consume_weekly(data, day, traffic, day_rows)
 
@@ -385,3 +507,228 @@ class LongitudinalStudy:
                     data.rtt_samples.setdefault((service, day.year), []).extend(
                         samples
                     )
+
+    def _consume_flows_shard(
+        self,
+        data: StudyData,
+        extra: ShardExtra,
+        day: datetime.date,
+        traffic: DayTraffic,
+        with_rtt: bool,
+    ) -> None:
+        """Shard view of :meth:`_consume_flows`.
+
+        Census, ASN, domain, and role analytics mix information *across*
+        flows (an address dedicated in one shard may be shared in
+        another), so the shard only collects their additive raw material
+        — (ip, service) pairs, domain byte totals, position-tagged RTT
+        samples — and :func:`merge_day_shards` computes the day-level
+        results over the union.
+        """
+        ctx = traffic.shard_ctx
+        assert ctx is not None
+        with telemetry.span("expand"):
+            flows, positions = self.generator.expand_flows_batch_shard(
+                day, ctx, max_flows_per_usage=self.config.max_flows_per_usage
+            )
+        with telemetry.span("stage1"):
+            codes = flows.service_view(self.rules)
+            extra.flow_stage = True
+            extra.rtt_stage = with_rtt
+            pair_ips, pair_codes, pair_services = ip_service_pairs(
+                flows, self.rules, codes=codes
+            )
+            extra.pair_ips = pair_ips
+            extra.pair_codes = pair_codes
+            extra.pair_services = pair_services
+            for service in INFRA_SERVICES:
+                extra.domain_totals[service] = domain_byte_totals(
+                    flows, self.rules, service, codes=codes
+                )
+                data.daily_ip_sets.setdefault(service, []).append(
+                    (day, service_ip_set(flows, self.rules, service, codes=codes))
+                )
+            if with_rtt:
+                for service in RTT_SERVICES:
+                    mask = rtt_analytics.min_rtt_mask(
+                        flows, self.rules, service, codes=codes
+                    )
+                    extra.rtt[service] = (
+                        positions[mask],
+                        flows.rtt_min[mask].copy(),
+                    )
+                    telemetry.count(
+                        "rtt_samples_collected",
+                        int(np.count_nonzero(mask)),
+                        service=service,
+                    )
+
+
+def merge_day_shards(
+    day: datetime.date,
+    parts: List[Tuple[StudyData, ShardExtra]],
+    rib: RibArchive,
+) -> StudyData:
+    """Fan one day's shard partials back into the unsharded day partial.
+
+    Field-identical to :meth:`LongitudinalStudy.day_partial` for the same
+    (seed, day, roles): order-sensitive lists are restored via the
+    full-day positions the shards carried, additive counters are summed,
+    cross-flow analytics (census/ASN/domains/roles) are recomputed over
+    the union of the shards' raw pairs, and the full-day fields every
+    shard derives identically (protocol rows, hourly volumes) come from
+    the lead shard alone.
+    """
+    parts = sorted(parts, key=lambda part: part[1].shard.index)
+    datas = [data for data, _ in parts]
+    extras = [extra for _, extra in parts]
+    out = StudyData(months=list(datas[0].months))
+    if not any(extra.processed for extra in extras):
+        return out  # full-day outage: the unsharded path returns empty too
+
+    # subscriber_days: shards partition subscribers, so each entry is
+    # already exact; restore first-appearance order over the full day.
+    rows: List[SubscriberDay] = []
+    position_parts: List[np.ndarray] = []
+    for data, extra in parts:
+        rows.extend(data.subscriber_days.get(day, []))
+        if extra.first_positions is not None and extra.first_positions.size:
+            position_parts.append(extra.first_positions)
+    if rows:
+        order = np.argsort(np.concatenate(position_parts))
+        out.subscriber_days[day] = [rows[index] for index in order]
+    else:
+        out.subscriber_days[day] = []
+
+    # service_stats: cells are additive except active_subscribers, which
+    # is the whole-day denominator carried per shard in the sidecar.
+    for technology in Technology:
+        active_total = sum(
+            extra.active_counts.get(technology, 0) for extra in extras
+        )
+        merged_cells: Dict[str, DailyServiceStats] = {}
+        for data in datas:
+            for cell in data.service_stats:
+                if cell.technology is not technology:
+                    continue
+                previous = merged_cells.get(cell.service)
+                if previous is None:
+                    merged_cells[cell.service] = cell
+                else:
+                    merged_cells[cell.service] = DailyServiceStats(
+                        day=day,
+                        service=cell.service,
+                        visitors=previous.visitors + cell.visitors,
+                        active_subscribers=0,
+                        bytes_down=previous.bytes_down + cell.bytes_down,
+                        bytes_total=previous.bytes_total + cell.bytes_total,
+                        visitor_bytes=previous.visitor_bytes + cell.visitor_bytes,
+                        technology=technology,
+                    )
+        for service in sorted(merged_cells):
+            out.service_stats.append(
+                replace(merged_cells[service], active_subscribers=active_total)
+            )
+
+    # Full-day fields every shard computed identically: lead shard only.
+    lead = datas[0]
+    out.protocol_rows.extend(lead.protocol_rows)
+    out.hourly.extend(lead.hourly)
+
+    for data in datas:
+        for visitor_key, visitors in data.weekly_visitors.items():
+            out.weekly_visitors.setdefault(visitor_key, set()).update(visitors)
+        for active_key, active in data.weekly_active.items():
+            out.weekly_active.setdefault(active_key, set()).update(active)
+
+    flow_extras = [extra for extra in extras if extra.flow_stage]
+    if flow_extras:
+        out.flow_days.append(day)
+        name_of: Dict[str, int] = {}
+        ip_parts: List[np.ndarray] = []
+        code_parts: List[np.ndarray] = []
+        for extra in flow_extras:
+            if extra.pair_ips is None or extra.pair_ips.size == 0:
+                continue
+            remap = np.fromiter(
+                (
+                    name_of.setdefault(name, len(name_of))
+                    for name in extra.pair_services
+                ),
+                np.int64,
+                len(extra.pair_services),
+            )
+            ip_parts.append(extra.pair_ips)
+            code_parts.append(remap[extra.pair_codes])
+        if ip_parts:
+            pairs = np.unique(
+                np.stack(
+                    (np.concatenate(ip_parts), np.concatenate(code_parts))
+                ),
+                axis=1,
+            )
+            pair_ips, pair_codes = pairs[0], pairs[1]
+            _, inverse, counts = np.unique(
+                pair_ips, return_inverse=True, return_counts=True
+            )
+            shared = counts[inverse] > 1
+        else:
+            pair_ips = np.empty(0, dtype=np.int64)
+            pair_codes = np.empty(0, dtype=np.int64)
+            shared = np.zeros(0, dtype=bool)
+
+        for service in INFRA_SERVICES:
+            member = pair_codes == name_of.get(service, -1)
+            shared_count = int(np.count_nonzero(shared & member))
+            out.census.append(
+                DailyServerStats(
+                    day=day,
+                    service=service,
+                    dedicated_ips=int(np.count_nonzero(member)) - shared_count,
+                    shared_ips=shared_count,
+                )
+            )
+        for service in INFRA_SERVICES:
+            member = pair_codes == name_of.get(service, -1)
+            asn_counts: Dict[str, int] = {}
+            for address in pair_ips[member].tolist():
+                name = rib.origin_of(address, day).name
+                asn_counts[name] = asn_counts.get(name, 0) + 1
+            out.asn.append(AsnBreakdown(day=day, service=service, counts=asn_counts))
+            domain_totals: Dict[str, int] = {}
+            for extra in flow_extras:
+                for sld, volume in extra.domain_totals.get(service, {}).items():
+                    domain_totals[sld] = domain_totals.get(sld, 0) + volume
+            out.domains.append((day, service, shares_from_totals(domain_totals)))
+            merged_ips: Set[int] = set()
+            for data in datas:
+                for entry_day, addresses in data.daily_ip_sets.get(service, []):
+                    if entry_day == day:
+                        merged_ips |= addresses
+            out.daily_ip_sets.setdefault(service, []).append((day, merged_ips))
+            out.daily_ip_roles.setdefault(service, []).append(
+                (
+                    day,
+                    dict(
+                        zip(pair_ips[member].tolist(), shared[member].tolist())
+                    ),
+                )
+            )
+        if any(extra.rtt_stage for extra in flow_extras):
+            for service in RTT_SERVICES:
+                sample_positions: List[np.ndarray] = []
+                sample_values: List[np.ndarray] = []
+                for extra in flow_extras:
+                    if service in extra.rtt:
+                        positions, samples = extra.rtt[service]
+                        sample_positions.append(positions)
+                        sample_values.append(samples)
+                if sample_positions:
+                    order = np.argsort(np.concatenate(sample_positions))
+                    merged_samples = np.concatenate(sample_values)[order].tolist()
+                else:
+                    merged_samples = []
+                out.rtt_samples.setdefault((service, day.year), []).extend(
+                    merged_samples
+                )
+    return out

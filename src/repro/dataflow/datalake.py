@@ -34,11 +34,13 @@ from pathlib import Path
 from typing import (
     Any,
     Callable,
+    Dict,
     Generic,
     Iterable,
     Iterator,
     List,
     Optional,
+    Tuple,
     TypeVar,
 )
 
@@ -619,6 +621,13 @@ class CheckpointStore:
     ``<root>/config=<config_hash>/day=<ISO>.ckpt``.  A killed run
     resumes by loading finished days and recomputing only the rest.
 
+    Sharded runs (DESIGN.md §15) pass ``shard=(index, count)``, which
+    keys both the filename — ``day=<ISO>.shard=<k>of<N>.ckpt`` — and the
+    in-file header, so a killed N-shard run resumes *mid-day* and shard
+    checkpoints can never be merged into a run with a different fan-out.
+    Unsharded runs (``shard=None``) keep the exact legacy filenames and
+    payload layout; pre-shard checkpoint files stay loadable.
+
     Two guarantees make resumes trustworthy:
 
     * **Keying.** The directory *and* an in-file header carry the config
@@ -644,8 +653,17 @@ class CheckpointStore:
 
     # -- paths ---------------------------------------------------------------
 
-    def path_for(self, day: datetime.date) -> Path:
-        return self.directory / f"day={day.isoformat()}.ckpt"
+    def path_for(
+        self,
+        day: datetime.date,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> Path:
+        if shard is None:
+            return self.directory / f"day={day.isoformat()}.ckpt"
+        index, count = shard
+        return self.directory / (
+            f"day={day.isoformat()}.shard={index}of{count}.ckpt"
+        )
 
     @property
     def manifest_path(self) -> Path:
@@ -653,42 +671,62 @@ class CheckpointStore:
 
     # -- io ------------------------------------------------------------------
 
-    def has(self, day: datetime.date) -> bool:
-        return self.path_for(day).is_file()
+    def has(
+        self,
+        day: datetime.date,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> bool:
+        return self.path_for(day, shard).is_file()
 
-    def save(self, day: datetime.date, payload: Any) -> Path:
+    def save(
+        self,
+        day: datetime.date,
+        payload: Any,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> Path:
         """Persist one day's payload atomically; returns the final path."""
-        path = self.path_for(day)
+        path = self.path_for(day, shard)
         payload_blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        blob = pickle.dumps(
-            {
-                "version": CHECKPOINT_VERSION,
-                "config_hash": self.config_hash,
-                "day": day,
-                "payload_blob": payload_blob,
-                "crc": zlib.crc32(payload_blob),
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        record: Dict[str, Any] = {
+            "version": CHECKPOINT_VERSION,
+            "config_hash": self.config_hash,
+            "day": day,
+            "payload_blob": payload_blob,
+            "crc": zlib.crc32(payload_blob),
+        }
+        if shard is not None:
+            # Only sharded records carry the key: unsharded files stay
+            # byte-compatible with pre-shard checkpoints.
+            record["shard"] = tuple(shard)
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_bytes(blob)
         os.replace(tmp, path)
         telemetry.count("checkpoint_saves")
         return path
 
-    def load(self, day: datetime.date) -> Any:
-        """The payload checkpointed for ``day``; raises CheckpointError
-        when the file is corrupt or keyed for another config/day."""
+    def load(
+        self,
+        day: datetime.date,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> Any:
+        """The payload checkpointed for ``day`` (and shard); raises
+        CheckpointError when the file is corrupt or keyed for another
+        config/day/shard."""
         try:
-            payload = self._load(day)
+            payload = self._load(day, shard)
         except CheckpointError:
             telemetry.count("checkpoint_load_errors")
             raise
         telemetry.count("checkpoint_loads")
         return payload
 
-    def _load(self, day: datetime.date) -> Any:
-        path = self.path_for(day)
+    def _load(
+        self,
+        day: datetime.date,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> Any:
+        path = self.path_for(day, shard)
         try:
             record = pickle.loads(path.read_bytes())
         except FileNotFoundError:
@@ -713,6 +751,13 @@ class CheckpointStore:
             raise CheckpointError(
                 f"checkpoint {path} holds {record.get('day')!r}, not {day}"
             )
+        stored_shard = record.get("shard")
+        wanted = tuple(shard) if shard is not None else None
+        if (tuple(stored_shard) if stored_shard is not None else None) != wanted:
+            raise CheckpointError(
+                f"checkpoint {path} is keyed for shard {stored_shard!r}, "
+                f"not {wanted!r}"
+            )
         payload_blob = record.get("payload_blob")
         if not isinstance(payload_blob, bytes):
             raise CheckpointError(f"malformed checkpoint {path}: no payload")
@@ -729,7 +774,12 @@ class CheckpointStore:
             ) from exc
 
     def days(self) -> List[datetime.date]:
-        """Every day with a checkpoint on disk, sorted."""
+        """Every day with an *unsharded* checkpoint on disk, sorted.
+
+        Shard checkpoint names (``day=<ISO>.shard=...``) deliberately
+        fail the ISO parse and are skipped: a day is only "done" for
+        whole-day consumers when its unsharded partial exists.
+        """
         found: List[datetime.date] = []
         for path in self.directory.glob("day=*.ckpt"):
             raw = path.name[len("day=") : -len(".ckpt")]

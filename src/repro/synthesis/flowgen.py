@@ -94,6 +94,37 @@ class HourlyVolume:
     bytes_down: int
 
 
+@dataclass
+class DayShardContext:
+    """Full-day sidecar carried by a *sharded* :class:`DayTraffic`.
+
+    Sharded generation replays every RNG stream at full population width
+    (DESIGN.md §15) and restricts only row *emission* to the shard's
+    ``[lo, hi)`` subscriber range.  The context captures the full-day
+    usage skeleton — one entry per canonical usage row, in the exact
+    order the unsharded generator would have emitted them — so the flow
+    tier can reproduce the unsharded draw sequence without materializing
+    the other shards' row objects.
+    """
+
+    lo: int
+    hi: int
+    services: Tuple[str, ...]  # distinct services, first-appearance order
+    row_service: np.ndarray  # int64 codes into ``services``
+    row_subscriber: np.ndarray  # int64
+    row_ftth: np.ndarray  # bool
+    row_pop: np.ndarray  # str
+    row_bytes_down: np.ndarray  # int64
+    row_bytes_up: np.ndarray  # int64
+    row_flows: np.ndarray  # int64
+    emit_positions: np.ndarray  # skeleton positions of this shard's usage rows
+    tech_bytes_down: Dict[Technology, int]  # full-day downloads per technology
+
+    @property
+    def row_count(self) -> int:
+        return int(self.row_flows.size)
+
+
 @dataclass(frozen=True)
 class DayTraffic:
     """Everything the aggregate tier produces for one day."""
@@ -101,6 +132,7 @@ class DayTraffic:
     day: datetime.date
     usage: Tuple[DailyUsage, ...]
     protocols: Tuple[ProtocolUsage, ...]
+    shard_ctx: Optional[DayShardContext] = None
 
 
 _USAGE_LINES: LineCodec[DailyUsage] = tsv_codec(
@@ -232,8 +264,20 @@ class TrafficGenerator:
 
     # -- aggregate tier ------------------------------------------------------
 
-    def generate_day(self, day: datetime.date) -> DayTraffic:
-        """Usage and protocol rows for one day (empty during full outage)."""
+    def generate_day(
+        self,
+        day: datetime.date,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> DayTraffic:
+        """Usage and protocol rows for one day (empty during full outage).
+
+        With ``shard=(lo, hi)`` every RNG stream is drawn at full
+        population width — exactly as the unsharded path draws it — but
+        only rows whose subscriber falls in ``[lo, hi)`` are emitted, and
+        the returned traffic carries a :class:`DayShardContext` skeleton
+        of the *full* day.  The union of all shards' usage rows is
+        bit-identical to the unsharded output.
+        """
         rng = self.world.day_rng(day, stream=0)
         ordinal = day.toordinal()
         subscribed = (self._join <= ordinal) & (self._leave >= ordinal)
@@ -244,6 +288,14 @@ class TrafficGenerator:
         if not observed.any():
             return DayTraffic(day=day, usage=(), protocols=())
 
+        sharded = shard is not None
+        if sharded:
+            shard_lo, shard_hi = shard
+            blocks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+            block_services: Dict[str, int] = {}
+            emit_positions: List[int] = []
+            skeleton_offset = 0
+
         active = observed & (rng.random(self._count) < self._activity)
         usage_rows: List[DailyUsage] = []
         protocol_totals: Dict[Tuple[str, WebProtocol], int] = {}
@@ -252,6 +304,11 @@ class TrafficGenerator:
         holiday = studycalendar.is_christmas_period(day) or studycalendar.is_new_year(
             day
         )
+        # season_factor takes only two values per day (business / residential);
+        # the np.where below reproduces the former per-index Python loop
+        # bit-for-bit at vector speed.
+        season_business = studycalendar.season_factor(day, 1.0)
+        season_residential = studycalendar.season_factor(day, 0.0)
 
         for service in self.world.services:
             ranks, volume_affinity = self.world.affinity_columns(service.name)
@@ -282,13 +339,8 @@ class TrafficGenerator:
             vol_adsl = service.volume_down[Technology.ADSL](day)
             vol_ftth = service.volume_down[Technology.FTTH](day)
             mean_down = np.where(self._is_ftth[indices], vol_ftth, vol_adsl)
-            season = np.array(
-                [
-                    studycalendar.season_factor(
-                        day, 1.0 if self._business[index] else 0.0
-                    )
-                    for index in indices
-                ]
+            season = np.where(
+                self._business[indices], season_business, season_residential
             )
             sigma = service.volume_sigma
             noise = rng.lognormal(-0.5 * sigma * sigma, sigma, indices.size)
@@ -316,21 +368,48 @@ class TrafficGenerator:
 
             down_int = np.maximum(1_000, down).astype(np.int64)
             up_int = np.maximum(200, up).astype(np.int64)
-            for position, index in enumerate(indices):
-                usage_rows.append(
-                    DailyUsage(
-                        day=day,
-                        subscriber_id=int(index),
-                        technology=Technology.FTTH
-                        if self._is_ftth[index]
-                        else Technology.ADSL,
-                        pop=str(self._pops[index]),
-                        service=service.name,
-                        bytes_down=int(down_int[position]),
-                        bytes_up=int(up_int[position]),
-                        flows=int(flows[position]),
+            if not sharded:
+                for position, index in enumerate(indices):
+                    usage_rows.append(
+                        DailyUsage(
+                            day=day,
+                            subscriber_id=int(index),
+                            technology=Technology.FTTH
+                            if self._is_ftth[index]
+                            else Technology.ADSL,
+                            pop=str(self._pops[index]),
+                            service=service.name,
+                            bytes_down=int(down_int[position]),
+                            bytes_up=int(up_int[position]),
+                            flows=int(flows[position]),
+                        )
                     )
+            else:
+                local = np.nonzero(
+                    (indices >= shard_lo) & (indices < shard_hi)
+                )[0]
+                for position in local.tolist():
+                    index = int(indices[position])
+                    usage_rows.append(
+                        DailyUsage(
+                            day=day,
+                            subscriber_id=index,
+                            technology=Technology.FTTH
+                            if self._is_ftth[index]
+                            else Technology.ADSL,
+                            pop=str(self._pops[index]),
+                            service=service.name,
+                            bytes_down=int(down_int[position]),
+                            bytes_up=int(up_int[position]),
+                            flows=int(flows[position]),
+                        )
+                    )
+                emit_positions.extend((skeleton_offset + local).tolist())
+                code = block_services.setdefault(service.name, len(block_services))
+                blocks.append(
+                    (code, indices, down_int, up_int, flows.astype(np.int64))
                 )
+                skeleton_offset += indices.size
             service_total = int(down_int.sum() + up_int.sum())
 
             # Embedded-object noise: active non-users touch the service's
@@ -345,21 +424,50 @@ class TrafficGenerator:
                     )
                     tp_up = np.maximum(100, tp_down // 8)
                     tp_flows = rng.integers(1, 4, touched.size)
-                    for position, index in enumerate(touched):
-                        usage_rows.append(
-                            DailyUsage(
-                                day=day,
-                                subscriber_id=int(index),
-                                technology=Technology.FTTH
-                                if self._is_ftth[index]
-                                else Technology.ADSL,
-                                pop=str(self._pops[index]),
-                                service=service.name,
-                                bytes_down=int(tp_down[position]),
-                                bytes_up=int(tp_up[position]),
-                                flows=int(tp_flows[position]),
+                    if not sharded:
+                        for position, index in enumerate(touched):
+                            usage_rows.append(
+                                DailyUsage(
+                                    day=day,
+                                    subscriber_id=int(index),
+                                    technology=Technology.FTTH
+                                    if self._is_ftth[index]
+                                    else Technology.ADSL,
+                                    pop=str(self._pops[index]),
+                                    service=service.name,
+                                    bytes_down=int(tp_down[position]),
+                                    bytes_up=int(tp_up[position]),
+                                    flows=int(tp_flows[position]),
+                                )
                             )
+                    else:
+                        local = np.nonzero(
+                            (touched >= shard_lo) & (touched < shard_hi)
+                        )[0]
+                        for position in local.tolist():
+                            index = int(touched[position])
+                            usage_rows.append(
+                                DailyUsage(
+                                    day=day,
+                                    subscriber_id=index,
+                                    technology=Technology.FTTH
+                                    if self._is_ftth[index]
+                                    else Technology.ADSL,
+                                    pop=str(self._pops[index]),
+                                    service=service.name,
+                                    bytes_down=int(tp_down[position]),
+                                    bytes_up=int(tp_up[position]),
+                                    flows=int(tp_flows[position]),
+                                )
+                            )
+                        emit_positions.extend((skeleton_offset + local).tolist())
+                        code = block_services.setdefault(
+                            service.name, len(block_services)
                         )
+                        blocks.append(
+                            (code, touched, tp_down.astype(np.int64), tp_up, tp_flows.astype(np.int64))
+                        )
+                        skeleton_offset += touched.size
                     service_total += int(tp_down.sum() + tp_up.sum())
 
             for protocol, share in service.protocol_mix(day):
@@ -372,21 +480,55 @@ class TrafficGenerator:
         # Subscribed-but-inactive lines still emit background chatter that
         # must fail the Section 3 activity criterion.
         background = np.nonzero(observed & ~active)[0]
-        for index in background:
-            usage_rows.append(
-                DailyUsage(
-                    day=day,
-                    subscriber_id=int(index),
-                    technology=Technology.FTTH
-                    if self._is_ftth[index]
-                    else Technology.ADSL,
-                    pop=str(self._pops[index]),
-                    service=catalog.OTHER,
-                    bytes_down=int(rng.integers(1_000, _BACKGROUND_BYTES_DOWN)),
-                    bytes_up=int(rng.integers(100, _BACKGROUND_BYTES_UP)),
-                    flows=int(rng.integers(1, _BACKGROUND_FLOWS + 1)),
+        if not sharded:
+            for index in background:
+                usage_rows.append(
+                    DailyUsage(
+                        day=day,
+                        subscriber_id=int(index),
+                        technology=Technology.FTTH
+                        if self._is_ftth[index]
+                        else Technology.ADSL,
+                        pop=str(self._pops[index]),
+                        service=catalog.OTHER,
+                        bytes_down=int(rng.integers(1_000, _BACKGROUND_BYTES_DOWN)),
+                        bytes_up=int(rng.integers(100, _BACKGROUND_BYTES_UP)),
+                        flows=int(rng.integers(1, _BACKGROUND_FLOWS + 1)),
+                    )
                 )
-            )
+        elif background.size:
+            # The three scalar draws per inactive line interleave on one
+            # sequential stream, so every shard replays them full-width
+            # and emits only its own range.
+            bg_down = np.empty(background.size, dtype=np.int64)
+            bg_up = np.empty(background.size, dtype=np.int64)
+            bg_flows = np.empty(background.size, dtype=np.int64)
+            for position, index in enumerate(background):
+                bytes_down = int(rng.integers(1_000, _BACKGROUND_BYTES_DOWN))
+                bytes_up = int(rng.integers(100, _BACKGROUND_BYTES_UP))
+                flow_count = int(rng.integers(1, _BACKGROUND_FLOWS + 1))
+                bg_down[position] = bytes_down
+                bg_up[position] = bytes_up
+                bg_flows[position] = flow_count
+                if shard_lo <= index < shard_hi:
+                    usage_rows.append(
+                        DailyUsage(
+                            day=day,
+                            subscriber_id=int(index),
+                            technology=Technology.FTTH
+                            if self._is_ftth[index]
+                            else Technology.ADSL,
+                            pop=str(self._pops[index]),
+                            service=catalog.OTHER,
+                            bytes_down=bytes_down,
+                            bytes_up=bytes_up,
+                            flows=flow_count,
+                        )
+                    )
+                    emit_positions.append(skeleton_offset + position)
+            code = block_services.setdefault(catalog.OTHER, len(block_services))
+            blocks.append((code, background, bg_down, bg_up, bg_flows))
+            skeleton_offset += background.size
 
         protocol_rows = tuple(
             ProtocolUsage(day=day, service=service, protocol=protocol, total_bytes=total)
@@ -395,7 +537,63 @@ class TrafficGenerator:
             )
         )
         telemetry.count("usage_rows_generated", len(usage_rows))
-        return DayTraffic(day=day, usage=tuple(usage_rows), protocols=protocol_rows)
+        if not sharded:
+            return DayTraffic(
+                day=day, usage=tuple(usage_rows), protocols=protocol_rows
+            )
+        return DayTraffic(
+            day=day,
+            usage=tuple(usage_rows),
+            protocols=protocol_rows,
+            shard_ctx=self._build_shard_context(
+                shard_lo, shard_hi, blocks, block_services, emit_positions
+            ),
+        )
+
+    def _build_shard_context(
+        self,
+        lo: int,
+        hi: int,
+        blocks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+        block_services: Dict[str, int],
+        emit_positions: List[int],
+    ) -> DayShardContext:
+        """Assemble the full-day usage skeleton from per-service blocks."""
+        if blocks:
+            row_service = np.concatenate(
+                [np.full(block[1].size, block[0], dtype=np.int64) for block in blocks]
+            )
+            row_subscriber = np.concatenate([block[1] for block in blocks]).astype(
+                np.int64
+            )
+            row_down = np.concatenate([block[2] for block in blocks])
+            row_up = np.concatenate([block[3] for block in blocks])
+            row_flows = np.concatenate([block[4] for block in blocks])
+        else:
+            row_service = np.empty(0, dtype=np.int64)
+            row_subscriber = np.empty(0, dtype=np.int64)
+            row_down = np.empty(0, dtype=np.int64)
+            row_up = np.empty(0, dtype=np.int64)
+            row_flows = np.empty(0, dtype=np.int64)
+        row_ftth = self._is_ftth[row_subscriber]
+        tech_bytes_down = {
+            Technology.ADSL: int(row_down[~row_ftth].sum()),
+            Technology.FTTH: int(row_down[row_ftth].sum()),
+        }
+        return DayShardContext(
+            lo=lo,
+            hi=hi,
+            services=tuple(block_services),
+            row_service=row_service,
+            row_subscriber=row_subscriber,
+            row_ftth=row_ftth,
+            row_pop=self._pops[row_subscriber],
+            row_bytes_down=row_down,
+            row_bytes_up=row_up,
+            row_flows=row_flows,
+            emit_positions=np.asarray(emit_positions, dtype=np.int64),
+            tech_bytes_down=tech_bytes_down,
+        )
 
     # -- hourly tier -----------------------------------------------------------
 
@@ -404,9 +602,18 @@ class TrafficGenerator:
     ) -> List[HourlyVolume]:
         """Distribute the day's downloads over 10-minute bins (Fig. 4)."""
         traffic = traffic if traffic is not None else self.generate_day(day)
-        totals = {Technology.ADSL: 0, Technology.FTTH: 0}
-        for row in traffic.usage:
-            totals[row.technology] += row.bytes_down
+        if traffic.shard_ctx is not None:
+            # Sharded traffic only carries this shard's rows; the context
+            # holds the full-day totals so every shard derives identical
+            # hourly volumes (the lead shard contributes them at fan-in).
+            totals = {
+                Technology.ADSL: traffic.shard_ctx.tech_bytes_down[Technology.ADSL],
+                Technology.FTTH: traffic.shard_ctx.tech_bytes_down[Technology.FTTH],
+            }
+        else:
+            totals = {Technology.ADSL: 0, Technology.FTTH: 0}
+            for row in traffic.usage:
+                totals[row.technology] += row.bytes_down
         rng = self.world.day_rng(day, stream=1)
         volumes: List[HourlyVolume] = []
         for technology, total in totals.items():
@@ -678,6 +885,211 @@ class TrafficGenerator:
         )
         telemetry.count("flows_expanded", len(batch))
         return batch
+
+    def expand_flows_batch_shard(
+        self,
+        day: datetime.date,
+        ctx: DayShardContext,
+        max_flows_per_usage: int = 8,
+    ) -> Tuple[FlowBatch, np.ndarray]:
+        """Shard view of :meth:`expand_flows_batch`.
+
+        Replays the unsharded flow expansion's RNG draws at full day
+        width from the skeleton in ``ctx``, then slices every column to
+        the flows whose subscriber falls in the shard's range.  Returns
+        the shard's batch plus each flow's position in the full-day flow
+        sequence, so order-sensitive consumers (RTT sample lists) can
+        restore the unsharded ordering at fan-in.
+        """
+        rng = self.world.day_rng(day, stream=2)
+        capabilities = capabilities_on(day)
+        midnight = datetime.datetime.combine(day, datetime.time()).timestamp()
+
+        row_count = ctx.row_count
+        if row_count == 0:
+            batch = FlowBatchBuilder().build()
+            telemetry.count("flows_expanded", 0)
+            return batch, np.empty(0, dtype=np.int64)
+        counts = np.clip(ctx.row_flows, 1, max_flows_per_usage)
+        starts = np.zeros(row_count, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        total = int(counts.sum())
+        row_of = np.repeat(np.arange(row_count), counts)
+
+        bytes_down_rows = ctx.row_bytes_down
+        bytes_up_rows = ctx.row_bytes_up
+        ftth_rows = ctx.row_ftth
+        emit_rows = (ctx.row_subscriber >= ctx.lo) & (ctx.row_subscriber < ctx.hi)
+        emit = emit_rows[row_of]
+
+        gamma = rng.standard_gamma(0.8, total)
+        weights = gamma / np.add.reduceat(gamma, starts)[row_of]
+        down = np.floor(bytes_down_rows[row_of] * weights).astype(np.int64)
+        down[starts] += bytes_down_rows - np.add.reduceat(down, starts)
+        up = np.floor(bytes_up_rows[row_of] * weights).astype(np.int64)
+        up[starts] += bytes_up_rows - np.add.reduceat(up, starts)
+        packets_down = np.maximum(1, down // 1400)
+        packets_up = np.maximum(1, up // 700 + packets_down // 2)
+
+        uniforms = rng.random(total)
+        bins = np.empty(total, dtype=np.int64)
+        for technology in Technology:
+            mask = ftth_rows[row_of] == (technology is Technology.FTTH)
+            if not mask.any():
+                continue
+            cdf = np.cumsum(
+                studycalendar.diurnal_profile(day.year, technology.value)
+            )
+            cdf /= cdf[-1]
+            bins[mask] = np.minimum(
+                np.searchsorted(cdf, uniforms[mask], side="right"),
+                BINS_PER_DAY - 1,
+            )
+        seconds_per_bin = 86_400 // BINS_PER_DAY
+        ts_start = midnight + bins * seconds_per_bin + rng.uniform(0, 600, total)
+
+        service_index: Dict[str, int] = {
+            name: code for code, name in enumerate(ctx.services)
+        }
+        flow_service = ctx.row_service[row_of]
+        true_protocol = np.empty(total, dtype=np.int64)
+        ips = np.empty(total, dtype=np.int64)
+        domains = np.empty(total, dtype=object)
+        rtt_draw = np.empty(total, dtype=np.float64)
+        for service_name, code in service_index.items():
+            mask = flow_service == code
+            hits = int(np.count_nonzero(mask))
+            service = self.world.service(service_name)
+            infra = self.world.infrastructure_for(service_name)
+            mix = service.protocol_mix(day)
+            if not mix:
+                true_protocol[mask] = protocol_code(WebProtocol.OTHER)
+            else:
+                shares = np.array([share for _, share in mix], dtype=np.float64)
+                cumulative = np.cumsum(shares / shares.sum())
+                picks = np.minimum(
+                    np.searchsorted(cumulative, rng.random(hits), side="right"),
+                    len(mix) - 1,
+                )
+                mix_codes = np.fromiter(
+                    (protocol_code(protocol) for protocol, _ in mix),
+                    np.int64, len(mix),
+                )
+                true_protocol[mask] = mix_codes[picks]
+            ips[mask], domains[mask], rtt_draw[mask] = infra.pick_servers(
+                day, rng, hits, emit=emit[mask]
+            )
+
+        label_of = np.fromiter(
+            (
+                protocol_code(capabilities.reported_label(protocol))
+                for protocol in PROTOCOLS
+            ),
+            np.int64, len(PROTOCOLS),
+        )
+        port_of = np.fromiter(
+            (_server_port(protocol) for protocol in PROTOCOLS),
+            np.int64, len(PROTOCOLS),
+        )
+        quic = true_protocol == protocol_code(WebProtocol.QUIC)
+        p2p = true_protocol == protocol_code(WebProtocol.P2P)
+        other = true_protocol == protocol_code(WebProtocol.OTHER)
+        transport = np.where(quic, UDP_CODE, TCP_CODE).astype(np.int64)
+
+        duration = np.minimum(
+            3600.0, 1.0 + rng.lognormal(0.0, 1.0, total) * (down / 1e6)
+        )
+        client_port = rng.integers(1024, 65535, total)
+
+        source_of = np.full(
+            len(PROTOCOLS), name_source_code(NameSource.SNI), dtype=np.int64
+        )
+        source_of[protocol_code(WebProtocol.P2P)] = name_source_code(NameSource.NONE)
+        source_of[protocol_code(WebProtocol.HTTP)] = name_source_code(NameSource.HOST)
+        source_of[protocol_code(WebProtocol.QUIC)] = name_source_code(NameSource.QUIC)
+        source_of[protocol_code(WebProtocol.FBZERO)] = name_source_code(NameSource.ZERO)
+        name_source = source_of[true_protocol]
+        named = ~p2p
+        other_hits = int(np.count_nonzero(other))
+        if other_hits:
+            resolved = rng.random(other_hits) < 0.7
+            name_source[other] = np.where(
+                resolved,
+                name_source_code(NameSource.DNS),
+                name_source_code(NameSource.NONE),
+            )
+            unresolved = np.zeros(total, dtype=bool)
+            unresolved[other] = ~resolved
+            named &= ~unresolved
+
+        rtt_samples = np.zeros(total, dtype=np.int64)
+        rtt_min = np.zeros(total, dtype=np.float64)
+        rtt_avg = np.zeros(total, dtype=np.float64)
+        rtt_max = np.zeros(total, dtype=np.float64)
+        sampled = ~quic & ~p2p
+        sampled_hits = int(np.count_nonzero(sampled))
+        if sampled_hits:
+            rtt_samples[sampled] = np.clip(packets_up[sampled] // 4, 1, 50)
+            minimum = rtt_draw[sampled]
+            average = minimum * (1.0 + rng.lognormal(-1.5, 0.8, sampled_hits))
+            rtt_min[sampled] = minimum
+            rtt_avg[sampled] = average
+            rtt_max[sampled] = average * (
+                1.0 + rng.lognormal(-1.0, 0.8, sampled_hits)
+            )
+        p2p_hits = int(np.count_nonzero(p2p))
+        if p2p_hits:
+            minimum = rtt_draw[p2p] * rng.lognormal(0.0, 0.5, p2p_hits)
+            rtt_samples[p2p] = 5
+            rtt_min[p2p] = minimum
+            rtt_avg[p2p] = minimum * 1.6
+            rtt_max[p2p] = minimum * 3.0
+
+        # All draws above ran full-width; everything below is shard-local.
+        positions = np.nonzero(emit)[0]
+        shard_total = int(positions.size)
+        sub_named = named[positions]
+        sub_domains = domains[positions]
+        names_table = StringTable()
+        intern_name = names_table.intern
+        name_id = np.fromiter(
+            (
+                intern_name(domain if use else None)
+                for domain, use in zip(sub_domains.tolist(), sub_named.tolist())
+            ),
+            np.int64, shard_total,
+        )
+        vantage_table = StringTable()
+        row_vantage = np.fromiter(
+            (vantage_table.intern(str(pop)) for pop in ctx.row_pop[row_of[positions]]),
+            np.int64, shard_total,
+        )
+
+        batch = FlowBatch(
+            client_id=ctx.row_subscriber[row_of[positions]],
+            server_ip=ips[positions],
+            client_port=client_port[positions].astype(np.int64),
+            server_port=port_of[true_protocol[positions]],
+            transport=transport[positions],
+            ts_start=ts_start[positions],
+            ts_end=ts_start[positions] + duration[positions],
+            packets_up=packets_up[positions],
+            packets_down=packets_down[positions],
+            bytes_up=up[positions],
+            bytes_down=down[positions],
+            protocol=label_of[true_protocol[positions]],
+            name_id=name_id,
+            name_source=name_source[positions],
+            rtt_samples=rtt_samples[positions],
+            rtt_min=rtt_min[positions],
+            rtt_avg=rtt_avg[positions],
+            rtt_max=rtt_max[positions],
+            vantage_id=row_vantage,
+            names=names_table.values(),
+            vantages=vantage_table.values(),
+        )
+        telemetry.count("flows_expanded", len(batch))
+        return batch, positions
 
 
 def _integer_split(total: int, weights: np.ndarray) -> np.ndarray:

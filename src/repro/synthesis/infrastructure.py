@@ -111,9 +111,19 @@ class Deployment:
         return _fill_template(template, rng)
 
     def domains_on(
-        self, day: datetime.date, rng: np.random.Generator, count: int
+        self,
+        day: datetime.date,
+        rng: np.random.Generator,
+        count: int,
+        emit: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """``count`` domain draws at once (vectorized :meth:`domain_on`)."""
+        """``count`` domain draws at once (vectorized :meth:`domain_on`).
+
+        ``emit`` (bool mask over ``count``) keeps every RNG draw but
+        skips the Python string construction for positions that the
+        caller will discard — sharded expansion stays draw-aligned with
+        the unsharded stream while paying only for its own flows.
+        """
         weights = [max(0.0, curve(day)) for _, curve in self.domains]
         total = sum(weights)
         if total <= 0:
@@ -129,7 +139,12 @@ class Deployment:
             mask = picks == index
             hits = int(np.count_nonzero(mask))
             if hits:
-                out[mask] = _fill_templates(template, rng, hits)
+                out[mask] = _fill_templates(
+                    template,
+                    rng,
+                    hits,
+                    emit=None if emit is None else emit[mask],
+                )
         return out
 
     def sample_rtt_ms(self, rng: np.random.Generator) -> float:
@@ -199,14 +214,20 @@ class ServiceInfrastructure:
         )
 
     def pick_servers(
-        self, day: datetime.date, rng: np.random.Generator, count: int
+        self,
+        day: datetime.date,
+        rng: np.random.Generator,
+        count: int,
+        emit: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Pick ``count`` servers at once: ``(ips, domains, rtts_ms)``.
 
         The batched form of :meth:`pick_server` for the born-columnar
         flow expansion — identical share weighting, slot ranges, domain
         mixes, and RTT distributions, with the per-flow draws grouped by
-        deployment so address/domain/RTT generation vectorizes.
+        deployment so address/domain/RTT generation vectorizes.  ``emit``
+        restricts domain *string* construction (never the draws) to the
+        flagged positions; see :meth:`Deployment.domains_on`.
         """
         shares = self.shares_on(day)
         if not shares:
@@ -226,7 +247,9 @@ class ServiceInfrastructure:
             slots = max(1, int(deployment.active_slots(day)))
             drawn = deployment.slot_offset + rng.integers(0, slots, hits)
             ips[mask] = deployment.pool.addresses_for(drawn, day)
-            domains[mask] = deployment.domains_on(day, rng, hits)
+            domains[mask] = deployment.domains_on(
+                day, rng, hits, emit=None if emit is None else emit[mask]
+            )
             rtts[mask] = deployment.sample_rtts_ms(rng, hits)
         return ips, domains, rtts
 
@@ -240,21 +263,35 @@ def _fill_template(template: str, rng: np.random.Generator) -> str:
 
 
 def _fill_templates(
-    template: str, rng: np.random.Generator, count: int
-) -> List[str]:
-    """``count`` independent fills of one domain template."""
+    template: str,
+    rng: np.random.Generator,
+    count: int,
+    emit: Optional[np.ndarray] = None,
+) -> List[Optional[str]]:
+    """``count`` independent fills of one domain template.
+
+    The RNG draws are always full-width; ``emit`` only gates the string
+    construction, leaving ``None`` at positions the caller discards.
+    """
     digits = rng.integers(1, 9, count) if "{n}" in template else None
     letters = rng.integers(0, 8, count) if "{a}" in template else None
     if digits is None and letters is None:
         return [template] * count
-    filled: List[str] = []
-    for position in range(count):
+    if emit is None:
+        positions = range(count)
+        filled: List[Optional[str]] = [None] * count
+    else:
+        # Shard path: visit only the emitted positions, so string work
+        # is O(shard) even though the draws above stay full-width.
+        positions = np.nonzero(emit)[0].tolist()
+        filled = [None] * count
+    for position in positions:
         name = template
         if digits is not None:
             name = name.replace("{n}", str(int(digits[position])))
         if letters is not None:
             name = name.replace("{a}", chr(ord("a") + int(letters[position])))
-        filled.append(name)
+        filled[position] = name
     return filled
 
 

@@ -129,6 +129,12 @@ def _generate(config: PopulationConfig, seed: int) -> Tuple[Subscriber, ...]:
     next_id = 0
     pop1_net = POP_NETWORKS["pop1"]
     pop2_net = POP_NETWORKS["pop2"]
+    # Host addresses are allocated per PoP, not from the global id: each
+    # /16 then carries only its own subscribers, so the model scales to
+    # ~131k subscribers (a 100k-subscriber benchmark day fits) instead
+    # of capping at one /16.  No RNG is consumed here, so worlds keep
+    # their exact draw sequences.
+    pop_hosts = {"pop1": 0, "pop2": 0}
 
     def make(
         technology: Technology,
@@ -139,7 +145,8 @@ def _generate(config: PopulationConfig, seed: int) -> Tuple[Subscriber, ...]:
         nonlocal next_id
         pop = "pop1" if rng.random() < 0.6 else "pop2"
         network = pop1_net if pop == "pop1" else pop2_net
-        client_ip = network.nth(1 + next_id)
+        client_ip = network.nth(1 + pop_hosts[pop])
+        pop_hosts[pop] += 1
         activity = float(
             np.clip(rng.beta(8.0, 8.0 * (1 - config.mean_activity) / config.mean_activity), 0.05, 0.99)
         )

@@ -1,0 +1,327 @@
+"""Sharded execution equals unsharded — any shard count, any path.
+
+Property suite for DESIGN.md §15: a study day fanned out into N
+subscriber-range shard tasks must produce a *field-identical*
+:class:`StudyData` to the whole-day path — serial, pooled, spilled to
+disk, or killed mid-day and resumed — plus regression tests for the
+merge-overlap and dispatch-accounting bugs the shard work exposed.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.faults import KIND_TRANSIENT, FaultPlan, FaultSpec
+from repro.core.parallel import (
+    ChunkError,
+    ColumnarPartial,
+    DayFailure,
+    DaySuccess,
+    RetryPolicy,
+    _Dispatch,
+    execute_study,
+)
+from repro.core.shards import (
+    ShardSpec,
+    load_spilled,
+    plan_shards,
+    spill_file_name,
+    spill_partial,
+)
+from repro.core.study import LongitudinalStudy, MergeOverlapError, StudyData
+from repro.dataflow.datalake import CheckpointError, CheckpointStore
+from repro.synthesis.population import Technology
+from repro.telemetry import runtime as telemetry_runtime
+from repro.telemetry.runtime import Telemetry
+from repro.synthesis.world import WorldConfig
+
+D = datetime.date
+
+SHARD_COUNTS = (2, 4, 7)
+
+
+def tiny_config(seed=17):
+    return StudyConfig(
+        world=WorldConfig(
+            seed=seed,
+            adsl_count=40,
+            ftth_count=20,
+            start=D(2014, 1, 1),
+            end=D(2014, 6, 30),
+        ),
+        day_stride=6,
+        flow_days_per_month=1,
+        rtt_days_per_comparison_month=1,
+    )
+
+
+class TestPlanShards:
+    def test_partition_covers_population(self):
+        for population in (0, 1, 59, 60, 100):
+            for count in (1, 2, 4, 7, 61):
+                specs = plan_shards(population, count)
+                assert len(specs) == count
+                assert specs[0].lo == 0
+                assert specs[-1].hi == population
+                for left, right in zip(specs, specs[1:]):
+                    assert left.hi == right.lo  # contiguous, disjoint
+                sizes = [spec.hi - spec.lo for spec in specs]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_lead_shard(self):
+        specs = plan_shards(10, 3)
+        assert [spec.is_lead for spec in specs] == [True, False, False]
+        assert specs[1].label == "1of3"
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            plan_shards(10, 0)
+        with pytest.raises(ValueError):
+            plan_shards(-1, 2)
+
+
+class TestShardedEqualsUnsharded:
+    """The core §15 property, across three seeds and four shard counts."""
+
+    @pytest.mark.parametrize("seed", (7, 17, 23))
+    def test_serial_field_identical(self, seed):
+        config = tiny_config(seed)
+        base = execute_study(config, workers=1).data
+        for count in SHARD_COUNTS:
+            sharded = execute_study(config, workers=1, shards=count)
+            assert sharded.data == base, f"seed={seed} shards={count}"
+            assert sharded.report.shards == count
+
+    def test_pooled_field_identical(self):
+        config = tiny_config()
+        base = execute_study(config, workers=1).data
+        pooled = execute_study(config, workers=2, shards=2, start_method="fork")
+        assert pooled.data == base
+        assert pooled.report.execution == "pool"
+
+    def test_more_shards_than_subscribers(self):
+        config = tiny_config()
+        base = execute_study(config, workers=1).data
+        sharded = execute_study(config, workers=1, shards=61)
+        assert sharded.data == base  # trailing shards are empty but planned
+
+    def test_config_hash_unchanged(self):
+        config = tiny_config()
+        one = execute_study(config, workers=1, shards=1).report
+        four = execute_study(config, workers=1, shards=4).report
+        assert one.config_hash == four.config_hash
+
+
+class TestSpill:
+    def test_spilled_run_field_identical(self, tmp_path):
+        config = tiny_config()
+        base = execute_study(config, workers=1).data
+        spill_dir = tmp_path / "spill"
+        result = execute_study(
+            config,
+            workers=1,
+            shards=3,
+            shard_spill_dir=spill_dir,
+            spill_watermark_bytes=1,
+        )
+        assert result.data == base
+        assert result.report.spills > 0
+        assert list(spill_dir.glob("*.spill")) == []  # all streamed back
+
+    def test_spill_roundtrip(self, tmp_path):
+        payload = {"rows": list(range(1000)), "day": D(2014, 4, 1)}
+        path = tmp_path / spill_file_name(D(2014, 4, 1), 2)
+        freed = spill_partial(path, D(2014, 4, 1), 2, payload)
+        assert freed > 0
+        assert path.is_file()
+        assert load_spilled(path) == payload
+
+
+class TestShardResume:
+    def test_kill_mid_day_resume_replays_only_missing_shards(self, tmp_path):
+        config = tiny_config()
+        base = execute_study(config, workers=1).data
+        days = sorted(LongitudinalStudy(config).planned_days())
+        target = days[2]
+        plan = FaultPlan.of(
+            FaultSpec(day=target, kind=KIND_TRANSIENT, times=-1, shard=1)
+        )
+        with pytest.raises(ChunkError) as err:
+            execute_study(
+                config,
+                workers=1,
+                shards=4,
+                checkpoint_root=tmp_path,
+                fault_plan=plan,
+                retry=RetryPolicy(retries=1, backoff=0.0),
+            )
+        assert [f.shard for f in err.value.failures] == [1]
+        assert target.isoformat() in str(err.value)
+        report = err.value.report
+        assert report.failed == 1
+        assert report.completed == report.planned_tasks - 1
+
+        resumed = execute_study(
+            config, workers=1, shards=4, checkpoint_root=tmp_path, resume=True
+        )
+        assert resumed.data == base
+        # Every surviving shard came back from its checkpoint; only the
+        # killed shard of the target day was recomputed.
+        assert resumed.report.checkpoint_hits == resumed.report.planned_tasks - 1
+
+    def test_shard_fault_leaves_other_shards_alone(self):
+        config = tiny_config()
+        days = sorted(LongitudinalStudy(config).planned_days())
+        plan = FaultPlan.of(
+            FaultSpec(day=days[0], kind=KIND_TRANSIENT, times=-1, shard=3)
+        )
+        # Unsharded run never fires a shard-targeted fault.
+        result = execute_study(
+            config, workers=1, fault_plan=plan,
+            retry=RetryPolicy(retries=0, backoff=0.0),
+        )
+        assert result.report.failed == 0
+
+    def test_checkpoints_are_shard_keyed(self, tmp_path):
+        store = CheckpointStore(tmp_path, "cafe")
+        day = D(2014, 4, 1)
+        store.save(day, {"k": 1}, shard=(0, 4))
+        assert store.has(day, shard=(0, 4))
+        assert not store.has(day)  # unsharded name untouched
+        assert not store.has(day, shard=(1, 4))
+        assert store.load(day, shard=(0, 4)) == {"k": 1}
+        # A shard file renamed to another shard's slot is rejected.
+        (tmp_path / "config=cafe" / store.path_for(day, (1, 4)).name).write_bytes(
+            store.path_for(day, (0, 4)).read_bytes()
+        )
+        with pytest.raises(CheckpointError):
+            store.load(day, shard=(1, 4))
+        # Shard files never surface as whole days.
+        assert store.days() == []
+
+
+class TestMergeOverlapRegression:
+    """Satellite 1: StudyData.merge used to silently overwrite days."""
+
+    def test_overlapping_subscriber_days_raise(self):
+        day = D(2014, 4, 1)
+        left = StudyData(subscriber_days={day: []})
+        right = StudyData(subscriber_days={day: []})
+        with pytest.raises(MergeOverlapError) as err:
+            left.merge(right)
+        assert err.value.field_name == "subscriber_days"
+        assert "2014-04-01" in str(err.value)
+
+    def test_weekly_keys_union_instead_of_replacing(self):
+        key = (2014, 14, "facebook", Technology.ADSL)
+        left = StudyData(weekly_visitors={key: {1, 2}})
+        right = StudyData(weekly_visitors={key: {2, 3}})
+        left.merge(right)
+        assert left.weekly_visitors[key] == {1, 2, 3}
+        active = (2014, 14, Technology.ADSL)
+        left = StudyData(weekly_active={active: {1}})
+        right = StudyData(weekly_active={active: {4}})
+        left.merge(right)
+        assert left.weekly_active[active] == {1, 4}
+
+
+class TestDispatchAccountingRegression:
+    """Satellite 2: completion counters hid behind the telemetry guard."""
+
+    @staticmethod
+    def _success(telemetry=None):
+        return DaySuccess(
+            index=0,
+            day=D(2014, 4, 1),
+            attempt=0,
+            partial=ColumnarPartial.pack(StudyData()),
+            wall_time=1.25,
+            worker=123,
+            telemetry=telemetry,
+        )
+
+    def test_counters_move_without_snapshot(self):
+        bundle = Telemetry.for_spec("monotonic")
+        dispatch = _Dispatch(RetryPolicy(), None, None)
+        with telemetry_runtime.activate(bundle):
+            dispatch.succeed(self._success(telemetry=None), source="worker")
+        snapshot = bundle.snapshot()
+        assert snapshot.metrics.counters[("pool_days_completed", ())] == 1
+        histogram = snapshot.metrics.histograms[("pool_day_wall_seconds", ())]
+        assert histogram.total == 1
+        assert histogram.sum == pytest.approx(1.25)
+
+    def test_failed_day_records_real_wall_time(self):
+        dispatch = _Dispatch(RetryPolicy(), None, None)
+        dispatch.fail(
+            DayFailure(
+                index=0,
+                day=D(2014, 4, 1),
+                attempt=0,
+                transient=False,
+                error="boom",
+                traceback_text="",
+                worker=7,
+                wall_time=0.75,
+            )
+        )
+        record = dispatch.records[(D(2014, 4, 1), 0)]
+        assert record.status == "failed"
+        assert record.wall_time == pytest.approx(0.75)
+
+    def test_worker_failure_carries_elapsed_time(self):
+        config = tiny_config()
+        day = sorted(LongitudinalStudy(config).planned_days())[0]
+        plan = FaultPlan.of(FaultSpec(day=day, kind=KIND_TRANSIENT, times=-1))
+        with pytest.raises(ChunkError) as err:
+            execute_study(
+                config,
+                workers=1,
+                fault_plan=plan,
+                retry=RetryPolicy(retries=0, backoff=0.0),
+            )
+        record = next(
+            r for r in err.value.report.records if r.status == "failed"
+        )
+        assert record.wall_time >= 0.0
+        assert err.value.failures[0].wall_time >= 0.0
+
+
+class TestShardManifest:
+    def test_manifest_rows_are_shard_granular(self, tmp_path):
+        config = tiny_config()
+        result = execute_study(
+            config, workers=1, shards=2, checkpoint_root=tmp_path
+        )
+        report = result.report
+        assert report.planned_tasks == 2 * report.planned_days
+        labels = {record.label for record in report.records}
+        day = report.records[0].day.isoformat()
+        assert f"{day}/0" in labels and f"{day}/1" in labels
+        payload = report.to_dict()
+        assert payload["shards"] == 2
+        assert payload["planned_tasks"] == report.planned_tasks
+        assert len(payload["telemetry"]["days"]) == report.planned_tasks
+
+    def test_shard_spec_on_task_is_validated(self):
+        with pytest.raises(ValueError):
+            execute_study(tiny_config(), workers=1, shards=0)
+
+    def test_day_shard_partial_matches_day_partial(self):
+        """Single-shard fan-out reproduces the whole-day partial 1:1."""
+        config = tiny_config()
+        study = LongitudinalStudy(config)
+        plan = study.planned_days()
+        day = sorted(plan)[0]
+        whole = study.day_partial(day, set(plan[day]))
+        spec = ShardSpec(index=0, count=1, lo=0, hi=60)
+        data, extra = LongitudinalStudy(config).day_shard_partial(
+            day, set(plan[day]), spec
+        )
+        from repro.core.study import merge_day_shards
+
+        merged = merge_day_shards(
+            day, [(data, extra)], LongitudinalStudy(config).world.rib
+        )
+        assert merged == whole
