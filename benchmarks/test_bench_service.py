@@ -1,0 +1,87 @@
+"""Benchmark: the service control plane under concurrent load.
+
+Two numbers the README quotes for ``repro serve``:
+
+* **submission throughput** — eight clients POST distinct configs at
+  once (eight in-flight runs); the round is settled when every POST has
+  its run id back.  This exercises the full stack: HTTP parse, config
+  validation, registry create + atomic persist, scheduler hand-off.
+* **status-poll latency** — ``GET /v1/runs/{id}`` against a live
+  registry, the call dashboards would hammer.
+
+Each round submits *fresh* configs (a seed counter) because submission
+is idempotent by design — re-POSTing a known config is a registry hit,
+not a run creation, and would flatter the numbers.
+"""
+
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from conftest import SMOKE
+
+from repro.service import ServerThread, ServiceClient
+
+#: One study task per run: the benchmark targets the control plane, not
+#: the study pipeline (test_bench_parallel times that).
+SPAN = {"start": "2013-06-01", "end": "2013-06-07"}
+FLEET = 8
+
+
+def payload(seed: int) -> dict:
+    return dict(SPAN, scale="small", seed=seed)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    state = tmp_path_factory.mktemp("bench-service")
+    with ServerThread(state, max_active=4) as server:
+        yield server
+
+
+def client_for(server) -> ServiceClient:
+    return ServiceClient("127.0.0.1", server.port, timeout=60.0)
+
+
+def test_service_submission_throughput(benchmark, service):
+    seeds = itertools.count(1000)
+    clients = [client_for(service) for _ in range(FLEET)]
+
+    def submit_fleet():
+        batch = [next(seeds) for _ in range(FLEET)]
+        with ThreadPoolExecutor(max_workers=FLEET) as pool:
+            ids = list(
+                pool.map(
+                    lambda pair: pair[0].submit(payload(pair[1]))["id"],
+                    zip(clients, batch),
+                )
+            )
+        assert len(set(ids)) == FLEET
+        return ids
+
+    benchmark.pedantic(
+        submit_fleet, rounds=2 if SMOKE else 8, iterations=1
+    )
+    benchmark.extra_info["submissions_per_round"] = FLEET
+    benchmark.extra_info["max_active"] = 4
+
+    # Load must not wedge the scheduler: everything submitted lands.
+    client = clients[0]
+    for run in client.runs(limit=500)["runs"]:
+        final = client.wait(run["id"], timeout=300)
+        assert final["state"] == "done", final["error"]
+
+
+def test_service_status_poll_latency(benchmark, service):
+    client = client_for(service)
+    run = client.submit(payload(7))
+    client.wait(run["id"], timeout=300)
+
+    def poll():
+        record = client.run(run["id"])
+        assert record["state"] == "done"
+        return record
+
+    record = benchmark(poll)
+    assert record["progress"]["completed"] == 1
+    benchmark.extra_info["registry_runs"] = client.runs()["total"]

@@ -214,6 +214,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.retries < 0:
+        print(
+            f"repro run: --retries must be >= 0 (got {args.retries}); "
+            "use --retries 0 to fail fast on the first worker error",
+            file=sys.stderr,
+        )
+        return 2
+    if args.spill_watermark_bytes is not None and args.spill_watermark_bytes <= 0:
+        print(
+            f"repro run: --spill-watermark-bytes must be a positive integer "
+            f"(got {args.spill_watermark_bytes}); omit the flag for the "
+            "default watermark",
+            file=sys.stderr,
+        )
+        return 2
     config = _apply_date_range(_build_config(args), args)
     method = None if args.start_method == "auto" else args.start_method
     telemetry = None
@@ -470,6 +485,47 @@ def cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the measurement-as-a-service control plane (HTTP API)."""
+    from repro.service.server import ServiceServer, run_server
+
+    if args.max_active < 1:
+        print(
+            f"repro serve: --max-active must be a positive integer "
+            f"(got {args.max_active})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.run_workers < 1:
+        print(
+            f"repro serve: --run-workers must be a positive integer "
+            f"(got {args.run_workers}); use --run-workers 1 for serial runs",
+            file=sys.stderr,
+        )
+        return 2
+    if args.retries < 0:
+        print(
+            f"repro serve: --retries must be >= 0 (got {args.retries})",
+            file=sys.stderr,
+        )
+        return 2
+    server = ServiceServer(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        max_active=args.max_active,
+        run_workers=args.run_workers,
+        run_retries=args.retries,
+    )
+    print(
+        f"repro serve: state in {args.state_dir}, listening on "
+        f"http://{args.host}:{args.port} (Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    run_server(server)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -606,6 +662,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the full run manifest (JSON) after the "
                              "summary")
     replay.set_defaults(func=cmd_replay)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP control plane: submit, watch, cancel, resume "
+             "studies over a persistent run registry",
+    )
+    serve.add_argument("--state-dir", type=Path, required=True,
+                       metavar="DIR",
+                       help="run registry + checkpoints + results live here "
+                            "(survives restarts; interrupted runs resume)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="listen port (default 8737; 0 picks a free port)")
+    serve.add_argument("--max-active", type=int, default=2, metavar="N",
+                       help="concurrent study executions (default 2)")
+    serve.add_argument("--run-workers", type=int, default=1, metavar="N",
+                       dest="run_workers",
+                       help="worker processes per study run (default 1)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="max retries per day for transient worker "
+                            "failures (default 2)")
+    serve.set_defaults(func=cmd_serve)
 
     events = sub.add_parser("events", help="list the modelled event timeline")
     events.set_defaults(func=cmd_events)

@@ -60,6 +60,7 @@ import json
 import math
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from contextlib import nullcontext
@@ -97,6 +98,12 @@ from repro.telemetry.runtime import Telemetry, TelemetrySnapshot
 from repro.telemetry.spans import SpanRecord, reparent
 
 _Chunk = List[Tuple[datetime.date, Set[str]]]
+
+#: In-flight dispatch window per pool worker: enough queued tasks that a
+#: settling worker never idles waiting for the parent's next ``submit``,
+#: small enough that a cooperative cancel drains quickly (only tasks
+#: already handed to the queue keep running after a cancel).
+_SUBMIT_WINDOW_PER_WORKER = 2
 
 #: Dispatch/settlement key: (day, shard index); shard 0 when unsharded.
 _Key = Tuple[datetime.date, int]
@@ -573,6 +580,49 @@ class ChunkError(RuntimeError):
         return tuple(f.day for f in self.failures)
 
 
+class CancelToken:
+    """Cooperative stop signal for a run in flight.
+
+    Thread-safe: the owner (another thread, a signal handler, the
+    service control plane) calls :meth:`set` once; the dispatch loops
+    poll :meth:`is_set` between tasks.  Cancellation is *cooperative* —
+    tasks already handed to a worker run to completion and are
+    checkpointed, so a cancelled run is always resumable.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds; True if cancelled meanwhile."""
+        return self._event.wait(timeout)
+
+
+class RunCancelled(RuntimeError):
+    """The run stopped at a :class:`CancelToken`, not at a failure.
+
+    Raised only after every in-flight task drained and checkpointed (and
+    the manifest was written), so ``report`` describes a consistent,
+    resumable prefix of the run: re-running with ``resume=True`` picks
+    up exactly the tasks that never settled.
+    """
+
+    def __init__(self, seed: int, report: Optional[RunReport] = None) -> None:
+        self.seed = seed
+        self.report = report
+        completed = report.completed if report is not None else 0
+        super().__init__(
+            f"run cancelled (seed {seed}): {completed} task(s) completed "
+            "and checkpointed; resume to finish the rest"
+        )
+
+
 @dataclass
 class RunResult:
     """What :func:`execute_study` hands back: the data plus its manifest."""
@@ -804,9 +854,20 @@ class _Dispatch:
         self._note_done(day)
 
 
-def _run_serial(dispatch: _Dispatch, remaining: List[DayTask]) -> None:
-    """In-process execution with the same retry semantics as the pool."""
+def _run_serial(
+    dispatch: _Dispatch,
+    remaining: List[DayTask],
+    cancel: Optional[CancelToken] = None,
+) -> None:
+    """In-process execution with the same retry semantics as the pool.
+
+    The cancel token is checked between tasks (and while backing off
+    before a retry): the task in flight always settles and checkpoints,
+    tasks after the cancel point are simply never started.
+    """
     for proto in remaining:
+        if cancel is not None and cancel.is_set():
+            return
         attempt = 0
         while True:
             task = replace(proto, attempt=attempt)
@@ -816,8 +877,16 @@ def _run_serial(dispatch: _Dispatch, remaining: List[DayTask]) -> None:
                 break
             assert isinstance(outcome, DayFailure)
             if outcome.transient and attempt < dispatch.policy.retries:
+                if cancel is not None and cancel.is_set():
+                    # A cancelled run does not retry: the task stays
+                    # unsettled and the resume recomputes it.
+                    return
                 dispatch.note_retry(task, outcome)
-                time.sleep(dispatch.policy.delay(attempt))
+                if cancel is not None:
+                    if cancel.wait(dispatch.policy.delay(attempt)):
+                        return
+                else:
+                    time.sleep(dispatch.policy.delay(attempt))
                 attempt += 1
                 continue
             dispatch.fail(outcome)
@@ -830,9 +899,18 @@ def _run_pooled(
     workers: int,
     start_method: Optional[str],
     pool_observer: Optional[Callable[[SupervisedPool], None]] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> str:
     """Dispatch one task per (day, shard) to a supervised pool; returns
-    the start method actually used."""
+    the start method actually used.
+
+    Submission is windowed (a bounded number of tasks in the queue at
+    once) rather than all-upfront: results are identical — tasks are
+    independent and settle by index — but a cooperative cancel only has
+    to drain the window, not the whole plan.  On cancel, pending and
+    deferred tasks are dropped unstarted; everything already submitted
+    settles (and checkpoints) before this function returns.
+    """
     policy = dispatch.policy
     worker_count = min(workers, len(remaining))
     pool = SupervisedPool(
@@ -851,10 +929,29 @@ def _run_pooled(
             pool_observer(pool)
         outstanding: Dict[int, DayTask] = {}
         deferred: List[Tuple[float, DayTask]] = []
-        for task in remaining:
-            outstanding[task.index] = task
-            pool.submit(task)
-        while outstanding or deferred:
+        pending: List[DayTask] = list(remaining)
+        pending.reverse()  # pop() from the tail keeps plan order
+        window = _SUBMIT_WINDOW_PER_WORKER * worker_count
+
+        def cancelled() -> bool:
+            return cancel is not None and cancel.is_set()
+
+        def refill() -> None:
+            while pending and len(outstanding) < window and not cancelled():
+                task = pending.pop()
+                outstanding[task.index] = task
+                pool.submit(task)
+
+        refill()
+        while outstanding or deferred or (pending and not cancelled()):
+            if cancelled():
+                # Drop everything not yet handed to the queue; what is
+                # already submitted drains below and checkpoints.
+                pending.clear()
+                deferred.clear()
+                if not outstanding:
+                    break
+            refill()
             if deferred:
                 now = sched.now()
                 ready = [entry for entry in deferred if entry[0] <= now]
@@ -1054,6 +1151,7 @@ def execute_study(
     shards: int = 1,
     shard_spill_dir: Optional[object] = None,
     spill_watermark_bytes: Optional[int] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> RunResult:
     """Run the study fault-tolerantly; returns the data and its manifest.
 
@@ -1078,6 +1176,12 @@ def execute_study(
     their partials; :attr:`RunResult.telemetry` carries the merged
     :class:`~repro.telemetry.export.RunTelemetry`.  ``None`` (default)
     costs one no-op call per instrumentation site.
+
+    ``cancel`` opts the run into cooperative cancellation: when the
+    token is set, no further tasks start, every in-flight task drains
+    and checkpoints, the manifest is written, and :class:`RunCancelled`
+    is raised — the run is always resumable from exactly where it
+    stopped.
     """
     policy = retry or RetryPolicy()
     if workers is None:
@@ -1168,11 +1272,11 @@ def execute_study(
                             )
                         )
                     index += 1
-            if remaining:
+            if remaining and not (cancel is not None and cancel.is_set()):
                 if workers == 1 or len(remaining) == 1:
                     execution = "serial"
                     with telemetry_runtime.span("dispatch", mode="serial"):
-                        _run_serial(dispatch, remaining)
+                        _run_serial(dispatch, remaining, cancel=cancel)
                 else:
                     execution = "pool"
                     with telemetry_runtime.span("dispatch", mode="pool"):
@@ -1182,6 +1286,7 @@ def execute_study(
                             workers,
                             start_method,
                             pool_observer,
+                            cancel=cancel,
                         )
 
     report = RunReport(
@@ -1198,6 +1303,10 @@ def execute_study(
     )
     if store is not None:
         store.manifest_path.write_text(report.to_json())
+    if cancel is not None and cancel.is_set():
+        # Cancellation outranks any concurrent failure: neither state is
+        # final — the resume retries failed *and* never-started tasks.
+        raise RunCancelled(seed=config.world.seed, report=report)
     if dispatch.failures:
         raise ChunkError(dispatch.failures, seed=config.world.seed, report=report)
     with scope():

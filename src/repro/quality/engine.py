@@ -52,6 +52,7 @@ class LintConfig:
         "dataflow",
         "tstat",
         "telemetry",
+        "service",
     )
     #: Files exempt from the wall-clock ban (RPR001), as relative-path
     #: suffixes.  The telemetry clock is the single sanctioned
@@ -72,6 +73,7 @@ class LintConfig:
         "core",
         "telemetry",
         "quality",
+        "service",
     )
     #: Typed-error contracts (RPR009): ``module:function`` entry points
     #: mapped to the exception families allowed to escape them.  Decode
@@ -102,9 +104,18 @@ class LintConfig:
             "repro.core.parallel:execute_study",
             (
                 "repro.core.parallel:ChunkError",
+                "repro.core.parallel:RunCancelled",
                 "repro.core.pool:PoolError",
                 "builtins:ValueError",
             ),
+        ),
+        # The control plane's HTTP boundary: everything a request can
+        # surface is a ServiceError subclass (the server maps ApiError to
+        # its status code and anything else to a typed 500) — a naked
+        # ValueError here would turn a bad request into a traceback.
+        (
+            "repro.service.api:handle_request",
+            ("repro.service.errors:ServiceError",),
         ),
     )
     #: Resource factories (RPR010): a call whose last name component
@@ -116,6 +127,9 @@ class LintConfig:
         ("TextIOWrapper", "close"),
         ("GzipFile", "close"),
         ("SupervisedPool", "stop"),
+        # The service client opens one HTTP connection per request; every
+        # edge (bad status, torn read, timeout) must close the socket.
+        ("HTTPConnection", "close"),
     )
     select: Tuple[str, ...] = ()
 

@@ -1,0 +1,42 @@
+"""Measurement-as-a-service control plane.
+
+An asyncio HTTP API + persistent job queue over the study execution
+substrate (:func:`repro.core.parallel.execute_study`): submit study
+configs over HTTP, watch them run, cancel and resume them, fetch
+results and figure reports.  Stdlib-only, like the rest of the repo.
+
+Layout::
+
+    errors.py    typed ServiceError family (API + control-plane)
+    registry.py  persistent run records + lifecycle state machine
+    configs.py   wire payload -> StudyConfig (run id = config hash)
+    results.py   canonical digests, summaries, figure reports
+    queue.py     bounded scheduler over a thread pool + cancel tokens
+    api.py       transport-free request handlers
+    server.py    asyncio HTTP/1.1 listener (+ ServerThread embedding)
+    client.py    stdlib thin client
+"""
+
+from repro.service.api import Api, Request, Response, handle_request
+from repro.service.client import ClientError, ServiceClient
+from repro.service.errors import ApiError, ServiceError
+from repro.service.queue import JobQueue
+from repro.service.registry import RunRecord, RunRegistry
+from repro.service.server import ServerThread, ServiceServer, run_server
+
+__all__ = [
+    "Api",
+    "ApiError",
+    "ClientError",
+    "JobQueue",
+    "Request",
+    "Response",
+    "RunRecord",
+    "RunRegistry",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "handle_request",
+    "run_server",
+]

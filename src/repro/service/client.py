@@ -1,0 +1,149 @@
+"""Thin stdlib client for the control plane (tests, benchmarks, scripts).
+
+One :class:`http.client.HTTPConnection` per request, opened and closed
+inside the call (the server speaks ``Connection: close`` anyway), so the
+client holds no socket state between calls and RPR010 sees every
+connection settled.  Error responses raise :class:`ClientError` carrying
+the machine-readable ``code`` the API produced.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import List, Optional
+
+from repro.service.errors import ServiceError
+from repro.telemetry.clock import MonotonicClock
+
+
+class ClientError(ServiceError):
+    """A non-2xx response (or transport failure) from the service."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        self.status = status
+        self.code = code
+        super().__init__(f"{status} {code}: {message}")
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._clock = MonotonicClock()
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> "tuple[int, bytes, str]":
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            content_type = response.getheader("Content-Type", "")
+            status = response.status
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            raise ClientError(0, "transport", str(exc)) from exc
+        finally:
+            connection.close()
+        if status >= 400:
+            code, message = "unknown", data.decode("utf-8", "replace")
+            try:
+                error = json.loads(data)["error"]
+                code, message = error["code"], error["message"]
+            except (ValueError, KeyError, TypeError):
+                pass  # non-JSON error body: keep the raw text message
+            raise ClientError(status, code, message)
+        return status, data, content_type
+
+    def _json(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        _, data, _ = self._request(method, path, payload)
+        try:
+            return json.loads(data)
+        except ValueError as exc:
+            raise ClientError(0, "bad_response", str(exc)) from exc
+
+    # -- API -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/v1/healthz")
+
+    def metricsz(self) -> str:
+        _, data, _ = self._request("GET", "/v1/metricsz")
+        return data.decode("utf-8")
+
+    def submit(self, config: dict) -> dict:
+        return self._json("POST", "/v1/studies", config)["run"]
+
+    def runs(
+        self,
+        offset: int = 0,
+        limit: int = 50,
+        state: Optional[str] = None,
+    ) -> dict:
+        path = f"/v1/runs?offset={offset}&limit={limit}"
+        if state is not None:
+            path += f"&state={state}"
+        return self._json("GET", path)
+
+    def run(self, run_id: str, days: bool = False) -> dict:
+        suffix = "?days=1" if days else ""
+        return self._json("GET", f"/v1/runs/{run_id}{suffix}")["run"]
+
+    def results(self, run_id: str) -> dict:
+        return self._json("GET", f"/v1/runs/{run_id}/results")["results"]
+
+    def figure(self, run_id: str, name: str) -> List[str]:
+        _, data, _ = self._request(
+            "GET", f"/v1/runs/{run_id}/figures/{name}"
+        )
+        return data.decode("utf-8").splitlines()
+
+    def cancel(self, run_id: str) -> dict:
+        return self._json("POST", f"/v1/runs/{run_id}/cancel")["run"]
+
+    def resume(self, run_id: str) -> dict:
+        return self._json("POST", f"/v1/runs/{run_id}/resume")["run"]
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(
+        self,
+        run_id: str,
+        *,
+        until: "tuple[str, ...]" = ("done", "failed", "cancelled"),
+        timeout: float = 120.0,
+        poll: float = 0.05,
+    ) -> dict:
+        """Poll a run until it reaches one of ``until`` (or time out)."""
+        deadline = self._clock.now() + timeout
+        while True:
+            record = self.run(run_id)
+            if record["state"] in until:
+                return record
+            if self._clock.now() >= deadline:
+                raise ClientError(
+                    0,
+                    "timeout",
+                    f"run {run_id} still {record['state']} "
+                    f"after {timeout}s",
+                )
+            time.sleep(poll)

@@ -1,0 +1,116 @@
+"""Typed errors of the measurement-as-a-service control plane.
+
+Everything the service layer raises derives from :class:`ServiceError`
+(the RPR009 contract on :func:`repro.service.api.handle_request`), split
+into two branches:
+
+* :class:`ApiError` — request-attributable failures that map onto an
+  HTTP status code and a stable machine-readable ``code``.  The server
+  renders these as ``{"error": {"code", "message"}}`` JSON bodies; a
+  malformed request can *never* surface as a traceback or a 500.
+* :class:`RegistryError` / :class:`QueueError` — control-plane state
+  violations (an impossible lifecycle transition, a corrupt run record,
+  a submit to a closed queue).  Handlers either translate them into an
+  :class:`ApiError` or let the server map them to a typed 500.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base of the service-layer typed-error family."""
+
+
+# ----------------------------------------------------------------------
+# HTTP-mapped errors
+
+
+class ApiError(ServiceError):
+    """A request-attributable failure with an HTTP status and code."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def to_payload(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+class BadRequestError(ApiError):
+    """Malformed syntax or invalid field values in the request."""
+
+    status = 400
+    code = "bad_request"
+
+
+class ProtocolError(BadRequestError):
+    """The bytes on the wire are not a parseable HTTP/1.x request."""
+
+    code = "malformed_request"
+
+
+class NotFoundError(ApiError):
+    """No route, run, or artifact at the requested path."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowedError(ApiError):
+    """The route exists but not for this HTTP method."""
+
+    status = 405
+    code = "method_not_allowed"
+
+
+class ConflictError(ApiError):
+    """The run is in a state that cannot accept this action."""
+
+    status = 409
+    code = "conflict"
+
+
+class PayloadTooLargeError(ApiError):
+    """Request head or body exceeds the service's hard caps."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+# ----------------------------------------------------------------------
+# Control-plane state errors
+
+
+class RegistryError(ServiceError):
+    """The persistent run registry is inconsistent or misused."""
+
+
+class UnknownRunError(RegistryError):
+    """No run with the given id exists in the registry."""
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        super().__init__(f"unknown run {run_id!r}")
+
+
+class StateTransitionError(RegistryError):
+    """A lifecycle transition the state machine does not permit."""
+
+    def __init__(self, run_id: str, current: str, target: str) -> None:
+        self.run_id = run_id
+        self.current = current
+        self.target = target
+        super().__init__(
+            f"run {run_id}: illegal transition {current!r} -> {target!r}"
+        )
+
+
+class RunRecordError(RegistryError):
+    """A persisted ``run.json`` is unreadable or structurally invalid."""
+
+
+class QueueError(ServiceError):
+    """The job queue cannot accept or act on a run."""

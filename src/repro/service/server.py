@@ -1,0 +1,327 @@
+"""Asyncio HTTP/1.1 server: sockets in, :mod:`repro.service.api` out.
+
+Zero-dependency by construction — the repo's no-new-packages rule
+applies to the service tier too, so this is a small, strict HTTP/1.1
+implementation over ``asyncio.start_server`` rather than a framework:
+
+* request line and headers are read with hard caps (line length, header
+  count, body size) so a hostile or broken client cannot balloon memory;
+* every malformed input maps to a typed
+  :class:`~repro.service.errors.ProtocolError` /
+  :class:`~repro.service.errors.PayloadTooLargeError` and renders as a
+  JSON 4xx — the transport never surfaces a traceback;
+* responses always carry ``Content-Length`` and ``Connection: close``;
+  one request per connection keeps the parser state machine trivial
+  (clients poll at human timescales, throughput is not the bottleneck —
+  the studies are).
+
+:class:`ServiceServer` bundles registry + queue + API + listener, and
+:func:`run_server` / :class:`ServerThread` give the CLI and the tests a
+blocking and a background way to run one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.service.api import Api, Request, Response, handle_request
+from repro.service.errors import (
+    PayloadTooLargeError,
+    ProtocolError,
+)
+from repro.service.queue import JobQueue
+from repro.service.registry import RunRegistry
+from repro.telemetry.metrics import MetricRegistry
+
+#: Parser caps: generous for a control plane, fatal for abuse.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_LINE = 8192
+MAX_HEADER_COUNT = 100
+MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON config is already absurd
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+ALLOWED_METHODS = ("GET", "POST", "HEAD")
+
+
+async def _read_line(
+    reader: asyncio.StreamReader, limit: int, what: str
+) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(f"{what} exceeds {limit} bytes") from exc
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF before the line: client went away
+        raise ProtocolError(f"truncated {what}") from exc
+    if len(line) > limit:
+        raise ProtocolError(f"{what} exceeds {limit} bytes")
+    return line[:-2]
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one HTTP/1.1 request; None on clean EOF, typed errors else."""
+    request_line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
+    if not request_line:
+        return None
+    parts = request_line.split(b" ")
+    if len(parts) != 3:
+        raise ProtocolError("request line must be 'METHOD target VERSION'")
+    raw_method, raw_target, raw_version = parts
+    if raw_version not in (b"HTTP/1.1", b"HTTP/1.0"):
+        raise ProtocolError(f"unsupported protocol {raw_version!r}")
+    try:
+        method = raw_method.decode("ascii")
+        target = raw_target.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("request line is not ASCII") from exc
+    if method not in ALLOWED_METHODS:
+        raise ProtocolError(
+            f"unsupported method {method!r} "
+            f"(allowed: {', '.join(ALLOWED_METHODS)})"
+        )
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader, MAX_HEADER_LINE, "header line")
+        if not line:
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ProtocolError(f"more than {MAX_HEADER_COUNT} headers")
+        name, sep, value = line.partition(b":")
+        if not sep or not name:
+            raise ProtocolError(f"malformed header line {line[:80]!r}")
+        try:
+            headers[name.decode("ascii").strip().lower()] = (
+                value.decode("ascii").strip()
+            )
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("header line is not ASCII") from exc
+    if headers.get("transfer-encoding"):
+        raise ProtocolError("chunked transfer encoding is not supported")
+    body = b""
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"Content-Length is not an integer: {raw_length!r}"
+        ) from exc
+    if length < 0:
+        raise ProtocolError("Content-Length must be >= 0")
+    if length > MAX_BODY_BYTES:
+        raise PayloadTooLargeError(
+            f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+        )
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"body truncated at {len(exc.partial)}/{length} bytes"
+            ) from exc
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(method=method, path=path, query=query, body=body)
+
+
+def frame_response(response: Response, *, head_only: bool = False) -> bytes:
+    reason = REASONS.get(response.status, "Unknown")
+    body = b"" if head_only else response.body
+    head = (
+        f"HTTP/1.1 {response.status} {reason}\r\n"
+        f"Content-Type: {response.content_type}\r\n"
+        f"Content-Length: {len(response.body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class ServiceServer:
+    """Registry + queue + API behind one asyncio TCP listener."""
+
+    def __init__(
+        self,
+        state_dir: Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_active: int = 2,
+        run_workers: int = 1,
+        run_retries: int = 2,
+        run_shards: int = 1,
+        metrics: Optional[MetricRegistry] = None,
+        execute_fn: Optional[Callable] = None,
+        now: Callable[[], float] = time.time,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.registry = RunRegistry(Path(state_dir), now=now)
+        queue_kwargs = dict(
+            max_active=max_active,
+            run_workers=run_workers,
+            run_retries=run_retries,
+            run_shards=run_shards,
+            metrics=self.metrics,
+        )
+        if execute_fn is not None:
+            queue_kwargs["execute_fn"] = execute_fn
+        self.queue = JobQueue(self.registry, **queue_kwargs)
+        self.api = Api(self.registry, self.queue, self.metrics)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        sockets = self._server.sockets or []
+        return sockets[0].getsockname()[1] if sockets else self._requested_port
+
+    async def start(self) -> None:
+        await self.queue.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=max(MAX_REQUEST_LINE, MAX_HEADER_LINE) + 2,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.close()
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        head_only = False
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                head_only = request.method == "HEAD"
+                if head_only:
+                    # HEAD is answered like GET, body withheld at framing.
+                    request = Request(
+                        "GET", request.path, request.query, request.body
+                    )
+                response = handle_request(self.api, request)
+            except PayloadTooLargeError as exc:
+                response = Response.json(exc.status, exc.to_payload())
+            except ProtocolError as exc:
+                self.metrics.counter("service_protocol_errors").inc()
+                response = Response.json(exc.status, exc.to_payload())
+            writer.write(frame_response(response, head_only=head_only))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            # Peer vanished mid-exchange (or server shutdown): the
+            # connection is the casualty, the service is fine.
+            self.metrics.counter("service_connection_drops").inc()
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+
+async def serve_forever(server: ServiceServer) -> None:
+    await server.start()
+    try:
+        await asyncio.Event().wait()  # until cancelled from outside
+    finally:
+        await server.stop()
+
+
+def run_server(server: ServiceServer) -> None:
+    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+    try:
+        asyncio.run(serve_forever(server))
+    except KeyboardInterrupt:
+        pass  # clean shutdown path: serve_forever's finally already ran
+
+
+class ServerThread:
+    """A ServiceServer on a background thread (tests, benchmarks).
+
+    .. code-block:: python
+
+        with ServerThread(state_dir) as server:
+            client = ServiceClient("127.0.0.1", server.port)
+            ...
+    """
+
+    def __init__(self, state_dir: Path, **kwargs: object) -> None:
+        self.server = ServiceServer(Path(state_dir), **kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __enter__(self) -> ServiceServer:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "service failed to start"
+            ) from self._startup_error
+        return self.server
+
+    def __exit__(self, *exc_info: object) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), loop
+            ).result(timeout=60)
+            # Stop the loop only after stop() has fully resolved;
+            # stopping from inside the coroutine would strand the future.
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surfaced to __enter__, not lost
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()

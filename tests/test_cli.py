@@ -92,6 +92,24 @@ class TestRunCommand:
         assert main(["run", "--resume"]) == 2
         assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
 
+    def test_shards_zero_rejected(self, capsys):
+        assert main(["run", "--shards", "0"]) == 2
+        assert "--shards must be a positive integer" in capsys.readouterr().err
+
+    def test_retries_negative_rejected(self, capsys):
+        assert main(["run", "--retries", "-1"]) == 2
+        assert "--retries must be >= 0" in capsys.readouterr().err
+
+    def test_retries_zero_accepted(self, capsys):
+        assert main(self.RUN_SPAN + ["--retries", "0"]) == 0
+        assert "completed" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("bad", ["0", "-1"])
+    def test_spill_watermark_nonpositive_rejected(self, bad, capsys):
+        assert main(["run", "--spill-watermark-bytes", bad]) == 2
+        err = capsys.readouterr().err
+        assert "--spill-watermark-bytes must be a positive integer" in err
+
     def test_run_prints_summary(self, capsys):
         assert main(self.RUN_SPAN) == 0
         out = capsys.readouterr().out
@@ -122,6 +140,36 @@ class TestParser:
         assert args.start_method == "auto"
         assert args.retries == 2
         assert not args.resume
+
+    def test_serve_defaults(self, tmp_path):
+        args = build_parser().parse_args(
+            ["serve", "--state-dir", str(tmp_path)]
+        )
+        assert args.host == "127.0.0.1"
+        assert args.max_active == 2
+        assert args.run_workers == 1
+        assert args.retries == 2
+
+    def test_serve_requires_state_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+
+class TestServeCommand:
+    def test_max_active_zero_rejected(self, tmp_path, capsys):
+        assert main(["serve", "--state-dir", str(tmp_path),
+                     "--max-active", "0"]) == 2
+        assert "--max-active must be a positive" in capsys.readouterr().err
+
+    def test_run_workers_zero_rejected(self, tmp_path, capsys):
+        assert main(["serve", "--state-dir", str(tmp_path),
+                     "--run-workers", "0"]) == 2
+        assert "--run-workers must be a positive" in capsys.readouterr().err
+
+    def test_retries_negative_rejected(self, tmp_path, capsys):
+        assert main(["serve", "--state-dir", str(tmp_path),
+                     "--retries", "-2"]) == 2
+        assert "--retries must be >= 0" in capsys.readouterr().err
 
 
 @pytest.fixture(scope="module")
