@@ -31,7 +31,7 @@ import asyncio
 import json
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.parallel import (
     CancelToken,
@@ -79,11 +79,16 @@ class JobQueue:
         self.run_shards = run_shards
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self._execute_fn = execute_fn
-        self._ready: "asyncio.Queue[str]" = asyncio.Queue()
+        # The asyncio primitives are built in start(), not here: on
+        # Python 3.9 Queue/Semaphore bind the *current* event loop at
+        # construction, and __init__ runs before any loop exists.
+        # Until start(), submissions buffer in a plain list.
+        self._ready: Optional["asyncio.Queue[str]"] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._pending: List[str] = []
         self._tokens: Dict[str, CancelToken] = {}
         self._tasks: Set[asyncio.Task] = set()
         self._scheduler: Optional[asyncio.Task] = None
-        self._slots = asyncio.Semaphore(max_active)
         self._executor = ThreadPoolExecutor(
             max_workers=max_active, thread_name_prefix="repro-run"
         )
@@ -98,7 +103,16 @@ class JobQueue:
 
     @property
     def queue_depth(self) -> int:
-        return self._ready.qsize()
+        depth = len(self._pending)
+        if self._ready is not None:
+            depth += self._ready.qsize()
+        return depth
+
+    def _enqueue(self, run_id: str) -> None:
+        if self._ready is None:
+            self._pending.append(run_id)
+        else:
+            self._ready.put_nowait(run_id)
 
     def _update_gauges(self) -> None:
         self.metrics.gauge("service_active_runs").set(self.active_runs)
@@ -108,9 +122,20 @@ class JobQueue:
 
     async def start(self) -> None:
         """Adopt incomplete runs from the registry and begin scheduling."""
+        ready: "asyncio.Queue[str]" = asyncio.Queue()
+        self._ready = ready
+        self._slots = asyncio.Semaphore(self.max_active)
+        adopted = set()
         for record in self.registry.adopt_incomplete():
             self.metrics.counter("service_runs_adopted").inc()
-            self._ready.put_nowait(record.run_id)
+            ready.put_nowait(record.run_id)
+            adopted.add(record.run_id)
+        # Pre-start submissions are persisted as queued, so adoption
+        # usually already picked them up; enqueue only the remainder.
+        for run_id in self._pending:
+            if run_id not in adopted:
+                ready.put_nowait(run_id)
+        self._pending.clear()
         self._scheduler = asyncio.get_running_loop().create_task(
             self._schedule_forever()
         )
@@ -152,12 +177,20 @@ class JobQueue:
         config, normalized = configs.build_config(payload)
         run_id = configs.run_id_for(config)
         if run_id in self.registry:
-            self.metrics.counter("service_runs_resubmitted").inc()
-            return self.registry.get(run_id)
-        self.registry.create(run_id, normalized)
-        record = self.registry.transition(run_id, reg.QUEUED)
+            record = self.registry.get(run_id)
+            if record.state != reg.CREATED:
+                self.metrics.counter("service_runs_resubmitted").inc()
+                return record
+            # A record stranded in ``created`` (older registry versions
+            # persisted create and queue separately and could crash in
+            # between): promote and enqueue instead of wedging forever.
+            record = self.registry.transition(run_id, reg.QUEUED)
+        else:
+            # One atomic persist straight into ``queued`` — no window
+            # where a crash leaves a record the scheduler never adopts.
+            record = self.registry.create(run_id, normalized, state=reg.QUEUED)
         self.metrics.counter("service_runs_submitted").inc()
-        self._ready.put_nowait(run_id)
+        self._enqueue(run_id)
         self._update_gauges()
         return record
 
@@ -191,20 +224,23 @@ class JobQueue:
             )
         record = self.registry.transition(run_id, reg.QUEUED)
         self.metrics.counter("service_runs_resumed").inc()
-        self._ready.put_nowait(run_id)
+        self._enqueue(run_id)
         self._update_gauges()
         return record
 
     # -- scheduling ----------------------------------------------------
 
     async def _schedule_forever(self) -> None:
+        ready, slots = self._ready, self._slots
+        if ready is None or slots is None:
+            raise QueueError("scheduler launched before start()")
         while True:
-            run_id = await self._ready.get()
-            await self._slots.acquire()
+            run_id = await ready.get()
+            await slots.acquire()
             record = self.registry.get(run_id)
             if record.state != reg.QUEUED:
                 # Cancelled (or otherwise settled) while waiting: skip.
-                self._slots.release()
+                slots.release()
                 self._update_gauges()
                 continue
             task = asyncio.get_running_loop().create_task(
@@ -245,7 +281,8 @@ class JobQueue:
         finally:
             wall.observe(self._clock.now() - started)
             self._tokens.pop(run_id, None)
-            self._slots.release()
+            if self._slots is not None:  # always set once scheduling began
+                self._slots.release()
             self._update_gauges()
 
     # -- the blocking part (worker thread) -----------------------------

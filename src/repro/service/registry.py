@@ -79,7 +79,10 @@ TRANSITIONS: Dict[str, Tuple[str, ...]] = {
 RESUMABLE = (FAILED, CANCELLED)
 
 #: States that mean "the run needs a scheduler" after a restart.
-INCOMPLETE = (QUEUED, RUNNING)
+#: ``created`` appears only in state dirs written by older registry
+#: versions (submission now persists straight into ``queued``); it is
+#: promoted on adoption so such runs cannot wedge.
+INCOMPLETE = (CREATED, QUEUED, RUNNING)
 
 #: Terminal states (no scheduler interest unless resumed).
 TERMINAL = (DONE, FAILED, CANCELLED)
@@ -204,11 +207,20 @@ class RunRegistry:
             raise UnknownRunError(run_id)
         return record
 
-    def create(self, run_id: str, config: dict) -> RunRecord:
-        """Register a new run in state ``created`` (id = config hash)."""
+    def create(
+        self, run_id: str, config: dict, *, state: str = CREATED
+    ) -> RunRecord:
+        """Register a new run (id = config hash) with a single persist.
+
+        ``state`` may be ``created`` or ``queued``; the service submits
+        directly into ``queued`` so there is no crash window between
+        "record exists" and "scheduler will ever pick it up".
+        """
+        if state not in (CREATED, QUEUED):
+            raise StateTransitionError(run_id, "(new)", state)
         if run_id in self._records:
             raise StateTransitionError(
-                run_id, self._records[run_id].state, CREATED
+                run_id, self._records[run_id].state, state
             )
         record = RunRecord(
             run_id=run_id,
@@ -218,6 +230,7 @@ class RunRegistry:
             ),
             config=dict(config),
             config_hash=run_id,
+            state=state,
             created_at=self._now(),
         )
         self._records[run_id] = record
@@ -246,6 +259,10 @@ class RunRegistry:
             record.attempts += 1
         elif target in TERMINAL:
             record.finished_at = self._now()
+            # A terminal record must not advertise a stale cancel flag:
+            # a cancel that raced a natural finish otherwise leaves a
+            # ``done`` run reporting cancel_requested=true forever.
+            record.cancel_requested = False
         elif target == QUEUED:
             record.finished_at = None
             record.error = ""
@@ -271,11 +288,13 @@ class RunRegistry:
         checkpoints are intact (the store writes atomically), so they
         re-enter ``queued`` and the next execution resumes from the
         completed prefix.  Runs found ``queued`` simply re-enter the
-        scheduler.  Returns the adopted records in submission order.
+        scheduler, and runs stranded in ``created`` by an older registry
+        version are promoted to ``queued`` so they cannot wedge.
+        Returns the adopted records in submission order.
         """
         adopted: List[RunRecord] = []
         for record in self.list():
-            if record.state == RUNNING:
+            if record.state in (CREATED, RUNNING):
                 adopted.append(self.transition(record.run_id, QUEUED))
             elif record.state == QUEUED:
                 adopted.append(record)

@@ -320,7 +320,11 @@ class ServerThread:
             self._started.set()
             loop.close()
             return
-        self._started.set()
+        # Signal readiness from *inside* run_forever: __enter__ then
+        # only returns once the loop is actually running, so __exit__'s
+        # is_running() check cannot race the gap between start() and
+        # run_forever() (which would skip stop() and leak the loop).
+        loop.call_soon(self._started.set)
         try:
             loop.run_forever()
         finally:

@@ -320,6 +320,64 @@ class TestRestartAdoption:
             final = client.wait(run_id)
             assert final["state"] == "done"
 
+    def test_stranded_created_record_is_adopted(self, tmp_path):
+        """A record wedged in ``created`` (older registries persisted
+        create and queue separately) is promoted and executed."""
+        state = tmp_path / "state"
+        config, normalized = configs.build_config(WEEK)
+        run_id = configs.run_id_for(config)
+        registry = RunRegistry(state)
+        registry.create(run_id, normalized)  # crash before queue: stuck
+
+        with ServerThread(state) as server:
+            client = client_for(server)
+            final = client.wait(run_id)
+            assert final["state"] == "done"
+
+    def test_resubmitting_a_stranded_created_record_queues_it(
+        self, tmp_path
+    ):
+        state = tmp_path / "state"
+        config, normalized = configs.build_config(WEEK)
+        run_id = configs.run_id_for(config)
+        RunRegistry(state / "runs-seed").create(run_id, normalized)
+
+        registry = RunRegistry(state / "runs-seed")
+        queue = JobQueue(registry)  # never started: promotion only
+        record = queue.submit(WEEK)
+        assert record.run_id == run_id
+        assert record.state == "queued"
+        assert queue.queue_depth == 1
+
+
+class TestRegistryInvariants:
+    def test_terminal_entry_clears_cancel_flag(self, tmp_path):
+        """A cancel that races a natural finish must not leave a
+        terminal ``done`` record advertising cancel_requested."""
+        registry = RunRegistry(tmp_path / "state")
+        config, normalized = configs.build_config(WEEK)
+        run_id = configs.run_id_for(config)
+        registry.create(run_id, normalized, state="queued")
+        registry.transition(run_id, "running")
+        registry.request_cancel(run_id)
+        record = registry.transition(run_id, "done")
+        assert record.cancel_requested is False
+        # and the persisted record agrees after a restart
+        assert RunRegistry(tmp_path / "state").get(run_id) \
+            .cancel_requested is False
+
+    def test_submit_persists_straight_into_queued(self, tmp_path):
+        """No crash window between create and queue: the first persisted
+        record is already ``queued``."""
+        registry = RunRegistry(tmp_path / "state")
+        queue = JobQueue(registry)  # never started: persistence only
+        record = queue.submit(WEEK)
+        assert record.state == "queued"
+        on_disk = json.loads(
+            registry.record_path(record.run_id).read_text(encoding="utf-8")
+        )
+        assert on_disk["state"] == "queued"
+
 
 class TestConcurrentSubmissions:
     def test_eight_runs_bounded_and_isolated(self, tmp_path):
