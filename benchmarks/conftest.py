@@ -71,6 +71,17 @@ def pytest_sessionfinish(session, exitstatus):
     if not entries:
         return
     config = bench_config()
+    # Merge into the tracked baseline rather than rewriting it: a
+    # partial run (one file, one -k selection, the chaos job) must not
+    # silently drop every other benchmark's entry.
+    merged = dict(entries)
+    if BENCH_JSON.is_file():
+        try:
+            previous = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except ValueError:
+            previous = {}
+        for name, entry in previous.get("benchmarks", {}).items():
+            merged.setdefault(name, entry)
     payload = {
         "seed": BENCH_SEED,
         "config": {
@@ -83,7 +94,7 @@ def pytest_sessionfinish(session, exitstatus):
             ),
             "max_flows_per_usage": config.max_flows_per_usage,
         },
-        "benchmarks": dict(sorted(entries.items())),
+        "benchmarks": dict(sorted(merged.items())),
     }
     BENCH_JSON.write_text(
         json.dumps(payload, indent=2, sort_keys=False) + "\n",

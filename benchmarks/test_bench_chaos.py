@@ -1,0 +1,44 @@
+"""Benchmark: wall time of one composed chaos trial.
+
+The number CI's ``chaos-smoke`` budget rests on: a single trial that
+composes pool faults (worker kill + transient), lake corruption with
+quarantine recovery, and a service kill/cancel-storm cycle — the same
+surface set the smoke job runs three of.  The invariant verdict is
+asserted every round, so this doubles as a hot-loop regression check:
+a trial that starts drifting fails the benchmark, not just the smoke
+job.
+"""
+
+import pytest
+from conftest import SMOKE
+
+from repro.chaos import run_trial
+from repro.chaos.invariants import (
+    VERDICT_IDENTICAL,
+    VERDICT_TYPED_DEGRADATION,
+)
+
+SURFACES = ("pool", "lake", "service")
+SEED = 42
+
+
+def test_chaos_trial_wall_time(benchmark, tmp_path_factory):
+    counter = {"n": 0}
+
+    def one_trial():
+        counter["n"] += 1
+        workdir = tmp_path_factory.mktemp(f"chaos-{counter['n']}")
+        report = run_trial(SEED, 0, SURFACES, workdir)
+        assert report["verdict"] in (
+            VERDICT_IDENTICAL,
+            VERDICT_TYPED_DEGRADATION,
+        )
+        return report
+
+    if SMOKE:
+        one_trial()
+        pytest.skip("smoke mode runs the trial untimed")
+    report = benchmark.pedantic(one_trial, rounds=5, iterations=1)
+    benchmark.extra_info["surfaces"] = list(SURFACES)
+    benchmark.extra_info["verdict"] = report["verdict"]
+    benchmark.extra_info["scenarios"] = len(report["scenarios"])

@@ -1,0 +1,40 @@
+"""Cross-layer chaos conductor (DESIGN.md §17).
+
+Composes every fault surface in the repo — worker crash/kill/sleep
+(:mod:`repro.core.faults`), lake corruption
+(:mod:`repro.dataflow.integrity`), filesystem torn-write/ENOSPC
+injection (:mod:`repro.core.fsio`), mid-day probe restarts, and
+service-level kill/cancel storms — under one seed, then checks the
+recovery invariant on every trial: the chaos run either reconverges to
+**field-identical** study data, or every divergence is a **typed,
+manifest-recorded degradation**.  Silent drift fails the build.
+"""
+
+from repro.chaos.invariants import (
+    VERDICT_IDENTICAL,
+    VERDICT_SILENT_DRIFT,
+    VERDICT_TYPED_DEGRADATION,
+    InvariantCheck,
+    judge,
+    worst_verdict,
+)
+from repro.chaos.fsfaults import FaultGateRecorder, FsFaultSpec, injected
+from repro.chaos.plan import ALL_SURFACES, ChaosPlan, compose
+from repro.chaos.runner import run_chaos, run_trial
+
+__all__ = [
+    "ALL_SURFACES",
+    "ChaosPlan",
+    "FaultGateRecorder",
+    "FsFaultSpec",
+    "InvariantCheck",
+    "VERDICT_IDENTICAL",
+    "VERDICT_SILENT_DRIFT",
+    "VERDICT_TYPED_DEGRADATION",
+    "compose",
+    "injected",
+    "judge",
+    "run_chaos",
+    "run_trial",
+    "worst_verdict",
+]

@@ -1,0 +1,94 @@
+"""Filesystem fault specs and the gate that fires them.
+
+Bridges the chaos plan to :mod:`repro.core.fsio`: a
+:class:`FaultGateRecorder` counts every atomic write per persistence
+surface and fires the planned fault mode when a spec's ordinal comes up.
+The recorder keeps a deterministic log of what actually fired (surface,
+mode, ordinal, artifact *name* — never a host path), which goes straight
+into the trial report.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core import fsio
+
+
+@dataclass(frozen=True)
+class FsFaultSpec:
+    """One planned filesystem fault: which write on which surface.
+
+    ``ordinal`` is the 0-based index of the atomic write on ``surface``
+    (counted per surface from gate installation), so the same plan hits
+    the same artifact on every run of a deterministic workload.
+    """
+
+    surface: str  # one of fsio.SURFACES
+    mode: str  # one of fsio.MODES
+    ordinal: int = 0
+
+    def __post_init__(self) -> None:
+        if self.surface not in fsio.SURFACES:
+            raise ValueError(f"unknown persistence surface {self.surface!r}")
+        if self.mode not in fsio.MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.ordinal < 0:
+            raise ValueError("ordinal must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "surface": self.surface,
+            "mode": self.mode,
+            "ordinal": self.ordinal,
+        }
+
+
+class FaultGateRecorder:
+    """An installable :data:`~repro.core.fsio.FaultGate` over a spec set."""
+
+    def __init__(self, specs: Tuple[FsFaultSpec, ...]) -> None:
+        self._planned: Dict[Tuple[str, int], str] = {}
+        for spec in specs:
+            key = (spec.surface, spec.ordinal)
+            if key in self._planned:
+                raise ValueError(
+                    f"two faults planned for write #{spec.ordinal} on "
+                    f"surface {spec.surface!r}"
+                )
+            self._planned[key] = spec.mode
+        self._counts: Dict[str, int] = {}
+        #: What actually fired, in firing order (report evidence).
+        self.fired: List[dict] = []
+
+    def __call__(self, surface: str, target: Path) -> Optional[str]:
+        ordinal = self._counts.get(surface, 0)
+        self._counts[surface] = ordinal + 1
+        mode = self._planned.get((surface, ordinal))
+        if mode is not None:
+            self.fired.append(
+                {
+                    "surface": surface,
+                    "mode": mode,
+                    "ordinal": ordinal,
+                    "artifact": Path(target).name,
+                }
+            )
+        return mode
+
+    def writes_seen(self, surface: str) -> int:
+        return self._counts.get(surface, 0)
+
+
+@contextlib.contextmanager
+def injected(specs: Tuple[FsFaultSpec, ...]) -> Iterator[FaultGateRecorder]:
+    """Install a recorder gate for the duration of the block."""
+    gate = FaultGateRecorder(tuple(specs))
+    previous = fsio.install_gate(gate)
+    try:
+        yield gate
+    finally:
+        fsio.install_gate(previous)

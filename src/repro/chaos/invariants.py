@@ -1,0 +1,75 @@
+"""Recovery invariants: identical, typed degradation, or build-failing drift.
+
+The bar a chaos trial must clear (DESIGN.md §17): after every injected
+fault, the system either *fully recovers* — the chaos run's
+:func:`~repro.service.results.study_digest` is field-identical to the
+clean run's — or it *degrades with provenance*: every divergence is
+backed by a typed, durable record (an excluded :class:`DayRecord`, a
+quarantine entry, an fsck finding, a skipped registry record).  A
+divergence with no recorded cause is **silent drift**, the one verdict
+that fails the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+VERDICT_IDENTICAL = "identical"
+VERDICT_TYPED_DEGRADATION = "typed-degradation"
+VERDICT_SILENT_DRIFT = "silent-drift"
+
+#: Severity order, worst last.
+VERDICTS = (VERDICT_IDENTICAL, VERDICT_TYPED_DEGRADATION, VERDICT_SILENT_DRIFT)
+
+
+@dataclass
+class InvariantCheck:
+    """One clean-vs-chaos comparison and the evidence behind its verdict."""
+
+    clean_digest: str
+    chaos_digest: str
+    #: Typed degradation records that *account for* a digest mismatch:
+    #: excluded days, quarantined partitions, fsck findings, skipped
+    #: registry records.  Deterministic dicts only (no paths, no times).
+    degradations: List[dict] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        if self.chaos_digest == self.clean_digest:
+            return VERDICT_IDENTICAL
+        if self.degradations:
+            return VERDICT_TYPED_DEGRADATION
+        return VERDICT_SILENT_DRIFT
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "clean_digest": self.clean_digest,
+            "chaos_digest": self.chaos_digest,
+            "degradations": list(self.degradations),
+        }
+
+
+def judge(
+    clean_digest: str,
+    chaos_digest: str,
+    degradations: Optional[List[dict]] = None,
+) -> InvariantCheck:
+    """Convenience constructor mirroring the three-way verdict table."""
+    return InvariantCheck(
+        clean_digest=clean_digest,
+        chaos_digest=chaos_digest,
+        degradations=list(degradations or []),
+    )
+
+
+def worst_verdict(verdicts: List[str]) -> str:
+    """The most severe verdict in a list (``identical`` when empty)."""
+    worst = VERDICT_IDENTICAL
+    for verdict in verdicts:
+        if verdict not in VERDICTS:
+            raise ValueError(f"unknown verdict {verdict!r}")
+        if VERDICTS.index(verdict) > VERDICTS.index(worst):
+            worst = verdict
+    return worst

@@ -1,0 +1,174 @@
+"""The unified chaos plan: every fault surface under one seed.
+
+A :class:`ChaosPlan` is the single frozen object a trial executes: it
+carries the existing worker-fault and lake-corruption specs side by side
+with the new filesystem, probe-restart, and service-storm faults, all
+chosen by one seeded RNG in :func:`compose` — so ``repro chaos --seed S``
+names a fully reproducible multi-surface scenario, not a dice roll.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.chaos.fsfaults import FsFaultSpec
+from repro.core import fsio
+from repro.core.faults import (
+    KIND_KILL,
+    KIND_TRANSIENT,
+    FaultSpec,
+)
+from repro.dataflow.integrity import (
+    CORRUPT_BIT_FLIP,
+    CORRUPT_TRUNCATE,
+    CorruptionSpec,
+)
+
+#: The composable fault surfaces a trial can enable.
+SURFACE_POOL = "pool"  # worker crash/kill/transient via FaultPlan
+SURFACE_FS = "fs"  # ENOSPC + torn writes on checkpoint/registry/manifest
+SURFACE_LAKE = "lake"  # partition corruption + torn lake writes
+SURFACE_PROBE = "probe"  # mid-day probe restart (unverified flow log)
+SURFACE_SERVICE = "service"  # dead-server adoption + cancel storm
+
+ALL_SURFACES = (
+    SURFACE_POOL,
+    SURFACE_FS,
+    SURFACE_LAKE,
+    SURFACE_PROBE,
+    SURFACE_SERVICE,
+)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Everything one trial will inject, fully determined by (seed, trial)."""
+
+    seed: int
+    trial: int
+    surfaces: Tuple[str, ...]
+    worker_faults: Tuple[FaultSpec, ...] = ()
+    corruptions: Tuple[CorruptionSpec, ...] = ()
+    fs_faults: Tuple[FsFaultSpec, ...] = ()
+    lake_fs_faults: Tuple[FsFaultSpec, ...] = ()
+    probe_restart_after: Optional[int] = None
+    cancel_storm_cycles: int = 0
+    #: Study world seed shared by the clean and chaos runs of the trial.
+    study_seed: int = field(default=0)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "trial": self.trial,
+            "surfaces": list(self.surfaces),
+            "study_seed": self.study_seed,
+            "worker_faults": [spec.to_dict() for spec in self.worker_faults],
+            "corruptions": [spec.to_dict() for spec in self.corruptions],
+            "fs_faults": [spec.to_dict() for spec in self.fs_faults],
+            "lake_fs_faults": [
+                spec.to_dict() for spec in self.lake_fs_faults
+            ],
+            "probe_restart_after": self.probe_restart_after,
+            "cancel_storm_cycles": self.cancel_storm_cycles,
+        }
+
+
+def validate_surfaces(surfaces: Sequence[str]) -> Tuple[str, ...]:
+    chosen = tuple(surfaces)
+    unknown = [s for s in chosen if s not in ALL_SURFACES]
+    if unknown:
+        raise ValueError(
+            f"unknown chaos surface(s) {unknown!r}; "
+            f"choose from {', '.join(ALL_SURFACES)}"
+        )
+    if not chosen:
+        raise ValueError("at least one chaos surface is required")
+    return chosen
+
+
+def compose(
+    seed: int,
+    trial: int,
+    surfaces: Sequence[str],
+    days: Sequence[datetime.date],
+) -> ChaosPlan:
+    """Build the trial's plan from one seeded RNG.
+
+    ``days`` are the study days the pool/fs surfaces will execute (the
+    lake/probe surfaces synthesize their own mini-calendars).  Every
+    choice below derives from ``Random(f"chaos|{seed}|{trial}")``, so
+    the plan — and through it the whole trial — is a pure function of
+    (seed, trial, surfaces).
+    """
+    chosen = validate_surfaces(surfaces)
+    if not days:
+        raise ValueError("compose needs at least one study day")
+    rng = random.Random(f"chaos|{seed}|{trial}")
+    ordered = sorted(days)
+
+    worker_faults: Tuple[FaultSpec, ...] = ()
+    if SURFACE_POOL in chosen:
+        transient_day = rng.choice(ordered)
+        kill_day = rng.choice(ordered)
+        specs = [
+            FaultSpec(transient_day, KIND_TRANSIENT, times=rng.randint(1, 2)),
+        ]
+        if kill_day != transient_day:
+            specs.append(FaultSpec(kill_day, KIND_KILL, times=1))
+        worker_faults = tuple(specs)
+
+    fs_faults: Tuple[FsFaultSpec, ...] = ()
+    if SURFACE_FS in chosen:
+        # One fault per mode on the checkpoint surface, at distinct write
+        # ordinals within the first len(days) writes, plus ENOSPC on the
+        # run manifest.  Every mode exercises a different recovery path:
+        # ENOSPC -> day simply not checkpointed, torn-tmp -> litter to
+        # sweep, torn-target -> CRC rejection on resume.
+        ordinals = rng.sample(range(max(3, len(ordered))), 3)
+        fs_faults = (
+            FsFaultSpec(fsio.SURFACE_CHECKPOINT, fsio.MODE_ENOSPC, ordinals[0]),
+            FsFaultSpec(fsio.SURFACE_CHECKPOINT, fsio.MODE_TORN_TMP, ordinals[1]),
+            FsFaultSpec(
+                fsio.SURFACE_CHECKPOINT, fsio.MODE_TORN_TARGET, ordinals[2]
+            ),
+            FsFaultSpec(fsio.SURFACE_MANIFEST, fsio.MODE_ENOSPC, 0),
+        )
+
+    corruptions: Tuple[CorruptionSpec, ...] = ()
+    lake_fs_faults: Tuple[FsFaultSpec, ...] = ()
+    if SURFACE_LAKE in chosen:
+        # The lake scenario builds a 4-day mini-lake (see runner); damage
+        # two of its days post-write and tear a third mid-write.
+        base = datetime.date(2014, 2, 3)
+        lake_days = [base + datetime.timedelta(days=i) for i in range(4)]
+        truncate_day, flip_day = rng.sample(lake_days[:3], 2)
+        corruptions = (
+            CorruptionSpec("flows", truncate_day, CORRUPT_TRUNCATE),
+            CorruptionSpec("flows", flip_day, CORRUPT_BIT_FLIP),
+        )
+        lake_fs_faults = (
+            FsFaultSpec(fsio.SURFACE_LAKE, fsio.MODE_TORN_TARGET, 3),
+        )
+
+    probe_restart_after = (
+        rng.randint(3, 8) if SURFACE_PROBE in chosen else None
+    )
+    cancel_storm_cycles = (
+        rng.randint(2, 4) if SURFACE_SERVICE in chosen else 0
+    )
+
+    return ChaosPlan(
+        seed=seed,
+        trial=trial,
+        surfaces=chosen,
+        worker_faults=worker_faults,
+        corruptions=corruptions,
+        fs_faults=fs_faults,
+        lake_fs_faults=lake_fs_faults,
+        probe_restart_after=probe_restart_after,
+        cancel_storm_cycles=cancel_storm_cycles,
+        study_seed=seed * 101 + trial,
+    )

@@ -1,0 +1,665 @@
+"""Trial execution: run each enabled surface's scenario, judge recovery.
+
+One trial = one :class:`~repro.chaos.plan.ChaosPlan` executed end to
+end.  Each surface scenario runs a *clean* and a *chaos* variant of the
+same deterministic workload and hands the pair to the invariant checker:
+
+======== ================================================= ==============
+surface  faults injected                                   expected path
+======== ================================================= ==============
+pool     worker transient + kill (``FaultPlan``)           retry + pool
+                                                           repair -> identical
+fs       ENOSPC / torn-tmp / torn-target on checkpoints,   tolerate, resume,
+         run manifest, and registry records                sweep -> identical
+lake     seeded partition corruption + a torn lake write   fsck + quarantine +
+                                                           day exclusion ->
+                                                           typed degradation
+probe    mid-day probe restart (unverified flow log)       admission excludes
+                                                           the day -> typed
+                                                           degradation
+service  dead server mid-run + cancel storm                adoption + resume
+                                                           -> identical
+======== ================================================= ==============
+
+Reports are *byte-reproducible*: nothing time-, pid-, or path-dependent
+is ever recorded, so two runs with the same seed emit identical JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import hashlib
+import json
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.chaos.fsfaults import FsFaultSpec, injected
+from repro.chaos.invariants import VERDICT_IDENTICAL, judge, worst_verdict
+from repro.chaos.plan import (
+    ALL_SURFACES,
+    SURFACE_FS,
+    SURFACE_LAKE,
+    SURFACE_POOL,
+    SURFACE_PROBE,
+    SURFACE_SERVICE,
+    ChaosPlan,
+    compose,
+    validate_surfaces,
+)
+from repro.core import fsio
+from repro.core.faults import FaultPlan
+from repro.core.parallel import CancelToken, RetryPolicy, RunCancelled, execute_study
+from repro.core.study import LongitudinalStudy
+from repro.dataflow.datalake import FLOW_CODEC, DataLake
+from repro.dataflow.integrity import (
+    CorruptionPlan,
+    DayAdmission,
+    LakeIntegrity,
+    Quarantine,
+    fsck_lake,
+    quarantine_tree,
+)
+from repro.service import configs
+from repro.service import registry as reg
+from repro.service.client import ClientError, ServiceClient
+from repro.service.registry import RunRegistry
+from repro.service.results import study_digest
+from repro.service.server import ServerThread
+from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
+from repro.tstat.flow import WebProtocol
+from repro.tstat.logs import load_flow_log
+from repro.tstat.probe import Probe, ProbeConfig, ProbeRestart
+
+REPORT_VERSION = 1
+
+#: The study window every pool/fs/service scenario executes: small
+#: scale, four planned days (weekly stride) — enough tasks for
+#: multi-ordinal fault placement, small enough that a five-surface
+#: trial stays in CI budget.
+STUDY_START = "2013-06-01"
+STUDY_END = "2013-06-21"
+
+#: Fast backoff for chaos runs: the retries themselves are the point,
+#: waiting out production pacing is not.
+CHAOS_RETRY = RetryPolicy(retries=3, backoff=0.001, max_backoff=0.01)
+
+
+def _study_payload(study_seed: int) -> dict:
+    return {
+        "scale": "small",
+        "seed": study_seed,
+        "start": STUDY_START,
+        "end": STUDY_END,
+    }
+
+
+def _sha256(lines: Sequence[str]) -> str:
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Surface scenarios.  Each returns a report fragment:
+# {surface, faults, recovery_path, invariant, evidence}
+
+
+def _scenario_pool(
+    plan: ChaosPlan, config, clean_digest: str, workdir: Path
+) -> dict:
+    """Worker transient + kill faults; retries and pool repair recover."""
+    result = execute_study(
+        config,
+        workers=2,
+        retry=CHAOS_RETRY,
+        fault_plan=FaultPlan.of(*plan.worker_faults),
+        checkpoint_root=workdir / "pool-ckpt",
+    )
+    check = judge(clean_digest, study_digest(result.data))
+    retried = sorted(
+        {
+            record.day.isoformat()
+            for record in result.report.records
+            if record.attempts > 1
+        }
+    )
+    return {
+        "surface": SURFACE_POOL,
+        "faults": [spec.to_dict() for spec in plan.worker_faults],
+        "recovery_path": "retry + pool-repair",
+        "invariant": check.to_dict(),
+        "evidence": {
+            "worker_crashes": result.report.crashes,
+            "retried_days": retried,
+        },
+    }
+
+
+def _scenario_fs(
+    plan: ChaosPlan, config, clean_digest: str, workdir: Path
+) -> dict:
+    """ENOSPC/torn writes on checkpoints, manifest, and registry records."""
+    root = workdir / "fs-ckpt"
+    checkpoint_faults = tuple(
+        spec
+        for spec in plan.fs_faults
+        if spec.surface in (fsio.SURFACE_CHECKPOINT, fsio.SURFACE_MANIFEST)
+    )
+    with injected(checkpoint_faults) as gate:
+        first = execute_study(config, workers=1, checkpoint_root=root)
+    first_check = judge(clean_digest, study_digest(first.data))
+
+    # The torn-tmp fault left dead-writer litter; the torn-target fault
+    # left a checkpoint the CRC must reject.  A resume has to recover
+    # both without help.
+    config_dir = root / f"config={configs.run_id_for(config)}"
+    litter_before = len(fsio.stale_staging_files(config_dir))
+    resumed = execute_study(config, workers=1, checkpoint_root=root, resume=True)
+    resume_check = judge(clean_digest, study_digest(resumed.data))
+    litter_after = len(fsio.stale_staging_files(config_dir))
+
+    # Registry surface: a torn record must not crash startup (typed skip
+    # with a warning), ENOSPC must surface as a typed OSError, and a
+    # clean rewrite recovers the run id.
+    reg_dir = workdir / "fs-registry"
+    _, normalized = configs.build_config(_study_payload(plan.study_seed))
+    run_id = configs.run_id_for(config)
+    registry = RunRegistry(reg_dir)
+    with injected(
+        (FsFaultSpec(fsio.SURFACE_REGISTRY, fsio.MODE_TORN_TARGET, 0),)
+    ):
+        registry.create(run_id, normalized, state=reg.QUEUED)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        reloaded = RunRegistry(reg_dir)
+    skipped = sorted(reloaded.skipped)
+    enospc_typed = False
+    with injected((FsFaultSpec(fsio.SURFACE_REGISTRY, fsio.MODE_ENOSPC, 0),)):
+        try:
+            reloaded.create(run_id, normalized, state=reg.QUEUED)
+        except OSError:
+            enospc_typed = True
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        recovered_registry = RunRegistry(reg_dir)
+        recovered_registry.create(run_id, normalized, state=reg.QUEUED)
+        registry_recovered = run_id in RunRegistry(reg_dir)
+
+    return {
+        "surface": SURFACE_FS,
+        "faults": [spec.to_dict() for spec in plan.fs_faults]
+        + [
+            {"surface": fsio.SURFACE_REGISTRY, "mode": fsio.MODE_TORN_TARGET,
+             "ordinal": 0},
+            {"surface": fsio.SURFACE_REGISTRY, "mode": fsio.MODE_ENOSPC,
+             "ordinal": 0},
+        ],
+        "recovery_path": "tolerate + resume + sweep + skip-with-warning",
+        "invariant": resume_check.to_dict(),
+        "evidence": {
+            "faults_fired": gate.fired,
+            "first_run_identical": first_check.verdict,
+            "resume_identical": resume_check.verdict,
+            "litter_before_resume": litter_before,
+            "litter_after_resume": litter_after,
+            "registry_skipped": skipped,
+            "registry_enospc_typed": enospc_typed,
+            "registry_recovered": registry_recovered,
+        },
+    }
+
+
+#: Mini-lake shape for the lake/probe scenarios.
+_LAKE_BASE_DAY = datetime.date(2014, 2, 3)
+_LAKE_DAYS = 4
+_RECORDS_PER_DAY = 12
+
+
+def _lake_records(day_index: int) -> list:
+    from repro.tstat.flow import (
+        FlowRecord,
+        NameSource,
+        Transport,
+    )
+
+    records = []
+    for j in range(_RECORDS_PER_DAY):
+        records.append(
+            FlowRecord(
+                client_id=1000 + day_index * 100 + j,
+                server_ip=0x5F630008 + j,
+                client_port=40_000 + j,
+                server_port=443,
+                transport=Transport.TCP,
+                ts_start=float(j),
+                ts_end=float(j) + 1.5,
+                protocol=WebProtocol.TLS,
+                server_name=f"svc{j % 3}.example",
+                name_source=NameSource.SNI,
+            )
+        )
+    return records
+
+
+def _day_lines(day: datetime.date, records: list) -> List[str]:
+    return [
+        f"{day.isoformat()}\t{FLOW_CODEC.encode(record)}" for record in records
+    ]
+
+
+def _scenario_lake(plan: ChaosPlan, workdir: Path) -> dict:
+    """Partition corruption + a torn lake write; fsck, quarantine, and
+    day admission must account for every lost record."""
+    root = workdir / "lake"
+    lake = DataLake(root)
+    days = [
+        _LAKE_BASE_DAY + datetime.timedelta(days=i) for i in range(_LAKE_DAYS)
+    ]
+    clean_records: Dict[datetime.date, list] = {}
+    with injected(plan.lake_fs_faults) as gate:
+        for index, day in enumerate(days):
+            records = _lake_records(index)
+            clean_records[day] = records
+            lake.write_day("flows", day, records, FLOW_CODEC)
+    clean_lines: List[str] = []
+    for day in days:
+        clean_lines.extend(_day_lines(day, clean_records[day]))
+    clean_digest = _sha256(clean_lines)
+
+    # Post-write damage on top of the torn write: the composed case.
+    CorruptionPlan.of(*plan.corruptions, seed=plan.seed).apply(root)
+
+    fsck = fsck_lake(lake, decode=True, quarantine=False)
+    integrity = LakeIntegrity(
+        policy="quarantine",
+        verify_checksums=True,
+        quarantine=Quarantine(root / "_quarantine"),
+    )
+    admission = DayAdmission(min_quality=0.999)
+    surviving: Dict[datetime.date, list] = {}
+    for day in days:
+        rows = lake.read_day("flows", day, FLOW_CODEC, integrity).collect()
+        report = integrity.ledger.report_for(day)
+        if admission.admit(report):
+            surviving[day] = rows
+    chaos_lines: List[str] = []
+    for day in days:
+        if day in surviving:
+            chaos_lines.extend(_day_lines(day, surviving[day]))
+    chaos_digest = _sha256(chaos_lines)
+
+    excluded = [day.isoformat() for day in admission.excluded]
+    findings = sorted(
+        {
+            (f.table, f.day.isoformat(), f.source, f.kind)
+            for f in fsck.findings
+        }
+    )
+    degradations = [
+        {"kind": "day-excluded", "day": day} for day in excluded
+    ] + [
+        {"kind": "fsck-finding", "table": t, "day": d, "source": s,
+         "class": k}
+        for (t, d, s, k) in findings
+    ] + [
+        {"kind": "quarantined", "entry": key}
+        for key in sorted(quarantine_tree(root / "_quarantine"))
+    ]
+
+    # Silent-drift tripwire: every day must either survive intact or be
+    # named in the typed evidence.  A day that lost records *and* was
+    # admitted has no recorded cause — strip the alibi so the verdict
+    # falls through to silent drift.
+    drifted = [
+        day.isoformat()
+        for day in days
+        if day in surviving and surviving[day] != clean_records[day]
+    ]
+    check = judge(
+        clean_digest, chaos_digest, [] if drifted else degradations
+    )
+    return {
+        "surface": SURFACE_LAKE,
+        "faults": [spec.to_dict() for spec in plan.corruptions]
+        + [spec.to_dict() for spec in plan.lake_fs_faults],
+        "recovery_path": "fsck + quarantine + day-admission",
+        "invariant": check.to_dict(),
+        "evidence": {
+            "torn_writes_fired": gate.fired,
+            "partitions_scanned": fsck.partitions_scanned,
+            "fsck_kinds": fsck.kinds(),
+            "excluded_days": excluded,
+            "admitted_days": sorted(
+                day.isoformat() for day in surviving
+            ),
+            "drifted_days": drifted,
+        },
+    }
+
+
+def _probe_specs(study_seed: int) -> List[FlowSpec]:
+    specs = []
+    for index in range(10):
+        specs.append(
+            FlowSpec(
+                client_ip=0x0A010000 + 10 + (index % 3),
+                server_ip=0x68100000 + index,
+                client_port=41_000 + index,
+                server_port=443,
+                protocol=WebProtocol.TLS,
+                domain=f"site{index}.example",
+                rtt_ms=5.0 + index,
+                bytes_down=15_000 + 500 * index,
+                bytes_up=1_500,
+                start_ts=index * 2.0,
+            )
+        )
+    return specs
+
+
+def _scenario_probe(plan: ChaosPlan, workdir: Path) -> dict:
+    """A probe restart mid-export: the truncated, manifest-less log must
+    be excluded by admission, never silently admitted as a full day."""
+    day = _LAKE_BASE_DAY
+    packets = PacketSynthesizer(seed=plan.study_seed).synthesize(
+        _probe_specs(plan.study_seed)
+    )
+
+    def fresh_probe() -> Probe:
+        return Probe(
+            ProbeConfig.for_pop("pop1", ["10.1.0.0/16"], software_date=day)
+        )
+
+    clean_log = workdir / "clean-day.tsv.gz"
+    clean_count = fresh_probe().run_to_log(packets, clean_log)
+    clean_records = load_flow_log(clean_log)
+    clean_digest = _sha256(_day_lines(day, clean_records))
+
+    chaos_log = workdir / "chaos-day.tsv.gz"
+    restart_typed = False
+    partial_count = 0
+    try:
+        fresh_probe().run_to_log(
+            packets, chaos_log, restart_after=plan.probe_restart_after
+        )
+    except ProbeRestart as exc:
+        restart_typed = True
+        partial_count = exc.records_written
+
+    # The dying probe's export still gets copied into the lake — that is
+    # exactly what the paper's daily copy job would do — but with no
+    # sidecar manifest it arrives unverified.
+    root = workdir / "probe-lake"
+    lake = DataLake(root)
+    day_dir = lake.day_dir("flows", day)
+    day_dir.mkdir(parents=True, exist_ok=True)
+    (day_dir / "pop1.tsv.gz").write_bytes(chaos_log.read_bytes())
+
+    fsck = fsck_lake(lake, decode=True, quarantine=False)
+    integrity = LakeIntegrity(policy="quarantine", verify_checksums=False)
+    rows = lake.read_day("flows", day, FLOW_CODEC, integrity).collect()
+    report = integrity.ledger.report_for(day)
+    # The conductor knows the full day's size from the clean pair; a
+    # production deployment knows it from neighbouring days.  Either
+    # way, admission sees the shortfall.
+    degraded = dataclasses.replace(report, expected=clean_count)
+    admission = DayAdmission(min_quality=0.999)
+    admitted = admission.admit(degraded)
+
+    chaos_digest = _sha256(_day_lines(day, rows) if admitted else [])
+    findings = sorted(
+        {
+            (f.table, f.day.isoformat(), f.source, f.kind)
+            for f in fsck.findings
+        }
+    )
+    degradations = (
+        []
+        if admitted
+        else [{"kind": "day-excluded", "day": day.isoformat()}]
+    ) + [
+        {"kind": "fsck-finding", "table": t, "day": d, "source": s,
+         "class": k}
+        for (t, d, s, k) in findings
+    ]
+    if not restart_typed:
+        degradations = []  # no typed cause on record -> drift
+    check = judge(clean_digest, chaos_digest, degradations)
+    return {
+        "surface": SURFACE_PROBE,
+        "faults": [
+            {
+                "kind": "probe-restart",
+                "restart_after": plan.probe_restart_after,
+            }
+        ],
+        "recovery_path": "unverified-log -> admission exclusion",
+        "invariant": check.to_dict(),
+        "evidence": {
+            "restart_typed": restart_typed,
+            "clean_records": clean_count,
+            "partial_records": partial_count,
+            "decoded_after_restart": len(rows),
+            "fsck_kinds": fsck.kinds(),
+            "admitted": admitted,
+        },
+    }
+
+
+def _scenario_service(
+    plan: ChaosPlan, config, clean_digest: str, workdir: Path
+) -> dict:
+    """A server killed mid-run (restart adoption) plus a cancel storm."""
+    state_dir = workdir / "state"
+    payload = _study_payload(plan.study_seed)
+    _, normalized = configs.build_config(payload)
+    run_id = configs.run_id_for(config)
+
+    # Fabricate the exact on-disk state a dead server leaves: a record
+    # stuck in ``running`` and a checkpoint tier holding a completed
+    # prefix (the run was cancelled cooperatively after its first day —
+    # byte-for-byte what a kill between checkpoints produces).
+    registry = RunRegistry(state_dir)
+    registry.create(run_id, normalized, state=reg.QUEUED)
+    registry.transition(run_id, reg.RUNNING)
+    token = CancelToken()
+    try:
+        execute_study(
+            config,
+            workers=1,
+            checkpoint_root=registry.checkpoint_root(run_id),
+            resume=True,
+            cancel=token,
+            progress=lambda day: token.set(),
+        )
+    except RunCancelled:
+        pass
+
+    storm_payload = _study_payload(plan.study_seed + 1)
+    storm_config, _ = configs.build_config(storm_payload)
+    storm_clean = study_digest(
+        execute_study(storm_config, workers=1).data
+    )
+
+    with ServerThread(state_dir) as server:
+        client = ServiceClient("127.0.0.1", server.port, timeout=30.0)
+        adopted = client.wait(
+            run_id, until=("done", "failed", "cancelled"), timeout=300.0
+        )
+        adoption_digest = (
+            client.results(run_id)["digest"]
+            if adopted["state"] == "done"
+            else ""
+        )
+
+        storm_run = client.submit(storm_payload)
+        storm_id = storm_run["id"]
+        for _ in range(plan.cancel_storm_cycles):
+            try:
+                client.cancel(storm_id)
+            except ClientError:
+                pass  # already terminal: the storm outpaced the run
+            record = client.wait(
+                storm_id, until=("done", "failed", "cancelled"), timeout=300.0
+            )
+            if record["state"] == "done":
+                break
+            try:
+                client.resume(storm_id)
+            except ClientError:
+                pass
+        record = client.wait(
+            storm_id, until=("done", "failed", "cancelled"), timeout=300.0
+        )
+        for _ in range(5):
+            if record["state"] == "done":
+                break
+            client.resume(storm_id)
+            record = client.wait(
+                storm_id, until=("done", "failed", "cancelled"), timeout=300.0
+            )
+        storm_digest = (
+            client.results(storm_id)["digest"]
+            if record["state"] == "done"
+            else ""
+        )
+
+    adoption_check = judge(clean_digest, adoption_digest)
+    storm_check = judge(storm_clean, storm_digest)
+    # Fold the two sub-checks into one: identical only if *both* runs
+    # reconverged.  A mismatch on either leg has no typed excuse here —
+    # service recovery is supposed to be lossless — so it reads as
+    # silent drift, which fails the build.
+    if adoption_check.verdict != VERDICT_IDENTICAL:
+        combined = adoption_check
+    elif storm_check.verdict != VERDICT_IDENTICAL:
+        combined = storm_check
+    else:
+        combined = adoption_check
+    return {
+        "surface": SURFACE_SERVICE,
+        "faults": [
+            {"kind": "server-kill-mid-run"},
+            {
+                "kind": "cancel-storm",
+                "cycles": plan.cancel_storm_cycles,
+            },
+        ],
+        "recovery_path": "restart-adoption + resume-from-checkpoint",
+        "invariant": combined.to_dict(),
+        "evidence": {
+            "adoption_state": adopted["state"],
+            "adoption_identical": adoption_check.verdict,
+            "storm_final_state": record["state"],
+            "storm_identical": storm_check.verdict,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Trial + suite drivers
+
+
+def run_trial(
+    seed: int,
+    trial: int,
+    surfaces: Sequence[str],
+    workdir: Path,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Execute one trial; returns its (byte-reproducible) report dict."""
+    chosen = validate_surfaces(surfaces)
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    config, _ = configs.build_config(_study_payload(seed * 101 + trial))
+    study_days = sorted(LongitudinalStudy(config).planned_days())
+    plan = compose(seed, trial, chosen, study_days)
+
+    clean_digest = ""
+    needs_clean = {SURFACE_POOL, SURFACE_FS, SURFACE_SERVICE} & set(chosen)
+    if needs_clean:
+        if progress is not None:
+            progress("clean reference run")
+        clean_digest = study_digest(execute_study(config, workers=1).data)
+
+    scenarios: List[dict] = []
+    runners = {
+        SURFACE_POOL: lambda: _scenario_pool(
+            plan, config, clean_digest, workdir
+        ),
+        SURFACE_FS: lambda: _scenario_fs(plan, config, clean_digest, workdir),
+        SURFACE_LAKE: lambda: _scenario_lake(plan, workdir),
+        SURFACE_PROBE: lambda: _scenario_probe(plan, workdir),
+        SURFACE_SERVICE: lambda: _scenario_service(
+            plan, config, clean_digest, workdir
+        ),
+    }
+    for surface in ALL_SURFACES:
+        if surface not in chosen:
+            continue
+        if progress is not None:
+            progress(f"surface {surface}")
+        scenarios.append(runners[surface]())
+
+    verdict = worst_verdict(
+        [scenario["invariant"]["verdict"] for scenario in scenarios]
+    )
+    return {
+        "version": REPORT_VERSION,
+        "seed": seed,
+        "trial": trial,
+        "surfaces": list(chosen),
+        "plan": plan.to_dict(),
+        "scenarios": scenarios,
+        "verdict": verdict,
+    }
+
+
+def run_chaos(
+    seed: int,
+    trials: int,
+    surfaces: Sequence[str],
+    *,
+    out_dir: Optional[Path] = None,
+    workdir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[dict]:
+    """Run ``trials`` seeded trials; optionally persist per-trial JSON.
+
+    Written reports are canonical (sorted keys, trailing newline): two
+    invocations with the same seed produce byte-identical files.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    chosen = validate_surfaces(surfaces)
+    reports: List[dict] = []
+    for trial in range(trials):
+        note = (
+            (lambda step: progress(f"trial {trial}: {step}"))
+            if progress is not None
+            else None
+        )
+        if workdir is not None:
+            trial_dir = Path(workdir) / f"trial-{trial}"
+            report = run_trial(seed, trial, chosen, trial_dir, progress=note)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                report = run_trial(
+                    seed, trial, chosen, Path(tmp), progress=note
+                )
+        reports.append(report)
+        if out_dir is not None:
+            out = Path(out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"trial-{trial}.json").write_text(
+                render_report(report), encoding="utf-8"
+            )
+    return reports
+
+
+def render_report(report: dict) -> str:
+    """The canonical byte-stable JSON encoding of one trial report."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"

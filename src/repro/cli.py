@@ -526,6 +526,59 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded multi-fault chaos trials and judge recovery invariants."""
+    from repro.chaos import run_chaos
+    from repro.chaos.invariants import VERDICT_SILENT_DRIFT, worst_verdict
+    from repro.chaos.plan import ALL_SURFACES
+    from repro.chaos.runner import render_report
+
+    if args.trials < 1:
+        print(
+            f"repro chaos: --trials must be a positive integer "
+            f"(got {args.trials})",
+            file=sys.stderr,
+        )
+        return 2
+    surfaces = (
+        tuple(part for part in args.surfaces.split(",") if part)
+        if args.surfaces
+        else ALL_SURFACES
+    )
+    try:
+        reports = run_chaos(
+            args.seed,
+            args.trials,
+            surfaces,
+            out_dir=args.out,
+            progress=lambda step: print(
+                f"repro chaos: {step}", file=sys.stderr
+            ),
+        )
+    except ValueError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    for report in reports:
+        if args.out is None and args.format == "json":
+            print(render_report(report), end="")
+        scenarios = ", ".join(
+            f"{s['surface']}={s['invariant']['verdict']}"
+            for s in report["scenarios"]
+        )
+        print(
+            f"trial {report['trial']}: {report['verdict']} ({scenarios})",
+            file=sys.stderr,
+        )
+    overall = worst_verdict([report["verdict"] for report in reports])
+    if args.out is not None:
+        print(
+            f"repro chaos: wrote {len(reports)} report(s) to {args.out}",
+            file=sys.stderr,
+        )
+    print(f"repro chaos: overall verdict {overall}", file=sys.stderr)
+    return 1 if overall == VERDICT_SILENT_DRIFT else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -685,6 +738,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max retries per day for transient worker "
                             "failures (default 2)")
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded multi-fault trials: inject faults across pool, "
+             "filesystem, lake, probe, and service surfaces, then judge "
+             "recovery (identical | typed-degradation | silent-drift)",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed; same seed + trials + surfaces "
+                            "reproduce byte-identical reports (default 0)")
+    chaos.add_argument("--trials", type=int, default=1, metavar="N",
+                       help="independent trials to run (default 1)")
+    chaos.add_argument("--surfaces", default=None, metavar="LIST",
+                       help="comma-separated fault surfaces: "
+                            "pool,fs,lake,probe,service (default: all)")
+    chaos.add_argument("--out", type=Path, default=None, metavar="DIR",
+                       help="write per-trial JSON reports to DIR "
+                            "(default: print to stdout)")
+    chaos.add_argument("--format", choices=("json", "summary"),
+                       default="json",
+                       help="stdout format when --out is not given "
+                            "(default json)")
+    chaos.set_defaults(func=cmd_chaos)
 
     events = sub.add_parser("events", help="list the modelled event timeline")
     events.set_defaults(func=cmd_events)

@@ -84,6 +84,20 @@ class FaultSpec:
             return False
         return self.shard is None or self.shard == shard
 
+    def to_dict(self) -> dict:
+        """JSON form for chaos trial reports (DESIGN.md §17)."""
+        payload = {
+            "day": self.day.isoformat(),
+            "kind": self.kind,
+            "times": self.times,
+            "shard": self.shard,
+        }
+        if self.kind == KIND_KILL:
+            payload["exit_code"] = self.exit_code
+        if self.kind == KIND_SLEEP:
+            payload["sleep_seconds"] = self.sleep_seconds
+        return payload
+
 
 @dataclass(frozen=True)
 class FaultPlan:

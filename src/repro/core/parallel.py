@@ -63,6 +63,7 @@ import os
 import threading
 import time
 import traceback
+import zlib
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -70,6 +71,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core import fsio
 from repro.core.config import StudyConfig, config_hash
 from repro.core.faults import FaultPlan, is_transient
 from repro.core.pool import (
@@ -343,15 +345,38 @@ class RetryPolicy:
     ``retries`` counts *additional* attempts after the first (so a day
     may run ``retries + 1`` times); worker crashes count as transient.
     Deterministic failures are never retried.
+
+    The exponential curve is clamped at ``max_backoff`` — a high
+    ``--retries`` with ``factor`` growth must not turn into minute-long
+    sleeps — and, when a ``key`` identifies the retrying unit, the delay
+    is spread deterministically over ``[jitter * max, max]`` so shards
+    that failed together (one crashed worker takes a whole submit
+    window with it) do not retry in lockstep.  The spread hashes only
+    the key and attempt: same schedule every run, no RNG state.
     """
 
     retries: int = 2
     backoff: float = 0.05
     factor: float = 2.0
+    #: Ceiling on a single backoff sleep, in seconds.
+    max_backoff: float = 5.0
+    #: Lower edge of the jitter window as a fraction of the full delay;
+    #: 1.0 disables jitter entirely.
+    jitter: float = 0.5
 
-    def delay(self, failed_attempt: int) -> float:
-        """Seconds to back off after 0-based ``failed_attempt`` failed."""
-        return self.backoff * (self.factor ** failed_attempt)
+    def delay(self, failed_attempt: int, key: object = None) -> float:
+        """Seconds to back off after 0-based ``failed_attempt`` failed.
+
+        ``key`` (e.g. ``(day, shard)``) decorrelates concurrent
+        retriers; without one the clamped exponential is returned as-is.
+        """
+        base = min(self.backoff * (self.factor ** failed_attempt),
+                   self.max_backoff)
+        if key is None or self.jitter >= 1.0:
+            return base
+        token = f"{key!r}|{failed_attempt}".encode("utf-8")
+        fraction = (zlib.crc32(token) % 10_000) / 10_000.0
+        return base * (self.jitter + (1.0 - self.jitter) * fraction)
 
 
 @dataclass(frozen=True)
@@ -775,9 +800,28 @@ class _Dispatch:
         if outcome.telemetry is not None:
             self.day_telemetry[key] = outcome.telemetry
         if self.store is not None:
-            self.store.save(
-                outcome.day, outcome.partial, shard=self._checkpoint_shard(shard)
-            )
+            try:
+                self.store.save(
+                    outcome.day,
+                    outcome.partial,
+                    shard=self._checkpoint_shard(shard),
+                )
+            except (OSError, CheckpointError) as exc:
+                # The day's result is already in hand — a full disk (or
+                # injected ENOSPC/torn write) must not fail the run, it
+                # only costs this day its resume shortcut.  Record it so
+                # operators see the durability gap in the manifest.
+                telemetry_runtime.count("checkpoint_write_failures")
+                attrs: Tuple[Tuple[str, str], ...] = (("error", repr(exc)),)
+                if self.shard_count > 1:
+                    attrs += (("shard", str(shard)),)
+                self.events.append(
+                    RunEvent(
+                        "checkpoint_write_failed",
+                        day=outcome.day.isoformat(),
+                        attrs=attrs,
+                    )
+                )
         self._note_done(outcome.day)
 
     def fail(self, failure: DayFailure) -> None:
@@ -882,11 +926,12 @@ def _run_serial(
                     # unsettled and the resume recomputes it.
                     return
                 dispatch.note_retry(task, outcome)
+                pause = dispatch.policy.delay(attempt, key=_retry_key(task))
                 if cancel is not None:
-                    if cancel.wait(dispatch.policy.delay(attempt)):
+                    if cancel.wait(pause):
                         return
                 else:
-                    time.sleep(dispatch.policy.delay(attempt))
+                    time.sleep(pause)
                 attempt += 1
                 continue
             dispatch.fail(outcome)
@@ -1040,10 +1085,18 @@ def _settle_failure(
     """Retry a transient failure (with backoff) or record it as final."""
     if failure.transient and task.attempt < dispatch.policy.retries:
         dispatch.note_retry(task, failure)
-        eligible_at = sched.now() + dispatch.policy.delay(task.attempt)
+        eligible_at = sched.now() + dispatch.policy.delay(
+            task.attempt, key=_retry_key(task)
+        )
         deferred.append((eligible_at, replace(task, attempt=task.attempt + 1)))
         return
     dispatch.fail(failure)
+
+
+def _retry_key(task: DayTask) -> Tuple[str, int]:
+    """Stable per-(day, shard) identity for backoff decorrelation."""
+    shard = task.shard.index if task.shard is not None else 0
+    return (task.day.isoformat(), shard)
 
 
 def _assemble_run_telemetry(
@@ -1302,7 +1355,18 @@ def execute_study(
         spills=partial_store.spills,
     )
     if store is not None:
-        store.manifest_path.write_text(report.to_json())
+        try:
+            fsio.write_and_replace(
+                store.manifest_path,
+                report.to_json().encode("utf-8"),
+                surface=fsio.SURFACE_MANIFEST,
+            )
+        except OSError:
+            # The manifest is an operator artifact, not an input to the
+            # result: disk pressure here must not fail an otherwise
+            # complete run.  Resume re-derives everything from the
+            # checkpoints themselves.
+            telemetry_runtime.count("manifest_write_failures")
     if cancel is not None and cancel.is_set():
         # Cancellation outranks any concurrent failure: neither state is
         # final — the resume retries failed *and* never-started tasks.

@@ -115,7 +115,17 @@ def _worker_main(runner, tasks, conn) -> None:
         except Exception:
             conn.send(("error", task.index, traceback.format_exc()))
         else:
-            conn.send(("done", task.index, outcome))
+            try:
+                conn.send(("done", task.index, outcome))
+            except Exception:
+                # The *result* failed to ship (unpicklable payload,
+                # message over the pipe's limits).  Dying here would
+                # surface as an anonymous crash and burn a retry on a
+                # task that will fail identically every time; a typed
+                # error event names the real problem instead.  If the
+                # pipe itself is gone this send fails too and the loop
+                # exits — the parent sees EOF either way.
+                conn.send(("error", task.index, traceback.format_exc()))
 
 
 class SupervisedPool:

@@ -44,6 +44,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.core import fsio
 from repro.dataflow.columnar import (
     CHUNK_SUFFIX,
     ColumnarCodec,
@@ -251,22 +252,25 @@ class DataLake:
             path = directory / f"{source}{CHUNK_SUFFIX}"
             tmp = directory / f".{source}{CHUNK_SUFFIX}.{os.getpid()}.part"
             payload, manifest = encode_chunk(records, codec, day)
-            tmp.write_bytes(payload)
-            os.replace(tmp, path)
+            fsio.write_and_replace(
+                path, payload, surface=fsio.SURFACE_LAKE, tmp=tmp
+            )
             write_manifest(path, manifest)
             telemetry.count("datalake_files_written", table=table)
             return path
         path = directory / f"{source}.tsv.gz"
         tmp = directory / f".{source}.tsv.gz.{os.getpid()}.part"
         digest = PayloadDigest()
-        with open(tmp, "wb") as raw:
-            gz = gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0)
-            with io.TextIOWrapper(gz, encoding="utf-8") as handle:
-                for record in records:
-                    line = codec.encode(record) + "\n"
-                    handle.write(line)
-                    digest.add_line(line)
-        os.replace(tmp, path)
+        buffer = io.BytesIO()
+        gz = gzip.GzipFile(filename="", mode="wb", fileobj=buffer, mtime=0)
+        with io.TextIOWrapper(gz, encoding="utf-8") as handle:
+            for record in records:
+                line = codec.encode(record) + "\n"
+                handle.write(line)
+                digest.add_line(line)
+        fsio.write_and_replace(
+            path, buffer.getvalue(), surface=fsio.SURFACE_LAKE, tmp=tmp
+        )
         write_manifest(path, digest.manifest())
         telemetry.count("datalake_files_written", table=table)
         return path
@@ -650,6 +654,13 @@ class CheckpointStore:
         self.config_hash = config_hash
         self.directory = self.root / f"config={config_hash}"
         self.directory.mkdir(parents=True, exist_ok=True)
+        # A writer that died between staging write and rename left a
+        # `.day=...tmp` behind; sweeping here keeps torn-write litter
+        # from accumulating across resumes (live writers are spared via
+        # the embedded pid).
+        swept = fsio.sweep_staging_files(self.directory)
+        if swept:
+            telemetry.count("checkpoint_litter_swept", len(swept))
 
     # -- paths ---------------------------------------------------------------
 
@@ -699,9 +710,7 @@ class CheckpointStore:
             # byte-compatible with pre-shard checkpoints.
             record["shard"] = tuple(shard)
         blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        fsio.write_and_replace(path, blob, surface=fsio.SURFACE_CHECKPOINT)
         telemetry.count("checkpoint_saves")
         return path
 

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core import fsio
 from repro.telemetry import runtime as telemetry
 
 # ----------------------------------------------------------------------
@@ -224,9 +225,12 @@ def write_manifest(data_path: Path, manifest: PartitionManifest) -> Path:
     """Atomically finalize a partition's sidecar manifest."""
     path = manifest_path_for(data_path)
     tmp = path.with_name(f".{path.name}.{os.getpid()}.part")
-    tmp.write_text(manifest.to_json() + "\n", encoding="utf-8")
-    os.replace(tmp, path)
-    return path
+    return fsio.write_and_replace(
+        path,
+        (manifest.to_json() + "\n").encode("utf-8"),
+        surface=fsio.SURFACE_MANIFEST,
+        tmp=tmp,
+    )
 
 
 def load_manifest(data_path: Path) -> Optional[PartitionManifest]:
@@ -640,6 +644,15 @@ class CorruptionSpec:
         if self.kind not in _CORRUPTION_KINDS:
             raise ValueError(f"unknown corruption kind {self.kind!r}")
 
+    def to_dict(self) -> dict:
+        """JSON form for chaos trial reports (DESIGN.md §17)."""
+        return {
+            "table": self.table,
+            "day": self.day.isoformat(),
+            "kind": self.kind,
+            "source": self.source,
+        }
+
 
 @dataclass(frozen=True)
 class CorruptionPlan:
@@ -772,7 +785,7 @@ class IntegrityFinding:
     table: str
     day: datetime.date
     source: str
-    kind: str  # "torn" | "checksum" | "count" | "schema" | "record" | "manifest"
+    kind: str  # "torn" | "checksum" | "count" | "schema" | "record" | "manifest" | "litter"
     detail: str
 
     def render(self) -> str:
@@ -899,6 +912,32 @@ def fsck_lake(
     report = FsckReport(root=Path(lake.root))
     for table in lake.tables():
         decoder = codecs.get(table) if decode else None
+        # Litter scan walks the directory tree structurally rather than
+        # via ``lake.days()``: a writer that died before its first rename
+        # leaves a day dir holding *only* staging litter, which the
+        # partition-based day enumeration deliberately skips.
+        table_dir = Path(lake.root) / table
+        for day_path in sorted(table_dir.glob("year=*/month=*/day=*")):
+            try:
+                stale_day = datetime.date(
+                    int(day_path.parent.parent.name.split("=")[1]),
+                    int(day_path.parent.name.split("=")[1]),
+                    int(day_path.name.split("=")[1]),
+                )
+            except (IndexError, ValueError):
+                continue
+            for stale in fsio.stale_staging_files(day_path):
+                # A dead writer's staging file: invisible to reads (the
+                # partition globs skip dot-prefixed names) but worth
+                # surfacing — it marks an interrupted write whose final
+                # rename never happened.
+                report.findings.append(
+                    IntegrityFinding(
+                        table, stale_day, stale.name, "litter",
+                        "staging file from an interrupted write "
+                        "(crash between write and rename)",
+                    )
+                )
         for day in lake.days(table):
             directory = lake.day_dir(table, day)
             paths = sorted(

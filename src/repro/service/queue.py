@@ -94,6 +94,7 @@ class JobQueue:
         )
         self._clock = MonotonicClock()  # run-wall histogram only
         self._closed = False
+        self._draining = False
 
     # -- introspection -------------------------------------------------
 
@@ -140,6 +141,18 @@ class JobQueue:
             self._schedule_forever()
         )
         self._update_gauges()
+
+    def begin_drain(self) -> None:
+        """Switch shutdown semantics from *cancel* to *requeue*.
+
+        Called before :meth:`close` on a graceful SIGTERM: in-flight
+        runs still stop at the next checkpoint boundary (their cancel
+        tokens are set by ``close``), but instead of settling as
+        ``cancelled`` they persist back to ``queued`` — the durable
+        state restart adoption looks for — unless a client had already
+        requested the cancel.
+        """
+        self._draining = True
 
     async def close(self) -> None:
         """Stop scheduling, cancel in-flight runs, and drain them.
@@ -265,8 +278,23 @@ class JobQueue:
                 self._executor, self._execute_blocking, record, token
             )
         except RunCancelled:
-            self.registry.transition(run_id, reg.CANCELLED)
-            self.metrics.counter("service_runs_cancelled").inc()
+            if self._draining and not self.registry.get(run_id).cancel_requested:
+                # Drain (SIGTERM) stopped this run, not a client: the
+                # completed prefix is checkpointed, so persist it as
+                # ``queued`` and the next server start re-adopts it.
+                self.registry.transition(run_id, reg.QUEUED)
+                self.metrics.counter("service_runs_requeued").inc()
+            else:
+                self.registry.transition(run_id, reg.CANCELLED)
+                self.metrics.counter("service_runs_cancelled").inc()
+        except OSError as exc:
+            # Disk pressure (ENOSPC, quota, injected chaos) during the
+            # study or while persisting results: the run fails typed and
+            # resumable, and — critically — the finally block below still
+            # releases the slot, so one full disk cannot wedge the
+            # scheduler's semaphore.
+            self.registry.transition(run_id, reg.FAILED, error=f"io: {exc}")
+            self.metrics.counter("service_runs_failed", kind="io").inc()
         except (ChunkError, PoolError, ServiceError, ValueError) as exc:
             self.registry.transition(run_id, reg.FAILED, error=str(exc))
             self.metrics.counter("service_runs_failed").inc()

@@ -38,12 +38,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core import fsio
 from repro.service.errors import (
     RunRecordError,
     StateTransitionError,
@@ -125,6 +126,25 @@ class RunRecord:
         return record
 
 
+def load_run_record(path: Path) -> RunRecord:
+    """Parse one persisted ``run.json``; every corruption mode — missing
+    file, non-UTF-8 bytes, truncated/invalid JSON, a non-object payload,
+    unknown fields, bad state — raises :class:`RunRecordError` and
+    nothing else."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        raise RunRecordError(
+            f"unreadable run record {path}: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise RunRecordError(
+            f"malformed run record {path}: expected a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return RunRecord.from_dict(payload)
+
+
 class RunRegistry:
     """Atomic-JSON run records under ``<state_dir>/runs/``."""
 
@@ -140,6 +160,9 @@ class RunRegistry:
         self.runs_dir.mkdir(parents=True, exist_ok=True)
         self._now = now
         self._records: Dict[str, RunRecord] = {}
+        #: Run directories whose record could not be parsed at startup,
+        #: mapped to the reason (surfaced by ops tooling and chaos).
+        self.skipped: Dict[str, str] = {}
         self._load_existing()
 
     # -- paths ---------------------------------------------------------
@@ -171,27 +194,44 @@ class RunRegistry:
     # -- persistence ---------------------------------------------------
 
     def _load_existing(self) -> None:
-        """Rehydrate every persisted record (server restart)."""
+        """Rehydrate every persisted record (server restart).
+
+        A corrupt ``run.json`` — torn write, truncation, bit rot, or a
+        schema the record parser rejects — must not take the whole
+        control plane down with it: the record is skipped with a warning
+        and remembered in :attr:`skipped`, so ``repro serve`` starts and
+        every *healthy* run is served.  The damaged run's directory is
+        left untouched for the operator (its checkpoints are still
+        valid; resubmitting the same config rewrites the record and
+        recovers the run).
+        """
         for record_file in sorted(self.runs_dir.glob("*/run.json")):
             try:
-                payload = json.loads(record_file.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError) as exc:
-                raise RunRecordError(
-                    f"unreadable run record {record_file}: {exc}"
-                ) from exc
-            record = RunRecord.from_dict(payload)
+                record = load_run_record(record_file)
+            except RunRecordError as exc:
+                self.skipped[record_file.parent.name] = str(exc)
+                warnings.warn(
+                    f"skipping unreadable run record: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
             self._records[record.run_id] = record
+        for directory in (self.runs_dir, *sorted(self.runs_dir.glob("*"))):
+            fsio.sweep_staging_files(directory)
 
     def _persist(self, record: RunRecord) -> None:
         directory = self.run_dir(record.run_id)
         directory.mkdir(parents=True, exist_ok=True)
         path = self.record_path(record.run_id)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(
-            json.dumps(record.to_dict(), indent=2, sort_keys=True),
-            encoding="utf-8",
+        fsio.write_and_replace(
+            path,
+            json.dumps(
+                record.to_dict(), indent=2, sort_keys=True
+            ).encode("utf-8"),
+            surface=fsio.SURFACE_REGISTRY,
+            tmp=path.with_suffix(".json.tmp"),
         )
-        os.replace(tmp, path)
 
     # -- API -----------------------------------------------------------
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import signal
 import threading
 import time
 from pathlib import Path
@@ -248,18 +249,52 @@ class ServiceServer:
                 await writer.wait_closed()
 
 
-async def serve_forever(server: ServiceServer) -> None:
+async def serve_forever(
+    server: ServiceServer, stop: Optional[asyncio.Event] = None
+) -> None:
+    """Run until ``stop`` is set (or forever, awaiting cancellation)."""
     await server.start()
     try:
-        await asyncio.Event().wait()  # until cancelled from outside
+        if stop is None:
+            await asyncio.Event().wait()  # until cancelled from outside
+        else:
+            await stop.wait()
     finally:
         await server.stop()
 
 
-def run_server(server: ServiceServer) -> None:
-    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+async def _serve_until_signalled(server: ServiceServer) -> None:
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+
+    def drain_and_stop() -> None:
+        # SIGTERM is the orchestrator's "finish what you can": in-flight
+        # runs stop at their next checkpoint boundary and persist back
+        # to ``queued`` (not ``cancelled``), so the next start re-adopts
+        # and resumes them.  server.stop() -> queue.close() does the
+        # actual token-setting and draining.
+        server.queue.begin_drain()
+        stop.set()
+
     try:
-        asyncio.run(serve_forever(server))
+        loop.add_signal_handler(signal.SIGTERM, drain_and_stop)
+    except (NotImplementedError, RuntimeError):
+        pass  # platforms without loop signal support keep Ctrl-C only
+    try:
+        await serve_forever(server, stop)
+    finally:
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.remove_signal_handler(signal.SIGTERM)
+
+
+def run_server(server: ServiceServer) -> None:
+    """Blocking entry point for ``repro serve``.
+
+    Ctrl-C cancels in-flight runs; SIGTERM drains them to a checkpoint
+    boundary and re-queues, so a supervised restart loses no work.
+    """
+    try:
+        asyncio.run(_serve_until_signalled(server))
     except KeyboardInterrupt:
         pass  # clean shutdown path: serve_forever's finally already ran
 

@@ -210,6 +210,16 @@ class FlowLogWriter:
         if self._manifest:
             write_manifest(self._path, self._digest.manifest())
 
+    def abandon(self) -> None:
+        """Release the handle *without* finalizing the manifest.
+
+        This is what a probe crash leaves behind: whatever records made
+        it to disk, with no sidecar vouching for them — so downstream
+        integrity checks see the file as unverified/torn rather than
+        trusting a partial export (DESIGN.md §17, probe-restart fault).
+        """
+        self._handle.close()
+
     def __enter__(self) -> "FlowLogWriter":
         return self
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import datetime
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.nettypes.anonymize import TableAnonymizer
 from repro.nettypes.ip import Prefix
@@ -105,6 +105,7 @@ class Probe:
         packets: Iterable[CapturedPacket],
         path: Union[str, Path],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        restart_after: Optional[int] = None,
     ) -> int:
         """Process a capture, writing records straight to a flow log.
 
@@ -112,10 +113,51 @@ class Probe:
         path of the real deployment: records never accumulate in memory.
         The export carries a sidecar integrity manifest, so corruption
         picked up in transit to the lake is detectable on arrival.
+
+        ``restart_after`` injects the mid-day probe restart the paper's
+        deployment lived with (Section 2.3 outages): after that many
+        records the writer is abandoned — records on disk, *no* manifest,
+        flows in the meter lost — and :class:`ProbeRestart` is raised.
+        Downstream, the unverified log must route through quarantine or
+        degraded-day admission, never into the study as a full day.
         """
-        with FlowLogWriter(path, manifest=True) as writer:
+        writer = FlowLogWriter(path, manifest=True)
+        try:
             for batch in iter_decoded_batches(self.decoder, packets, batch_size):
-                writer.write_all(self.meter.process_batch(batch))
+                for record in self.meter.process_batch(batch):
+                    writer.write(record)
+                    if (
+                        restart_after is not None
+                        and writer.records_written >= restart_after
+                    ):
+                        writer.abandon()
+                        raise ProbeRestart(
+                            str(path), writer.records_written
+                        )
             writer.write_all(self.meter.flush())
             self.meter.publish_telemetry()
-            return writer.records_written
+        except ProbeRestart:
+            raise
+        except BaseException:
+            writer.abandon()
+            raise
+        else:
+            writer.close()
+        return writer.records_written
+
+
+class ProbeRestart(RuntimeError):
+    """A probe died mid-export: the flow log on disk is unverified.
+
+    Carries the partial log's path and how many records made it out, so
+    the chaos conductor (and operators) can route the truncated export
+    through the lake's quarantine/admission machinery.
+    """
+
+    def __init__(self, path: str, records_written: int) -> None:
+        super().__init__(
+            f"probe restarted mid-export after {records_written} record(s); "
+            f"unverified flow log left at {path}"
+        )
+        self.path = path
+        self.records_written = records_written

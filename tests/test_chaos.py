@@ -1,0 +1,139 @@
+"""The chaos conductor: seeded plans, invariants, reproducible trials.
+
+The contract under test (DESIGN.md §17): ``compose(seed, trial, ...)``
+is a pure function, every trial report is byte-reproducible from its
+seed, and each trial's verdict is ``identical`` or ``typed-degradation``
+— ``silent-drift`` is the build-failing state.
+"""
+
+import datetime
+import json
+
+import pytest
+
+from repro.chaos import (
+    VERDICT_IDENTICAL,
+    VERDICT_SILENT_DRIFT,
+    VERDICT_TYPED_DEGRADATION,
+    compose,
+    judge,
+    run_trial,
+    worst_verdict,
+)
+from repro.chaos.plan import ALL_SURFACES, validate_surfaces
+from repro.chaos.runner import render_report
+from repro.cli import main
+
+DAYS = [datetime.date(2013, 6, 1) + datetime.timedelta(days=7 * i)
+        for i in range(4)]
+
+
+class TestPlan:
+    def test_compose_is_pure(self):
+        a = compose(11, 2, ALL_SURFACES, DAYS)
+        b = compose(11, 2, ALL_SURFACES, DAYS)
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_seed_and_trial_both_steer(self):
+        base = compose(11, 0, ALL_SURFACES, DAYS)
+        assert compose(12, 0, ALL_SURFACES, DAYS) != base
+        assert compose(11, 1, ALL_SURFACES, DAYS) != base
+
+    def test_surfaces_gate_their_fault_groups(self):
+        plan = compose(3, 0, ("lake",), DAYS)
+        assert plan.worker_faults == ()
+        assert plan.fs_faults == ()
+        assert plan.corruptions != ()
+        assert plan.probe_restart_after is None
+        assert plan.cancel_storm_cycles == 0
+
+    def test_unknown_surface_rejected(self):
+        with pytest.raises(ValueError):
+            validate_surfaces(("pool", "cosmic-rays"))
+        with pytest.raises(ValueError):
+            validate_surfaces(())
+
+    def test_plan_dict_is_json_ready(self):
+        plan = compose(5, 1, ALL_SURFACES, DAYS)
+        assert json.loads(json.dumps(plan.to_dict())) == plan.to_dict()
+
+
+class TestInvariants:
+    def test_matching_digests_are_identical(self):
+        assert judge("abc", "abc").verdict == VERDICT_IDENTICAL
+
+    def test_mismatch_with_typed_cause_degrades(self):
+        check = judge("abc", "def", [{"kind": "day-excluded",
+                                      "day": "2014-02-03"}])
+        assert check.verdict == VERDICT_TYPED_DEGRADATION
+
+    def test_unexplained_mismatch_is_silent_drift(self):
+        assert judge("abc", "def").verdict == VERDICT_SILENT_DRIFT
+
+    def test_worst_verdict_ordering(self):
+        assert worst_verdict([]) == VERDICT_IDENTICAL
+        assert (
+            worst_verdict([VERDICT_IDENTICAL, VERDICT_TYPED_DEGRADATION])
+            == VERDICT_TYPED_DEGRADATION
+        )
+        assert (
+            worst_verdict(
+                [VERDICT_TYPED_DEGRADATION, VERDICT_SILENT_DRIFT,
+                 VERDICT_IDENTICAL]
+            )
+            == VERDICT_SILENT_DRIFT
+        )
+        with pytest.raises(ValueError):
+            worst_verdict(["fine"])
+
+
+class TestTrials:
+    def test_same_seed_same_bytes(self, tmp_path):
+        first = run_trial(5, 0, ("pool", "fs"), tmp_path / "a")
+        second = run_trial(5, 0, ("pool", "fs"), tmp_path / "b")
+        assert render_report(first) == render_report(second)
+        assert first["verdict"] in (VERDICT_IDENTICAL,
+                                    VERDICT_TYPED_DEGRADATION)
+
+    def test_lake_trial_degrades_with_provenance(self, tmp_path):
+        report = run_trial(5, 0, ("lake",), tmp_path)
+        (scenario,) = report["scenarios"]
+        assert scenario["invariant"]["verdict"] == VERDICT_TYPED_DEGRADATION
+        degradations = scenario["invariant"]["degradations"]
+        assert degradations, "a lossy lake trial must carry typed causes"
+        kinds = {d["kind"] for d in degradations}
+        assert "day-excluded" in kinds
+        # Every excluded day has a matching finding or quarantine entry.
+        assert scenario["evidence"]["drifted_days"] == []
+
+    def test_probe_trial_excludes_truncated_day(self, tmp_path):
+        report = run_trial(5, 0, ("probe",), tmp_path)
+        (scenario,) = report["scenarios"]
+        assert scenario["invariant"]["verdict"] == VERDICT_TYPED_DEGRADATION
+        evidence = scenario["evidence"]
+        assert evidence["restart_typed"] is True
+        assert evidence["partial_records"] < evidence["clean_records"]
+        assert evidence["admitted"] is False
+
+    def test_reports_never_leak_host_state(self, tmp_path):
+        rendered = render_report(run_trial(5, 0, ("lake", "probe"), tmp_path))
+        assert str(tmp_path) not in rendered
+        assert "/tmp" not in rendered
+
+
+class TestChaosCli:
+    def test_cli_writes_parseable_reports(self, tmp_path, capsys):
+        out = tmp_path / "reports"
+        code = main([
+            "chaos", "--seed", "9", "--trials", "1",
+            "--surfaces", "lake,probe", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads((out / "trial-0.json").read_text())
+        assert payload["seed"] == 9
+        assert payload["verdict"] in ("identical", "typed-degradation")
+
+    def test_cli_rejects_unknown_surface(self, tmp_path, capsys):
+        assert main(["chaos", "--surfaces", "quantum"]) == 2
+        assert main(["chaos", "--trials", "0"]) == 2

@@ -310,3 +310,86 @@ class TestCancellation:
         assert len(manifests) == 1
         manifest = json.loads(manifests[0].read_text())
         assert manifest["completed"] >= 1
+
+
+class TestRetryPolicy:
+    """Backoff must be capped and jitter must be deterministic: a chaos
+    trial that retries the same day twice has to produce the same wait
+    schedule — and the same report bytes — on every run."""
+
+    def test_backoff_is_capped(self):
+        from repro.core.parallel import RetryPolicy
+
+        policy = RetryPolicy(retries=20, backoff=0.05, factor=2.0,
+                             max_backoff=5.0, jitter=1.0)
+        delays = [policy.delay(attempt) for attempt in range(20)]
+        assert max(delays) <= 5.0
+        # Early attempts still grow geometrically below the cap.
+        assert delays[0] == pytest.approx(0.05)
+        assert delays[1] == pytest.approx(0.10)
+        assert delays[-1] == pytest.approx(5.0)
+
+    def test_jitter_is_seeded_by_key_not_wall_clock(self):
+        from repro.core.parallel import RetryPolicy
+
+        policy = RetryPolicy(backoff=1.0, factor=1.0, max_backoff=1.0,
+                             jitter=0.5)
+        key = ("2014-01-05", 0)
+        first = [policy.delay(a, key=key) for a in range(4)]
+        second = [policy.delay(a, key=key) for a in range(4)]
+        assert first == second  # pure function of (key, attempt)
+        assert all(0.5 <= d <= 1.0 for d in first)
+        # Different keys spread differently (the whole point of jitter).
+        other = [policy.delay(a, key=("2014-01-06", 1)) for a in range(4)]
+        assert first != other
+
+    def test_no_key_means_no_jitter(self):
+        from repro.core.parallel import RetryPolicy
+
+        policy = RetryPolicy(backoff=0.2, factor=1.0, max_backoff=1.0,
+                             jitter=0.5)
+        assert policy.delay(0) == pytest.approx(0.2)
+
+
+class TestCheckpointWriteFailureTolerance:
+    """A day that *computed* must never be lost to a failed checkpoint
+    write: the run carries on (telemetry notes the miss) and the final
+    data is field-identical to an unfaulted run."""
+
+    def _config(self):
+        return tiny_config()
+
+    def test_enospc_on_every_checkpoint_write_does_not_fail_the_run(
+        self, tmp_path
+    ):
+        from repro.chaos.fsfaults import FsFaultSpec, injected
+        from repro.core import fsio
+        from repro.core.parallel import execute_study
+        from repro.telemetry import runtime as telemetry_runtime
+        from repro.telemetry.runtime import Telemetry
+
+        config = self._config()
+        baseline = execute_study(config, workers=1).data
+        specs = tuple(
+            FsFaultSpec(fsio.SURFACE_CHECKPOINT, fsio.MODE_ENOSPC, n)
+            for n in range(64)
+        )
+        bundle = Telemetry.for_spec("monotonic")
+        with injected(specs):
+            with telemetry_runtime.activate(bundle):
+                result = execute_study(
+                    config, workers=1, checkpoint_root=tmp_path
+                )
+        for field in dataclasses.fields(baseline):
+            assert getattr(result.data, field.name) == \
+                getattr(baseline, field.name), field.name
+        counters = bundle.snapshot().metrics.counters
+        assert counters[("checkpoint_write_failures", ())] > 0
+        # Nothing was persisted, so a resume recomputes everything —
+        # and still converges.
+        resumed = execute_study(
+            config, workers=1, checkpoint_root=tmp_path, resume=True
+        )
+        for field in dataclasses.fields(baseline):
+            assert getattr(resumed.data, field.name) == \
+                getattr(baseline, field.name), field.name

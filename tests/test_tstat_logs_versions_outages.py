@@ -310,3 +310,66 @@ class TestOutages:
         calendar.add(Outage("p", datetime.date(2015, 1, 1), datetime.date(2015, 1, 1)))
         assert len(calendar) == 1
         assert calendar.outages_for("p")[0].duration_days() == 1
+
+
+class TestProbeRestart:
+    """A probe killed mid-export raises typed ProbeRestart and leaves a
+    truncated-but-loadable log with no sidecar manifest — the shape the
+    lake's admission layer quarantines as an unverified partial day."""
+
+    def _packets(self):
+        from repro.synthesis.packetgen import FlowSpec, PacketSynthesizer
+
+        specs = [
+            FlowSpec(
+                client_ip=0x0A01000A + (i % 3),
+                server_ip=0x68100000 + i,
+                client_port=41_000 + i,
+                server_port=443,
+                protocol=WebProtocol.TLS,
+                domain=f"site{i}.example",
+                start_ts=i * 2.0,
+            )
+            for i in range(8)
+        ]
+        return PacketSynthesizer(seed=11).synthesize(specs)
+
+    def _probe(self):
+        from repro.tstat.probe import Probe, ProbeConfig
+
+        return Probe(
+            ProbeConfig.for_pop(
+                "pop1", ["10.1.0.0/16"],
+                software_date=datetime.date(2014, 2, 3),
+            )
+        )
+
+    def test_restart_is_typed_and_counts_partial_records(self, tmp_path):
+        from repro.tstat.probe import ProbeRestart
+
+        packets = self._packets()
+        clean = self._probe().run_to_log(packets, tmp_path / "full.tsv.gz")
+        with pytest.raises(ProbeRestart) as excinfo:
+            self._probe().run_to_log(
+                packets, tmp_path / "part.tsv.gz", restart_after=3
+            )
+        assert excinfo.value.records_written == 3
+        assert clean > 3
+
+    def test_partial_log_loads_without_manifest(self, tmp_path):
+        from repro.tstat.probe import ProbeRestart
+
+        packets = self._packets()
+        path = tmp_path / "part.tsv.gz"
+        with pytest.raises(ProbeRestart):
+            self._probe().run_to_log(packets, path, restart_after=3)
+        # The interrupted writer closed its gzip stream but never wrote
+        # the verification manifest: the bytes load, the sidecar is gone.
+        assert len(load_flow_log(path)) == 3
+        assert not path.with_name(path.name + ".manifest.json").exists()
+
+    def test_restart_beyond_day_size_is_a_clean_run(self, tmp_path):
+        packets = self._packets()
+        path = tmp_path / "full.tsv.gz"
+        count = self._probe().run_to_log(packets, path, restart_after=10_000)
+        assert load_flow_log(path) and count == len(load_flow_log(path))
